@@ -1,0 +1,31 @@
+//! Baseline systems from the Spitz evaluation (Section 6.1).
+//!
+//! Three comparison points are implemented:
+//!
+//! * [`kvs::ImmutableKvs`] — "an immutable key-value store using ForkBase.
+//!   It is the same as Spitz in terms of indexing, except that it does not
+//!   maintain a ledger or provide verifiability." The upper bound of Figures
+//!   6 and 7.
+//! * [`qldb::QldbBaseline`] — "a baseline system to emulate a commercial
+//!   product based on the features described online": newly inserted or
+//!   modified records are collected into blocks appended to a Merkle-tree
+//!   ledger, the ledger shadows a B+-tree for key search, and blocks are
+//!   materialized into indexed views for fast queries. Proofs must be
+//!   retrieved from the ledger separately, record by record.
+//! * [`nonintrusive::NonIntrusiveVdb`] — the non-intrusive composition of
+//!   Figure 3: an unmodified underlying database (the immutable KVS) plus a
+//!   separate ledger database (a full Spitz instance used only as a ledger),
+//!   kept consistent by dual writes. Every verified operation crosses the
+//!   boundary between the two systems, which is the overhead Figure 8
+//!   measures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kvs;
+pub mod nonintrusive;
+pub mod qldb;
+
+pub use kvs::ImmutableKvs;
+pub use nonintrusive::NonIntrusiveVdb;
+pub use qldb::{QldbBaseline, QldbProof};

@@ -1,0 +1,41 @@
+//! Ablation: MVCC concurrency-control schemes (OCC vs T/O vs 2PL).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spitz_txn::{CcScheme, IsolationLevel, MvccStore, TimestampOracle, TransactionManager};
+
+fn bench_cc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cc");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (name, scheme) in [
+        ("occ", CcScheme::Occ),
+        ("timestamp_ordering", CcScheme::TimestampOrdering),
+        ("two_phase_locking", CcScheme::TwoPhaseLocking),
+    ] {
+        let tm = TransactionManager::new(
+            Arc::new(MvccStore::new()),
+            Arc::new(TimestampOracle::new()),
+            scheme,
+        );
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::new("rmw_txn", name), &scheme, |b, _| {
+            b.iter(|| {
+                i += 1;
+                let mut txn = tm.begin(IsolationLevel::Serializable);
+                let hot = format!("hot-{}", i % 16);
+                let _ = tm.read(&mut txn, hot.as_bytes());
+                if tm.write(&mut txn, hot.as_bytes(), vec![1]).is_ok() {
+                    let _ = tm.commit(&mut txn);
+                } else {
+                    tm.abort(&mut txn);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cc);
+criterion_main!(benches);

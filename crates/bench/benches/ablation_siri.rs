@@ -1,0 +1,45 @@
+//! Ablation: which SIRI structure backs the ledger (POS-Tree vs MPT vs MBT).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spitz_bench::workload::{KeyValueWorkload, WorkloadConfig};
+use spitz_index::SiriKind;
+use spitz_ledger::Ledger;
+use spitz_storage::InMemoryChunkStore;
+
+fn bench_siri(c: &mut Criterion) {
+    let workload = KeyValueWorkload::generate(WorkloadConfig::with_records(5_000));
+    let keys = workload.read_keys(500);
+
+    let mut group = c.benchmark_group("ablation_siri_5k");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for kind in [SiriKind::PosTree, SiriKind::MerklePatriciaTrie, SiriKind::MerkleBucketTree] {
+        let ledger = Ledger::with_kind(InMemoryChunkStore::shared(), kind);
+        for batch in workload.records.chunks(256) {
+            ledger.append_block(batch.to_vec(), "load");
+        }
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new("verified_read", kind.name()), &kind, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                let (value, proof) = ledger.get_with_proof(&keys[i]);
+                assert!(proof.verify(&keys[i], value.as_deref()));
+            })
+        });
+        let mut j = 0usize;
+        group.bench_with_input(BenchmarkId::new("write", kind.name()), &kind, |b, _| {
+            b.iter(|| {
+                j += 1;
+                ledger.append_block(
+                    vec![(format!("new-{j}").into_bytes(), vec![0u8; 20])],
+                    "PUT",
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_siri);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation: online vs deferred (batched) verification.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spitz_bench::workload::{KeyValueWorkload, WorkloadConfig};
+use spitz_ledger::{DeferredVerifier, Ledger};
+use spitz_storage::InMemoryChunkStore;
+
+fn bench_verification(c: &mut Criterion) {
+    let workload = KeyValueWorkload::generate(WorkloadConfig::with_records(10_000));
+    let ledger = Ledger::new(InMemoryChunkStore::shared());
+    for batch in workload.records.chunks(256) {
+        ledger.append_block(batch.to_vec(), "load");
+    }
+    let keys = workload.read_keys(1_000);
+
+    let mut group = c.benchmark_group("ablation_verification_10k");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut i = 0usize;
+    group.bench_function("online", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            let (value, proof) = ledger.get_with_proof(&keys[i]);
+            assert!(proof.verify(&keys[i], value.as_deref()));
+        })
+    });
+    let verifier = DeferredVerifier::new();
+    group.bench_function("deferred_batch_512", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            let (value, proof) = ledger.get_with_proof(&keys[i]);
+            verifier.submit(keys[i].clone(), value, proof);
+            if verifier.pending_count() >= 512 {
+                assert!(verifier.verify_batch().all_ok());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

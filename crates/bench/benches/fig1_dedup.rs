@@ -1,0 +1,38 @@
+//! Criterion bench for the Figure 1 mechanism: storing an edited 16 KB page
+//! through the deduplicating storage substrate vs copying it wholesale.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spitz_bench::workload::WikiWorkload;
+use spitz_storage::{ChunkerConfig, InMemoryChunkStore, VBlob};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_dedup");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let mut wiki = WikiWorkload::paper_default();
+    let store = InMemoryChunkStore::shared();
+    let chunker = ChunkerConfig::default();
+    for page in &wiki.pages {
+        VBlob::write(&store, page, &chunker).unwrap();
+    }
+
+    group.bench_function("store_edited_page_dedup", |b| {
+        b.iter(|| {
+            let edited = wiki.next_version();
+            VBlob::write(&store, &wiki.pages[edited], &chunker).unwrap()
+        })
+    });
+
+    group.bench_function("store_edited_page_full_copy", |b| {
+        b.iter(|| {
+            let edited = wiki.next_version();
+            std::hint::black_box(wiki.pages[edited].clone())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for Figure 6(a): point reads across the five systems at a
+//! fixed (laptop-sized) database size. The figure binary sweeps the sizes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spitz_bench::systems::{load_kvs, load_qldb, load_spitz};
+use spitz_bench::workload::{KeyValueWorkload, WorkloadConfig};
+use spitz_core::verify::ClientVerifier;
+
+fn bench_reads(c: &mut Criterion) {
+    let workload = KeyValueWorkload::generate(WorkloadConfig::with_records(10_000));
+    let keys = workload.read_keys(1_000);
+    let kvs = load_kvs(&workload);
+    let spitz = load_spitz(&workload);
+    let qldb = load_qldb(&workload);
+
+    let mut group = c.benchmark_group("fig6a_read_10k");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut i = 0usize;
+    group.bench_function("immutable_kvs", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            std::hint::black_box(kvs.get(&keys[i]))
+        })
+    });
+    group.bench_function("spitz", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            std::hint::black_box(spitz.get(&keys[i]).unwrap())
+        })
+    });
+    let mut client = ClientVerifier::new();
+    client.observe_digest(spitz.digest());
+    group.bench_function("spitz_verify", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            let (value, proof) = spitz.get_verified(&keys[i]).unwrap();
+            assert!(client.verify_read(&keys[i], value.as_deref(), &proof));
+        })
+    });
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            std::hint::black_box(qldb.get(&keys[i]))
+        })
+    });
+    group.bench_function("baseline_verify", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            let (value, proof) = qldb.get_verified(&keys[i]).unwrap();
+            assert!(proof.verify(&keys[i], &value));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reads);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for Figure 6(b): writes across the five systems at a
+//! fixed database size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spitz_bench::systems::{load_kvs, load_qldb, load_spitz};
+use spitz_bench::workload::{KeyValueWorkload, WorkloadConfig};
+
+fn bench_writes(c: &mut Criterion) {
+    let workload = KeyValueWorkload::generate(WorkloadConfig::with_records(10_000));
+    let writes = workload.write_records(100_000);
+    let kvs = load_kvs(&workload);
+    let spitz = load_spitz(&workload);
+    let qldb = load_qldb(&workload);
+
+    let mut group = c.benchmark_group("fig6b_write_10k");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut i = 0usize;
+    group.bench_function("immutable_kvs", |b| {
+        b.iter(|| {
+            i = (i + 1) % writes.len();
+            kvs.put(&writes[i].0, &writes[i].1)
+        })
+    });
+    group.bench_function("spitz", |b| {
+        b.iter(|| {
+            i = (i + 1) % writes.len();
+            spitz.put(&writes[i].0, &writes[i].1).unwrap()
+        })
+    });
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            i = (i + 1) % writes.len();
+            qldb.put(&writes[i].0, &writes[i].1)
+        })
+    });
+    group.bench_function("baseline_verify", |b| {
+        b.iter(|| {
+            i = (i + 1) % writes.len();
+            qldb.put(&writes[i].0, &writes[i].1);
+            qldb.seal();
+            let (value, proof) = qldb.get_verified(&writes[i].0).unwrap();
+            assert!(proof.verify(&writes[i].0, &value));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_writes);
+criterion_main!(benches);

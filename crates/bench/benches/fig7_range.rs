@@ -1,0 +1,60 @@
+//! Criterion bench for Figure 7: range queries (0.1% selectivity) with and
+//! without verification, Spitz vs baseline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spitz_bench::systems::{load_kvs, load_qldb, load_spitz};
+use spitz_bench::workload::{KeyValueWorkload, WorkloadConfig};
+use spitz_core::verify::ClientVerifier;
+
+fn bench_range(c: &mut Criterion) {
+    let workload = KeyValueWorkload::generate(WorkloadConfig::with_records(20_000));
+    let ranges = workload.range_queries(200, 0.001);
+    let kvs = load_kvs(&workload);
+    let spitz = load_spitz(&workload);
+    let qldb = load_qldb(&workload);
+
+    let mut group = c.benchmark_group("fig7_range_20k");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let mut i = 0usize;
+    group.bench_function("immutable_kvs", |b| {
+        b.iter(|| {
+            i = (i + 1) % ranges.len();
+            std::hint::black_box(kvs.range(&ranges[i].0, &ranges[i].1))
+        })
+    });
+    group.bench_function("spitz", |b| {
+        b.iter(|| {
+            i = (i + 1) % ranges.len();
+            std::hint::black_box(spitz.range(&ranges[i].0, &ranges[i].1).unwrap())
+        })
+    });
+    let mut client = ClientVerifier::new();
+    client.observe_digest(spitz.digest());
+    group.bench_function("spitz_verify", |b| {
+        b.iter(|| {
+            i = (i + 1) % ranges.len();
+            let (entries, proof) = spitz.range_verified(&ranges[i].0, &ranges[i].1).unwrap();
+            assert!(client.verify_range(&entries, &proof));
+        })
+    });
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            i = (i + 1) % ranges.len();
+            std::hint::black_box(qldb.range(&ranges[i].0, &ranges[i].1))
+        })
+    });
+    group.bench_function("baseline_verify", |b| {
+        b.iter(|| {
+            i = (i + 1) % ranges.len();
+            for (k, v, proof) in qldb.range_verified(&ranges[i].0, &ranges[i].1) {
+                assert!(proof.verify(&k, &v));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_range);
+criterion_main!(benches);

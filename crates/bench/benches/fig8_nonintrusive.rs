@@ -1,0 +1,49 @@
+//! Criterion bench for Figure 8: Spitz vs the non-intrusive composition.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spitz_bench::systems::{load_nonintrusive, load_spitz};
+use spitz_bench::workload::{KeyValueWorkload, WorkloadConfig};
+
+fn bench_nonintrusive(c: &mut Criterion) {
+    let workload = KeyValueWorkload::generate(WorkloadConfig::with_records(10_000));
+    let keys = workload.read_keys(1_000);
+    let writes = workload.write_records(100_000);
+    let spitz = load_spitz(&workload);
+    let non_intrusive = load_nonintrusive(&workload);
+
+    let mut group = c.benchmark_group("fig8_nonintrusive_10k");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut i = 0usize;
+    group.bench_function("spitz_read_verify", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            let (value, proof) = spitz.get_verified(&keys[i]).unwrap();
+            assert!(proof.verify(&keys[i], value.as_deref()));
+        })
+    });
+    group.bench_function("nonintrusive_read_verify", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            let (value, proof) = non_intrusive.get_verified(&keys[i]);
+            assert!(proof.verify(&keys[i], value.as_deref()));
+        })
+    });
+    group.bench_function("spitz_write", |b| {
+        b.iter(|| {
+            i = (i + 1) % writes.len();
+            spitz.put(&writes[i].0, &writes[i].1).unwrap()
+        })
+    });
+    group.bench_function("nonintrusive_write", |b| {
+        b.iter(|| {
+            i = (i + 1) % writes.len();
+            non_intrusive.put(&writes[i].0, &writes[i].1)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nonintrusive);
+criterion_main!(benches);

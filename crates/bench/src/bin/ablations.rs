@@ -1,0 +1,139 @@
+//! Ablation studies for the design choices called out in DESIGN.md:
+//!
+//! 1. SIRI structure for the ledger: POS-Tree vs MPT vs MBT (the paper's
+//!    Section 3.1 claims POS-Tree has the best overall performance).
+//! 2. Online vs deferred verification (Section 5.3).
+//! 3. Concurrency-control scheme: MVCC+OCC vs MVCC+TO vs MVCC+2PL
+//!    (Section 5.2).
+
+use std::sync::Arc;
+
+use spitz_bench::workload::{KeyValueWorkload, WorkloadConfig};
+use spitz_bench::{measure_throughput, FigureTable};
+use spitz_index::SiriKind;
+use spitz_ledger::{DeferredVerifier, Ledger};
+use spitz_storage::InMemoryChunkStore;
+use spitz_txn::{CcScheme, IsolationLevel, MvccStore, TimestampOracle, TransactionManager};
+
+fn siri_ablation(records: usize) {
+    let mut table = FigureTable::new(
+        format!("Ablation: ledger SIRI structure ({records} records)"),
+        "Operation",
+        vec!["POS-Tree", "MPT", "MBT"],
+    );
+    let workload = KeyValueWorkload::generate(WorkloadConfig::with_records(records));
+    let keys = workload.read_keys(2_000);
+    let ranges = workload.range_queries(50, 0.001);
+
+    let mut write_row = Vec::new();
+    let mut read_row = Vec::new();
+    let mut verify_row = Vec::new();
+    let mut range_row = Vec::new();
+    for kind in [SiriKind::PosTree, SiriKind::MerklePatriciaTrie, SiriKind::MerkleBucketTree] {
+        let ledger = Ledger::with_kind(InMemoryChunkStore::shared(), kind);
+        let write = measure_throughput(workload.records.len(), |i| {
+            ledger.append_block(vec![workload.records[i].clone()], "PUT");
+        });
+        let read = measure_throughput(keys.len(), |i| {
+            std::hint::black_box(ledger.get(&keys[i]));
+        });
+        let verify = measure_throughput(keys.len(), |i| {
+            let (value, proof) = ledger.get_with_proof(&keys[i]);
+            assert!(proof.verify(&keys[i], value.as_deref()));
+        });
+        let range = measure_throughput(ranges.len(), |i| {
+            std::hint::black_box(ledger.range(&ranges[i].0, &ranges[i].1));
+        });
+        write_row.push(write);
+        read_row.push(read);
+        verify_row.push(verify);
+        range_row.push(range);
+    }
+    table.add_row("write (kops/s)", write_row);
+    table.add_row("read (kops/s)", read_row);
+    table.add_row("verified read", verify_row);
+    table.add_row("range 0.1%", range_row);
+    table.print();
+    println!();
+}
+
+fn verification_ablation(records: usize) {
+    let mut table = FigureTable::new(
+        format!("Ablation: online vs deferred verification ({records} reads)"),
+        "Scheme",
+        vec!["kops/s"],
+    );
+    let workload = KeyValueWorkload::generate(WorkloadConfig::with_records(records));
+    let ledger = Ledger::new(InMemoryChunkStore::shared());
+    for batch in workload.records.chunks(256) {
+        ledger.append_block(batch.to_vec(), "load");
+    }
+    let keys = workload.read_keys(5_000);
+
+    let online = measure_throughput(keys.len(), |i| {
+        let (value, proof) = ledger.get_with_proof(&keys[i]);
+        assert!(proof.verify(&keys[i], value.as_deref()));
+    });
+
+    let verifier = DeferredVerifier::new();
+    let deferred = measure_throughput(keys.len(), |i| {
+        let (value, proof) = ledger.get_with_proof(&keys[i]);
+        verifier.submit(keys[i].clone(), value, proof);
+        if verifier.pending_count() >= 512 {
+            assert!(verifier.verify_batch().all_ok());
+        }
+    });
+    assert!(verifier.verify_batch().all_ok());
+
+    table.add_row("online", vec![online]);
+    table.add_row("deferred (batch 512)", vec![deferred]);
+    table.print();
+    println!();
+}
+
+fn cc_ablation(transactions: usize) {
+    let mut table = FigureTable::new(
+        format!("Ablation: concurrency control ({transactions} txns, 10% hot keys)"),
+        "Scheme",
+        vec!["kops/s", "commit %"],
+    );
+    for (name, scheme) in [
+        ("MVCC+OCC", CcScheme::Occ),
+        ("MVCC+T/O", CcScheme::TimestampOrdering),
+        ("MVCC+2PL", CcScheme::TwoPhaseLocking),
+    ] {
+        let tm = TransactionManager::new(
+            Arc::new(MvccStore::new()),
+            Arc::new(TimestampOracle::new()),
+            scheme,
+        );
+        let throughput = measure_throughput(transactions, |i| {
+            let mut txn = tm.begin(IsolationLevel::Serializable);
+            // Read-modify-write of a hot key plus a private key.
+            let hot = format!("hot-{}", i % 10);
+            let private = format!("private-{i}");
+            let _ = tm.read(&mut txn, hot.as_bytes());
+            if tm.write(&mut txn, hot.as_bytes(), vec![1]).is_ok()
+                && tm.write(&mut txn, private.as_bytes(), vec![2]).is_ok()
+            {
+                let _ = tm.commit(&mut txn);
+            } else {
+                tm.abort(&mut txn);
+            }
+        });
+        let stats = tm.stats();
+        let commit_pct =
+            100.0 * stats.committed as f64 / (stats.committed + stats.aborted).max(1) as f64;
+        table.add_row(name, vec![throughput, commit_pct]);
+    }
+    table.print();
+    println!();
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let records = if full { 100_000 } else { 20_000 };
+    siri_ablation(records);
+    verification_ablation(records);
+    cc_ablation(if full { 200_000 } else { 50_000 });
+}

@@ -1,0 +1,262 @@
+//! Evaluation workloads (Section 6.2).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Parameters of the key/value workload: defaults match the paper
+/// ("the length of the key ranges from 5 to 12 bytes while the size of the
+/// value is 20 bytes").
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Number of records.
+    pub records: usize,
+    /// Minimum key length in bytes.
+    pub key_min: usize,
+    /// Maximum key length in bytes.
+    pub key_max: usize,
+    /// Value size in bytes.
+    pub value_len: usize,
+    /// RNG seed, so runs are reproducible.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            records: 10_000,
+            key_min: 5,
+            key_max: 12,
+            value_len: 20,
+            seed: 42,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A config with a specific record count and the paper's key/value sizes.
+    pub fn with_records(records: usize) -> Self {
+        WorkloadConfig {
+            records,
+            ..Default::default()
+        }
+    }
+}
+
+/// A generated key/value workload.
+#[derive(Debug, Clone)]
+pub struct KeyValueWorkload {
+    /// The records, in insertion order. Keys are unique.
+    pub records: Vec<(Vec<u8>, Vec<u8>)>,
+    config: WorkloadConfig,
+}
+
+impl KeyValueWorkload {
+    /// Generate a workload.
+    pub fn generate(config: WorkloadConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut records = Vec::with_capacity(config.records);
+        for i in 0..config.records {
+            // A unique, sortable stem plus random padding up to the sampled
+            // key length keeps keys unique while matching the length range.
+            let stem = format!("{i:08x}");
+            let target_len = rng.gen_range(config.key_min..=config.key_max).max(8);
+            let mut key = stem.into_bytes();
+            while key.len() < target_len {
+                key.push(rng.gen_range(b'a'..=b'z'));
+            }
+            let mut value = vec![0u8; config.value_len];
+            rng.fill_bytes(&mut value);
+            records.push((key, value));
+        }
+        KeyValueWorkload { records, config }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Keys to read for a read-only phase: `count` keys sampled uniformly
+    /// (with replacement) from the loaded records.
+    pub fn read_keys(&self, count: usize) -> Vec<Vec<u8>> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xbeef);
+        (0..count)
+            .map(|_| {
+                let i = rng.gen_range(0..self.records.len());
+                self.records[i].0.clone()
+            })
+            .collect()
+    }
+
+    /// Fresh records for a write-only phase (keys disjoint from the loaded
+    /// ones).
+    pub fn write_records(&self, count: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xfeed);
+        (0..count)
+            .map(|i| {
+                let key = format!("wr-{i:08x}").into_bytes();
+                let mut value = vec![0u8; self.config.value_len];
+                rng.fill_bytes(&mut value);
+                (key, value)
+            })
+            .collect()
+    }
+
+    /// Range queries on the primary key with the given selectivity
+    /// (fraction of the keyspace covered by each query, 0.001 in the paper).
+    pub fn range_queries(&self, count: usize, selectivity: f64) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut sorted: Vec<&Vec<u8>> = self.records.iter().map(|(k, _)| k).collect();
+        sorted.sort();
+        let span = ((self.records.len() as f64) * selectivity).ceil().max(1.0) as usize;
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xabcd);
+        (0..count)
+            .map(|_| {
+                let start = rng.gen_range(0..sorted.len().saturating_sub(span).max(1));
+                let end = (start + span).min(sorted.len() - 1);
+                (sorted[start].clone(), sorted[end].clone())
+            })
+            .collect()
+    }
+
+    /// The records in a shuffled order (for order-independence experiments).
+    pub fn shuffled(&self, seed: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut records = self.records.clone();
+        records.shuffle(&mut StdRng::seed_from_u64(seed));
+        records
+    }
+}
+
+/// The Figure 1 workload: WIKI pages of a fixed size, each new version
+/// editing a small region of one page.
+#[derive(Debug, Clone)]
+pub struct WikiWorkload {
+    /// Current contents of each page.
+    pub pages: Vec<Vec<u8>>,
+    rng: StdRng,
+    edit_bytes: usize,
+}
+
+impl WikiWorkload {
+    /// Create the paper's setup: 10 pages of 16 KB each.
+    pub fn paper_default() -> Self {
+        Self::new(10, 16 * 1024, 512, 7)
+    }
+
+    /// Create a workload with `pages` pages of `page_size` bytes; each
+    /// version edits `edit_bytes` contiguous bytes of one page.
+    pub fn new(pages: usize, page_size: usize, edit_bytes: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pages = (0..pages)
+            .map(|_| {
+                let mut page = vec![0u8; page_size];
+                rng.fill_bytes(&mut page);
+                page
+            })
+            .collect();
+        WikiWorkload {
+            pages,
+            rng,
+            edit_bytes,
+        }
+    }
+
+    /// Apply one versioning step: edit a random region of a random page and
+    /// return the page index that changed.
+    pub fn next_version(&mut self) -> usize {
+        let page_index = self.rng.gen_range(0..self.pages.len());
+        let page = &mut self.pages[page_index];
+        let start = self.rng.gen_range(0..page.len().saturating_sub(self.edit_bytes));
+        for byte in &mut page[start..start + self.edit_bytes] {
+            *byte = self.rng.gen();
+        }
+        page_index
+    }
+
+    /// Total logical size of all pages.
+    pub fn logical_bytes(&self) -> usize {
+        self.pages.iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn keys_are_unique_and_sized_per_the_paper() {
+        let workload = KeyValueWorkload::generate(WorkloadConfig::with_records(5000));
+        assert_eq!(workload.len(), 5000);
+        let keys: HashSet<_> = workload.records.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys.len(), 5000, "keys must be unique");
+        for (k, v) in &workload.records {
+            assert!(k.len() >= 8 && k.len() <= 12, "key length {}", k.len());
+            assert_eq!(v.len(), 20);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = KeyValueWorkload::generate(WorkloadConfig::with_records(100));
+        let b = KeyValueWorkload::generate(WorkloadConfig::with_records(100));
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.read_keys(50), b.read_keys(50));
+    }
+
+    #[test]
+    fn read_keys_come_from_the_loaded_set() {
+        let workload = KeyValueWorkload::generate(WorkloadConfig::with_records(500));
+        let loaded: HashSet<_> = workload.records.iter().map(|(k, _)| k.clone()).collect();
+        for key in workload.read_keys(200) {
+            assert!(loaded.contains(&key));
+        }
+    }
+
+    #[test]
+    fn write_records_do_not_collide_with_loaded_keys() {
+        let workload = KeyValueWorkload::generate(WorkloadConfig::with_records(500));
+        let loaded: HashSet<_> = workload.records.iter().map(|(k, _)| k.clone()).collect();
+        for (key, value) in workload.write_records(200) {
+            assert!(!loaded.contains(&key));
+            assert_eq!(value.len(), 20);
+        }
+    }
+
+    #[test]
+    fn range_queries_match_selectivity() {
+        let workload = KeyValueWorkload::generate(WorkloadConfig::with_records(10_000));
+        for (start, end) in workload.range_queries(20, 0.001) {
+            assert!(start < end);
+            let hits = workload
+                .records
+                .iter()
+                .filter(|(k, _)| k >= &start && k < &end)
+                .count();
+            // 0.1% of 10k is 10 records, allow slack for boundary sampling.
+            assert!(hits >= 5 && hits <= 20, "hits {hits}");
+        }
+    }
+
+    #[test]
+    fn wiki_workload_edits_are_local() {
+        let mut wiki = WikiWorkload::paper_default();
+        assert_eq!(wiki.pages.len(), 10);
+        assert_eq!(wiki.logical_bytes(), 10 * 16 * 1024);
+        let before = wiki.pages.clone();
+        let edited = wiki.next_version();
+        let changed: usize = wiki
+            .pages
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| a.iter().zip(b.iter()).filter(|(x, y)| x != y).count())
+            .sum();
+        assert!(changed > 0 && changed <= 512);
+        assert_ne!(wiki.pages[edited], before[edited]);
+    }
+}

@@ -1,0 +1,404 @@
+//! The `SpitzDb` facade: the public API of the Spitz verifiable database.
+//!
+//! `SpitzDb` owns a chunk store, the unified ledger, a processor node and a
+//! typed table layer (schemas, records, inverted indexes for the analytical
+//! path). It exposes the operations the paper's evaluation measures:
+//! point/range reads and writes, each with and without verification.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use spitz_index::inverted::{IndexValue, InvertedIndex};
+use spitz_index::BPlusTree;
+use spitz_ledger::{Digest, Ledger, LedgerProof, LedgerRangeProof};
+use spitz_storage::{ChunkStore, InMemoryChunkStore, StoreStats};
+use spitz_txn::CcScheme;
+
+use crate::cell::UniversalKey;
+use crate::control::{ProcessorNode, Request, Response};
+use crate::error::DbError;
+use crate::schema::{ColumnType, Record, Schema, Value};
+use crate::Result;
+
+/// Configuration for a Spitz instance.
+#[derive(Debug, Clone, Copy)]
+pub struct SpitzConfig {
+    /// SIRI structure used by the ledger.
+    pub siri: spitz_index::SiriKind,
+    /// Concurrency-control scheme for serializable transactions.
+    pub cc_scheme: CcScheme,
+}
+
+impl Default for SpitzConfig {
+    fn default() -> Self {
+        SpitzConfig {
+            siri: spitz_index::SiriKind::PosTree,
+            cc_scheme: CcScheme::Occ,
+        }
+    }
+}
+
+/// Typed table state: schema, per-column inverted indexes and a B+-tree from
+/// primary keys to the record's latest commit timestamp.
+struct Table {
+    schema: Schema,
+    inverted: HashMap<String, InvertedIndex>,
+    primary: BPlusTree<u64>,
+    next_timestamp: u64,
+}
+
+/// The Spitz verifiable database.
+pub struct SpitzDb {
+    store: Arc<dyn ChunkStore>,
+    ledger: Arc<Ledger>,
+    node: Arc<ProcessorNode>,
+    tables: RwLock<HashMap<String, Table>>,
+}
+
+impl SpitzDb {
+    /// Create an in-memory instance with the default configuration (POS-Tree
+    /// ledger, MVCC + OCC) — the configuration evaluated in the paper.
+    pub fn in_memory() -> Self {
+        Self::with_config(SpitzConfig::default())
+    }
+
+    /// Create an instance with an explicit configuration.
+    pub fn with_config(config: SpitzConfig) -> Self {
+        let raw = InMemoryChunkStore::shared();
+        let store: Arc<dyn ChunkStore> = raw;
+        let ledger = Arc::new(Ledger::with_kind(Arc::clone(&store), config.siri));
+        let node = Arc::new(ProcessorNode::new(
+            Arc::clone(&store),
+            Arc::clone(&ledger),
+            config.cc_scheme,
+        ));
+        SpitzDb {
+            store,
+            ledger,
+            node,
+            tables: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The processor node (control-layer access for advanced callers).
+    pub fn processor(&self) -> &Arc<ProcessorNode> {
+        &self.node
+    }
+
+    /// The unified ledger.
+    pub fn ledger(&self) -> &Arc<Ledger> {
+        &self.ledger
+    }
+
+    /// Storage statistics of the backing chunk store.
+    pub fn storage_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// The current database digest (what clients pin).
+    pub fn digest(&self) -> Digest {
+        self.ledger.digest()
+    }
+
+    // ------------------------------------------------------------------
+    // Key/value API (the operations measured in Figures 6–8)
+    // ------------------------------------------------------------------
+
+    /// Write one key/value pair (sealed as its own ledger block).
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<Digest> {
+        match self.node.handle(Request::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })? {
+            Response::Committed(digest) => Ok(digest),
+            _ => Err(DbError::BadRequest("unexpected response".into())),
+        }
+    }
+
+    /// Write a batch atomically as one ledger block.
+    pub fn put_batch(&self, writes: Vec<(Vec<u8>, Vec<u8>)>) -> Result<Digest> {
+        match self.node.handle(Request::PutBatch { writes })? {
+            Response::Committed(digest) => Ok(digest),
+            _ => Err(DbError::BadRequest("unexpected response".into())),
+        }
+    }
+
+    /// Unverified point read.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Ok(self.ledger.get(key))
+    }
+
+    /// Verified point read: value plus ledger proof.
+    pub fn get_verified(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, LedgerProof)> {
+        Ok(self.ledger.get_with_proof(key))
+    }
+
+    /// Unverified range read over `start <= key < end`.
+    pub fn range(&self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        Ok(self.ledger.range(start, end))
+    }
+
+    /// Verified range read: entries plus a combined proof from the unified
+    /// index traversal.
+    pub fn range_verified(
+        &self,
+        start: &[u8],
+        end: &[u8],
+    ) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, LedgerRangeProof)> {
+        Ok(self.ledger.range_with_proof(start, end))
+    }
+
+    // ------------------------------------------------------------------
+    // Typed table API (HTAP path: records, cells, inverted indexes)
+    // ------------------------------------------------------------------
+
+    /// Create a table from a schema. Numeric columns get skip-list inverted
+    /// indexes, text columns radix-tree inverted indexes.
+    pub fn create_table(&self, schema: Schema) -> Result<()> {
+        let mut inverted = HashMap::new();
+        for column in &schema.columns {
+            let index = match column.column_type {
+                ColumnType::Integer => InvertedIndex::numeric(),
+                ColumnType::Text | ColumnType::Bytes => InvertedIndex::text(),
+            };
+            inverted.insert(column.name.clone(), index);
+        }
+        self.tables.write().insert(
+            schema.table.clone(),
+            Table {
+                schema,
+                inverted,
+                primary: BPlusTree::new(),
+                next_timestamp: 1,
+            },
+        );
+        Ok(())
+    }
+
+    /// Insert (or append a new version of) a record: one cell per column,
+    /// one ledger block for the whole record, inverted indexes updated.
+    pub fn insert_record(&self, table: &str, record: &Record) -> Result<Digest> {
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::UnknownColumn(format!("table {table}")))?;
+        t.schema.validate(record)?;
+
+        let timestamp = t.next_timestamp;
+        t.next_timestamp += 1;
+
+        let mut writes = Vec::with_capacity(record.values.len());
+        for (column, value) in &record.values {
+            let column_id = t.schema.column_id(column)?;
+            let encoded = value.encode();
+            let ukey = UniversalKey::new(
+                column_id,
+                record.primary_key.as_bytes().to_vec(),
+                timestamp,
+                &encoded,
+            );
+            let index_value = match value {
+                Value::Integer(v) => IndexValue::Int(*v),
+                Value::Text(s) => IndexValue::text(s.as_bytes()),
+                Value::Bytes(b) => IndexValue::text(b),
+            };
+            if let Some(index) = t.inverted.get_mut(column) {
+                index.add(&index_value, ukey.encode());
+            }
+            writes.push((ukey.encode(), encoded));
+        }
+        t.primary.insert(record.primary_key.as_bytes(), timestamp);
+        drop(tables);
+
+        self.put_batch(writes)
+    }
+
+    /// Read back the latest version of a record.
+    pub fn get_record(&self, table: &str, primary_key: &str) -> Result<Option<Record>> {
+        let tables = self.tables.read();
+        let t = tables
+            .get(table)
+            .ok_or_else(|| DbError::UnknownColumn(format!("table {table}")))?;
+        let Some(&timestamp) = t.primary.get(primary_key.as_bytes()) else {
+            return Ok(None);
+        };
+        let mut record = Record::new(primary_key);
+        for column in &t.schema.columns {
+            let column_id = t.schema.column_id(&column.name)?;
+            // The value hash is unknown at lookup time, so scan the cell's
+            // key range (all versions) and take the one at `timestamp`.
+            let prefix = UniversalKey::cell_prefix(column_id, primary_key.as_bytes());
+            let mut end = prefix.clone();
+            end.extend_from_slice(&(timestamp + 1).to_be_bytes());
+            let mut start = prefix.clone();
+            start.extend_from_slice(&timestamp.to_be_bytes());
+            for (ukey, encoded) in self.ledger.range(&start, &end) {
+                let decoded = UniversalKey::decode(&ukey)?;
+                if decoded.timestamp == timestamp {
+                    record
+                        .values
+                        .insert(column.name.clone(), Value::decode(&encoded)?);
+                }
+            }
+        }
+        Ok(Some(record))
+    }
+
+    /// Analytical lookup: primary keys of records whose `column` equals
+    /// `value`, served from the inverted index.
+    pub fn query_eq(&self, table: &str, column: &str, value: &Value) -> Result<Vec<String>> {
+        let tables = self.tables.read();
+        let t = tables
+            .get(table)
+            .ok_or_else(|| DbError::UnknownColumn(format!("table {table}")))?;
+        let index = t
+            .inverted
+            .get(column)
+            .ok_or_else(|| DbError::UnknownColumn(column.to_string()))?;
+        let index_value = match value {
+            Value::Integer(v) => IndexValue::Int(*v),
+            Value::Text(s) => IndexValue::text(s.as_bytes()),
+            Value::Bytes(b) => IndexValue::text(b),
+        };
+        Ok(postings_to_primary_keys(index.lookup_eq(&index_value)))
+    }
+
+    /// Analytical range lookup over an integer column, e.g. "all items with
+    /// stock-level lower than 50".
+    pub fn query_int_range(
+        &self,
+        table: &str,
+        column: &str,
+        low: i64,
+        high: i64,
+    ) -> Result<Vec<String>> {
+        let tables = self.tables.read();
+        let t = tables
+            .get(table)
+            .ok_or_else(|| DbError::UnknownColumn(format!("table {table}")))?;
+        let index = t
+            .inverted
+            .get(column)
+            .ok_or_else(|| DbError::UnknownColumn(column.to_string()))?;
+        Ok(postings_to_primary_keys(index.lookup_range(low, high)))
+    }
+}
+
+/// Decode posting-list universal keys back into their primary keys,
+/// de-duplicated and sorted.
+fn postings_to_primary_keys(postings: Vec<Vec<u8>>) -> Vec<String> {
+    let mut keys: Vec<String> = postings
+        .iter()
+        .filter_map(|p| UniversalKey::decode(p).ok())
+        .map(|k| String::from_utf8_lossy(&k.primary_key).into_owned())
+        .collect();
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_roundtrip_with_and_without_verification() {
+        let db = SpitzDb::in_memory();
+        db.put(b"alpha", b"1").unwrap();
+        db.put(b"beta", b"2").unwrap();
+        assert_eq!(db.get(b"alpha").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(b"missing").unwrap(), None);
+
+        let (value, proof) = db.get_verified(b"beta").unwrap();
+        assert_eq!(value, Some(b"2".to_vec()));
+        assert!(proof.verify(b"beta", value.as_deref()));
+
+        let digest = db.digest();
+        assert_eq!(digest.block_height, 1);
+        assert!(db.storage_stats().chunk_count > 0);
+    }
+
+    #[test]
+    fn range_reads_return_sorted_windows_with_proofs() {
+        let db = SpitzDb::in_memory();
+        let writes: Vec<_> = (0..200u32)
+            .map(|i| (format!("key-{i:05}").into_bytes(), format!("{i}").into_bytes()))
+            .collect();
+        db.put_batch(writes).unwrap();
+
+        let entries = db.range(b"key-00050", b"key-00060").unwrap();
+        assert_eq!(entries.len(), 10);
+
+        let (entries, proof) = db.range_verified(b"key-00050", b"key-00060").unwrap();
+        assert_eq!(entries.len(), 10);
+        assert!(proof.verify(&entries));
+    }
+
+    #[test]
+    fn typed_records_and_analytics() {
+        let db = SpitzDb::in_memory();
+        db.create_table(Schema::new(
+            "items",
+            vec![
+                ("name", ColumnType::Text),
+                ("stock", ColumnType::Integer),
+            ],
+        ))
+        .unwrap();
+
+        for i in 0..30 {
+            let record = Record::new(format!("item-{i:03}"))
+                .with("name", Value::Text(format!("widget-{i}")))
+                .with("stock", Value::Integer(i));
+            db.insert_record("items", &record).unwrap();
+        }
+
+        // Point read of a typed record.
+        let record = db.get_record("items", "item-007").unwrap().unwrap();
+        assert_eq!(record.get("stock"), Some(&Value::Integer(7)));
+        assert_eq!(record.get("name"), Some(&Value::Text("widget-7".into())));
+        assert!(db.get_record("items", "item-999").unwrap().is_none());
+
+        // "getting all items with stock-level lower than 5"
+        let low = db.query_int_range("items", "stock", 0, 5).unwrap();
+        assert_eq!(low.len(), 5);
+        assert!(low.contains(&"item-004".to_string()));
+
+        // Equality over a text column.
+        let named = db
+            .query_eq("items", "name", &Value::Text("widget-12".into()))
+            .unwrap();
+        assert_eq!(named, vec!["item-012".to_string()]);
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        let db = SpitzDb::in_memory();
+        db.create_table(Schema::new("t", vec![("n", ColumnType::Integer)]))
+            .unwrap();
+        let bad = Record::new("pk").with("n", Value::Text("not a number".into()));
+        assert!(matches!(
+            db.insert_record("t", &bad),
+            Err(DbError::TypeMismatch { .. })
+        ));
+        assert!(db.insert_record("missing-table", &Record::new("pk")).is_err());
+        assert!(db.get_record("missing-table", "pk").is_err());
+        assert!(db.query_eq("t", "missing-col", &Value::Integer(1)).is_err());
+    }
+
+    #[test]
+    fn every_write_advances_the_digest() {
+        let db = SpitzDb::in_memory();
+        let d0 = db.digest();
+        db.put(b"a", b"1").unwrap();
+        let d1 = db.digest();
+        db.put(b"a", b"2").unwrap();
+        let d2 = db.digest();
+        assert_ne!(d0.index_root, d1.index_root);
+        assert_ne!(d1.index_root, d2.index_root);
+        assert_ne!(d1.journal_root, d2.journal_root);
+        assert_eq!(db.get(b"a").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(db.ledger().audit_chain(), None);
+    }
+}

@@ -1,0 +1,57 @@
+//! The Spitz verifiable database.
+//!
+//! This crate assembles the paper's system architecture (Figure 5) from the
+//! substrates in the sibling crates:
+//!
+//! * a **storage layer**: the ForkBase-like chunk store
+//!   (`spitz-storage`), the virtual [cell store](cell::CellStore) with
+//!   [universal keys](cell::UniversalKey), and the unified
+//!   [`spitz_ledger::Ledger`] whose SIRI index serves both queries and
+//!   verification;
+//! * a **control layer**: [processor nodes](control::ProcessorNode) made of a
+//!   request handler, an [auditor](control::Auditor) that talks to the
+//!   ledger, and a transaction manager from `spitz-txn`;
+//! * a **client side**: the [`verify::ClientVerifier`] that pins digests and
+//!   verifies proofs locally, either online or deferred.
+//!
+//! The [`SpitzDb`](db::SpitzDb) facade wires these together and is the type
+//! the examples and benchmarks use.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spitz_core::db::SpitzDb;
+//! use spitz_core::verify::ClientVerifier;
+//!
+//! let db = SpitzDb::in_memory();
+//! db.put(b"patient/42/diagnosis", b"ICD-10 E11.9").unwrap();
+//!
+//! // Unverified fast path.
+//! assert_eq!(db.get(b"patient/42/diagnosis").unwrap().as_deref(), Some(b"ICD-10 E11.9".as_ref()));
+//!
+//! // Verified read: the proof is checked against the pinned digest.
+//! let mut client = ClientVerifier::new();
+//! client.observe_digest(db.digest());
+//! let (value, proof) = db.get_verified(b"patient/42/diagnosis").unwrap();
+//! assert!(client.verify_read(b"patient/42/diagnosis", value.as_deref(), &proof));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod control;
+pub mod db;
+pub mod error;
+pub mod schema;
+pub mod verify;
+
+pub use cell::{Cell, CellStore, UniversalKey};
+pub use control::{Auditor, ProcessorNode, Request, RequestHandler, Response};
+pub use db::{SpitzConfig, SpitzDb};
+pub use error::DbError;
+pub use schema::{ColumnType, Record, Schema, Value};
+pub use verify::ClientVerifier;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DbError>;

@@ -1,0 +1,164 @@
+//! Client-side verification.
+//!
+//! Section 5.3: "Clients can use the digest of the ledger to perform
+//! verification locally. … To verify the correctness of the results, clients
+//! can recalculate the digest with the received proof and compare it with
+//! the previous digest saved locally."
+//!
+//! [`ClientVerifier`] is that client: it pins the latest digest it has seen,
+//! verifies read and range proofs against it, and checks that successive
+//! digests only move forward (the ledger is append-only from the client's
+//! point of view).
+
+use spitz_ledger::{DeferredVerifier, Digest, LedgerProof, LedgerRangeProof, VerificationReport};
+
+/// A verifying client of a Spitz database.
+#[derive(Default)]
+pub struct ClientVerifier {
+    pinned: Option<Digest>,
+    deferred: DeferredVerifier,
+}
+
+impl ClientVerifier {
+    /// Create a verifier with no pinned digest yet.
+    pub fn new() -> Self {
+        ClientVerifier::default()
+    }
+
+    /// The digest currently pinned, if any.
+    pub fn pinned_digest(&self) -> Option<Digest> {
+        self.pinned
+    }
+
+    /// Observe a fresh digest from the server. Returns `false` (and refuses
+    /// to move the pin) when the new digest would rewind history — a
+    /// tampering signal.
+    pub fn observe_digest(&mut self, digest: Digest) -> bool {
+        match self.pinned {
+            None => {
+                self.pinned = Some(digest);
+                true
+            }
+            Some(previous) => {
+                let moves_forward = digest.block_height >= previous.block_height;
+                let same_point = digest.block_height == previous.block_height
+                    && digest.block_hash != previous.block_hash;
+                if moves_forward && !same_point {
+                    self.pinned = Some(digest);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Online verification of a point read against the pinned digest.
+    ///
+    /// The proof must verify cryptographically *and* be anchored at a digest
+    /// that is not older than the pinned one.
+    pub fn verify_read(&mut self, key: &[u8], value: Option<&[u8]>, proof: &LedgerProof) -> bool {
+        if !proof.verify(key, value) {
+            return false;
+        }
+        self.observe_digest(proof.digest)
+    }
+
+    /// Online verification of a range read.
+    pub fn verify_range(&mut self, entries: &[(Vec<u8>, Vec<u8>)], proof: &LedgerRangeProof) -> bool {
+        if !proof.verify(entries) {
+            return false;
+        }
+        self.observe_digest(proof.digest)
+    }
+
+    /// Deferred verification: queue the result now, verify later in batch.
+    pub fn defer_read(&self, key: Vec<u8>, value: Option<Vec<u8>>, proof: LedgerProof) {
+        self.deferred.submit(key, value, proof);
+    }
+
+    /// Verify every deferred result queued so far.
+    pub fn flush_deferred(&self) -> VerificationReport {
+        self.deferred.verify_batch()
+    }
+
+    /// Number of reads queued for deferred verification.
+    pub fn deferred_pending(&self) -> usize {
+        self.deferred.pending_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::SpitzDb;
+
+    #[test]
+    fn online_verification_accepts_honest_server() {
+        let db = SpitzDb::in_memory();
+        db.put(b"k1", b"v1").unwrap();
+        db.put(b"k2", b"v2").unwrap();
+
+        let mut client = ClientVerifier::new();
+        client.observe_digest(db.digest());
+
+        let (value, proof) = db.get_verified(b"k1").unwrap();
+        assert!(client.verify_read(b"k1", value.as_deref(), &proof));
+
+        let (entries, proof) = db.range_verified(b"k1", b"k3").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(client.verify_range(&entries, &proof));
+    }
+
+    #[test]
+    fn forged_values_are_rejected() {
+        let db = SpitzDb::in_memory();
+        db.put(b"k", b"honest").unwrap();
+        let mut client = ClientVerifier::new();
+        client.observe_digest(db.digest());
+        let (_, proof) = db.get_verified(b"k").unwrap();
+        assert!(!client.verify_read(b"k", Some(b"forged"), &proof));
+        assert!(!client.verify_read(b"k", None, &proof));
+    }
+
+    #[test]
+    fn digest_rollback_is_detected() {
+        let db = SpitzDb::in_memory();
+        db.put(b"a", b"1").unwrap();
+        let old_digest = db.digest();
+        db.put(b"b", b"2").unwrap();
+        let new_digest = db.digest();
+
+        let mut client = ClientVerifier::new();
+        assert!(client.observe_digest(new_digest));
+        // A server trying to present an older state is refused.
+        assert!(!client.observe_digest(old_digest));
+        assert_eq!(client.pinned_digest().unwrap(), new_digest);
+
+        // Same height but a different block hash is also refused (fork).
+        let mut forked = new_digest;
+        forked.block_hash = spitz_crypto::sha256(b"fork");
+        assert!(!client.observe_digest(forked));
+    }
+
+    #[test]
+    fn deferred_verification_batches_work() {
+        let db = SpitzDb::in_memory();
+        let writes: Vec<_> = (0..40u32)
+            .map(|i| (format!("k{i:02}").into_bytes(), format!("v{i}").into_bytes()))
+            .collect();
+        db.put_batch(writes).unwrap();
+
+        let client = ClientVerifier::new();
+        for i in 0..40u32 {
+            let key = format!("k{i:02}").into_bytes();
+            let (value, proof) = db.get_verified(&key).unwrap();
+            client.defer_read(key, value, proof);
+        }
+        assert_eq!(client.deferred_pending(), 40);
+        let report = client.flush_deferred();
+        assert_eq!(report.verified, 40);
+        assert!(report.all_ok());
+        assert_eq!(client.deferred_pending(), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Minimal hexadecimal encoding/decoding helpers.
+//!
+//! Implemented locally to keep the dependency surface of the verification
+//! path limited to the standard library.
+
+/// Lowercase hex alphabet.
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encode bytes as a lowercase hex string.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexError {
+    /// The input length was odd.
+    OddLength,
+    /// A character outside `[0-9a-fA-F]` was encountered at this byte offset.
+    InvalidChar(usize),
+}
+
+impl std::fmt::Display for HexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HexError::OddLength => write!(f, "hex string has odd length"),
+            HexError::InvalidChar(i) => write!(f, "invalid hex character at offset {i}"),
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+/// Decode a hex string (upper or lower case) into bytes.
+pub fn decode(s: &str) -> Result<Vec<u8>, HexError> {
+    let bytes = s.as_bytes();
+    if bytes.len() % 2 != 0 {
+        return Err(HexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hi = nibble(pair[0]).ok_or(HexError::InvalidChar(i * 2))?;
+        let lo = nibble(pair[1]).ok_or(HexError::InvalidChar(i * 2 + 1))?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn nibble(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_known_values() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(encode(&[0x00, 0xff, 0x10]), "00ff10");
+        assert_eq!(encode(b"abc"), "616263");
+    }
+
+    #[test]
+    fn decode_known_values() {
+        assert_eq!(decode("00ff10").unwrap(), vec![0x00, 0xff, 0x10]);
+        assert_eq!(decode("616263").unwrap(), b"abc".to_vec());
+        assert_eq!(decode("DEADbeef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(decode("abc"), Err(HexError::OddLength));
+        assert_eq!(decode("0g"), Err(HexError::InvalidChar(1)));
+        assert_eq!(decode("zz"), Err(HexError::InvalidChar(0)));
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+}

@@ -1,0 +1,457 @@
+//! Binary Merkle tree with audit (inclusion) and consistency proofs.
+//!
+//! The construction follows the transparency-log style (RFC 6962 / RFC 9162):
+//! leaves are hashed with a `0x00` domain prefix, interior nodes with `0x01`,
+//! and the root over `n` leaves splits at the largest power of two smaller
+//! than `n`. This is the structure QLDB-like ledgers build over their journal
+//! and is what the Spitz baseline and the journal hash chain use.
+//!
+//! Two proof types are provided:
+//!
+//! * [`AuditProof`] — proves that a particular leaf is included in a tree
+//!   with a given root ("this transaction is in the ledger").
+//! * [`ConsistencyProof`] — proves that a tree with an older root is a prefix
+//!   of a tree with a newer root ("the ledger is append-only; history was not
+//!   rewritten").
+
+use crate::hash::Hash;
+use crate::{leaf_hash, node_hash, sha256};
+
+/// An append-only binary Merkle tree over byte-string leaves.
+///
+/// The tree stores the leaf hashes and recomputes interior hashes on demand
+/// with memoization per level. Appending is O(1); computing a root or a proof
+/// is O(n) worst case but typically touches only O(log n) fresh nodes because
+/// completed subtree roots are cached.
+#[derive(Debug, Clone, Default)]
+pub struct MerkleTree {
+    leaves: Vec<Hash>,
+}
+
+impl MerkleTree {
+    /// Create an empty tree.
+    pub fn new() -> Self {
+        MerkleTree { leaves: Vec::new() }
+    }
+
+    /// Build a tree from an iterator of leaf byte strings.
+    pub fn from_leaves<'a, I>(leaves: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut tree = MerkleTree::new();
+        for leaf in leaves {
+            tree.push(leaf);
+        }
+        tree
+    }
+
+    /// Build a tree from already-hashed leaves.
+    pub fn from_leaf_hashes(leaves: Vec<Hash>) -> Self {
+        MerkleTree { leaves }
+    }
+
+    /// Append a leaf (raw bytes; the tree applies the leaf domain hash).
+    /// Returns the index of the appended leaf.
+    pub fn push(&mut self, data: &[u8]) -> usize {
+        self.leaves.push(leaf_hash(data));
+        self.leaves.len() - 1
+    }
+
+    /// Append an already-hashed leaf.
+    pub fn push_leaf_hash(&mut self, hash: Hash) -> usize {
+        self.leaves.push(hash);
+        self.leaves.len() - 1
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True when the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// The leaf hash at `index`, if present.
+    pub fn leaf(&self, index: usize) -> Option<Hash> {
+        self.leaves.get(index).copied()
+    }
+
+    /// Root hash of the whole tree. The root of an empty tree is the hash of
+    /// the empty string, matching RFC 6962.
+    pub fn root(&self) -> Hash {
+        self.subtree_root(0, self.leaves.len())
+    }
+
+    /// Root hash of the tree restricted to its first `size` leaves, i.e. the
+    /// historical root after `size` appends.
+    pub fn root_at(&self, size: usize) -> Option<Hash> {
+        if size > self.leaves.len() {
+            return None;
+        }
+        Some(self.subtree_root(0, size))
+    }
+
+    /// Merkle root over `leaves[start..end)`.
+    fn subtree_root(&self, start: usize, end: usize) -> Hash {
+        let n = end - start;
+        match n {
+            0 => sha256(b""),
+            1 => self.leaves[start],
+            _ => {
+                let k = largest_power_of_two_below(n);
+                let left = self.subtree_root(start, start + k);
+                let right = self.subtree_root(start + k, end);
+                node_hash(&left, &right)
+            }
+        }
+    }
+
+    /// Produce an audit (inclusion) proof for the leaf at `index` within the
+    /// current tree. Returns `None` when the index is out of range.
+    pub fn audit_proof(&self, index: usize) -> Option<AuditProof> {
+        self.audit_proof_at(index, self.leaves.len())
+    }
+
+    /// Audit proof for `index` within the historical tree of `tree_size`
+    /// leaves.
+    pub fn audit_proof_at(&self, index: usize, tree_size: usize) -> Option<AuditProof> {
+        if index >= tree_size || tree_size > self.leaves.len() {
+            return None;
+        }
+        let mut path = Vec::new();
+        self.collect_audit_path(index, 0, tree_size, &mut path);
+        Some(AuditProof {
+            leaf_index: index,
+            tree_size,
+            path,
+        })
+    }
+
+    fn collect_audit_path(&self, m: usize, start: usize, end: usize, path: &mut Vec<Hash>) {
+        let n = end - start;
+        if n <= 1 {
+            return;
+        }
+        let k = largest_power_of_two_below(n);
+        if m < k {
+            self.collect_audit_path(m, start, start + k, path);
+            path.push(self.subtree_root(start + k, end));
+        } else {
+            self.collect_audit_path(m - k, start + k, end, path);
+            path.push(self.subtree_root(start, start + k));
+        }
+    }
+
+    /// Produce a consistency proof showing that the historical tree of
+    /// `old_size` leaves is a prefix of the current tree.
+    pub fn consistency_proof(&self, old_size: usize) -> Option<ConsistencyProof> {
+        self.consistency_proof_between(old_size, self.leaves.len())
+    }
+
+    /// Consistency proof between two historical sizes, `old_size <= new_size`.
+    pub fn consistency_proof_between(
+        &self,
+        old_size: usize,
+        new_size: usize,
+    ) -> Option<ConsistencyProof> {
+        if old_size == 0 || old_size > new_size || new_size > self.leaves.len() {
+            return None;
+        }
+        let mut path = Vec::new();
+        self.collect_consistency(old_size, 0, new_size, true, &mut path);
+        Some(ConsistencyProof {
+            old_size,
+            new_size,
+            path,
+        })
+    }
+
+    /// RFC 6962 SUBPROOF.
+    fn collect_consistency(
+        &self,
+        m: usize,
+        start: usize,
+        end: usize,
+        complete: bool,
+        path: &mut Vec<Hash>,
+    ) {
+        let n = end - start;
+        if m == n {
+            if !complete {
+                path.push(self.subtree_root(start, end));
+            }
+            return;
+        }
+        let k = largest_power_of_two_below(n);
+        if m <= k {
+            self.collect_consistency(m, start, start + k, complete, path);
+            path.push(self.subtree_root(start + k, end));
+        } else {
+            self.collect_consistency(m - k, start + k, end, false, path);
+            path.push(self.subtree_root(start, start + k));
+        }
+    }
+}
+
+/// Proof that a leaf is included in a Merkle tree with a particular root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditProof {
+    /// Index of the proven leaf within the tree.
+    pub leaf_index: usize,
+    /// Size of the tree the proof was generated against.
+    pub tree_size: usize,
+    /// Sibling hashes from the leaf level up to (but excluding) the root.
+    pub path: Vec<Hash>,
+}
+
+impl AuditProof {
+    /// Recompute the root implied by this proof for raw leaf `data`.
+    pub fn expected_root(&self, data: &[u8]) -> Hash {
+        self.expected_root_from_leaf_hash(leaf_hash(data))
+    }
+
+    /// Recompute the root implied by this proof for an already-hashed leaf.
+    pub fn expected_root_from_leaf_hash(&self, leaf: Hash) -> Hash {
+        fn compute(m: usize, n: usize, path: &[Hash], leaf: Hash) -> Hash {
+            if n <= 1 {
+                return leaf;
+            }
+            let k = largest_power_of_two_below(n);
+            let (rest, last) = path.split_at(path.len().saturating_sub(1));
+            let sibling = last.first().copied().unwrap_or(Hash::ZERO);
+            if m < k {
+                let sub = compute(m, k, rest, leaf);
+                node_hash(&sub, &sibling)
+            } else {
+                let sub = compute(m - k, n - k, rest, leaf);
+                node_hash(&sibling, &sub)
+            }
+        }
+        compute(self.leaf_index, self.tree_size, &self.path, leaf)
+    }
+
+    /// Verify the proof against an expected root for raw leaf `data`.
+    pub fn verify(&self, root: Hash, data: &[u8]) -> bool {
+        self.leaf_index < self.tree_size && self.expected_root(data) == root
+    }
+
+    /// Verify the proof against an expected root for a pre-hashed leaf.
+    pub fn verify_leaf_hash(&self, root: Hash, leaf: Hash) -> bool {
+        self.leaf_index < self.tree_size && self.expected_root_from_leaf_hash(leaf) == root
+    }
+
+    /// Size of the proof in hashes (used when reporting proof overhead).
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// True when the proof carries no sibling hashes (single-leaf tree).
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+}
+
+/// Proof that one Merkle tree is an append-only extension of another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsistencyProof {
+    /// Size of the older tree.
+    pub old_size: usize,
+    /// Size of the newer tree.
+    pub new_size: usize,
+    /// The consistency path (RFC 6962 PROOF).
+    pub path: Vec<Hash>,
+}
+
+impl ConsistencyProof {
+    /// Verify the proof against the two roots.
+    ///
+    /// Implements the verification algorithm of RFC 9162 §2.1.4.2.
+    pub fn verify(&self, old_root: Hash, new_root: Hash) -> bool {
+        let m = self.old_size;
+        let n = self.new_size;
+        if m == 0 || m > n {
+            return false;
+        }
+        if m == n {
+            return self.path.is_empty() && old_root == new_root;
+        }
+
+        // If the old size is a power of two the old root itself is the first
+        // element of the path.
+        let mut path: Vec<Hash> = Vec::with_capacity(self.path.len() + 1);
+        if m.is_power_of_two() {
+            path.push(old_root);
+        }
+        path.extend_from_slice(&self.path);
+        if path.is_empty() {
+            return false;
+        }
+
+        let mut fn_ = m - 1;
+        let mut sn = n - 1;
+        while fn_ & 1 == 1 {
+            fn_ >>= 1;
+            sn >>= 1;
+        }
+
+        let mut fr = path[0];
+        let mut sr = path[0];
+        for &c in &path[1..] {
+            if sn == 0 {
+                return false;
+            }
+            if fn_ & 1 == 1 || fn_ == sn {
+                fr = node_hash(&c, &fr);
+                sr = node_hash(&c, &sr);
+                while fn_ != 0 && fn_ & 1 == 0 {
+                    fn_ >>= 1;
+                    sn >>= 1;
+                }
+            } else {
+                sr = node_hash(&sr, &c);
+            }
+            fn_ >>= 1;
+            sn >>= 1;
+        }
+
+        fr == old_root && sr == new_root && sn == 0
+    }
+
+    /// Size of the proof in hashes.
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// True when the proof carries no hashes (equal-size trees).
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+}
+
+/// Largest power of two strictly less than `n` (requires `n >= 2`).
+fn largest_power_of_two_below(n: usize) -> usize {
+    debug_assert!(n >= 2);
+    let mut k = 1usize;
+    while k * 2 < n {
+        k *= 2;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
+    }
+
+    fn tree_of(n: usize) -> (MerkleTree, Vec<Vec<u8>>) {
+        let data = leaves(n);
+        let tree = MerkleTree::from_leaves(data.iter().map(|d| d.as_slice()));
+        (tree, data)
+    }
+
+    #[test]
+    fn empty_tree_root_is_hash_of_empty_string() {
+        assert_eq!(MerkleTree::new().root(), sha256(b""));
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let (tree, data) = tree_of(1);
+        assert_eq!(tree.root(), leaf_hash(&data[0]));
+    }
+
+    #[test]
+    fn two_leaf_root_structure() {
+        let (tree, data) = tree_of(2);
+        assert_eq!(
+            tree.root(),
+            node_hash(&leaf_hash(&data[0]), &leaf_hash(&data[1]))
+        );
+    }
+
+    #[test]
+    fn audit_proofs_verify_for_all_leaves_and_sizes() {
+        for n in 1..=20usize {
+            let (tree, data) = tree_of(n);
+            let root = tree.root();
+            for i in 0..n {
+                let proof = tree.audit_proof(i).unwrap();
+                assert!(proof.verify(root, &data[i]), "n={n} i={i}");
+                // Wrong leaf data must fail.
+                assert!(!proof.verify(root, b"tampered"), "n={n} i={i} tamper");
+                // Wrong root must fail.
+                assert!(!proof.verify(sha256(b"bogus"), &data[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn audit_proof_out_of_range() {
+        let (tree, _) = tree_of(4);
+        assert!(tree.audit_proof(4).is_none());
+        assert!(tree.audit_proof_at(1, 5).is_none());
+    }
+
+    #[test]
+    fn historical_roots_match_prefix_trees() {
+        let (tree, data) = tree_of(13);
+        for size in 0..=13usize {
+            let prefix = MerkleTree::from_leaves(data[..size].iter().map(|d| d.as_slice()));
+            assert_eq!(tree.root_at(size).unwrap(), prefix.root(), "size {size}");
+        }
+        assert!(tree.root_at(14).is_none());
+    }
+
+    #[test]
+    fn consistency_proofs_verify_for_all_size_pairs() {
+        let (tree, _) = tree_of(16);
+        for old in 1..=16usize {
+            for new in old..=16usize {
+                let proof = tree.consistency_proof_between(old, new).unwrap();
+                let old_root = tree.root_at(old).unwrap();
+                let new_root = tree.root_at(new).unwrap();
+                assert!(proof.verify(old_root, new_root), "old={old} new={new}");
+                if old != new {
+                    assert!(
+                        !proof.verify(sha256(b"bogus"), new_root),
+                        "old={old} new={new} bad old root"
+                    );
+                    assert!(
+                        !proof.verify(old_root, sha256(b"bogus")),
+                        "old={old} new={new} bad new root"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consistency_proof_rejects_zero_or_inverted_sizes() {
+        let (tree, _) = tree_of(8);
+        assert!(tree.consistency_proof_between(0, 8).is_none());
+        assert!(tree.consistency_proof_between(9, 8).is_none());
+        assert!(tree.consistency_proof_between(3, 9).is_none());
+    }
+
+    #[test]
+    fn appending_changes_root() {
+        let mut tree = MerkleTree::new();
+        tree.push(b"a");
+        let r1 = tree.root();
+        tree.push(b"b");
+        assert_ne!(r1, tree.root());
+    }
+
+    #[test]
+    fn proof_sizes_are_logarithmic() {
+        let (tree, _) = tree_of(1024);
+        let proof = tree.audit_proof(17).unwrap();
+        assert_eq!(proof.len(), 10);
+    }
+}

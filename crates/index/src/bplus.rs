@@ -1,0 +1,330 @@
+//! In-memory B+-tree.
+//!
+//! Spitz "uses a B+-tree for query processing" (Section 5): the tree maps
+//! requested keys to the matched data cells and is efficient for both point
+//! and range queries. The baseline system additionally materializes its
+//! ledger blocks into B+-tree indexed views. This tree is a plain (non
+//! Merkle) performance structure: sorted keys, split-on-overflow nodes, and
+//! ordered range scans.
+
+/// Maximum number of keys per node before it splits.
+const ORDER: usize = 32;
+
+#[derive(Debug, Clone)]
+enum BNode<V> {
+    Leaf {
+        keys: Vec<Vec<u8>>,
+        values: Vec<V>,
+    },
+    Internal {
+        /// `separators[i]` is the smallest key reachable through
+        /// `children[i + 1]`.
+        separators: Vec<Vec<u8>>,
+        children: Vec<BNode<V>>,
+    },
+}
+
+/// What an insert into a subtree produced: possibly a split.
+enum InsertResult<V> {
+    /// No split; flag says whether a brand-new key was added.
+    Done(bool),
+    /// The node split; carries the separator key and the new right sibling.
+    Split(Vec<u8>, BNode<V>, bool),
+}
+
+impl<V: Clone> BNode<V> {
+    fn insert(&mut self, key: &[u8], value: V) -> InsertResult<V> {
+        match self {
+            BNode::Leaf { keys, values } => {
+                let added = match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        values[i] = value;
+                        false
+                    }
+                    Err(i) => {
+                        keys.insert(i, key.to_vec());
+                        values.insert(i, value);
+                        true
+                    }
+                };
+                if keys.len() > ORDER {
+                    let mid = keys.len() / 2;
+                    let right_keys = keys.split_off(mid);
+                    let right_values = values.split_off(mid);
+                    let separator = right_keys[0].clone();
+                    InsertResult::Split(
+                        separator,
+                        BNode::Leaf {
+                            keys: right_keys,
+                            values: right_values,
+                        },
+                        added,
+                    )
+                } else {
+                    InsertResult::Done(added)
+                }
+            }
+            BNode::Internal {
+                separators,
+                children,
+            } => {
+                let idx = match separators.binary_search_by(|k| k.as_slice().cmp(key)) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                match children[idx].insert(key, value) {
+                    InsertResult::Done(added) => InsertResult::Done(added),
+                    InsertResult::Split(sep, right, added) => {
+                        separators.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if separators.len() > ORDER {
+                            let mid = separators.len() / 2;
+                            let promoted = separators[mid].clone();
+                            let right_separators = separators.split_off(mid + 1);
+                            separators.pop();
+                            let right_children = children.split_off(mid + 1);
+                            InsertResult::Split(
+                                promoted,
+                                BNode::Internal {
+                                    separators: right_separators,
+                                    children: right_children,
+                                },
+                                added,
+                            )
+                        } else {
+                            InsertResult::Done(added)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<&V> {
+        match self {
+            BNode::Leaf { keys, values } => keys
+                .binary_search_by(|k| k.as_slice().cmp(key))
+                .ok()
+                .map(|i| &values[i]),
+            BNode::Internal {
+                separators,
+                children,
+            } => {
+                let idx = match separators.binary_search_by(|k| k.as_slice().cmp(key)) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                children[idx].get(key)
+            }
+        }
+    }
+
+    fn range(&self, start: &[u8], end: &[u8], out: &mut Vec<(Vec<u8>, V)>) {
+        match self {
+            BNode::Leaf { keys, values } => {
+                let from = keys.partition_point(|k| k.as_slice() < start);
+                for i in from..keys.len() {
+                    if keys[i].as_slice() >= end {
+                        break;
+                    }
+                    out.push((keys[i].clone(), values[i].clone()));
+                }
+            }
+            BNode::Internal {
+                separators,
+                children,
+            } => {
+                // Child i covers keys in [separators[i-1], separators[i]).
+                let first = separators.partition_point(|k| k.as_slice() <= start);
+                for (i, child) in children.iter().enumerate().skip(first) {
+                    // Prune children whose smallest key is already past the
+                    // end of the range.
+                    if i > 0 && separators[i - 1].as_slice() >= end {
+                        break;
+                    }
+                    child.range(start, end, out);
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            BNode::Leaf { .. } => 1,
+            BNode::Internal { children, .. } => 1 + children[0].depth(),
+        }
+    }
+}
+
+/// An in-memory B+-tree mapping byte-string keys to values.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<V> {
+    root: Option<BNode<V>>,
+    len: usize,
+}
+
+impl<V: Clone> Default for BPlusTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> BPlusTree<V> {
+    /// Create an empty tree.
+    pub fn new() -> Self {
+        BPlusTree { root: None, len: 0 }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert or overwrite a key.
+    pub fn insert(&mut self, key: impl AsRef<[u8]>, value: V) {
+        let key = key.as_ref();
+        let root = self.root.get_or_insert_with(|| BNode::Leaf {
+            keys: Vec::new(),
+            values: Vec::new(),
+        });
+        match root.insert(key, value) {
+            InsertResult::Done(added) => {
+                if added {
+                    self.len += 1;
+                }
+            }
+            InsertResult::Split(separator, right, added) => {
+                let old_root = self.root.take().expect("root exists during split");
+                self.root = Some(BNode::Internal {
+                    separators: vec![separator],
+                    children: vec![old_root, right],
+                });
+                if added {
+                    self.len += 1;
+                }
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: impl AsRef<[u8]>) -> Option<&V> {
+        self.root.as_ref()?.get(key.as_ref())
+    }
+
+    /// True when the key is present.
+    pub fn contains_key(&self, key: impl AsRef<[u8]>) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// All entries with `start <= key < end` in key order.
+    pub fn range(&self, start: &[u8], end: &[u8]) -> Vec<(Vec<u8>, V)> {
+        let mut out = Vec::new();
+        if start < end {
+            if let Some(root) = &self.root {
+                root.range(start, end, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Every entry in key order.
+    pub fn scan_all(&self) -> Vec<(Vec<u8>, V)> {
+        self.range(&[], &[0xffu8; 64])
+    }
+
+    /// Height of the tree (diagnostics / tests).
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map(|r| r.depth()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: BPlusTree<u32> = BPlusTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.get(b"x"), None);
+        assert!(tree.range(b"a", b"z").is_empty());
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn insert_get_many() {
+        let mut tree = BPlusTree::new();
+        let mut order: Vec<u32> = (0..5000).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(4));
+        for &i in &order {
+            tree.insert(key(i), i);
+        }
+        assert_eq!(tree.len(), 5000);
+        for i in 0..5000 {
+            assert_eq!(tree.get(key(i)), Some(&i), "key {i}");
+        }
+        assert_eq!(tree.get(b"99999999"), None);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let mut tree = BPlusTree::new();
+        tree.insert(b"k", 1);
+        tree.insert(b"k", 2);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.get(b"k"), Some(&2));
+    }
+
+    #[test]
+    fn range_scan_is_sorted_and_bounded() {
+        let mut tree = BPlusTree::new();
+        for i in 0..2000u32 {
+            tree.insert(key(i), i);
+        }
+        let result = tree.range(&key(500), &key(700));
+        assert_eq!(result.len(), 200);
+        assert_eq!(result[0].1, 500);
+        assert_eq!(result.last().unwrap().1, 699);
+        assert!(result.windows(2).all(|w| w[0].0 < w[1].0));
+
+        assert!(tree.range(&key(700), &key(500)).is_empty());
+        assert_eq!(tree.range(&key(1999), &key(5000)).len(), 1);
+        assert_eq!(tree.scan_all().len(), 2000);
+    }
+
+    #[test]
+    fn range_with_sparse_keys() {
+        let mut tree = BPlusTree::new();
+        for i in (0..1000u32).step_by(7) {
+            tree.insert(key(i), i);
+        }
+        let result = tree.range(&key(100), &key(200));
+        for (_, v) in &result {
+            assert!(*v >= 100 && *v < 200);
+            assert_eq!(*v % 7, 0);
+        }
+        let expected = (100..200).filter(|i| i % 7 == 0).count();
+        assert_eq!(result.len(), expected);
+    }
+
+    #[test]
+    fn values_can_be_non_copy() {
+        let mut tree: BPlusTree<Vec<String>> = BPlusTree::new();
+        tree.insert(b"a", vec!["x".to_string()]);
+        tree.insert(b"b", vec!["y".to_string(), "z".to_string()]);
+        assert_eq!(tree.get(b"b").unwrap().len(), 2);
+    }
+}

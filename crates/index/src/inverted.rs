@@ -1,0 +1,243 @@
+//! Inverted index for analytical queries.
+//!
+//! Section 5 of the paper: "When processing analytical queries, the system
+//! uses an inverted index to quickly locate the rows to fetch data. Such an
+//! index uses the value recorded in each cell as index key and the universal
+//! key of the corresponding cell as value. The structure of the inverted
+//! list varies according to the type of the data stored in the cell. For
+//! instance, for numeric type, the system uses a skip list to better support
+//! range query, whereas for string type, it uses a radix tree to reduce
+//! space consumption."
+//!
+//! [`InvertedIndex`] is exactly that: one instance per indexed column,
+//! mapping cell values to posting lists of universal keys.
+
+use crate::radix::RadixTree;
+use crate::skiplist::SkipList;
+
+/// A value extracted from a cell, as seen by the inverted index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexValue {
+    /// Numeric cell value (indexed in a skip list).
+    Int(i64),
+    /// Textual cell value (indexed in a radix tree).
+    Text(Vec<u8>),
+}
+
+impl IndexValue {
+    /// Convenience constructor for text values.
+    pub fn text(s: impl AsRef<[u8]>) -> Self {
+        IndexValue::Text(s.as_ref().to_vec())
+    }
+}
+
+/// Order-preserving big-endian encoding of a signed integer (sign bit
+/// flipped so that the byte order matches the numeric order).
+pub fn encode_i64(v: i64) -> Vec<u8> {
+    ((v as u64) ^ (1u64 << 63)).to_be_bytes().to_vec()
+}
+
+/// Inverse of [`encode_i64`].
+pub fn decode_i64(bytes: &[u8]) -> Option<i64> {
+    let arr: [u8; 8] = bytes.try_into().ok()?;
+    Some((u64::from_be_bytes(arr) ^ (1u64 << 63)) as i64)
+}
+
+/// Posting list: the universal keys of the cells holding a given value.
+pub type PostingList = Vec<Vec<u8>>;
+
+enum Inner {
+    Numeric(SkipList<Vec<u8>, PostingList>),
+    Text(RadixTree<PostingList>),
+}
+
+/// A per-column inverted index from cell values to universal keys.
+pub struct InvertedIndex {
+    inner: Inner,
+    postings: usize,
+}
+
+impl InvertedIndex {
+    /// Create an inverted index for a numeric column (skip-list backed).
+    pub fn numeric() -> Self {
+        InvertedIndex {
+            inner: Inner::Numeric(SkipList::new()),
+            postings: 0,
+        }
+    }
+
+    /// Create an inverted index for a string column (radix-tree backed).
+    pub fn text() -> Self {
+        InvertedIndex {
+            inner: Inner::Text(RadixTree::new()),
+            postings: 0,
+        }
+    }
+
+    /// True when this index is numeric.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self.inner, Inner::Numeric(_))
+    }
+
+    /// Total number of postings (cell references) stored.
+    pub fn posting_count(&self) -> usize {
+        self.postings
+    }
+
+    /// Number of distinct values indexed.
+    pub fn distinct_values(&self) -> usize {
+        match &self.inner {
+            Inner::Numeric(list) => list.len(),
+            Inner::Text(tree) => tree.len(),
+        }
+    }
+
+    /// Add a posting: the cell identified by `universal_key` holds `value`.
+    ///
+    /// Returns `false` (and does nothing) when the value type does not match
+    /// the index type.
+    pub fn add(&mut self, value: &IndexValue, universal_key: Vec<u8>) -> bool {
+        match (&mut self.inner, value) {
+            (Inner::Numeric(list), IndexValue::Int(v)) => {
+                let key = encode_i64(*v);
+                if let Some(postings) = list.get_mut(&key) {
+                    postings.push(universal_key);
+                } else {
+                    list.insert(key, vec![universal_key]);
+                }
+                self.postings += 1;
+                true
+            }
+            (Inner::Text(tree), IndexValue::Text(v)) => {
+                if let Some(postings) = tree.get_mut(v) {
+                    postings.push(universal_key);
+                } else {
+                    tree.insert(v, vec![universal_key]);
+                }
+                self.postings += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Universal keys of all cells holding exactly `value`.
+    pub fn lookup_eq(&self, value: &IndexValue) -> PostingList {
+        match (&self.inner, value) {
+            (Inner::Numeric(list), IndexValue::Int(v)) => {
+                list.get(&encode_i64(*v)).cloned().unwrap_or_default()
+            }
+            (Inner::Text(tree), IndexValue::Text(v)) => tree.get(v).cloned().unwrap_or_default(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Universal keys of all cells with a numeric value in `[low, high)`.
+    /// Empty for text indexes.
+    pub fn lookup_range(&self, low: i64, high: i64) -> PostingList {
+        match &self.inner {
+            Inner::Numeric(list) => {
+                let mut out = Vec::new();
+                for (_, postings) in list.range(&encode_i64(low), &encode_i64(high)) {
+                    out.extend(postings.iter().cloned());
+                }
+                out
+            }
+            Inner::Text(_) => Vec::new(),
+        }
+    }
+
+    /// Universal keys of all cells whose text value starts with `prefix`.
+    /// Empty for numeric indexes.
+    pub fn lookup_prefix(&self, prefix: &[u8]) -> PostingList {
+        match &self.inner {
+            Inner::Text(tree) => {
+                let mut out = Vec::new();
+                for (_, postings) in tree.scan_prefix(prefix) {
+                    out.extend(postings.iter().cloned());
+                }
+                out
+            }
+            Inner::Numeric(_) => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ukey(i: u32) -> Vec<u8> {
+        format!("ukey-{i}").into_bytes()
+    }
+
+    #[test]
+    fn i64_encoding_preserves_order() {
+        let values = [i64::MIN, -1_000_000, -1, 0, 1, 42, 1_000_000, i64::MAX];
+        for pair in values.windows(2) {
+            assert!(encode_i64(pair[0]) < encode_i64(pair[1]), "{} < {}", pair[0], pair[1]);
+        }
+        for v in values {
+            assert_eq!(decode_i64(&encode_i64(v)), Some(v));
+        }
+        assert_eq!(decode_i64(b"short"), None);
+    }
+
+    #[test]
+    fn numeric_eq_and_range() {
+        let mut index = InvertedIndex::numeric();
+        assert!(index.is_numeric());
+        // Stock levels: several items share the same level.
+        for i in 0..100u32 {
+            assert!(index.add(&IndexValue::Int((i % 10) as i64), ukey(i)));
+        }
+        assert_eq!(index.posting_count(), 100);
+        assert_eq!(index.distinct_values(), 10);
+        assert_eq!(index.lookup_eq(&IndexValue::Int(3)).len(), 10);
+        assert!(index.lookup_eq(&IndexValue::Int(55)).is_empty());
+
+        // "all items with stock-level lower than 5"
+        let low_stock = index.lookup_range(0, 5);
+        assert_eq!(low_stock.len(), 50);
+        assert!(index.lookup_range(5, 5).is_empty());
+        assert!(index.lookup_prefix(b"x").is_empty());
+    }
+
+    #[test]
+    fn text_eq_and_prefix() {
+        let mut index = InvertedIndex::text();
+        assert!(!index.is_numeric());
+        index.add(&IndexValue::text("diagnosis/icd10/E11.9"), ukey(1));
+        index.add(&IndexValue::text("diagnosis/icd10/E11.9"), ukey(2));
+        index.add(&IndexValue::text("diagnosis/icd10/I10"), ukey(3));
+        index.add(&IndexValue::text("diagnosis/icd9/250.00"), ukey(4));
+
+        assert_eq!(index.lookup_eq(&IndexValue::text("diagnosis/icd10/E11.9")).len(), 2);
+        assert_eq!(index.lookup_prefix(b"diagnosis/icd10/").len(), 3);
+        assert_eq!(index.lookup_prefix(b"diagnosis/").len(), 4);
+        assert!(index.lookup_prefix(b"procedure/").is_empty());
+        assert!(index.lookup_range(0, 10).is_empty());
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let mut numeric = InvertedIndex::numeric();
+        assert!(!numeric.add(&IndexValue::text("oops"), ukey(1)));
+        assert_eq!(numeric.posting_count(), 0);
+        assert!(numeric.lookup_eq(&IndexValue::text("oops")).is_empty());
+
+        let mut text = InvertedIndex::text();
+        assert!(!text.add(&IndexValue::Int(1), ukey(1)));
+        assert!(text.lookup_eq(&IndexValue::Int(1)).is_empty());
+    }
+
+    #[test]
+    fn negative_numbers_range_correctly() {
+        let mut index = InvertedIndex::numeric();
+        for (i, v) in [-50i64, -10, -1, 0, 1, 10, 50].iter().enumerate() {
+            index.add(&IndexValue::Int(*v), ukey(i as u32));
+        }
+        assert_eq!(index.lookup_range(-20, 2).len(), 4); // -10, -1, 0, 1
+        assert_eq!(index.lookup_range(i64::MIN, i64::MAX).len(), 7);
+    }
+}

@@ -1,0 +1,716 @@
+//! Merkle Patricia Trie (MPT).
+//!
+//! The authenticated index used by Ethereum's state and adopted by several
+//! ledger databases; in the paper's taxonomy it is one of the three SIRI
+//! instances. Keys are decomposed into 4-bit nibbles; nodes are leaves
+//! (remaining path + value), extensions (shared path + child) or branches
+//! (16 children + optional value). Nodes are content addressed in the chunk
+//! store, so like the POS-Tree, consecutive versions share untouched
+//! subtrees and the structure is independent of insertion order.
+//!
+//! Range scans are supported by an in-order traversal of the trie (nibble
+//! order equals lexicographic byte order), which is correct but — exactly as
+//! the paper's analysis of SIRI structures observes — less efficient than
+//! the POS-Tree's B+-tree-like scan. The ablation benchmark
+//! (`ablation_siri`) quantifies this.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use spitz_crypto::Hash;
+use spitz_storage::{Chunk, ChunkKind, ChunkStore};
+
+use crate::codec::{put_bytes, put_hash, Reader};
+use crate::proof::{hash_index_node, IndexProof};
+use crate::siri::{SiriIndex, SiriKind};
+
+/// Decoded trie node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum MptNode {
+    /// Remaining nibble path and the stored value.
+    Leaf { path: Vec<u8>, value: Vec<u8> },
+    /// Shared nibble path and the child it leads to.
+    Extension { path: Vec<u8>, child: Hash },
+    /// One child slot per nibble plus an optional value for keys ending here.
+    Branch {
+        children: Box<[Option<Hash>; 16]>,
+        value: Option<Vec<u8>>,
+    },
+}
+
+impl MptNode {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            MptNode::Leaf { path, value } => {
+                out.push(0u8);
+                put_bytes(&mut out, path);
+                put_bytes(&mut out, value);
+            }
+            MptNode::Extension { path, child } => {
+                out.push(1u8);
+                put_bytes(&mut out, path);
+                put_hash(&mut out, child);
+            }
+            MptNode::Branch { children, value } => {
+                out.push(2u8);
+                let mut bitmap: u16 = 0;
+                for (i, child) in children.iter().enumerate() {
+                    if child.is_some() {
+                        bitmap |= 1 << i;
+                    }
+                }
+                out.extend_from_slice(&bitmap.to_be_bytes());
+                for child in children.iter().flatten() {
+                    put_hash(&mut out, child);
+                }
+                match value {
+                    Some(v) => {
+                        out.push(1);
+                        put_bytes(&mut out, v);
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+        out
+    }
+
+    fn decode(data: &[u8]) -> Option<MptNode> {
+        let mut r = Reader::new(data);
+        match r.u8()? {
+            0 => {
+                let path = r.bytes()?.to_vec();
+                let value = r.bytes()?.to_vec();
+                Some(MptNode::Leaf { path, value })
+            }
+            1 => {
+                let path = r.bytes()?.to_vec();
+                let child = r.hash()?;
+                Some(MptNode::Extension { path, child })
+            }
+            2 => {
+                let hi = r.u8()?;
+                let lo = r.u8()?;
+                let bitmap = u16::from_be_bytes([hi, lo]);
+                let mut children: [Option<Hash>; 16] = Default::default();
+                for (i, slot) in children.iter_mut().enumerate() {
+                    if bitmap & (1 << i) != 0 {
+                        *slot = Some(r.hash()?);
+                    }
+                }
+                let value = if r.u8()? == 1 {
+                    Some(r.bytes()?.to_vec())
+                } else {
+                    None
+                };
+                Some(MptNode::Branch {
+                    children: Box::new(children),
+                    value,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Convert a key to its nibble path (two nibbles per byte, high first).
+fn to_nibbles(key: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.len() * 2);
+    for &b in key {
+        out.push(b >> 4);
+        out.push(b & 0x0f);
+    }
+    out
+}
+
+/// Convert a nibble path back to bytes (paths always have even length when
+/// they represent whole keys).
+fn from_nibbles(nibbles: &[u8]) -> Vec<u8> {
+    nibbles
+        .chunks(2)
+        .map(|pair| (pair[0] << 4) | pair.get(1).copied().unwrap_or(0))
+        .collect()
+}
+
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// The Merkle Patricia Trie.
+pub struct MerklePatriciaTrie {
+    store: Arc<dyn ChunkStore>,
+    root: Hash,
+    len: usize,
+}
+
+/// Abstraction over "where node payloads come from" so that the same lookup
+/// code serves both the live trie (chunk store) and client-side proof
+/// verification (a map of revealed payloads).
+trait NodeSource {
+    fn payload(&self, hash: &Hash) -> Option<Vec<u8>>;
+}
+
+struct StoreSource<'a>(&'a Arc<dyn ChunkStore>);
+
+impl NodeSource for StoreSource<'_> {
+    fn payload(&self, hash: &Hash) -> Option<Vec<u8>> {
+        self.0
+            .get_kind(hash, ChunkKind::IndexNode)
+            .ok()
+            .map(|c| c.data().to_vec())
+    }
+}
+
+struct ProofSource(HashMap<Hash, Vec<u8>>);
+
+impl NodeSource for ProofSource {
+    fn payload(&self, hash: &Hash) -> Option<Vec<u8>> {
+        self.0.get(hash).cloned()
+    }
+}
+
+/// Walk a trie from `root` looking for the value at `nibbles`.
+///
+/// Returns `Err(())` when a needed node cannot be resolved (incomplete
+/// proof / corrupt store), `Ok(None)` for a proven absence.
+fn lookup<S: NodeSource>(
+    source: &S,
+    root: Hash,
+    nibbles: &[u8],
+    mut visit: impl FnMut(&[u8]),
+) -> Result<Option<Vec<u8>>, ()> {
+    if root.is_zero() {
+        return Ok(None);
+    }
+    let mut hash = root;
+    let mut remaining = nibbles;
+    loop {
+        let payload = source.payload(&hash).ok_or(())?;
+        visit(&payload);
+        let node = MptNode::decode(&payload).ok_or(())?;
+        match node {
+            MptNode::Leaf { path, value } => {
+                return Ok((path == remaining).then_some(value));
+            }
+            MptNode::Extension { path, child } => {
+                if remaining.len() < path.len() || remaining[..path.len()] != path[..] {
+                    return Ok(None);
+                }
+                remaining = &remaining[path.len()..];
+                hash = child;
+            }
+            MptNode::Branch { children, value } => {
+                if remaining.is_empty() {
+                    return Ok(value);
+                }
+                match children[remaining[0] as usize] {
+                    Some(child) => {
+                        remaining = &remaining[1..];
+                        hash = child;
+                    }
+                    None => return Ok(None),
+                }
+            }
+        }
+    }
+}
+
+impl MerklePatriciaTrie {
+    /// Create an empty trie writing its nodes into `store`.
+    pub fn new(store: Arc<dyn ChunkStore>) -> Self {
+        MerklePatriciaTrie {
+            store,
+            root: Hash::ZERO,
+            len: 0,
+        }
+    }
+
+    /// Open the trie at an existing root, recomputing the entry count.
+    pub fn open(store: Arc<dyn ChunkStore>, root: Hash) -> Option<Self> {
+        let mut trie = MerklePatriciaTrie {
+            store,
+            root,
+            len: 0,
+        };
+        if root.is_zero() {
+            return Some(trie);
+        }
+        if !trie.store.contains(&root) {
+            return None;
+        }
+        let mut count = 0usize;
+        trie.walk(&root, &mut Vec::new(), &mut |_, _| count += 1, &mut None);
+        trie.len = count;
+        Some(trie)
+    }
+
+    fn save(&self, node: &MptNode) -> Hash {
+        self.store
+            .put(Chunk::new(ChunkKind::IndexNode, node.encode()))
+    }
+
+    fn load(&self, hash: &Hash) -> Option<MptNode> {
+        let chunk = self.store.get_kind(hash, ChunkKind::IndexNode).ok()?;
+        MptNode::decode(chunk.data())
+    }
+
+    /// Recursive insert; returns the hash of the replacement node and whether
+    /// a new key was added.
+    fn insert_rec(&self, node: Option<Hash>, path: &[u8], value: &[u8]) -> (Hash, bool) {
+        let Some(hash) = node else {
+            return (
+                self.save(&MptNode::Leaf {
+                    path: path.to_vec(),
+                    value: value.to_vec(),
+                }),
+                true,
+            );
+        };
+        let node = self.load(&hash).expect("mpt node missing from store");
+        match node {
+            MptNode::Leaf {
+                path: lpath,
+                value: lvalue,
+            } => {
+                if lpath == path {
+                    return (
+                        self.save(&MptNode::Leaf {
+                            path: lpath,
+                            value: value.to_vec(),
+                        }),
+                        false,
+                    );
+                }
+                let cp = common_prefix(&lpath, path);
+                let mut children: [Option<Hash>; 16] = Default::default();
+                let mut branch_value = None;
+
+                let lrem = &lpath[cp..];
+                if lrem.is_empty() {
+                    branch_value = Some(lvalue);
+                } else {
+                    children[lrem[0] as usize] = Some(self.save(&MptNode::Leaf {
+                        path: lrem[1..].to_vec(),
+                        value: lvalue,
+                    }));
+                }
+                let prem = &path[cp..];
+                let mut branch_value2 = branch_value;
+                if prem.is_empty() {
+                    branch_value2 = Some(value.to_vec());
+                } else {
+                    children[prem[0] as usize] = Some(self.save(&MptNode::Leaf {
+                        path: prem[1..].to_vec(),
+                        value: value.to_vec(),
+                    }));
+                }
+                let branch = self.save(&MptNode::Branch {
+                    children: Box::new(children),
+                    value: branch_value2,
+                });
+                let result = if cp > 0 {
+                    self.save(&MptNode::Extension {
+                        path: path[..cp].to_vec(),
+                        child: branch,
+                    })
+                } else {
+                    branch
+                };
+                (result, true)
+            }
+            MptNode::Extension {
+                path: epath,
+                child,
+            } => {
+                let cp = common_prefix(&epath, path);
+                if cp == epath.len() {
+                    let (new_child, added) = self.insert_rec(Some(child), &path[cp..], value);
+                    return (
+                        self.save(&MptNode::Extension {
+                            path: epath,
+                            child: new_child,
+                        }),
+                        added,
+                    );
+                }
+                // Split the extension at the divergence point.
+                let mut children: [Option<Hash>; 16] = Default::default();
+                let mut branch_value = None;
+                let erem = &epath[cp..];
+                let echild = if erem.len() > 1 {
+                    self.save(&MptNode::Extension {
+                        path: erem[1..].to_vec(),
+                        child,
+                    })
+                } else {
+                    child
+                };
+                children[erem[0] as usize] = Some(echild);
+
+                let prem = &path[cp..];
+                if prem.is_empty() {
+                    branch_value = Some(value.to_vec());
+                } else {
+                    children[prem[0] as usize] = Some(self.save(&MptNode::Leaf {
+                        path: prem[1..].to_vec(),
+                        value: value.to_vec(),
+                    }));
+                }
+                let branch = self.save(&MptNode::Branch {
+                    children: Box::new(children),
+                    value: branch_value,
+                });
+                let result = if cp > 0 {
+                    self.save(&MptNode::Extension {
+                        path: path[..cp].to_vec(),
+                        child: branch,
+                    })
+                } else {
+                    branch
+                };
+                (result, true)
+            }
+            MptNode::Branch {
+                mut children,
+                value: bvalue,
+            } => {
+                if path.is_empty() {
+                    let added = bvalue.is_none();
+                    return (
+                        self.save(&MptNode::Branch {
+                            children,
+                            value: Some(value.to_vec()),
+                        }),
+                        added,
+                    );
+                }
+                let idx = path[0] as usize;
+                let (new_child, added) = self.insert_rec(children[idx], &path[1..], value);
+                children[idx] = Some(new_child);
+                (
+                    self.save(&MptNode::Branch {
+                        children,
+                        value: bvalue,
+                    }),
+                    added,
+                )
+            }
+        }
+    }
+
+    /// In-order traversal; calls `emit(key_nibbles, value)` for every entry
+    /// and appends node payloads to `proof` when provided.
+    fn walk(
+        &self,
+        hash: &Hash,
+        prefix: &mut Vec<u8>,
+        emit: &mut impl FnMut(&[u8], &[u8]),
+        proof: &mut Option<&mut IndexProof>,
+    ) {
+        let Some(chunk) = self.store.get_kind(hash, ChunkKind::IndexNode).ok() else {
+            return;
+        };
+        if let Some(p) = proof.as_deref_mut() {
+            p.push_node(chunk.data().to_vec());
+        }
+        let Some(node) = MptNode::decode(chunk.data()) else {
+            return;
+        };
+        match node {
+            MptNode::Leaf { path, value } => {
+                let depth = path.len();
+                prefix.extend_from_slice(&path);
+                emit(prefix, &value);
+                prefix.truncate(prefix.len() - depth);
+            }
+            MptNode::Extension { path, child } => {
+                let depth = path.len();
+                prefix.extend_from_slice(&path);
+                self.walk(&child, prefix, emit, proof);
+                prefix.truncate(prefix.len() - depth);
+            }
+            MptNode::Branch { children, value } => {
+                if let Some(v) = value {
+                    emit(prefix, &v);
+                }
+                for (i, child) in children.iter().enumerate() {
+                    if let Some(child) = child {
+                        prefix.push(i as u8);
+                        self.walk(child, prefix, emit, proof);
+                        prefix.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    fn range_impl(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        mut proof: Option<&mut IndexProof>,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::new();
+        if self.root.is_zero() || start >= end {
+            return out;
+        }
+        let mut prefix = Vec::new();
+        self.walk(
+            &self.root.clone(),
+            &mut prefix,
+            &mut |nibbles, value| {
+                let key = from_nibbles(nibbles);
+                if key.as_slice() >= start && key.as_slice() < end {
+                    out.push((key, value.to_vec()));
+                }
+            },
+            &mut proof,
+        );
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Verify a point-lookup proof: rebuild a node map from the revealed
+    /// payloads and re-run the lookup against it.
+    pub fn verify_proof(root: Hash, key: &[u8], value: Option<&[u8]>, proof: &IndexProof) -> bool {
+        if root.is_zero() {
+            return value.is_none();
+        }
+        let source = ProofSource(
+            proof
+                .nodes
+                .iter()
+                .map(|n| (hash_index_node(n), n.clone()))
+                .collect(),
+        );
+        match lookup(&source, root, &to_nibbles(key), |_| {}) {
+            Ok(found) => found.as_deref() == value,
+            Err(()) => false,
+        }
+    }
+
+    /// Verify a range proof by re-running every claimed lookup against the
+    /// revealed nodes.
+    pub fn verify_range_proof(root: Hash, entries: &[(Vec<u8>, Vec<u8>)], proof: &IndexProof) -> bool {
+        if root.is_zero() {
+            return entries.is_empty();
+        }
+        if !entries.is_empty() && !proof.verify_chain(root) {
+            return false;
+        }
+        let source = ProofSource(
+            proof
+                .nodes
+                .iter()
+                .map(|n| (hash_index_node(n), n.clone()))
+                .collect(),
+        );
+        entries.iter().all(|(k, v)| {
+            matches!(lookup(&source, root, &to_nibbles(k), |_| {}), Ok(Some(found)) if found == *v)
+        })
+    }
+}
+
+impl SiriIndex for MerklePatriciaTrie {
+    fn kind(&self) -> SiriKind {
+        SiriKind::MerklePatriciaTrie
+    }
+
+    fn root(&self) -> Hash {
+        self.root
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        let nibbles = to_nibbles(&key);
+        let root = if self.root.is_zero() {
+            None
+        } else {
+            Some(self.root)
+        };
+        let (new_root, added) = self.insert_rec(root, &nibbles, &value);
+        self.root = new_root;
+        if added {
+            self.len += 1;
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        lookup(&StoreSource(&self.store), self.root, &to_nibbles(key), |_| {})
+            .ok()
+            .flatten()
+    }
+
+    fn get_with_proof(&self, key: &[u8]) -> (Option<Vec<u8>>, IndexProof) {
+        let mut proof = IndexProof::empty();
+        let value = lookup(&StoreSource(&self.store), self.root, &to_nibbles(key), |payload| {
+            proof.push_node(payload.to_vec());
+        })
+        .ok()
+        .flatten();
+        (value, proof)
+    }
+
+    fn range(&self, start: &[u8], end: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.range_impl(start, end, None)
+    }
+
+    fn range_with_proof(&self, start: &[u8], end: &[u8]) -> (Vec<(Vec<u8>, Vec<u8>)>, IndexProof) {
+        let mut proof = IndexProof::empty();
+        let entries = self.range_impl(start, end, Some(&mut proof));
+        (entries, proof)
+    }
+
+    fn checkout(&self, root: Hash) -> Option<Box<dyn SiriIndex>> {
+        MerklePatriciaTrie::open(Arc::clone(&self.store), root)
+            .map(|t| Box::new(t) as Box<dyn SiriIndex>)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    use spitz_crypto::sha256;
+    use spitz_storage::InMemoryChunkStore;
+
+    fn new_trie() -> MerklePatriciaTrie {
+        MerklePatriciaTrie::new(InMemoryChunkStore::shared())
+    }
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("key-{i:06}").into_bytes()
+    }
+
+    fn value(i: u32) -> Vec<u8> {
+        format!("value-{i}").into_bytes()
+    }
+
+    #[test]
+    fn nibble_conversion_roundtrip() {
+        for data in [&b""[..], b"a", b"hello", &[0x00, 0xff, 0x7f]] {
+            assert_eq!(from_nibbles(&to_nibbles(data)), data.to_vec());
+        }
+        assert_eq!(to_nibbles(&[0xab]), vec![0xa, 0xb]);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut trie = new_trie();
+        for i in 0..300u32 {
+            trie.insert(key(i), value(i));
+        }
+        assert_eq!(trie.len(), 300);
+        for i in 0..300u32 {
+            assert_eq!(trie.get(&key(i)), Some(value(i)), "key {i}");
+        }
+        assert_eq!(trie.get(b"missing"), None);
+    }
+
+    #[test]
+    fn prefix_keys_coexist() {
+        let mut trie = new_trie();
+        trie.insert(b"a".to_vec(), b"1".to_vec());
+        trie.insert(b"ab".to_vec(), b"2".to_vec());
+        trie.insert(b"abc".to_vec(), b"3".to_vec());
+        trie.insert(b"abd".to_vec(), b"4".to_vec());
+        assert_eq!(trie.get(b"a"), Some(b"1".to_vec()));
+        assert_eq!(trie.get(b"ab"), Some(b"2".to_vec()));
+        assert_eq!(trie.get(b"abc"), Some(b"3".to_vec()));
+        assert_eq!(trie.get(b"abd"), Some(b"4".to_vec()));
+        assert_eq!(trie.len(), 4);
+        assert_eq!(trie.get(b"abe"), None);
+        assert_eq!(trie.get(b"abcd"), None);
+    }
+
+    #[test]
+    fn overwrite_keeps_len() {
+        let mut trie = new_trie();
+        trie.insert(b"k".to_vec(), b"v1".to_vec());
+        trie.insert(b"k".to_vec(), b"v2".to_vec());
+        assert_eq!(trie.len(), 1);
+        assert_eq!(trie.get(b"k"), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn structural_invariance_under_insertion_order() {
+        let keys: Vec<u32> = (0..200).collect();
+        let mut t1 = new_trie();
+        for &i in &keys {
+            t1.insert(key(i), value(i));
+        }
+        let mut shuffled = keys.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(3));
+        let mut t2 = new_trie();
+        for &i in &shuffled {
+            t2.insert(key(i), value(i));
+        }
+        assert_eq!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn proofs_verify_and_detect_tampering() {
+        let mut trie = new_trie();
+        for i in 0..200u32 {
+            trie.insert(key(i), value(i));
+        }
+        let root = trie.root();
+        let (v, proof) = trie.get_with_proof(&key(77));
+        assert_eq!(v, Some(value(77)));
+        assert!(MerklePatriciaTrie::verify_proof(root, &key(77), v.as_deref(), &proof));
+        assert!(!MerklePatriciaTrie::verify_proof(root, &key(77), Some(b"forged"), &proof));
+        assert!(!MerklePatriciaTrie::verify_proof(root, &key(77), None, &proof));
+        assert!(!MerklePatriciaTrie::verify_proof(sha256(b"x"), &key(77), v.as_deref(), &proof));
+
+        let (none, absence) = trie.get_with_proof(b"not-present");
+        assert!(none.is_none());
+        assert!(MerklePatriciaTrie::verify_proof(root, b"not-present", None, &absence));
+    }
+
+    #[test]
+    fn range_returns_sorted_window_with_valid_proof() {
+        let mut trie = new_trie();
+        for i in 0..300u32 {
+            trie.insert(key(i), value(i));
+        }
+        let (entries, proof) = trie.range_with_proof(&key(50), &key(60));
+        assert_eq!(entries.len(), 10);
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(MerklePatriciaTrie::verify_range_proof(trie.root(), &entries, &proof));
+
+        let mut forged = entries.clone();
+        forged[3].1 = b"forged".to_vec();
+        assert!(!MerklePatriciaTrie::verify_range_proof(trie.root(), &forged, &proof));
+    }
+
+    #[test]
+    fn historical_roots_remain_readable() {
+        let store = InMemoryChunkStore::shared();
+        let mut trie = MerklePatriciaTrie::new(Arc::clone(&store) as Arc<dyn ChunkStore>);
+        trie.insert(b"a".to_vec(), b"1".to_vec());
+        let root1 = trie.root();
+        trie.insert(b"b".to_vec(), b"2".to_vec());
+
+        let old = trie.checkout(root1).unwrap();
+        assert_eq!(old.len(), 1);
+        assert_eq!(old.get(b"a"), Some(b"1".to_vec()));
+        assert_eq!(old.get(b"b"), None);
+    }
+
+    #[test]
+    fn empty_trie_behaviour() {
+        let trie = new_trie();
+        assert!(trie.is_empty());
+        assert_eq!(trie.get(b"x"), None);
+        let (v, proof) = trie.get_with_proof(b"x");
+        assert!(v.is_none());
+        assert!(MerklePatriciaTrie::verify_proof(Hash::ZERO, b"x", None, &proof));
+        assert!(trie.range(b"a", b"z").is_empty());
+    }
+}

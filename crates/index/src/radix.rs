@@ -1,0 +1,298 @@
+//! Byte-wise radix (prefix) tree.
+//!
+//! Section 5 of the paper: "for string type, [the inverted index] uses a
+//! radix tree to reduce space consumption". Keys sharing prefixes share
+//! nodes; besides exact lookups the tree supports prefix scans, which is
+//! what analytical predicates over string columns compile to.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+struct RadixNode<V> {
+    /// Compressed edge label leading to this node.
+    prefix: Vec<u8>,
+    value: Option<V>,
+    children: BTreeMap<u8, RadixNode<V>>,
+}
+
+impl<V> RadixNode<V> {
+    fn new(prefix: Vec<u8>) -> Self {
+        RadixNode {
+            prefix,
+            value: None,
+            children: BTreeMap::new(),
+        }
+    }
+}
+
+/// A compressed prefix tree mapping byte-string keys to values.
+#[derive(Debug, Clone)]
+pub struct RadixTree<V> {
+    root: RadixNode<V>,
+    len: usize,
+}
+
+impl<V> Default for RadixTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+impl<V> RadixTree<V> {
+    /// Create an empty tree.
+    pub fn new() -> Self {
+        RadixTree {
+            root: RadixNode::new(Vec::new()),
+            len: 0,
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert or overwrite a key. Returns the previous value if any.
+    pub fn insert(&mut self, key: &[u8], value: V) -> Option<V> {
+        let replaced = Self::insert_node(&mut self.root, key, value);
+        if replaced.is_none() {
+            self.len += 1;
+        }
+        replaced
+    }
+
+    fn insert_node(node: &mut RadixNode<V>, key: &[u8], value: V) -> Option<V> {
+        if key.is_empty() {
+            return node.value.replace(value);
+        }
+        let first = key[0];
+        match node.children.get_mut(&first) {
+            None => {
+                let mut child = RadixNode::new(key.to_vec());
+                child.value = Some(value);
+                node.children.insert(first, child);
+                None
+            }
+            Some(child) => {
+                let cp = common_prefix(&child.prefix, key);
+                if cp == child.prefix.len() {
+                    // The whole edge matches; continue below the child.
+                    Self::insert_node(child, &key[cp..], value)
+                } else {
+                    // Split the edge at the divergence point.
+                    let old_suffix = child.prefix[cp..].to_vec();
+                    let shared = child.prefix[..cp].to_vec();
+                    let mut old_child = std::mem::replace(child, RadixNode::new(shared));
+                    old_child.prefix = old_suffix.clone();
+                    child.children.insert(old_suffix[0], old_child);
+                    if cp == key.len() {
+                        child.value = Some(value);
+                        None
+                    } else {
+                        let rest = &key[cp..];
+                        let mut new_leaf = RadixNode::new(rest.to_vec());
+                        new_leaf.value = Some(value);
+                        child.children.insert(rest[0], new_leaf);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exact lookup.
+    pub fn get(&self, key: &[u8]) -> Option<&V> {
+        let mut node = &self.root;
+        let mut remaining = key;
+        loop {
+            if remaining.is_empty() {
+                return node.value.as_ref();
+            }
+            let child = node.children.get(&remaining[0])?;
+            if remaining.len() < child.prefix.len()
+                || remaining[..child.prefix.len()] != child.prefix[..]
+            {
+                return None;
+            }
+            remaining = &remaining[child.prefix.len()..];
+            node = child;
+        }
+    }
+
+    /// Mutable exact lookup.
+    pub fn get_mut(&mut self, key: &[u8]) -> Option<&mut V> {
+        let mut node = &mut self.root;
+        let mut remaining = key;
+        loop {
+            if remaining.is_empty() {
+                return node.value.as_mut();
+            }
+            let child = node.children.get_mut(&remaining[0])?;
+            if remaining.len() < child.prefix.len()
+                || remaining[..child.prefix.len()] != child.prefix[..]
+            {
+                return None;
+            }
+            remaining = &remaining[child.prefix.len()..];
+            node = child;
+        }
+    }
+
+    /// All entries whose key starts with `prefix`, in key order.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, &V)> {
+        let mut out = Vec::new();
+        // Descend as far as the prefix allows.
+        let mut node = &self.root;
+        let mut consumed: Vec<u8> = Vec::new();
+        let mut remaining = prefix;
+        loop {
+            if remaining.is_empty() {
+                Self::collect(node, &mut consumed, &mut out);
+                return out;
+            }
+            let Some(child) = node.children.get(&remaining[0]) else {
+                return out;
+            };
+            let cp = common_prefix(&child.prefix, remaining);
+            if cp == remaining.len() {
+                // The prefix ends inside this edge; everything below matches.
+                consumed.extend_from_slice(&child.prefix);
+                Self::collect(child, &mut consumed, &mut out);
+                return out;
+            }
+            if cp < child.prefix.len() {
+                // Divergence before the prefix is exhausted: no matches.
+                return out;
+            }
+            consumed.extend_from_slice(&child.prefix);
+            remaining = &remaining[cp..];
+            node = child;
+        }
+    }
+
+    fn collect<'a>(node: &'a RadixNode<V>, key: &mut Vec<u8>, out: &mut Vec<(Vec<u8>, &'a V)>) {
+        if let Some(value) = &node.value {
+            out.push((key.clone(), value));
+        }
+        for child in node.children.values() {
+            key.extend_from_slice(&child.prefix);
+            Self::collect(child, key, out);
+            key.truncate(key.len() - child.prefix.len());
+        }
+    }
+
+    /// Every entry in key order.
+    pub fn iter(&self) -> Vec<(Vec<u8>, &V)> {
+        self.scan_prefix(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let tree: RadixTree<u32> = RadixTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.get(b"x"), None);
+        assert!(tree.scan_prefix(b"a").is_empty());
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut tree = RadixTree::new();
+        let words = [
+            "romane", "romanus", "romulus", "rubens", "ruber", "rubicon", "rubicundus", "r", "",
+        ];
+        for (i, w) in words.iter().enumerate() {
+            assert!(tree.insert(w.as_bytes(), i).is_none());
+        }
+        assert_eq!(tree.len(), words.len());
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(tree.get(w.as_bytes()), Some(&i), "{w}");
+        }
+        assert_eq!(tree.get(b"roman"), None);
+        assert_eq!(tree.get(b"rubiconX"), None);
+    }
+
+    #[test]
+    fn overwrite_returns_previous() {
+        let mut tree = RadixTree::new();
+        assert_eq!(tree.insert(b"key", 1), None);
+        assert_eq!(tree.insert(b"key", 2), Some(1));
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.get(b"key"), Some(&2));
+    }
+
+    #[test]
+    fn prefix_scan_returns_matching_subtree() {
+        let mut tree = RadixTree::new();
+        for w in ["apple", "application", "apply", "banana", "band", "bandana"] {
+            tree.insert(w.as_bytes(), w.len());
+        }
+        let apps: Vec<String> = tree
+            .scan_prefix(b"appl")
+            .into_iter()
+            .map(|(k, _)| String::from_utf8(k).unwrap())
+            .collect();
+        assert_eq!(apps, vec!["apple", "application", "apply"]);
+
+        let bands: Vec<String> = tree
+            .scan_prefix(b"band")
+            .into_iter()
+            .map(|(k, _)| String::from_utf8(k).unwrap())
+            .collect();
+        assert_eq!(bands, vec!["band", "bandana"]);
+
+        assert!(tree.scan_prefix(b"cherry").is_empty());
+        assert_eq!(tree.iter().len(), 6);
+    }
+
+    #[test]
+    fn prefix_scan_mid_edge() {
+        let mut tree = RadixTree::new();
+        tree.insert(b"hello-world", 1);
+        tree.insert(b"hello-there", 2);
+        // Prefix ends in the middle of the shared "hello-" edge.
+        assert_eq!(tree.scan_prefix(b"hel").len(), 2);
+        assert_eq!(tree.scan_prefix(b"hello-w").len(), 1);
+        assert!(tree.scan_prefix(b"helio").is_empty());
+    }
+
+    #[test]
+    fn get_mut_updates_value() {
+        let mut tree = RadixTree::new();
+        tree.insert(b"counter", 0u32);
+        *tree.get_mut(b"counter").unwrap() += 5;
+        assert_eq!(tree.get(b"counter"), Some(&5));
+        assert!(tree.get_mut(b"missing").is_none());
+    }
+
+    #[test]
+    fn keys_sharing_long_prefixes() {
+        let mut tree = RadixTree::new();
+        let n = 200u32;
+        for i in 0..n {
+            tree.insert(format!("customer/region-7/order-{i:05}").as_bytes(), i);
+        }
+        assert_eq!(tree.len(), n as usize);
+        assert_eq!(tree.scan_prefix(b"customer/region-7/").len(), n as usize);
+        assert_eq!(tree.scan_prefix(b"customer/region-7/order-0001").len(), 10);
+        for i in 0..n {
+            assert_eq!(
+                tree.get(format!("customer/region-7/order-{i:05}").as_bytes()),
+                Some(&i)
+            );
+        }
+    }
+}

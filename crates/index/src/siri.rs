@@ -1,0 +1,132 @@
+//! The SIRI (Structurally Invariant and Reusable Index) abstraction.
+//!
+//! The paper (and the companion SIGMOD'20 analysis it cites) groups the
+//! Merkle Patricia Trie, the Merkle Bucket Tree and the Pattern-Oriented-
+//! Split Tree into one family: indexes whose structure is a pure function of
+//! their contents (not of the insertion order), whose nodes are content
+//! addressed so that unchanged subtrees are physically shared between
+//! versions, and which can produce Merkle proofs for their lookups. The
+//! Spitz ledger stores one such index instance per block; node sharing
+//! between consecutive instances is what keeps the ledger compact.
+//!
+//! [`SiriIndex`] captures the operations the rest of the system needs.
+//! Proof *verification* is a static concern of each concrete index (clients
+//! verify without holding the server's index), exposed uniformly through
+//! [`verify_proof`].
+
+use spitz_crypto::Hash;
+
+use crate::mbt::MerkleBucketTree;
+use crate::mpt::MerklePatriciaTrie;
+use crate::pos_tree::PosTree;
+use crate::proof::IndexProof;
+
+/// Identifies a concrete SIRI implementation, e.g. inside proofs handed to
+/// clients so they know which verification routine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiriKind {
+    /// Pattern-Oriented-Split Tree (ForkBase / Spitz default).
+    PosTree,
+    /// Merkle Patricia Trie (Ethereum).
+    MerklePatriciaTrie,
+    /// Merkle Bucket Tree (Hyperledger Fabric).
+    MerkleBucketTree,
+}
+
+impl SiriKind {
+    /// Human-readable name used in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SiriKind::PosTree => "pos-tree",
+            SiriKind::MerklePatriciaTrie => "mpt",
+            SiriKind::MerkleBucketTree => "mbt",
+        }
+    }
+}
+
+/// Operations common to all structurally invariant, reusable, authenticated
+/// indexes.
+pub trait SiriIndex: Send {
+    /// Which concrete structure this is.
+    fn kind(&self) -> SiriKind;
+
+    /// Current root digest. [`Hash::ZERO`] denotes an empty index.
+    fn root(&self) -> Hash;
+
+    /// Number of key/value entries.
+    fn len(&self) -> usize;
+
+    /// True when the index holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert or overwrite a key/value pair.
+    fn insert(&mut self, key: Vec<u8>, value: Vec<u8>);
+
+    /// Point lookup.
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+
+    /// Point lookup returning a Merkle proof for the result (present or
+    /// absent).
+    fn get_with_proof(&self, key: &[u8]) -> (Option<Vec<u8>>, IndexProof);
+
+    /// All entries with `start <= key < end`, in key order.
+    fn range(&self, start: &[u8], end: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)>;
+
+    /// Range scan returning one combined proof that covers every returned
+    /// entry. For the unified Spitz ledger this is the operation that lets
+    /// proofs "ride along" the scan (Section 6.2.2 of the paper).
+    fn range_with_proof(&self, start: &[u8], end: &[u8]) -> (Vec<(Vec<u8>, Vec<u8>)>, IndexProof);
+
+    /// Re-open the index at a historical root (a previous block's instance).
+    /// Returns `None` if the root is unknown to the backing store.
+    fn checkout(&self, root: Hash) -> Option<Box<dyn SiriIndex>>;
+}
+
+/// Verify a point-lookup proof produced by an index of the given kind.
+///
+/// `value` is `Some` for a membership proof and `None` for an absence proof.
+pub fn verify_proof(
+    kind: SiriKind,
+    root: Hash,
+    key: &[u8],
+    value: Option<&[u8]>,
+    proof: &IndexProof,
+) -> bool {
+    match kind {
+        SiriKind::PosTree => PosTree::verify_proof(root, key, value, proof),
+        SiriKind::MerklePatriciaTrie => MerklePatriciaTrie::verify_proof(root, key, value, proof),
+        SiriKind::MerkleBucketTree => MerkleBucketTree::verify_proof(root, key, value, proof),
+    }
+}
+
+/// Verify a range proof produced by an index of the given kind: every
+/// returned entry must be covered by the revealed nodes and the revealed
+/// nodes must chain to the trusted root.
+pub fn verify_range_proof(
+    kind: SiriKind,
+    root: Hash,
+    entries: &[(Vec<u8>, Vec<u8>)],
+    proof: &IndexProof,
+) -> bool {
+    match kind {
+        SiriKind::PosTree => PosTree::verify_range_proof(root, entries, proof),
+        SiriKind::MerklePatriciaTrie => {
+            MerklePatriciaTrie::verify_range_proof(root, entries, proof)
+        }
+        SiriKind::MerkleBucketTree => MerkleBucketTree::verify_range_proof(root, entries, proof),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(SiriKind::PosTree.name(), "pos-tree");
+        assert_eq!(SiriKind::MerklePatriciaTrie.name(), "mpt");
+        assert_eq!(SiriKind::MerkleBucketTree.name(), "mbt");
+    }
+}

@@ -1,0 +1,289 @@
+//! Ordered skip list.
+//!
+//! Section 5 of the paper: "for numeric type, the system uses a skip list to
+//! better support range query" in the inverted index. This is a classic
+//! multi-level linked list; tower heights are assigned deterministically from
+//! a hash of the key so the structure is reproducible in tests and
+//! benchmarks (and independent of insertion order).
+
+use spitz_crypto::sha256;
+
+/// Maximum tower height.
+const MAX_LEVEL: usize = 16;
+
+/// Sentinel "no next node" arena index.
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct SkipNode<K, V> {
+    key: K,
+    value: V,
+    /// `forward[l]` is the arena index of the next node at level `l`.
+    forward: Vec<usize>,
+}
+
+/// An ordered map implemented as a skip list over an arena of nodes.
+#[derive(Debug, Clone)]
+pub struct SkipList<K, V> {
+    /// Forward pointers out of the (implicit) head sentinel.
+    head: Vec<usize>,
+    nodes: Vec<SkipNode<K, V>>,
+    level: usize,
+    len: usize,
+}
+
+/// Deterministic tower height for a key: geometric with p = 1/2.
+fn level_for(key: &[u8]) -> usize {
+    let mut data = Vec::with_capacity(key.len() + 4);
+    data.extend_from_slice(b"skip");
+    data.extend_from_slice(key);
+    let h = sha256(&data).prefix_u64();
+    ((h.trailing_ones() as usize) + 1).min(MAX_LEVEL)
+}
+
+impl<K: Ord + AsRef<[u8]>, V> Default for SkipList<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + AsRef<[u8]>, V> SkipList<K, V> {
+    /// Create an empty skip list.
+    pub fn new() -> Self {
+        SkipList {
+            head: vec![NIL; MAX_LEVEL],
+            nodes: Vec::new(),
+            level: 1,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn next_idx(&self, from: Option<usize>, level: usize) -> usize {
+        match from {
+            None => self.head[level],
+            Some(i) => self.nodes[i].forward.get(level).copied().unwrap_or(NIL),
+        }
+    }
+
+    fn set_next(&mut self, from: Option<usize>, level: usize, to: usize) {
+        match from {
+            None => self.head[level] = to,
+            Some(i) => self.nodes[i].forward[level] = to,
+        }
+    }
+
+    /// For each level, the last node strictly before `key` (None = head).
+    fn predecessors(&self, key: &K) -> Vec<Option<usize>> {
+        let mut update: Vec<Option<usize>> = vec![None; MAX_LEVEL];
+        let mut current: Option<usize> = None;
+        for level in (0..self.level).rev() {
+            loop {
+                let next = self.next_idx(current, level);
+                if next != NIL && self.nodes[next].key < *key {
+                    current = Some(next);
+                } else {
+                    break;
+                }
+            }
+            update[level] = current;
+        }
+        update
+    }
+
+    /// Insert or overwrite a key.
+    pub fn insert(&mut self, key: K, value: V) {
+        let update = self.predecessors(&key);
+        let candidate = self.next_idx(update[0], 0);
+        if candidate != NIL && self.nodes[candidate].key == key {
+            self.nodes[candidate].value = value;
+            return;
+        }
+
+        let node_level = level_for(key.as_ref());
+        if node_level > self.level {
+            self.level = node_level;
+        }
+        let idx = self.nodes.len();
+        let mut forward = vec![NIL; node_level];
+        #[allow(clippy::needless_range_loop)]
+        for level in 0..node_level {
+            forward[level] = self.next_idx(update[level], level);
+        }
+        self.nodes.push(SkipNode {
+            key,
+            value,
+            forward,
+        });
+        for level in 0..node_level {
+            self.set_next(update[level], level, idx);
+        }
+        self.len += 1;
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let update = self.predecessors(key);
+        let candidate = self.next_idx(update[0], 0);
+        if candidate != NIL && self.nodes[candidate].key == *key {
+            Some(&self.nodes[candidate].value)
+        } else {
+            None
+        }
+    }
+
+    /// Mutable point lookup.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let update = self.predecessors(key);
+        let candidate = self.next_idx(update[0], 0);
+        if candidate != NIL && self.nodes[candidate].key == *key {
+            Some(&mut self.nodes[candidate].value)
+        } else {
+            None
+        }
+    }
+
+    /// All entries with `start <= key < end`, in key order.
+    pub fn range(&self, start: &K, end: &K) -> Vec<(&K, &V)> {
+        let mut out = Vec::new();
+        if start >= end {
+            return out;
+        }
+        let update = self.predecessors(start);
+        let mut current = self.next_idx(update[0], 0);
+        while current != NIL {
+            let node = &self.nodes[current];
+            if node.key >= *end {
+                break;
+            }
+            out.push((&node.key, &node.value));
+            current = node.forward[0];
+        }
+        out
+    }
+
+    /// Iterate over all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut order = Vec::with_capacity(self.len);
+        let mut current = self.head[0];
+        while current != NIL {
+            order.push(current);
+            current = self.nodes[current].forward[0];
+        }
+        order.into_iter().map(move |i| (&self.nodes[i].key, &self.nodes[i].value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn key(i: u64) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn empty_list() {
+        let list: SkipList<Vec<u8>, u32> = SkipList::new();
+        assert!(list.is_empty());
+        assert_eq!(list.get(&key(1)), None);
+        assert!(list.range(&key(0), &key(100)).is_empty());
+        assert_eq!(list.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut list = SkipList::new();
+        let mut order: Vec<u64> = (0..2000).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(1));
+        for &i in &order {
+            list.insert(key(i), i);
+        }
+        assert_eq!(list.len(), 2000);
+        for i in 0..2000 {
+            assert_eq!(list.get(&key(i)), Some(&i), "key {i}");
+        }
+        assert_eq!(list.get(&key(99_999)), None);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let mut list = SkipList::new();
+        list.insert(key(5), "a");
+        list.insert(key(5), "b");
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.get(&key(5)), Some(&"b"));
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut list = SkipList::new();
+        list.insert(key(1), vec![1u32]);
+        list.get_mut(&key(1)).unwrap().push(2);
+        assert_eq!(list.get(&key(1)), Some(&vec![1, 2]));
+        assert!(list.get_mut(&key(2)).is_none());
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut list = SkipList::new();
+        let mut order: Vec<u64> = (0..500).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(2));
+        for &i in &order {
+            list.insert(key(i), i);
+        }
+        let collected: Vec<u64> = list.iter().map(|(_, v)| *v).collect();
+        let expected: Vec<u64> = (0..500).collect();
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn range_queries_are_bounded_and_sorted() {
+        let mut list = SkipList::new();
+        for i in (0..1000u64).step_by(3) {
+            list.insert(key(i), i);
+        }
+        let result = list.range(&key(100), &key(200));
+        assert!(!result.is_empty());
+        for (_, v) in &result {
+            assert!(**v >= 100 && **v < 200);
+        }
+        let values: Vec<u64> = result.iter().map(|(_, v)| **v).collect();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        assert_eq!(values, sorted);
+
+        assert!(list.range(&key(200), &key(100)).is_empty());
+        assert!(list.range(&key(5000), &key(6000)).is_empty());
+    }
+
+    #[test]
+    fn structure_is_insertion_order_independent() {
+        let keys: Vec<u64> = (0..300).collect();
+        let mut a = SkipList::new();
+        for &i in &keys {
+            a.insert(key(i), i);
+        }
+        let mut shuffled = keys.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(77));
+        let mut b = SkipList::new();
+        for &i in &shuffled {
+            b.insert(key(i), i);
+        }
+        let va: Vec<_> = a.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let vb: Vec<_> = b.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        assert_eq!(va, vb);
+    }
+}

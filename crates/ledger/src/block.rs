@@ -1,0 +1,211 @@
+//! Ledger blocks and transaction records.
+//!
+//! A block captures one committed batch of writes: the modified records
+//! (as write operations with value hashes), the query statements that caused
+//! them, the root of the ledger index *after* applying the batch, and the
+//! hash of the previous block — forming the hash chain whose head is part of
+//! the database digest.
+
+use spitz_crypto::{sha256, Hash, Sha256};
+
+/// The kind of modification a transaction record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Insert a new key.
+    Insert,
+    /// Update an existing key (a new version is appended; nothing is
+    /// overwritten in the immutable store).
+    Update,
+}
+
+impl WriteOp {
+    fn tag(self) -> u8 {
+        match self {
+            WriteOp::Insert => 0,
+            WriteOp::Update => 1,
+        }
+    }
+}
+
+/// One modified record inside a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnRecord {
+    /// The operation performed.
+    pub op: WriteOp,
+    /// The affected key.
+    pub key: Vec<u8>,
+    /// Hash of the value written (the value itself lives in the cell store).
+    pub value_hash: Hash,
+    /// The query statement (SQL or JSON form) that produced this write.
+    pub statement: String,
+}
+
+impl TxnRecord {
+    /// Deterministic serialization used for hashing the block body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(self.op.tag());
+        out.extend_from_slice(&(self.key.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.key);
+        out.extend_from_slice(self.value_hash.as_bytes());
+        let stmt = self.statement.as_bytes();
+        out.extend_from_slice(&(stmt.len() as u32).to_be_bytes());
+        out.extend_from_slice(stmt);
+        out
+    }
+}
+
+/// The header of a block: everything needed to verify chain linkage and the
+/// index root without the record payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Position of the block in the ledger, starting at 0.
+    pub height: u64,
+    /// Hash of the previous block ([`Hash::ZERO`] for the genesis block).
+    pub prev_hash: Hash,
+    /// Merkle root over the encoded transaction records of this block.
+    pub records_root: Hash,
+    /// Root of the ledger's SIRI index instance after applying this block.
+    pub index_root: Hash,
+    /// Logical commit timestamp assigned by the transaction manager.
+    pub timestamp: u64,
+    /// Number of transaction records in the block.
+    pub record_count: u32,
+}
+
+impl BlockHeader {
+    /// The block hash: a SHA-256 over the serialized header.
+    pub fn hash(&self) -> Hash {
+        let mut hasher = Sha256::new();
+        hasher.update(&self.height.to_be_bytes());
+        hasher.update(self.prev_hash.as_bytes());
+        hasher.update(self.records_root.as_bytes());
+        hasher.update(self.index_root.as_bytes());
+        hasher.update(&self.timestamp.to_be_bytes());
+        hasher.update(&self.record_count.to_be_bytes());
+        hasher.finalize()
+    }
+}
+
+/// A full block: header plus the transaction records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The block header.
+    pub header: BlockHeader,
+    /// The committed write records.
+    pub records: Vec<TxnRecord>,
+}
+
+impl Block {
+    /// Assemble a block from its parts, computing the records root.
+    pub fn new(
+        height: u64,
+        prev_hash: Hash,
+        index_root: Hash,
+        timestamp: u64,
+        records: Vec<TxnRecord>,
+    ) -> Block {
+        let records_root = records_merkle_root(&records);
+        Block {
+            header: BlockHeader {
+                height,
+                prev_hash,
+                records_root,
+                index_root,
+                timestamp,
+                record_count: records.len() as u32,
+            },
+            records,
+        }
+    }
+
+    /// The block hash (hash of the header).
+    pub fn hash(&self) -> Hash {
+        self.header.hash()
+    }
+
+    /// Recompute the records root and compare it with the header — detects
+    /// tampering with the record payload of a stored block.
+    pub fn verify_records(&self) -> bool {
+        records_merkle_root(&self.records) == self.header.records_root
+            && self.records.len() as u32 == self.header.record_count
+    }
+}
+
+/// Merkle root over the encoded transaction records of a block.
+pub fn records_merkle_root(records: &[TxnRecord]) -> Hash {
+    if records.is_empty() {
+        return sha256(b"");
+    }
+    let tree =
+        spitz_crypto::MerkleTree::from_leaves(records.iter().map(|r| r.encode()).collect::<Vec<_>>().iter().map(|v| v.as_slice()));
+    tree.root()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: u32) -> TxnRecord {
+        TxnRecord {
+            op: if i % 2 == 0 { WriteOp::Insert } else { WriteOp::Update },
+            key: format!("key-{i}").into_bytes(),
+            value_hash: sha256(format!("value-{i}").as_bytes()),
+            statement: format!("INSERT INTO t VALUES ({i})"),
+        }
+    }
+
+    #[test]
+    fn block_hash_changes_with_any_field() {
+        let records = vec![record(1), record(2)];
+        let block = Block::new(3, sha256(b"prev"), sha256(b"root"), 99, records.clone());
+        let base = block.hash();
+
+        let mut other = block.clone();
+        other.header.height = 4;
+        assert_ne!(other.hash(), base);
+
+        let mut other = block.clone();
+        other.header.prev_hash = sha256(b"other prev");
+        assert_ne!(other.hash(), base);
+
+        let mut other = block.clone();
+        other.header.index_root = sha256(b"other root");
+        assert_ne!(other.hash(), base);
+
+        let rebuilt = Block::new(3, sha256(b"prev"), sha256(b"root"), 99, records);
+        assert_eq!(rebuilt.hash(), base);
+    }
+
+    #[test]
+    fn record_tampering_is_detected() {
+        let block = Block::new(0, Hash::ZERO, sha256(b"r"), 1, vec![record(1), record(2), record(3)]);
+        assert!(block.verify_records());
+
+        let mut tampered = block.clone();
+        tampered.records[1].value_hash = sha256(b"forged value");
+        assert!(!tampered.verify_records());
+
+        let mut dropped = block.clone();
+        dropped.records.pop();
+        assert!(!dropped.verify_records());
+    }
+
+    #[test]
+    fn empty_block_is_valid() {
+        let block = Block::new(0, Hash::ZERO, Hash::ZERO, 0, vec![]);
+        assert!(block.verify_records());
+        assert_eq!(block.header.record_count, 0);
+    }
+
+    #[test]
+    fn record_encoding_is_deterministic_and_injective_enough() {
+        let a = record(1).encode();
+        let b = record(1).encode();
+        assert_eq!(a, b);
+        assert_ne!(record(1).encode(), record(2).encode());
+        let mut changed = record(1);
+        changed.op = WriteOp::Insert;
+        assert_ne!(changed.encode(), record(1).encode());
+    }
+}

@@ -1,0 +1,452 @@
+//! The unified Spitz ledger.
+//!
+//! "We implement the ledger by adopting an index from the SIRI family for
+//! both query and verification. Each block in the ledger stores a historical
+//! index instance, naturally composing a version of the ledger, and the
+//! nodes between instances can be shared." (Section 6.1)
+//!
+//! Concretely a [`Ledger`] owns one mutable SIRI index plus a journal of
+//! blocks; every committed batch of writes is applied to the index, the new
+//! index root is sealed into a [`Block`], and the block hash is appended to
+//! the [`Journal`]. Because the index nodes are content addressed in the
+//! shared chunk store, the per-block index instances share every unchanged
+//! node — the ledger grows with the *change volume*, not with the database
+//! size.
+//!
+//! Queries go straight to the index; when verification is requested the same
+//! traversal emits the Merkle path, which is returned together with the
+//! current [`Digest`]. Clients verify locally by recomputing the digest from
+//! the proof (Section 5.3).
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use spitz_crypto::Hash;
+use spitz_index::siri::{verify_proof, verify_range_proof, SiriIndex, SiriKind};
+use spitz_index::{IndexProof, MerkleBucketTree, MerklePatriciaTrie, PosTree};
+use spitz_storage::ChunkStore;
+
+use crate::block::{Block, TxnRecord, WriteOp};
+use crate::journal::{Journal, JournalProof};
+
+/// The database digest a client pins locally: enough to verify any proof the
+/// ledger hands out and to detect history rewrites between two digests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digest {
+    /// Height of the latest block.
+    pub block_height: u64,
+    /// Hash of the latest block.
+    pub block_hash: Hash,
+    /// Root of the ledger index after the latest block.
+    pub index_root: Hash,
+    /// Merkle root of the journal (over all block hashes).
+    pub journal_root: Hash,
+    /// Which SIRI structure the ledger uses (needed to verify index proofs).
+    pub index_kind: SiriKind,
+}
+
+/// Proof returned with a verified point read.
+#[derive(Debug, Clone)]
+pub struct LedgerProof {
+    /// Merkle path through the ledger index for the queried key.
+    pub index_proof: IndexProof,
+    /// The digest the proof was generated against.
+    pub digest: Digest,
+    /// Journal inclusion proof for the latest block.
+    pub journal_proof: Option<JournalProof>,
+}
+
+/// Proof returned with a verified range read: a single combined index proof
+/// covering every returned entry (the "unified index" benefit of Section
+/// 6.2.2).
+#[derive(Debug, Clone)]
+pub struct LedgerRangeProof {
+    /// Combined Merkle paths for all returned entries.
+    pub index_proof: IndexProof,
+    /// The digest the proof was generated against.
+    pub digest: Digest,
+}
+
+impl LedgerProof {
+    /// Client-side verification: recompute the index root from the proof and
+    /// compare against the digest, then check the digest's internal
+    /// consistency (journal inclusion of the block).
+    pub fn verify(&self, key: &[u8], value: Option<&[u8]>) -> bool {
+        if !verify_proof(
+            self.digest.index_kind,
+            self.digest.index_root,
+            key,
+            value,
+            &self.index_proof,
+        ) {
+            return false;
+        }
+        match &self.journal_proof {
+            Some(journal_proof) => {
+                journal_proof.verify(self.digest.journal_root, self.digest.block_hash)
+            }
+            None => true,
+        }
+    }
+}
+
+impl LedgerRangeProof {
+    /// Client-side verification of a verified range read.
+    pub fn verify(&self, entries: &[(Vec<u8>, Vec<u8>)]) -> bool {
+        verify_range_proof(
+            self.digest.index_kind,
+            self.digest.index_root,
+            entries,
+            &self.index_proof,
+        )
+    }
+}
+
+struct LedgerInner {
+    index: Box<dyn SiriIndex>,
+    journal: Journal,
+    blocks: Vec<Block>,
+    timestamp: u64,
+}
+
+/// The unified, tamper-evident Spitz ledger.
+pub struct Ledger {
+    store: Arc<dyn ChunkStore>,
+    kind: SiriKind,
+    inner: RwLock<LedgerInner>,
+}
+
+impl Ledger {
+    /// Create a ledger using the POS-Tree (the configuration evaluated in the
+    /// paper).
+    pub fn new(store: Arc<dyn ChunkStore>) -> Self {
+        Self::with_kind(store, SiriKind::PosTree)
+    }
+
+    /// Create a ledger with a specific SIRI index (used by the
+    /// `ablation_siri` benchmark).
+    pub fn with_kind(store: Arc<dyn ChunkStore>, kind: SiriKind) -> Self {
+        let index: Box<dyn SiriIndex> = match kind {
+            SiriKind::PosTree => Box::new(PosTree::new(Arc::clone(&store))),
+            SiriKind::MerklePatriciaTrie => {
+                Box::new(MerklePatriciaTrie::new(Arc::clone(&store)))
+            }
+            SiriKind::MerkleBucketTree => Box::new(MerkleBucketTree::new(Arc::clone(&store))),
+        };
+        Ledger {
+            store,
+            kind,
+            inner: RwLock::new(LedgerInner {
+                index,
+                journal: Journal::new(),
+                blocks: Vec::new(),
+                timestamp: 0,
+            }),
+        }
+    }
+
+    /// The chunk store backing this ledger.
+    pub fn store(&self) -> &Arc<dyn ChunkStore> {
+        &self.store
+    }
+
+    /// Which SIRI structure the ledger uses.
+    pub fn kind(&self) -> SiriKind {
+        self.kind
+    }
+
+    /// Number of sealed blocks.
+    pub fn height(&self) -> u64 {
+        self.inner.read().journal.len() as u64
+    }
+
+    /// Number of key/value entries in the current index instance.
+    pub fn len(&self) -> usize {
+        self.inner.read().index.len()
+    }
+
+    /// True when no entries have been committed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Commit a batch of writes as one block. Returns the new digest.
+    ///
+    /// `statement` records the query text for provenance (stored in every
+    /// transaction record of the block).
+    pub fn append_block(&self, writes: Vec<(Vec<u8>, Vec<u8>)>, statement: &str) -> Digest {
+        let mut inner = self.inner.write();
+        inner.timestamp += 1;
+        let timestamp = inner.timestamp;
+
+        let mut records = Vec::with_capacity(writes.len());
+        for (key, value) in writes {
+            let op = if inner.index.get(&key).is_some() {
+                WriteOp::Update
+            } else {
+                WriteOp::Insert
+            };
+            records.push(TxnRecord {
+                op,
+                key: key.clone(),
+                value_hash: spitz_crypto::sha256(&value),
+                statement: statement.to_string(),
+            });
+            inner.index.insert(key, value);
+        }
+
+        let height = inner.journal.len() as u64;
+        let prev_hash = if height == 0 {
+            Hash::ZERO
+        } else {
+            inner.journal.block_hash(height - 1).expect("previous block exists")
+        };
+        let index_root = inner.index.root();
+        let block = Block::new(height, prev_hash, index_root, timestamp, records);
+        inner.journal.append(block.hash());
+        inner.blocks.push(block);
+        drop(inner);
+        self.digest()
+    }
+
+    /// The current database digest.
+    pub fn digest(&self) -> Digest {
+        let inner = self.inner.read();
+        let height = inner.journal.len() as u64;
+        let (block_height, block_hash) = if height == 0 {
+            (0, Hash::ZERO)
+        } else {
+            (
+                height - 1,
+                inner.journal.block_hash(height - 1).expect("block exists"),
+            )
+        };
+        Digest {
+            block_height,
+            block_hash,
+            index_root: inner.index.root(),
+            journal_root: inner.journal.root(),
+            index_kind: self.kind,
+        }
+    }
+
+    /// Unverified point read (the fast path when verification is disabled).
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.inner.read().index.get(key)
+    }
+
+    /// Verified point read: value plus the proof obtained from the same
+    /// index traversal.
+    pub fn get_with_proof(&self, key: &[u8]) -> (Option<Vec<u8>>, LedgerProof) {
+        let inner = self.inner.read();
+        let (value, index_proof) = inner.index.get_with_proof(key);
+        let height = inner.journal.len() as u64;
+        let journal_proof = if height == 0 {
+            None
+        } else {
+            inner.journal.prove(height - 1)
+        };
+        drop(inner);
+        let digest = self.digest();
+        (
+            value,
+            LedgerProof {
+                index_proof,
+                digest,
+                journal_proof,
+            },
+        )
+    }
+
+    /// Unverified range read over `start <= key < end`.
+    pub fn range(&self, start: &[u8], end: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.inner.read().index.range(start, end)
+    }
+
+    /// Verified range read: the proofs of the resultant records are returned
+    /// simultaneously with the scan, using the unified index.
+    pub fn range_with_proof(&self, start: &[u8], end: &[u8]) -> (Vec<(Vec<u8>, Vec<u8>)>, LedgerRangeProof) {
+        let inner = self.inner.read();
+        let (entries, index_proof) = inner.index.range_with_proof(start, end);
+        drop(inner);
+        let digest = self.digest();
+        (
+            entries,
+            LedgerRangeProof {
+                index_proof,
+                digest,
+            },
+        )
+    }
+
+    /// The block at `height`, if sealed.
+    pub fn block(&self, height: u64) -> Option<Block> {
+        self.inner.read().blocks.get(height as usize).cloned()
+    }
+
+    /// Open a historical index instance (a previous block's version of the
+    /// ledger) for point-in-time queries.
+    pub fn checkout(&self, height: u64) -> Option<Box<dyn SiriIndex>> {
+        let inner = self.inner.read();
+        let root = inner.blocks.get(height as usize)?.header.index_root;
+        inner.index.checkout(root)
+    }
+
+    /// Audit the whole chain: recompute every block hash, check the
+    /// `prev_hash` linkage and the record roots. Returns the height of the
+    /// first inconsistent block, or `None` when the chain is sound.
+    pub fn audit_chain(&self) -> Option<u64> {
+        let inner = self.inner.read();
+        let mut prev = Hash::ZERO;
+        for (i, block) in inner.blocks.iter().enumerate() {
+            if block.header.prev_hash != prev
+                || !block.verify_records()
+                || inner.journal.block_hash(i as u64) != Some(block.hash())
+            {
+                return Some(i as u64);
+            }
+            prev = block.hash();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spitz_storage::InMemoryChunkStore;
+
+    fn ledger() -> Ledger {
+        Ledger::new(InMemoryChunkStore::shared())
+    }
+
+    fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
+        (format!("key-{i:06}").into_bytes(), format!("value-{i}").into_bytes())
+    }
+
+    #[test]
+    fn empty_ledger_digest() {
+        let ledger = ledger();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.height(), 0);
+        let digest = ledger.digest();
+        assert_eq!(digest.index_root, Hash::ZERO);
+        assert_eq!(digest.journal_root, Hash::ZERO);
+        assert_eq!(ledger.get(b"x"), None);
+    }
+
+    #[test]
+    fn writes_are_readable_and_blocks_accumulate() {
+        let ledger = ledger();
+        for batch in 0..10u32 {
+            let writes: Vec<_> = (0..20).map(|i| kv(batch * 20 + i)).collect();
+            ledger.append_block(writes, "INSERT");
+        }
+        assert_eq!(ledger.height(), 10);
+        assert_eq!(ledger.len(), 200);
+        for i in 0..200u32 {
+            let (k, v) = kv(i);
+            assert_eq!(ledger.get(&k), Some(v));
+        }
+        assert_eq!(ledger.audit_chain(), None);
+    }
+
+    #[test]
+    fn point_proofs_verify_against_digest() {
+        let ledger = ledger();
+        ledger.append_block((0..100).map(kv).collect(), "load");
+        let (k, v) = kv(42);
+        let (value, proof) = ledger.get_with_proof(&k);
+        assert_eq!(value, Some(v.clone()));
+        assert!(proof.verify(&k, Some(&v)));
+        assert!(!proof.verify(&k, Some(b"forged")));
+        assert!(!proof.verify(&k, None));
+
+        // Absence proof.
+        let (missing, proof) = ledger.get_with_proof(b"no-such-key");
+        assert!(missing.is_none());
+        assert!(proof.verify(b"no-such-key", None));
+        assert!(!proof.verify(b"no-such-key", Some(b"x")));
+    }
+
+    #[test]
+    fn range_proofs_ride_along_the_scan() {
+        let ledger = ledger();
+        ledger.append_block((0..500).map(kv).collect(), "load");
+        let (start, _) = kv(100);
+        let (end, _) = kv(150);
+        let (entries, proof) = ledger.range_with_proof(&start, &end);
+        assert_eq!(entries.len(), 50);
+        assert!(proof.verify(&entries));
+
+        let mut forged = entries.clone();
+        forged[0].1 = b"forged".to_vec();
+        assert!(!proof.verify(&forged));
+    }
+
+    #[test]
+    fn digest_changes_with_every_block_and_chain_audits_clean() {
+        let ledger = ledger();
+        let mut digests = Vec::new();
+        for i in 0..20u32 {
+            digests.push(ledger.append_block(vec![kv(i)], "put"));
+        }
+        for pair in digests.windows(2) {
+            assert_ne!(pair[0].block_hash, pair[1].block_hash);
+            assert_ne!(pair[0].index_root, pair[1].index_root);
+            assert_ne!(pair[0].journal_root, pair[1].journal_root);
+        }
+        assert_eq!(ledger.audit_chain(), None);
+        assert_eq!(ledger.block(5).unwrap().header.height, 5);
+        assert!(ledger.block(99).is_none());
+    }
+
+    #[test]
+    fn node_sharing_keeps_per_block_growth_bounded() {
+        let store = InMemoryChunkStore::shared();
+        let ledger = Ledger::new(Arc::clone(&store) as Arc<dyn ChunkStore>);
+        // Build a sizable base version.
+        ledger.append_block((0..2000).map(kv).collect(), "load");
+        let base_bytes = store.stats().physical_bytes;
+        // Each subsequent block changes a single record.
+        for i in 0..50u32 {
+            ledger.append_block(vec![kv(i)], "update");
+        }
+        let growth = store.stats().physical_bytes - base_bytes;
+        assert!(
+            growth < base_bytes,
+            "50 single-record blocks must share nodes with the base version: grew {growth} over {base_bytes}"
+        );
+    }
+
+    #[test]
+    fn historical_checkout_reads_old_versions() {
+        let ledger = ledger();
+        ledger.append_block(vec![(b"acct".to_vec(), b"100".to_vec())], "open");
+        ledger.append_block(vec![(b"acct".to_vec(), b"250".to_vec())], "deposit");
+        assert_eq!(ledger.get(b"acct"), Some(b"250".to_vec()));
+
+        let v0 = ledger.checkout(0).unwrap();
+        assert_eq!(v0.get(b"acct"), Some(b"100".to_vec()));
+        let v1 = ledger.checkout(1).unwrap();
+        assert_eq!(v1.get(b"acct"), Some(b"250".to_vec()));
+        assert!(ledger.checkout(2).is_none());
+    }
+
+    #[test]
+    fn all_siri_kinds_work_as_ledger_index() {
+        for kind in [
+            SiriKind::PosTree,
+            SiriKind::MerklePatriciaTrie,
+            SiriKind::MerkleBucketTree,
+        ] {
+            let ledger = Ledger::with_kind(InMemoryChunkStore::shared(), kind);
+            ledger.append_block((0..50).map(kv).collect(), "load");
+            let (k, v) = kv(7);
+            let (value, proof) = ledger.get_with_proof(&k);
+            assert_eq!(value, Some(v.clone()), "{}", kind.name());
+            assert!(proof.verify(&k, Some(&v)), "{}", kind.name());
+            assert!(!proof.verify(&k, Some(b"forged")), "{}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Tamper-evident ledger for the Spitz verifiable database.
+//!
+//! The ledger (Section 5 of the paper) is "a sequence of hashed blocks.
+//! Each block tracks the modification of the records, query statements,
+//! metadata and the root node of the indexes on the entire dataset." Spitz
+//! implements the ledger with an index from the SIRI family so that the same
+//! structure serves queries *and* verification — the property behind the
+//! paper's Figure 6/7 results.
+//!
+//! The crate provides:
+//!
+//! * [`block`] — block and transaction-record types plus the hash chain.
+//! * [`journal`] — an append-only journal with an incrementally maintained
+//!   Merkle tree over block hashes (inclusion + consistency proofs).
+//! * [`ledger`] — the unified ledger: a SIRI index instance per block with
+//!   node sharing between consecutive blocks, point/range queries whose
+//!   proofs ride along the traversal, and digests for client verification.
+//! * [`deferred`] — the deferred (batched, asynchronous-style) verification
+//!   scheme described in Section 5.3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod deferred;
+pub mod journal;
+pub mod ledger;
+
+pub use block::{Block, BlockHeader, TxnRecord, WriteOp};
+pub use deferred::{DeferredVerifier, VerificationReport};
+pub use journal::{Journal, JournalProof};
+pub use ledger::{Digest, Ledger, LedgerProof, LedgerRangeProof};

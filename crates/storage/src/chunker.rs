@@ -1,0 +1,269 @@
+//! Content-defined chunking.
+//!
+//! ForkBase deduplicates data by splitting values into chunks at positions
+//! determined by the *content* (a rolling hash hitting a boundary pattern)
+//! rather than at fixed offsets. An insertion or edit near the start of a
+//! page therefore only changes the chunks around the edit; all later chunks
+//! keep their boundaries and hashes and are deduplicated. The same mechanism
+//! underlies the Pattern-Oriented-Split Tree in `spitz-index`.
+//!
+//! The rolling hash here is a Buzhash-style byte-table hash over a sliding
+//! window. It is not cryptographic — it only chooses boundaries; integrity is
+//! provided by the SHA-256 content addresses of the resulting chunks.
+
+use crate::error::StorageError;
+use crate::Result;
+
+/// Window size for the rolling hash, in bytes.
+const WINDOW_SIZE: usize = 48;
+
+/// Configuration for the content-defined chunker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkerConfig {
+    /// Minimum chunk size; boundaries are not considered before this many
+    /// bytes have been consumed.
+    pub min_size: usize,
+    /// Average target chunk size. Must be a power of two; the boundary mask
+    /// is `avg_size - 1`.
+    pub avg_size: usize,
+    /// Maximum chunk size; a boundary is forced at this length.
+    pub max_size: usize,
+}
+
+impl Default for ChunkerConfig {
+    /// Defaults tuned for the paper's workloads: 16 KB pages with small
+    /// per-version edits, and 20-byte cell values that fit in one chunk.
+    fn default() -> Self {
+        ChunkerConfig {
+            min_size: 256,
+            avg_size: 1024,
+            max_size: 4096,
+        }
+    }
+}
+
+impl ChunkerConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.min_size == 0 {
+            return Err(StorageError::InvalidConfig("min_size must be > 0".into()));
+        }
+        if !self.avg_size.is_power_of_two() {
+            return Err(StorageError::InvalidConfig(
+                "avg_size must be a power of two".into(),
+            ));
+        }
+        if self.min_size > self.avg_size || self.avg_size > self.max_size {
+            return Err(StorageError::InvalidConfig(
+                "require min_size <= avg_size <= max_size".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The bit mask used to detect chunk boundaries.
+    fn boundary_mask(&self) -> u64 {
+        (self.avg_size as u64) - 1
+    }
+}
+
+/// Content-defined chunker.
+#[derive(Debug, Clone)]
+pub struct Chunker {
+    config: ChunkerConfig,
+    /// Byte-to-random-u64 substitution table for the rolling hash.
+    table: [u64; 256],
+}
+
+impl Chunker {
+    /// Create a chunker with the given configuration.
+    pub fn new(config: ChunkerConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Chunker {
+            config,
+            table: build_table(),
+        })
+    }
+
+    /// Create a chunker with [`ChunkerConfig::default`].
+    pub fn with_defaults() -> Self {
+        Chunker::new(ChunkerConfig::default()).expect("default config is valid")
+    }
+
+    /// The configuration this chunker was built with.
+    pub fn config(&self) -> &ChunkerConfig {
+        &self.config
+    }
+
+    /// Split `data` into content-defined chunks. The concatenation of the
+    /// returned slices always equals the input.
+    pub fn split<'a>(&self, data: &'a [u8]) -> Vec<&'a [u8]> {
+        let mut chunks = Vec::new();
+        let mut start = 0;
+        while start < data.len() {
+            let end = self.find_boundary(&data[start..]);
+            chunks.push(&data[start..start + end]);
+            start += end;
+        }
+        chunks
+    }
+
+    /// Return the cut points (exclusive end offsets) for `data`.
+    pub fn cut_points(&self, data: &[u8]) -> Vec<usize> {
+        let mut cuts = Vec::new();
+        let mut start = 0;
+        while start < data.len() {
+            let end = self.find_boundary(&data[start..]);
+            start += end;
+            cuts.push(start);
+        }
+        cuts
+    }
+
+    /// Length of the first chunk of `data` (at least 1 for non-empty input).
+    fn find_boundary(&self, data: &[u8]) -> usize {
+        let cfg = &self.config;
+        if data.len() <= cfg.min_size {
+            return data.len();
+        }
+        let mask = cfg.boundary_mask();
+        let limit = data.len().min(cfg.max_size);
+
+        let mut hash: u64 = 0;
+        // Warm the window over the bytes just before the earliest possible
+        // boundary so the decision at `min_size` already sees a full window.
+        let warm_start = cfg.min_size.saturating_sub(WINDOW_SIZE);
+        for &b in &data[warm_start..cfg.min_size] {
+            hash = hash.rotate_left(1) ^ self.table[b as usize];
+        }
+
+        for i in cfg.min_size..limit {
+            // Slide: add the new byte, then remove the byte that has left the
+            // window (its table value has accumulated WINDOW_SIZE rotations).
+            hash = hash.rotate_left(1) ^ self.table[data[i] as usize];
+            if i >= WINDOW_SIZE {
+                let out = data[i - WINDOW_SIZE];
+                hash ^= self.table[out as usize].rotate_left((WINDOW_SIZE % 64) as u32);
+            }
+            if hash & mask == mask {
+                return i + 1;
+            }
+        }
+        limit
+    }
+}
+
+/// Deterministic substitution table derived from SHA-256, so every chunker
+/// instance (and every run) picks identical boundaries.
+fn build_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    for (i, entry) in table.iter_mut().enumerate() {
+        let digest = spitz_crypto::sha256(&[i as u8, 0x5a, 0x13, 0x37]);
+        *entry = digest.prefix_u64();
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    fn random_bytes(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = vec![0u8; len];
+        rng.fill_bytes(&mut data);
+        data
+    }
+
+    #[test]
+    fn chunks_reassemble_to_input() {
+        let chunker = Chunker::with_defaults();
+        for len in [0usize, 1, 100, 255, 256, 257, 4096, 16 * 1024, 100_000] {
+            let data = random_bytes(len, len as u64);
+            let chunks = chunker.split(&data);
+            let rejoined: Vec<u8> = chunks.concat();
+            assert_eq!(rejoined, data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_respect_bounds() {
+        let chunker = Chunker::with_defaults();
+        let data = random_bytes(200_000, 42);
+        let chunks = chunker.split(&data);
+        assert!(chunks.len() > 10);
+        for (i, c) in chunks.iter().enumerate() {
+            assert!(c.len() <= chunker.config().max_size, "chunk {i} too big");
+            if i + 1 < chunks.len() {
+                assert!(c.len() >= chunker.config().min_size, "chunk {i} too small");
+            }
+        }
+    }
+
+    #[test]
+    fn splitting_is_deterministic() {
+        let data = random_bytes(50_000, 7);
+        let a = Chunker::with_defaults().cut_points(&data);
+        let b = Chunker::with_defaults().cut_points(&data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn local_edit_preserves_most_chunks() {
+        // This is the property Figure 1 depends on: editing a small region of
+        // a page must leave the majority of chunk hashes unchanged.
+        let chunker = Chunker::with_defaults();
+        let original = random_bytes(16 * 1024, 99);
+        let mut edited = original.clone();
+        let mut rng = StdRng::seed_from_u64(123);
+        let pos = rng.gen_range(0..edited.len() - 64);
+        for b in &mut edited[pos..pos + 64] {
+            *b = rng.gen();
+        }
+
+        let hashes = |data: &[u8]| -> Vec<spitz_crypto::Hash> {
+            chunker.split(data).iter().map(|c| spitz_crypto::sha256(c)).collect()
+        };
+        let orig_hashes = hashes(&original);
+        let edit_hashes = hashes(&edited);
+        let orig_set: std::collections::HashSet<_> = orig_hashes.iter().collect();
+        let shared = edit_hashes.iter().filter(|h| orig_set.contains(h)).count();
+        assert!(
+            shared * 2 >= edit_hashes.len(),
+            "expected at least half the chunks shared, got {shared}/{}",
+            edit_hashes.len()
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(Chunker::new(ChunkerConfig {
+            min_size: 0,
+            avg_size: 1024,
+            max_size: 4096
+        })
+        .is_err());
+        assert!(Chunker::new(ChunkerConfig {
+            min_size: 256,
+            avg_size: 1000, // not a power of two
+            max_size: 4096
+        })
+        .is_err());
+        assert!(Chunker::new(ChunkerConfig {
+            min_size: 2048,
+            avg_size: 1024,
+            max_size: 4096
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn small_values_are_single_chunks() {
+        let chunker = Chunker::with_defaults();
+        let data = random_bytes(20, 1);
+        assert_eq!(chunker.split(&data).len(), 1);
+        assert!(chunker.split(&[]).is_empty());
+    }
+}

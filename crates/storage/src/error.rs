@@ -1,0 +1,83 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+
+use spitz_crypto::Hash;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A chunk referenced by hash was not present in the store.
+    ChunkNotFound(Hash),
+    /// A chunk was found but had an unexpected kind (e.g. a blob chunk where
+    /// a meta node was expected). Carries `(expected, found)` kind names.
+    WrongChunkKind {
+        /// The kind the caller expected.
+        expected: &'static str,
+        /// The kind actually stored under the hash.
+        found: &'static str,
+    },
+    /// A chunk's payload failed to decode (corrupt or truncated encoding).
+    CorruptChunk(Hash),
+    /// The content hash of a chunk did not match the address it was fetched
+    /// under — the store (or an attacker) tampered with the data.
+    IntegrityViolation {
+        /// The address the chunk was requested under.
+        expected: Hash,
+        /// The hash of the bytes actually returned.
+        actual: Hash,
+    },
+    /// A named branch/key was not found in the version manager.
+    KeyNotFound(String),
+    /// A requested version number does not exist for the key.
+    VersionNotFound {
+        /// The logical key.
+        key: String,
+        /// The requested version number.
+        version: u64,
+    },
+    /// Invalid configuration (e.g. chunker min size larger than max size).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ChunkNotFound(h) => write!(f, "chunk {h} not found"),
+            StorageError::WrongChunkKind { expected, found } => {
+                write!(f, "expected {expected} chunk, found {found}")
+            }
+            StorageError::CorruptChunk(h) => write!(f, "chunk {h} is corrupt"),
+            StorageError::IntegrityViolation { expected, actual } => write!(
+                f,
+                "integrity violation: requested {expected}, content hashes to {actual}"
+            ),
+            StorageError::KeyNotFound(k) => write!(f, "key {k:?} not found"),
+            StorageError::VersionNotFound { key, version } => {
+                write!(f, "version {version} of key {key:?} not found")
+            }
+            StorageError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spitz_crypto::sha256;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let h = sha256(b"x");
+        assert!(StorageError::ChunkNotFound(h).to_string().contains("not found"));
+        assert!(StorageError::CorruptChunk(h).to_string().contains("corrupt"));
+        let e = StorageError::VersionNotFound {
+            key: "acct".into(),
+            version: 3,
+        };
+        assert!(e.to_string().contains("version 3"));
+        assert!(e.to_string().contains("acct"));
+    }
+}

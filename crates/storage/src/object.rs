@@ -1,0 +1,354 @@
+//! Typed objects layered over chunks: chunked blobs and small maps.
+//!
+//! A [`VBlob`] stores a byte string of arbitrary size as a list of
+//! content-defined chunks referenced by a meta node, so that successive
+//! versions of a mostly-unchanged value share almost all physical chunks.
+//! A [`VMap`] is a small, immutable, content-addressed map used for object
+//! metadata (for example a page id → blob root mapping in the Figure 1
+//! workload).
+
+use std::collections::BTreeMap;
+
+use spitz_crypto::Hash;
+
+use crate::chunk::{Chunk, ChunkKind};
+use crate::chunker::{Chunker, ChunkerConfig};
+use crate::error::StorageError;
+use crate::store::ChunkStore;
+use crate::Result;
+
+/// A large byte value stored as content-defined chunks under one root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VBlob {
+    root: Hash,
+    len: u64,
+    chunks: Vec<(Hash, u32)>,
+}
+
+impl VBlob {
+    /// Split `data` with a chunker configured by `config`, store every chunk
+    /// and a meta node in `store`, and return the blob handle.
+    pub fn write<S: ChunkStore + ?Sized>(
+        store: &S,
+        data: &[u8],
+        config: &ChunkerConfig,
+    ) -> Result<VBlob> {
+        let chunker = Chunker::new(*config)?;
+        let mut entries: Vec<(Hash, u32)> = Vec::new();
+        for piece in chunker.split(data) {
+            let addr = store.put(Chunk::new(ChunkKind::Blob, piece.to_vec()));
+            entries.push((addr, piece.len() as u32));
+        }
+
+        let meta = encode_meta(&entries, data.len() as u64);
+        let root = store.put(Chunk::new(ChunkKind::Meta, meta));
+        Ok(VBlob {
+            root,
+            len: data.len() as u64,
+            chunks: entries,
+        })
+    }
+
+    /// Load a blob handle from its meta-node root.
+    pub fn load<S: ChunkStore + ?Sized>(store: &S, root: &Hash) -> Result<VBlob> {
+        let meta = store.get_kind(root, ChunkKind::Meta)?;
+        let (entries, len) = decode_meta(meta.data()).ok_or(StorageError::CorruptChunk(*root))?;
+        Ok(VBlob {
+            root: *root,
+            len,
+            chunks: entries,
+        })
+    }
+
+    /// Read back the full contents of the blob stored under `root`.
+    pub fn read<S: ChunkStore + ?Sized>(store: &S, root: &Hash) -> Result<Vec<u8>> {
+        let blob = VBlob::load(store, root)?;
+        blob.contents(store)
+    }
+
+    /// Read back this blob's contents.
+    pub fn contents<S: ChunkStore + ?Sized>(&self, store: &S) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        for (addr, _) in &self.chunks {
+            let chunk = store.get_kind(addr, ChunkKind::Blob)?;
+            out.extend_from_slice(chunk.data());
+        }
+        Ok(out)
+    }
+
+    /// The content address of the blob's meta node.
+    pub fn root(&self) -> Hash {
+        self.root
+    }
+
+    /// Logical length of the blob in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the blob is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The chunk addresses (and sizes) making up this blob.
+    pub fn chunk_entries(&self) -> &[(Hash, u32)] {
+        &self.chunks
+    }
+}
+
+fn encode_meta(entries: &[(Hash, u32)], len: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + entries.len() * 36);
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+    for (hash, size) in entries {
+        out.extend_from_slice(hash.as_bytes());
+        out.extend_from_slice(&size.to_be_bytes());
+    }
+    out
+}
+
+fn decode_meta(data: &[u8]) -> Option<(Vec<(Hash, u32)>, u64)> {
+    if data.len() < 12 {
+        return None;
+    }
+    let len = u64::from_be_bytes(data[0..8].try_into().ok()?);
+    let count = u32::from_be_bytes(data[8..12].try_into().ok()?) as usize;
+    let mut entries = Vec::with_capacity(count);
+    let mut offset = 12;
+    for _ in 0..count {
+        if offset + 36 > data.len() {
+            return None;
+        }
+        let mut hash_bytes = [0u8; 32];
+        hash_bytes.copy_from_slice(&data[offset..offset + 32]);
+        let size = u32::from_be_bytes(data[offset + 32..offset + 36].try_into().ok()?);
+        entries.push((Hash::from_bytes(hash_bytes), size));
+        offset += 36;
+    }
+    if offset != data.len() {
+        return None;
+    }
+    Some((entries, len))
+}
+
+/// A small immutable map from byte-string keys to chunk addresses, itself
+/// stored as a single content-addressed chunk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VMap {
+    entries: BTreeMap<Vec<u8>, Hash>,
+}
+
+impl VMap {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        VMap::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &[u8]) -> Option<Hash> {
+        self.entries.get(key).copied()
+    }
+
+    /// Return a new map with `key` bound to `value` (persistent update).
+    pub fn with(&self, key: impl Into<Vec<u8>>, value: Hash) -> VMap {
+        let mut entries = self.entries.clone();
+        entries.insert(key.into(), value);
+        VMap { entries }
+    }
+
+    /// Return a new map with `key` removed.
+    pub fn without(&self, key: &[u8]) -> VMap {
+        let mut entries = self.entries.clone();
+        entries.remove(key);
+        VMap { entries }
+    }
+
+    /// Iterate over entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], Hash)> {
+        self.entries.iter().map(|(k, v)| (k.as_slice(), *v))
+    }
+
+    /// Persist the map as a meta chunk and return its address.
+    pub fn save<S: ChunkStore + ?Sized>(&self, store: &S) -> Hash {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.entries.len() as u32).to_be_bytes());
+        for (k, v) in &self.entries {
+            out.extend_from_slice(&(k.len() as u32).to_be_bytes());
+            out.extend_from_slice(k);
+            out.extend_from_slice(v.as_bytes());
+        }
+        store.put(Chunk::new(ChunkKind::Meta, out))
+    }
+
+    /// Load a map previously saved with [`VMap::save`].
+    pub fn load<S: ChunkStore + ?Sized>(store: &S, address: &Hash) -> Result<VMap> {
+        let chunk = store.get_kind(address, ChunkKind::Meta)?;
+        let data = chunk.data();
+        if data.len() < 4 {
+            return Err(StorageError::CorruptChunk(*address));
+        }
+        let count = u32::from_be_bytes(data[0..4].try_into().expect("4 bytes")) as usize;
+        let mut entries = BTreeMap::new();
+        let mut offset = 4;
+        for _ in 0..count {
+            if offset + 4 > data.len() {
+                return Err(StorageError::CorruptChunk(*address));
+            }
+            let klen =
+                u32::from_be_bytes(data[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+            offset += 4;
+            if offset + klen + 32 > data.len() {
+                return Err(StorageError::CorruptChunk(*address));
+            }
+            let key = data[offset..offset + klen].to_vec();
+            offset += klen;
+            let mut hash_bytes = [0u8; 32];
+            hash_bytes.copy_from_slice(&data[offset..offset + 32]);
+            offset += 32;
+            entries.insert(key, Hash::from_bytes(hash_bytes));
+        }
+        if offset != data.len() {
+            return Err(StorageError::CorruptChunk(*address));
+        }
+        Ok(VMap { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::InMemoryChunkStore;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    fn random_bytes(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = vec![0u8; len];
+        rng.fill_bytes(&mut data);
+        data
+    }
+
+    #[test]
+    fn blob_roundtrip_various_sizes() {
+        let store = InMemoryChunkStore::new();
+        let cfg = ChunkerConfig::default();
+        for len in [0usize, 1, 20, 255, 4096, 16 * 1024, 70_000] {
+            let data = random_bytes(len, len as u64 + 1);
+            let blob = VBlob::write(&store, &data, &cfg).unwrap();
+            assert_eq!(blob.len() as usize, len);
+            assert_eq!(VBlob::read(&store, &blob.root()).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn identical_blobs_share_all_chunks() {
+        let store = InMemoryChunkStore::new();
+        let cfg = ChunkerConfig::default();
+        let data = random_bytes(16 * 1024, 3);
+        let b1 = VBlob::write(&store, &data, &cfg).unwrap();
+        let before = store.stats().physical_bytes;
+        let b2 = VBlob::write(&store, &data, &cfg).unwrap();
+        assert_eq!(b1.root(), b2.root());
+        assert_eq!(store.stats().physical_bytes, before);
+    }
+
+    #[test]
+    fn edited_blob_shares_most_chunks() {
+        let store = InMemoryChunkStore::new();
+        let cfg = ChunkerConfig::default();
+        let data = random_bytes(16 * 1024, 5);
+        let b1 = VBlob::write(&store, &data, &cfg).unwrap();
+
+        let mut edited = data.clone();
+        for b in &mut edited[100..150] {
+            *b ^= 0xff;
+        }
+        let b2 = VBlob::write(&store, &edited, &cfg).unwrap();
+        assert_ne!(b1.root(), b2.root());
+
+        let set1: std::collections::HashSet<_> =
+            b1.chunk_entries().iter().map(|(h, _)| *h).collect();
+        let shared = b2
+            .chunk_entries()
+            .iter()
+            .filter(|(h, _)| set1.contains(h))
+            .count();
+        assert!(
+            shared * 2 >= b2.chunk_entries().len(),
+            "expected chunk sharing, got {shared}/{}",
+            b2.chunk_entries().len()
+        );
+    }
+
+    #[test]
+    fn load_rejects_wrong_kind() {
+        let store = InMemoryChunkStore::new();
+        let addr = store.put(Chunk::new(ChunkKind::Blob, &b"not a meta node"[..]));
+        assert!(matches!(
+            VBlob::load(&store, &addr),
+            Err(StorageError::WrongChunkKind { .. })
+        ));
+    }
+
+    #[test]
+    fn load_rejects_corrupt_meta() {
+        let store = InMemoryChunkStore::new();
+        let addr = store.put(Chunk::new(ChunkKind::Meta, vec![1, 2, 3]));
+        assert!(matches!(
+            VBlob::load(&store, &addr),
+            Err(StorageError::CorruptChunk(_))
+        ));
+    }
+
+    #[test]
+    fn vmap_roundtrip() {
+        let store = InMemoryChunkStore::new();
+        let mut map = VMap::new();
+        assert!(map.is_empty());
+        for i in 0..20u8 {
+            map = map.with(vec![i], spitz_crypto::sha256(&[i]));
+        }
+        assert_eq!(map.len(), 20);
+        let addr = map.save(&store);
+        let loaded = VMap::load(&store, &addr).unwrap();
+        assert_eq!(loaded, map);
+        assert_eq!(loaded.get(&[7]), Some(spitz_crypto::sha256(&[7])));
+        assert_eq!(loaded.get(&[99]), None);
+    }
+
+    #[test]
+    fn vmap_persistent_updates_do_not_mutate_original() {
+        let base = VMap::new().with(b"a".to_vec(), spitz_crypto::sha256(b"1"));
+        let derived = base.with(b"b".to_vec(), spitz_crypto::sha256(b"2"));
+        let removed = derived.without(b"a");
+        assert_eq!(base.len(), 1);
+        assert_eq!(derived.len(), 2);
+        assert_eq!(removed.len(), 1);
+        assert!(removed.get(b"a").is_none());
+        assert!(base.get(b"a").is_some());
+    }
+
+    #[test]
+    fn identical_vmaps_have_identical_addresses() {
+        let store = InMemoryChunkStore::new();
+        let m1 = VMap::new()
+            .with(b"x".to_vec(), spitz_crypto::sha256(b"1"))
+            .with(b"y".to_vec(), spitz_crypto::sha256(b"2"));
+        // Insert in the opposite order — address must not depend on it.
+        let m2 = VMap::new()
+            .with(b"y".to_vec(), spitz_crypto::sha256(b"2"))
+            .with(b"x".to_vec(), spitz_crypto::sha256(b"1"));
+        assert_eq!(m1.save(&store), m2.save(&store));
+    }
+}

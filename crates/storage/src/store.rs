@@ -1,0 +1,371 @@
+//! The chunk store: content-addressed, deduplicating physical storage.
+//!
+//! [`ChunkStore`] is the trait the rest of the system writes through;
+//! [`InMemoryChunkStore`] is the default implementation used by the
+//! evaluation (the paper's experiments also run against an in-process
+//! ForkBase instance). The store deduplicates by content address and keeps
+//! [`StoreStats`] that distinguish *logical* bytes (what callers wrote) from
+//! *physical* bytes (what is actually retained) — the quantity plotted in
+//! Figure 1.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use spitz_crypto::Hash;
+
+use crate::chunk::{Chunk, ChunkKind};
+use crate::error::StorageError;
+use crate::Result;
+
+/// Aggregate statistics maintained by a chunk store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of distinct chunks physically retained.
+    pub chunk_count: u64,
+    /// Bytes physically retained (sum of [`Chunk::storage_size`] over
+    /// distinct chunks).
+    pub physical_bytes: u64,
+    /// Bytes logically written (every `put`, including duplicates).
+    pub logical_bytes: u64,
+    /// Number of `put` calls that were absorbed by deduplication.
+    pub dedup_hits: u64,
+    /// Number of `get` calls served.
+    pub reads: u64,
+}
+
+impl StoreStats {
+    /// Fraction of logical bytes saved by deduplication, in `[0, 1]`.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            0.0
+        } else {
+            1.0 - (self.physical_bytes as f64 / self.logical_bytes as f64)
+        }
+    }
+}
+
+/// A content-addressed store of immutable chunks.
+///
+/// Implementations must be safe to share across threads; Spitz processor
+/// nodes all write through the same store.
+pub trait ChunkStore: Send + Sync {
+    /// Store a chunk and return its content address. Storing an identical
+    /// chunk twice is a no-op for physical storage.
+    fn put(&self, chunk: Chunk) -> Hash;
+
+    /// Fetch a chunk by address.
+    fn get(&self, address: &Hash) -> Result<Arc<Chunk>>;
+
+    /// True when the store holds a chunk with this address.
+    fn contains(&self, address: &Hash) -> bool;
+
+    /// Current statistics snapshot.
+    fn stats(&self) -> StoreStats;
+
+    /// Fetch a chunk and check that it has the expected kind.
+    fn get_kind(&self, address: &Hash, expected: ChunkKind) -> Result<Arc<Chunk>> {
+        let chunk = self.get(address)?;
+        if chunk.kind() != expected {
+            return Err(StorageError::WrongChunkKind {
+                expected: expected.name(),
+                found: chunk.kind().name(),
+            });
+        }
+        Ok(chunk)
+    }
+}
+
+/// The default, thread-safe, in-memory chunk store.
+#[derive(Debug, Default)]
+pub struct InMemoryChunkStore {
+    inner: RwLock<StoreInner>,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    chunks: HashMap<Hash, Arc<Chunk>>,
+    stats: StoreStats,
+}
+
+impl InMemoryChunkStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        InMemoryChunkStore::default()
+    }
+
+    /// Create an empty store already wrapped in an [`Arc`], the form most
+    /// components take it in.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Total number of distinct chunks of a particular kind (diagnostics).
+    pub fn count_kind(&self, kind: ChunkKind) -> usize {
+        self.inner
+            .read()
+            .chunks
+            .values()
+            .filter(|c| c.kind() == kind)
+            .count()
+    }
+
+    /// Verify the integrity of every stored chunk: its address must equal the
+    /// hash of its contents. Returns the addresses that fail.
+    ///
+    /// This models an offline audit pass over the physical storage.
+    pub fn audit(&self) -> Vec<Hash> {
+        let inner = self.inner.read();
+        inner
+            .chunks
+            .iter()
+            .filter(|(addr, chunk)| chunk.address() != **addr)
+            .map(|(addr, _)| *addr)
+            .collect()
+    }
+}
+
+impl ChunkStore for InMemoryChunkStore {
+    fn put(&self, chunk: Chunk) -> Hash {
+        let address = chunk.address();
+        let mut inner = self.inner.write();
+        inner.stats.logical_bytes += chunk.storage_size() as u64;
+        if inner.chunks.contains_key(&address) {
+            inner.stats.dedup_hits += 1;
+        } else {
+            inner.stats.chunk_count += 1;
+            inner.stats.physical_bytes += chunk.storage_size() as u64;
+            inner.chunks.insert(address, Arc::new(chunk));
+        }
+        address
+    }
+
+    fn get(&self, address: &Hash) -> Result<Arc<Chunk>> {
+        let mut inner = self.inner.write();
+        inner.stats.reads += 1;
+        inner
+            .chunks
+            .get(address)
+            .cloned()
+            .ok_or(StorageError::ChunkNotFound(*address))
+    }
+
+    fn contains(&self, address: &Hash) -> bool {
+        self.inner.read().chunks.contains_key(address)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.read().stats
+    }
+}
+
+/// A chunk store wrapper that verifies content addresses on every read,
+/// turning silent tampering of the underlying store into an explicit
+/// [`StorageError::IntegrityViolation`].
+#[derive(Debug)]
+pub struct VerifyingStore<S> {
+    inner: S,
+}
+
+impl<S: ChunkStore> VerifyingStore<S> {
+    /// Wrap a store with read-time verification.
+    pub fn new(inner: S) -> Self {
+        VerifyingStore { inner }
+    }
+
+    /// Access the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ChunkStore> ChunkStore for VerifyingStore<S> {
+    fn put(&self, chunk: Chunk) -> Hash {
+        self.inner.put(chunk)
+    }
+
+    fn get(&self, address: &Hash) -> Result<Arc<Chunk>> {
+        let chunk = self.inner.get(address)?;
+        let actual = chunk.address();
+        if actual != *address {
+            return Err(StorageError::IntegrityViolation {
+                expected: *address,
+                actual,
+            });
+        }
+        Ok(chunk)
+    }
+
+    fn contains(&self, address: &Hash) -> bool {
+        self.inner.contains(address)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+}
+
+impl<S: ChunkStore + ?Sized> ChunkStore for &S {
+    fn put(&self, chunk: Chunk) -> Hash {
+        (**self).put(chunk)
+    }
+
+    fn get(&self, address: &Hash) -> Result<Arc<Chunk>> {
+        (**self).get(address)
+    }
+
+    fn contains(&self, address: &Hash) -> bool {
+        (**self).contains(address)
+    }
+
+    fn stats(&self) -> StoreStats {
+        (**self).stats()
+    }
+
+    fn get_kind(&self, address: &Hash, expected: ChunkKind) -> Result<Arc<Chunk>> {
+        (**self).get_kind(address, expected)
+    }
+}
+
+impl<S: ChunkStore + ?Sized> ChunkStore for Arc<S> {
+    fn put(&self, chunk: Chunk) -> Hash {
+        (**self).put(chunk)
+    }
+
+    fn get(&self, address: &Hash) -> Result<Arc<Chunk>> {
+        (**self).get(address)
+    }
+
+    fn contains(&self, address: &Hash) -> bool {
+        (**self).contains(address)
+    }
+
+    fn stats(&self) -> StoreStats {
+        (**self).stats()
+    }
+
+    fn get_kind(&self, address: &Hash, expected: ChunkKind) -> Result<Arc<Chunk>> {
+        (**self).get_kind(address, expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(data: &[u8]) -> Chunk {
+        Chunk::new(ChunkKind::Blob, data.to_vec())
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = InMemoryChunkStore::new();
+        let addr = store.put(blob(b"hello"));
+        let fetched = store.get(&addr).unwrap();
+        assert_eq!(fetched.data(), b"hello");
+        assert_eq!(fetched.kind(), ChunkKind::Blob);
+    }
+
+    #[test]
+    fn missing_chunk_is_an_error() {
+        let store = InMemoryChunkStore::new();
+        let err = store.get(&spitz_crypto::sha256(b"nope")).unwrap_err();
+        assert!(matches!(err, StorageError::ChunkNotFound(_)));
+    }
+
+    #[test]
+    fn duplicate_puts_do_not_grow_physical_storage() {
+        let store = InMemoryChunkStore::new();
+        store.put(blob(b"same"));
+        let s1 = store.stats();
+        for _ in 0..10 {
+            store.put(blob(b"same"));
+        }
+        let s2 = store.stats();
+        assert_eq!(s1.physical_bytes, s2.physical_bytes);
+        assert_eq!(s2.dedup_hits, 10);
+        assert_eq!(s2.chunk_count, 1);
+        assert!(s2.logical_bytes > s2.physical_bytes);
+        assert!(s2.dedup_ratio() > 0.8);
+    }
+
+    #[test]
+    fn distinct_chunks_accumulate() {
+        let store = InMemoryChunkStore::new();
+        for i in 0..100u32 {
+            store.put(blob(&i.to_be_bytes()));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.chunk_count, 100);
+        assert_eq!(stats.dedup_hits, 0);
+        assert_eq!(stats.dedup_ratio(), 0.0);
+    }
+
+    #[test]
+    fn get_kind_checks_kind() {
+        let store = InMemoryChunkStore::new();
+        let addr = store.put(blob(b"x"));
+        assert!(store.get_kind(&addr, ChunkKind::Blob).is_ok());
+        let err = store.get_kind(&addr, ChunkKind::Meta).unwrap_err();
+        assert!(matches!(err, StorageError::WrongChunkKind { .. }));
+    }
+
+    #[test]
+    fn contains_and_count_kind() {
+        let store = InMemoryChunkStore::new();
+        let addr = store.put(blob(b"x"));
+        store.put(Chunk::new(ChunkKind::Meta, &b"m"[..]));
+        assert!(store.contains(&addr));
+        assert!(!store.contains(&spitz_crypto::sha256(b"other")));
+        assert_eq!(store.count_kind(ChunkKind::Blob), 1);
+        assert_eq!(store.count_kind(ChunkKind::Meta), 1);
+        assert_eq!(store.count_kind(ChunkKind::Commit), 0);
+    }
+
+    #[test]
+    fn audit_of_honest_store_is_clean() {
+        let store = InMemoryChunkStore::new();
+        for i in 0..10u8 {
+            store.put(blob(&[i]));
+        }
+        assert!(store.audit().is_empty());
+    }
+
+    #[test]
+    fn verifying_store_passes_through_honest_reads() {
+        let store = VerifyingStore::new(InMemoryChunkStore::new());
+        let addr = store.put(blob(b"v"));
+        assert_eq!(store.get(&addr).unwrap().data(), b"v");
+        assert!(store.contains(&addr));
+        assert_eq!(store.stats().chunk_count, 1);
+    }
+
+    #[test]
+    fn arc_store_is_usable_through_trait() {
+        let store = InMemoryChunkStore::shared();
+        let addr = ChunkStore::put(&store, blob(b"arc"));
+        assert_eq!(store.get(&addr).unwrap().data(), b"arc");
+    }
+
+    #[test]
+    fn concurrent_puts_deduplicate() {
+        let store = InMemoryChunkStore::shared();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    // Every thread writes the same 500 chunks.
+                    store.put(Chunk::new(ChunkKind::Blob, i.to_be_bytes().to_vec()));
+                }
+                t
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.chunk_count, 500);
+        assert_eq!(stats.dedup_hits, 7 * 500);
+    }
+}

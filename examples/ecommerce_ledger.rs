@@ -1,0 +1,111 @@
+//! E-commerce scenario from Section 3.3: purchases must be serializable (no
+//! double spending, no shipping out-of-stock items), while stock-level
+//! reports run as weakly isolated analytical reads. A verifying client (an
+//! auditor or regulator) checks query results and detects tampering and
+//! history rollback.
+//!
+//! Run with: `cargo run --example ecommerce_ledger`
+
+use spitz::txn::{CcScheme, IsolationLevel, MvccStore, TimestampOracle, TransactionManager};
+use spitz::{ClientVerifier, ColumnType, Record, Schema, SpitzDb, Value};
+use std::sync::Arc;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Serializable purchases through the transaction substrate.
+    // ------------------------------------------------------------------
+    let tm = TransactionManager::new(
+        Arc::new(MvccStore::new()),
+        Arc::new(TimestampOracle::new()),
+        CcScheme::Occ,
+    );
+
+    // Seed the stock of one item.
+    let mut seed = tm.begin(IsolationLevel::Serializable);
+    tm.write(&mut seed, b"stock/widget", b"1".to_vec()).unwrap();
+    tm.commit(&mut seed).unwrap();
+
+    // Two customers race for the last widget; exactly one purchase commits.
+    let mut alice = tm.begin(IsolationLevel::Serializable);
+    let mut bob = tm.begin(IsolationLevel::Serializable);
+    let stock_seen_by_alice = tm.read(&mut alice, b"stock/widget");
+    let stock_seen_by_bob = tm.read(&mut bob, b"stock/widget");
+    assert_eq!(stock_seen_by_alice, Some(b"1".to_vec()));
+    assert_eq!(stock_seen_by_bob, Some(b"1".to_vec()));
+    tm.write(&mut alice, b"stock/widget", b"0".to_vec()).unwrap();
+    tm.write(&mut bob, b"stock/widget", b"0".to_vec()).unwrap();
+    let alice_result = tm.commit(&mut alice);
+    let bob_result = tm.commit(&mut bob);
+    println!(
+        "purchase race: alice committed = {}, bob committed = {}",
+        alice_result.is_ok(),
+        bob_result.is_ok()
+    );
+    assert!(alice_result.is_ok() ^ bob_result.is_ok(), "exactly one purchase must win");
+
+    // ------------------------------------------------------------------
+    // The order history lives in the verifiable database.
+    // ------------------------------------------------------------------
+    let db = SpitzDb::in_memory();
+    db.create_table(Schema::new(
+        "orders",
+        vec![
+            ("item", ColumnType::Text),
+            ("quantity", ColumnType::Integer),
+            ("status", ColumnType::Text),
+        ],
+    ))
+    .unwrap();
+
+    for i in 0..200 {
+        let record = Record::new(format!("order-{i:05}"))
+            .with("item", Value::Text(format!("sku-{}", i % 20)))
+            .with("quantity", Value::Integer(1 + (i % 3)))
+            .with("status", Value::Text(if i % 7 == 0 { "refunded" } else { "shipped" }.into()));
+        db.insert_record("orders", &record).unwrap();
+    }
+    println!("recorded 200 orders across {} ledger blocks", db.digest().block_height + 1);
+
+    // Weakly isolated analytics: status report straight from the inverted
+    // index, no serializable transaction needed.
+    let refunded = db
+        .query_eq("orders", "status", &Value::Text("refunded".into()))
+        .unwrap();
+    println!("refunded orders: {}", refunded.len());
+
+    // ------------------------------------------------------------------
+    // The auditor verifies what the merchant reports.
+    // ------------------------------------------------------------------
+    let mut auditor = ClientVerifier::new();
+    auditor.observe_digest(db.digest());
+
+    // Verified range scan over a window of raw order cells.
+    let (entries, proof) = db.range_verified(&[0u8, 0, 0, 0], &[0u8, 0, 0, 1]).unwrap();
+    let ok = auditor.verify_range(&entries, &proof);
+    println!("verified scan of the 'item' column: {} cells, verification {}", entries.len(), if ok { "PASSED" } else { "FAILED" });
+    assert!(ok);
+
+    // Deferred verification: queue a batch of reads, verify them together.
+    for i in 0..50 {
+        let key = format!("order-{i:05}");
+        let prefix = spitz::core::cell::UniversalKey::cell_prefix(0, key.as_bytes());
+        let mut end = prefix.clone();
+        end.push(0xff);
+        let (cells, _) = db.range_verified(&prefix, &end).unwrap();
+        if let Some((cell_key, value)) = cells.into_iter().next() {
+            let (v, proof) = db.get_verified(&cell_key).unwrap();
+            assert_eq!(v.as_ref(), Some(&value));
+            auditor.defer_read(cell_key, v, proof);
+        }
+    }
+    let report = auditor.flush_deferred();
+    println!("deferred audit: {} verified, {} failed", report.verified, report.failed);
+    assert!(report.all_ok());
+
+    // A rollback attack (re-presenting an older digest) is refused.
+    let old_digest = db.digest();
+    db.put(b"orders/extra", b"late write").unwrap();
+    assert!(auditor.observe_digest(db.digest()));
+    assert!(!auditor.observe_digest(old_digest));
+    println!("rollback to an older digest correctly refused");
+}

@@ -1,0 +1,132 @@
+//! Property-based tests over the core invariants of the reproduction:
+//! Merkle proof soundness, SIRI structural invariance and node sharing,
+//! storage round-trips, and MVCC snapshot semantics.
+
+use proptest::prelude::*;
+use spitz::index::siri::SiriIndex;
+use spitz::index::PosTree;
+use spitz::storage::{ChunkStore, ChunkerConfig, InMemoryChunkStore, VBlob};
+use spitz::txn::MvccStore;
+use spitz::{Ledger, SpitzDb};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever bytes we store in a VBlob, we read back exactly, and writing
+    /// the same bytes twice costs no extra physical storage.
+    #[test]
+    fn vblob_roundtrip_and_dedup(data in proptest::collection::vec(any::<u8>(), 0..40_000)) {
+        let store = InMemoryChunkStore::new();
+        let cfg = ChunkerConfig::default();
+        let blob = VBlob::write(&store, &data, &cfg).unwrap();
+        prop_assert_eq!(VBlob::read(&store, &blob.root()).unwrap(), data.clone());
+        let physical = store.stats().physical_bytes;
+        VBlob::write(&store, &data, &cfg).unwrap();
+        prop_assert_eq!(store.stats().physical_bytes, physical);
+    }
+
+    /// The POS-Tree root is a pure function of the key/value set,
+    /// independent of insertion order, and every inserted key is readable
+    /// with a verifying proof.
+    #[test]
+    fn pos_tree_is_order_independent_and_provable(
+        keys in proptest::collection::btree_set(proptest::collection::vec(1u8..255, 1..12), 1..120),
+        seed in any::<u64>(),
+    ) {
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = keys
+            .iter()
+            .map(|k| (k.clone(), spitz::crypto::sha256(k).as_bytes()[..8].to_vec()))
+            .collect();
+
+        let mut forward = PosTree::new(InMemoryChunkStore::shared());
+        for (k, v) in &entries {
+            forward.insert(k.clone(), v.clone());
+        }
+        let mut shuffled = entries.clone();
+        // Deterministic shuffle from the seed.
+        for i in (1..shuffled.len()).rev() {
+            let j = (seed as usize).wrapping_mul(i).wrapping_add(i * 7919) % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut reordered = PosTree::new(InMemoryChunkStore::shared());
+        for (k, v) in &shuffled {
+            reordered.insert(k.clone(), v.clone());
+        }
+        prop_assert_eq!(forward.root(), reordered.root());
+
+        let root = forward.root();
+        for (k, v) in entries.iter().take(10) {
+            let (value, proof) = forward.get_with_proof(k);
+            prop_assert_eq!(value.as_ref(), Some(v));
+            prop_assert!(PosTree::verify_proof(root, k, value.as_deref(), &proof));
+            prop_assert!(!PosTree::verify_proof(root, k, Some(b"forged"), &proof));
+        }
+    }
+
+    /// Ledger proofs verify for every committed key and never verify for a
+    /// perturbed value.
+    #[test]
+    fn ledger_proofs_are_sound(
+        entries in proptest::collection::btree_map(
+            proptest::collection::vec(1u8..255, 1..10),
+            proptest::collection::vec(any::<u8>(), 0..32),
+            1..60,
+        )
+    ) {
+        let ledger = Ledger::new(InMemoryChunkStore::shared());
+        let writes: Vec<_> = entries.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        ledger.append_block(writes, "proptest");
+        for (k, v) in entries.iter().take(12) {
+            let (value, proof) = ledger.get_with_proof(k);
+            prop_assert_eq!(value.as_ref(), Some(v));
+            prop_assert!(proof.verify(k, value.as_deref()));
+            let mut forged = v.clone();
+            forged.push(0xFF);
+            prop_assert!(!proof.verify(k, Some(&forged)));
+        }
+    }
+
+    /// MVCC snapshot reads always return the newest version at or below the
+    /// snapshot timestamp.
+    #[test]
+    fn mvcc_snapshot_semantics(timestamps in proptest::collection::btree_set(1u64..1000, 1..50)) {
+        let store = MvccStore::new();
+        let ordered: Vec<u64> = timestamps.iter().copied().collect();
+        for ts in &ordered {
+            store.install(b"key", *ts, ts.to_be_bytes().to_vec());
+        }
+        for probe in [0u64, 1, 57, 500, 999, 1000, u64::MAX] {
+            let expected = ordered.iter().rev().find(|ts| **ts <= probe);
+            let got = store.read_at(b"key", probe).map(|v| v.commit_ts);
+            prop_assert_eq!(got, expected.copied());
+        }
+    }
+
+    /// The key/value API of SpitzDb is consistent with a plain map for any
+    /// sequence of unique-key puts.
+    #[test]
+    fn spitz_matches_a_model_map(
+        entries in proptest::collection::btree_map(
+            "[a-z]{3,10}",
+            proptest::collection::vec(any::<u8>(), 1..24),
+            1..40,
+        )
+    ) {
+        let db = SpitzDb::in_memory();
+        for (k, v) in &entries {
+            db.put(k.as_bytes(), v).unwrap();
+        }
+        for (k, v) in &entries {
+            prop_assert_eq!(db.get(k.as_bytes()).unwrap(), Some(v.clone()));
+        }
+        prop_assert_eq!(db.get(b"@not-a-key").unwrap(), None);
+        // The range over the full keyspace returns exactly the model's
+        // entries in sorted order.
+        let all = db.range(&[], &[0xffu8; 16]).unwrap();
+        let model: Vec<(Vec<u8>, Vec<u8>)> = entries
+            .iter()
+            .map(|(k, v)| (k.as_bytes().to_vec(), v.clone()))
+            .collect();
+        prop_assert_eq!(all, model);
+    }
+}
