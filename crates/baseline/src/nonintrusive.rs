@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use spitz_crypto::Hash;
-use spitz_ledger::{Digest, Ledger, LedgerProof, LedgerRangeProof};
+use spitz_ledger::{Digest, Ledger, LedgerProof, VerifiedRange};
 use spitz_storage::{ChunkStore, InMemoryChunkStore};
 
 use crate::kvs::ImmutableKvs;
@@ -78,7 +78,8 @@ impl NonIntrusiveVdb {
         self.underlying.put(key, value);
         // Hop 2: ledger database.
         self.cross_system_hop(&payload);
-        self.ledger.append_block(vec![(key.to_vec(), value.to_vec())], "PUT")
+        self.ledger
+            .append_block(vec![(key.to_vec(), value.to_vec())], "PUT")
     }
 
     /// Unverified read: only the underlying database is consulted, but the
@@ -106,20 +107,19 @@ impl NonIntrusiveVdb {
 
     /// Verified range read: results from the underlying database, proofs
     /// from the ledger database.
-    pub fn range_verified(
-        &self,
-        start: &[u8],
-        end: &[u8],
-    ) -> (Vec<(Vec<u8>, Vec<u8>)>, LedgerRangeProof) {
+    pub fn range_verified(&self, start: &[u8], end: &[u8]) -> VerifiedRange {
         self.cross_system_hop(start);
         let entries = self.underlying.range(start, end);
         // The whole result set is shipped to the ledger database so it can
         // locate the proofs — the second, payload-sized hop.
-        let shipped: Vec<u8> = entries.iter().flat_map(|(k, v)| {
-            let mut row = k.clone();
-            row.extend_from_slice(v);
-            row
-        }).collect();
+        let shipped: Vec<u8> = entries
+            .iter()
+            .flat_map(|(k, v)| {
+                let mut row = k.clone();
+                row.extend_from_slice(v);
+                row
+            })
+            .collect();
         self.cross_system_hop(&shipped);
         let (_, proof) = self.ledger.range_with_proof(start, end);
         (entries, proof)
@@ -155,7 +155,10 @@ mod tests {
     fn loaded(n: u32) -> NonIntrusiveVdb {
         let db = NonIntrusiveVdb::new();
         for i in 0..n {
-            db.put(format!("key-{i:05}").as_bytes(), format!("value-{i}").as_bytes());
+            db.put(
+                format!("key-{i:05}").as_bytes(),
+                format!("value-{i}").as_bytes(),
+            );
         }
         db
     }

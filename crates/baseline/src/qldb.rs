@@ -55,7 +55,9 @@ impl QldbProof {
     pub fn verify(&self, key: &[u8], value: &[u8]) -> bool {
         let leaf = encode_leaf(key, value);
         self.record_proof.verify(self.block_root, &leaf)
-            && self.journal_proof.verify(self.journal_root, self.block_root)
+            && self
+                .journal_proof
+                .verify(self.journal_root, self.block_root)
     }
 }
 
@@ -243,7 +245,10 @@ mod tests {
     fn loaded(n: u32) -> QldbBaseline {
         let db = QldbBaseline::new();
         for i in 0..n {
-            db.put(format!("key-{i:06}").as_bytes(), format!("value-{i}").as_bytes());
+            db.put(
+                format!("key-{i:06}").as_bytes(),
+                format!("value-{i}").as_bytes(),
+            );
         }
         db.seal();
         db

@@ -8,7 +8,9 @@ use spitz_txn::{CcScheme, IsolationLevel, MvccStore, TimestampOracle, Transactio
 
 fn bench_cc(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_cc");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for (name, scheme) in [
         ("occ", CcScheme::Occ),
         ("timestamp_ordering", CcScheme::TimestampOrdering),

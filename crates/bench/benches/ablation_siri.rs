@@ -13,20 +13,30 @@ fn bench_siri(c: &mut Criterion) {
     let keys = workload.read_keys(500);
 
     let mut group = c.benchmark_group("ablation_siri_5k");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    for kind in [SiriKind::PosTree, SiriKind::MerklePatriciaTrie, SiriKind::MerkleBucketTree] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for kind in [
+        SiriKind::PosTree,
+        SiriKind::MerklePatriciaTrie,
+        SiriKind::MerkleBucketTree,
+    ] {
         let ledger = Ledger::with_kind(InMemoryChunkStore::shared(), kind);
         for batch in workload.records.chunks(256) {
             ledger.append_block(batch.to_vec(), "load");
         }
         let mut i = 0usize;
-        group.bench_with_input(BenchmarkId::new("verified_read", kind.name()), &kind, |b, _| {
-            b.iter(|| {
-                i = (i + 1) % keys.len();
-                let (value, proof) = ledger.get_with_proof(&keys[i]);
-                assert!(proof.verify(&keys[i], value.as_deref()));
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("verified_read", kind.name()),
+            &kind,
+            |b, _| {
+                b.iter(|| {
+                    i = (i + 1) % keys.len();
+                    let (value, proof) = ledger.get_with_proof(&keys[i]);
+                    assert!(proof.verify(&keys[i], value.as_deref()));
+                })
+            },
+        );
         let mut j = 0usize;
         group.bench_with_input(BenchmarkId::new("write", kind.name()), &kind, |b, _| {
             b.iter(|| {

@@ -16,7 +16,9 @@ fn bench_verification(c: &mut Criterion) {
     let keys = workload.read_keys(1_000);
 
     let mut group = c.benchmark_group("ablation_verification_10k");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let mut i = 0usize;
     group.bench_function("online", |b| {
         b.iter(|| {

@@ -9,7 +9,9 @@ use spitz_storage::{ChunkerConfig, InMemoryChunkStore, VBlob};
 
 fn bench_fig1(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_dedup");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let mut wiki = WikiWorkload::paper_default();
     let store = InMemoryChunkStore::shared();

@@ -16,7 +16,9 @@ fn bench_reads(c: &mut Criterion) {
     let qldb = load_qldb(&workload);
 
     let mut group = c.benchmark_group("fig6a_read_10k");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let mut i = 0usize;
     group.bench_function("immutable_kvs", |b| {
         b.iter(|| {

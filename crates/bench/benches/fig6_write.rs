@@ -15,7 +15,9 @@ fn bench_writes(c: &mut Criterion) {
     let qldb = load_qldb(&workload);
 
     let mut group = c.benchmark_group("fig6b_write_10k");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let mut i = 0usize;
     group.bench_function("immutable_kvs", |b| {
         b.iter(|| {

@@ -16,7 +16,9 @@ fn bench_range(c: &mut Criterion) {
     let qldb = load_qldb(&workload);
 
     let mut group = c.benchmark_group("fig7_range_20k");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let mut i = 0usize;
     group.bench_function("immutable_kvs", |b| {
         b.iter(|| {

@@ -14,7 +14,9 @@ fn bench_nonintrusive(c: &mut Criterion) {
     let non_intrusive = load_nonintrusive(&workload);
 
     let mut group = c.benchmark_group("fig8_nonintrusive_10k");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let mut i = 0usize;
     group.bench_function("spitz_read_verify", |b| {
         b.iter(|| {

@@ -29,7 +29,11 @@ fn siri_ablation(records: usize) {
     let mut read_row = Vec::new();
     let mut verify_row = Vec::new();
     let mut range_row = Vec::new();
-    for kind in [SiriKind::PosTree, SiriKind::MerklePatriciaTrie, SiriKind::MerkleBucketTree] {
+    for kind in [
+        SiriKind::PosTree,
+        SiriKind::MerklePatriciaTrie,
+        SiriKind::MerkleBucketTree,
+    ] {
         let ledger = Ledger::with_kind(InMemoryChunkStore::shared(), kind);
         let write = measure_throughput(workload.records.len(), |i| {
             ledger.append_block(vec![workload.records[i].clone()], "PUT");

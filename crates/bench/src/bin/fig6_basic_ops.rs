@@ -16,7 +16,9 @@ use spitz_core::verify::ClientVerifier;
 
 fn sizes(full: bool) -> Vec<usize> {
     if full {
-        vec![10_000, 20_000, 40_000, 80_000, 160_000, 320_000, 640_000, 1_280_000]
+        vec![
+            10_000, 20_000, 40_000, 80_000, 160_000, 320_000, 640_000, 1_280_000,
+        ]
     } else {
         vec![10_000, 20_000, 40_000, 80_000, 160_000]
     }
@@ -30,12 +32,24 @@ fn main() {
     let mut read_table = FigureTable::new(
         "Figure 6(a): read throughput (x10^3 ops/s)",
         "#Records",
-        vec!["Immutable KVS", "Spitz", "Spitz-verify", "Baseline", "Baseline-verify"],
+        vec![
+            "Immutable KVS",
+            "Spitz",
+            "Spitz-verify",
+            "Baseline",
+            "Baseline-verify",
+        ],
     );
     let mut write_table = FigureTable::new(
         "Figure 6(b): write throughput (x10^3 ops/s)",
         "#Records",
-        vec!["Immutable KVS", "Spitz", "Spitz-verify", "Baseline", "Baseline-verify"],
+        vec![
+            "Immutable KVS",
+            "Spitz",
+            "Spitz-verify",
+            "Baseline",
+            "Baseline-verify",
+        ],
     );
 
     for records in sizes(full) {
@@ -69,7 +83,13 @@ fn main() {
         });
         read_table.add_row(
             records.to_string(),
-            vec![kvs_read, spitz_read, spitz_read_verify, qldb_read, qldb_read_verify],
+            vec![
+                kvs_read,
+                spitz_read,
+                spitz_read_verify,
+                qldb_read,
+                qldb_read_verify,
+            ],
         );
 
         // ------------------------- writes ------------------------
@@ -96,7 +116,13 @@ fn main() {
         });
         write_table.add_row(
             records.to_string(),
-            vec![kvs_write, spitz_write, spitz_write_verify, qldb_write, qldb_write_verify],
+            vec![
+                kvs_write,
+                spitz_write,
+                spitz_write_verify,
+                qldb_write,
+                qldb_write_verify,
+            ],
         );
         eprintln!("finished {records} records");
     }

@@ -12,7 +12,9 @@ use spitz_core::verify::ClientVerifier;
 
 fn sizes(full: bool) -> Vec<usize> {
     if full {
-        vec![10_000, 20_000, 40_000, 80_000, 160_000, 320_000, 640_000, 1_280_000]
+        vec![
+            10_000, 20_000, 40_000, 80_000, 160_000, 320_000, 640_000, 1_280_000,
+        ]
     } else {
         vec![10_000, 20_000, 40_000, 80_000]
     }
@@ -25,7 +27,13 @@ fn main() {
     let mut table = FigureTable::new(
         "Figure 7: range query throughput (x10^3 ops/s, selectivity 0.1%)",
         "#Records",
-        vec!["Immutable KVS", "Spitz", "Spitz-verify", "Baseline", "Baseline-verify"],
+        vec![
+            "Immutable KVS",
+            "Spitz",
+            "Spitz-verify",
+            "Baseline",
+            "Baseline-verify",
+        ],
     );
 
     for records in sizes(full) {
@@ -60,7 +68,13 @@ fn main() {
 
         table.add_row(
             records.to_string(),
-            vec![kvs_scan, spitz_scan, spitz_scan_verify, qldb_scan, qldb_scan_verify],
+            vec![
+                kvs_scan,
+                spitz_scan,
+                spitz_scan_verify,
+                qldb_scan,
+                qldb_scan_verify,
+            ],
         );
         eprintln!("finished {records} records");
     }

@@ -12,7 +12,9 @@ use spitz_core::verify::ClientVerifier;
 
 fn sizes(full: bool) -> Vec<usize> {
     if full {
-        vec![10_000, 20_000, 40_000, 80_000, 160_000, 320_000, 640_000, 1_280_000]
+        vec![
+            10_000, 20_000, 40_000, 80_000, 160_000, 320_000, 640_000, 1_280_000,
+        ]
     } else {
         vec![10_000, 20_000, 40_000, 80_000, 160_000]
     }
@@ -26,12 +28,22 @@ fn main() {
     let mut read_table = FigureTable::new(
         "Figure 8(a): read throughput (x10^3 ops/s)",
         "#Records",
-        vec!["Spitz", "Spitz-verify", "Non-intrusive", "Non-intrusive-verify"],
+        vec![
+            "Spitz",
+            "Spitz-verify",
+            "Non-intrusive",
+            "Non-intrusive-verify",
+        ],
     );
     let mut write_table = FigureTable::new(
         "Figure 8(b): write throughput (x10^3 ops/s)",
         "#Records",
-        vec!["Spitz", "Spitz-verify", "Non-intrusive", "Non-intrusive-verify"],
+        vec![
+            "Spitz",
+            "Spitz-verify",
+            "Non-intrusive",
+            "Non-intrusive-verify",
+        ],
     );
 
     for records in sizes(full) {

@@ -171,7 +171,9 @@ impl WikiWorkload {
     pub fn next_version(&mut self) -> usize {
         let page_index = self.rng.gen_range(0..self.pages.len());
         let page = &mut self.pages[page_index];
-        let start = self.rng.gen_range(0..page.len().saturating_sub(self.edit_bytes));
+        let start = self
+            .rng
+            .gen_range(0..page.len().saturating_sub(self.edit_bytes));
         for byte in &mut page[start..start + self.edit_bytes] {
             *byte = self.rng.gen();
         }
@@ -239,7 +241,7 @@ mod tests {
                 .filter(|(k, _)| k >= &start && k < &end)
                 .count();
             // 0.1% of 10k is 10 records, allow slack for boundary sampling.
-            assert!(hits >= 5 && hits <= 20, "hits {hits}");
+            assert!((5..=20).contains(&hits), "hits {hits}");
         }
     }
 

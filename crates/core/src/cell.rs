@@ -31,7 +31,12 @@ pub struct UniversalKey {
 
 impl UniversalKey {
     /// Build a universal key for a value being written now.
-    pub fn new(column_id: u32, primary_key: impl Into<Vec<u8>>, timestamp: u64, value: &[u8]) -> Self {
+    pub fn new(
+        column_id: u32,
+        primary_key: impl Into<Vec<u8>>,
+        timestamp: u64,
+        value: &[u8],
+    ) -> Self {
         UniversalKey {
             column_id,
             primary_key: primary_key.into(),
@@ -72,8 +77,11 @@ impl UniversalKey {
             return Err(bad());
         }
         let primary_key = rest[..terminator].to_vec();
-        let timestamp =
-            u64::from_be_bytes(rest[terminator + 1..terminator + 9].try_into().map_err(|_| bad())?);
+        let timestamp = u64::from_be_bytes(
+            rest[terminator + 1..terminator + 9]
+                .try_into()
+                .map_err(|_| bad())?,
+        );
         let mut hash = [0u8; 32];
         hash.copy_from_slice(&rest[terminator + 9..]);
         Ok(UniversalKey {
@@ -111,7 +119,12 @@ pub struct Cell {
 
 impl Cell {
     /// Create a cell, computing the value hash.
-    pub fn new(column_id: u32, primary_key: impl Into<Vec<u8>>, timestamp: u64, value: Vec<u8>) -> Self {
+    pub fn new(
+        column_id: u32,
+        primary_key: impl Into<Vec<u8>>,
+        timestamp: u64,
+        value: Vec<u8>,
+    ) -> Self {
         let key = UniversalKey::new(column_id, primary_key, timestamp, &value);
         Cell { key, value }
     }
@@ -184,7 +197,9 @@ mod tests {
 
     #[test]
     fn encoding_orders_by_column_then_key_then_time() {
-        let k = |c: u32, pk: &str, ts: u64| UniversalKey::new(c, pk.as_bytes().to_vec(), ts, b"v").encode();
+        let k = |c: u32, pk: &str, ts: u64| {
+            UniversalKey::new(c, pk.as_bytes().to_vec(), ts, b"v").encode()
+        };
         assert!(k(1, "a", 5) < k(2, "a", 1));
         assert!(k(1, "a", 1) < k(1, "b", 1));
         assert!(k(1, "a", 1) < k(1, "a", 2));
@@ -211,7 +226,12 @@ mod tests {
     #[test]
     fn cell_store_roundtrip() {
         let cells = CellStore::new(InMemoryChunkStore::new());
-        let cell = Cell::new(2, b"patient-9".to_vec(), 77, b"blood pressure 120/80".to_vec());
+        let cell = Cell::new(
+            2,
+            b"patient-9".to_vec(),
+            77,
+            b"blood pressure 120/80".to_vec(),
+        );
         let address = cells.put(&cell);
         let loaded = cells.get(&address).unwrap();
         assert_eq!(loaded, cell);

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use spitz_ledger::{Digest, Ledger, LedgerProof, LedgerRangeProof};
+use spitz_ledger::{Digest, Ledger, LedgerProof, LedgerRangeProof, VerifiedRange};
 use spitz_txn::{CcScheme, IsolationLevel, MvccStore, TimestampOracle, TransactionManager};
 
 use crate::cell::{Cell, CellStore};
@@ -144,7 +144,7 @@ impl Auditor {
     }
 
     /// Fetch a combined proof for a range.
-    pub fn range_proof(&self, start: &[u8], end: &[u8]) -> (Vec<(Vec<u8>, Vec<u8>)>, LedgerRangeProof) {
+    pub fn range_proof(&self, start: &[u8], end: &[u8]) -> VerifiedRange {
         self.ledger.range_with_proof(start, end)
     }
 
@@ -334,7 +334,12 @@ mod tests {
         let node = node();
         node.handle(Request::PutBatch {
             writes: (0..50u32)
-                .map(|i| (format!("k{i:03}").into_bytes(), format!("v{i}").into_bytes()))
+                .map(|i| {
+                    (
+                        format!("k{i:03}").into_bytes(),
+                        format!("v{i}").into_bytes(),
+                    )
+                })
                 .collect(),
         })
         .unwrap();

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use spitz_index::inverted::{IndexValue, InvertedIndex};
 use spitz_index::BPlusTree;
-use spitz_ledger::{Digest, Ledger, LedgerProof, LedgerRangeProof};
+use spitz_ledger::{Digest, Ledger, LedgerProof, VerifiedRange};
 use spitz_storage::{ChunkStore, InMemoryChunkStore, StoreStats};
 use spitz_txn::CcScheme;
 
@@ -141,11 +141,7 @@ impl SpitzDb {
 
     /// Verified range read: entries plus a combined proof from the unified
     /// index traversal.
-    pub fn range_verified(
-        &self,
-        start: &[u8],
-        end: &[u8],
-    ) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, LedgerRangeProof)> {
+    pub fn range_verified(&self, start: &[u8], end: &[u8]) -> Result<VerifiedRange> {
         Ok(self.ledger.range_with_proof(start, end))
     }
 
@@ -323,7 +319,12 @@ mod tests {
     fn range_reads_return_sorted_windows_with_proofs() {
         let db = SpitzDb::in_memory();
         let writes: Vec<_> = (0..200u32)
-            .map(|i| (format!("key-{i:05}").into_bytes(), format!("{i}").into_bytes()))
+            .map(|i| {
+                (
+                    format!("key-{i:05}").into_bytes(),
+                    format!("{i}").into_bytes(),
+                )
+            })
             .collect();
         db.put_batch(writes).unwrap();
 
@@ -340,10 +341,7 @@ mod tests {
         let db = SpitzDb::in_memory();
         db.create_table(Schema::new(
             "items",
-            vec![
-                ("name", ColumnType::Text),
-                ("stock", ColumnType::Integer),
-            ],
+            vec![("name", ColumnType::Text), ("stock", ColumnType::Integer)],
         ))
         .unwrap();
 
@@ -382,7 +380,9 @@ mod tests {
             db.insert_record("t", &bad),
             Err(DbError::TypeMismatch { .. })
         ));
-        assert!(db.insert_record("missing-table", &Record::new("pk")).is_err());
+        assert!(db
+            .insert_record("missing-table", &Record::new("pk"))
+            .is_err());
         assert!(db.get_record("missing-table", "pk").is_err());
         assert!(db.query_eq("t", "missing-col", &Value::Integer(1)).is_err());
     }

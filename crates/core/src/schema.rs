@@ -219,7 +219,10 @@ mod tests {
         assert_eq!(s.column_id("customer").unwrap(), 0);
         assert_eq!(s.column_id("amount").unwrap(), 1);
         assert_eq!(s.column_id("payload").unwrap(), 2);
-        assert!(matches!(s.column_id("missing"), Err(DbError::UnknownColumn(_))));
+        assert!(matches!(
+            s.column_id("missing"),
+            Err(DbError::UnknownColumn(_))
+        ));
         assert_eq!(s.column(1).unwrap().name, "amount");
         assert!(s.column(9).is_none());
     }
@@ -239,7 +242,10 @@ mod tests {
         ));
 
         let unknown = Record::new("order-3").with("color", Value::Text("red".into()));
-        assert!(matches!(s.validate(&unknown), Err(DbError::UnknownColumn(_))));
+        assert!(matches!(
+            s.validate(&unknown),
+            Err(DbError::UnknownColumn(_))
+        ));
     }
 
     #[test]

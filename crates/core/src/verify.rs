@@ -65,7 +65,11 @@ impl ClientVerifier {
     }
 
     /// Online verification of a range read.
-    pub fn verify_range(&mut self, entries: &[(Vec<u8>, Vec<u8>)], proof: &LedgerRangeProof) -> bool {
+    pub fn verify_range(
+        &mut self,
+        entries: &[(Vec<u8>, Vec<u8>)],
+        proof: &LedgerRangeProof,
+    ) -> bool {
         if !proof.verify(entries) {
             return false;
         }
@@ -145,7 +149,12 @@ mod tests {
     fn deferred_verification_batches_work() {
         let db = SpitzDb::in_memory();
         let writes: Vec<_> = (0..40u32)
-            .map(|i| (format!("k{i:02}").into_bytes(), format!("v{i}").into_bytes()))
+            .map(|i| {
+                (
+                    format!("k{i:02}").into_bytes(),
+                    format!("v{i}").into_bytes(),
+                )
+            })
             .collect();
         db.put_batch(writes).unwrap();
 

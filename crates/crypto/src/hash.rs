@@ -70,8 +70,8 @@ impl Hash {
     /// in tests and statistics; not for authenticated structures.
     pub fn xor(&self, other: &Hash) -> Hash {
         let mut out = [0u8; HASH_LEN];
-        for i in 0..HASH_LEN {
-            out[i] = self.0[i] ^ other.0[i];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a ^ b;
         }
         Hash(out)
     }

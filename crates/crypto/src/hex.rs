@@ -39,7 +39,7 @@ impl std::error::Error for HexError {}
 /// Decode a hex string (upper or lower case) into bytes.
 pub fn decode(s: &str) -> Result<Vec<u8>, HexError> {
     let bytes = s.as_bytes();
-    if bytes.len() % 2 != 0 {
+    if !bytes.len().is_multiple_of(2) {
         return Err(HexError::OddLength);
     }
     let mut out = Vec::with_capacity(bytes.len() / 2);

@@ -380,13 +380,13 @@ mod tests {
         for n in 1..=20usize {
             let (tree, data) = tree_of(n);
             let root = tree.root();
-            for i in 0..n {
+            for (i, leaf) in data.iter().enumerate() {
                 let proof = tree.audit_proof(i).unwrap();
-                assert!(proof.verify(root, &data[i]), "n={n} i={i}");
+                assert!(proof.verify(root, leaf), "n={n} i={i}");
                 // Wrong leaf data must fail.
                 assert!(!proof.verify(root, b"tampered"), "n={n} i={i} tamper");
                 // Wrong root must fail.
-                assert!(!proof.verify(sha256(b"bogus"), &data[i]));
+                assert!(!proof.verify(sha256(b"bogus"), leaf));
             }
         }
     }

@@ -175,7 +175,12 @@ mod tests {
     fn i64_encoding_preserves_order() {
         let values = [i64::MIN, -1_000_000, -1, 0, 1, 42, 1_000_000, i64::MAX];
         for pair in values.windows(2) {
-            assert!(encode_i64(pair[0]) < encode_i64(pair[1]), "{} < {}", pair[0], pair[1]);
+            assert!(
+                encode_i64(pair[0]) < encode_i64(pair[1]),
+                "{} < {}",
+                pair[0],
+                pair[1]
+            );
         }
         for v in values {
             assert_eq!(decode_i64(&encode_i64(v)), Some(v));
@@ -212,7 +217,12 @@ mod tests {
         index.add(&IndexValue::text("diagnosis/icd10/I10"), ukey(3));
         index.add(&IndexValue::text("diagnosis/icd9/250.00"), ukey(4));
 
-        assert_eq!(index.lookup_eq(&IndexValue::text("diagnosis/icd10/E11.9")).len(), 2);
+        assert_eq!(
+            index
+                .lookup_eq(&IndexValue::text("diagnosis/icd10/E11.9"))
+                .len(),
+            2
+        );
         assert_eq!(index.lookup_prefix(b"diagnosis/icd10/").len(), 3);
         assert_eq!(index.lookup_prefix(b"diagnosis/").len(), 4);
         assert!(index.lookup_prefix(b"procedure/").is_empty());

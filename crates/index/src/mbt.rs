@@ -119,7 +119,7 @@ impl MerkleBucketTree {
             let mut next = Vec::with_capacity(current.len() * TREE_FANOUT);
             for hash in current {
                 if hash.is_zero() {
-                    next.extend(std::iter::repeat(Hash::ZERO).take(TREE_FANOUT));
+                    next.extend(std::iter::repeat_n(Hash::ZERO, TREE_FANOUT));
                     continue;
                 }
                 let chunk = store.get_kind(hash, ChunkKind::IndexNode).ok()?;
@@ -289,7 +289,11 @@ impl MerkleBucketTree {
 
     /// Verify a range proof: chain structure plus coverage of every claimed
     /// entry by a revealed bucket.
-    pub fn verify_range_proof(root: Hash, entries: &[(Vec<u8>, Vec<u8>)], proof: &IndexProof) -> bool {
+    pub fn verify_range_proof(
+        root: Hash,
+        entries: &[(Vec<u8>, Vec<u8>)],
+        proof: &IndexProof,
+    ) -> bool {
         if root.is_zero() {
             return entries.is_empty();
         }
@@ -473,10 +477,30 @@ mod tests {
         let root = tree.root();
         let (v, proof) = tree.get_with_proof(&key(42));
         assert_eq!(v, Some(value(42)));
-        assert!(MerkleBucketTree::verify_proof(root, &key(42), v.as_deref(), &proof));
-        assert!(!MerkleBucketTree::verify_proof(root, &key(42), Some(b"forged"), &proof));
-        assert!(!MerkleBucketTree::verify_proof(root, &key(42), None, &proof));
-        assert!(!MerkleBucketTree::verify_proof(sha256(b"x"), &key(42), v.as_deref(), &proof));
+        assert!(MerkleBucketTree::verify_proof(
+            root,
+            &key(42),
+            v.as_deref(),
+            &proof
+        ));
+        assert!(!MerkleBucketTree::verify_proof(
+            root,
+            &key(42),
+            Some(b"forged"),
+            &proof
+        ));
+        assert!(!MerkleBucketTree::verify_proof(
+            root,
+            &key(42),
+            None,
+            &proof
+        ));
+        assert!(!MerkleBucketTree::verify_proof(
+            sha256(b"x"),
+            &key(42),
+            v.as_deref(),
+            &proof
+        ));
     }
 
     #[test]
@@ -489,7 +513,12 @@ mod tests {
         // A key that is absent (its bucket may or may not be empty).
         let (v, proof) = tree.get_with_proof(b"definitely-not-there");
         assert!(v.is_none());
-        assert!(MerkleBucketTree::verify_proof(root, b"definitely-not-there", None, &proof));
+        assert!(MerkleBucketTree::verify_proof(
+            root,
+            b"definitely-not-there",
+            None,
+            &proof
+        ));
         assert!(!MerkleBucketTree::verify_proof(
             root,
             b"definitely-not-there",
@@ -507,11 +536,19 @@ mod tests {
         let (entries, proof) = tree.range_with_proof(&key(100), &key(120));
         assert_eq!(entries.len(), 20);
         assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
-        assert!(MerkleBucketTree::verify_range_proof(tree.root(), &entries, &proof));
+        assert!(MerkleBucketTree::verify_range_proof(
+            tree.root(),
+            &entries,
+            &proof
+        ));
 
         let mut forged = entries.clone();
         forged[0].1 = b"forged".to_vec();
-        assert!(!MerkleBucketTree::verify_range_proof(tree.root(), &forged, &proof));
+        assert!(!MerkleBucketTree::verify_range_proof(
+            tree.root(),
+            &forged,
+            &proof
+        ));
     }
 
     #[test]

@@ -319,10 +319,7 @@ impl MerklePatriciaTrie {
                 };
                 (result, true)
             }
-            MptNode::Extension {
-                path: epath,
-                child,
-            } => {
+            MptNode::Extension { path: epath, child } => {
                 let cp = common_prefix(&epath, path);
                 if cp == epath.len() {
                     let (new_child, added) = self.insert_rec(Some(child), &path[cp..], value);
@@ -492,7 +489,11 @@ impl MerklePatriciaTrie {
 
     /// Verify a range proof by re-running every claimed lookup against the
     /// revealed nodes.
-    pub fn verify_range_proof(root: Hash, entries: &[(Vec<u8>, Vec<u8>)], proof: &IndexProof) -> bool {
+    pub fn verify_range_proof(
+        root: Hash,
+        entries: &[(Vec<u8>, Vec<u8>)],
+        proof: &IndexProof,
+    ) -> bool {
         if root.is_zero() {
             return entries.is_empty();
         }
@@ -540,16 +541,26 @@ impl SiriIndex for MerklePatriciaTrie {
     }
 
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
-        lookup(&StoreSource(&self.store), self.root, &to_nibbles(key), |_| {})
-            .ok()
-            .flatten()
+        lookup(
+            &StoreSource(&self.store),
+            self.root,
+            &to_nibbles(key),
+            |_| {},
+        )
+        .ok()
+        .flatten()
     }
 
     fn get_with_proof(&self, key: &[u8]) -> (Option<Vec<u8>>, IndexProof) {
         let mut proof = IndexProof::empty();
-        let value = lookup(&StoreSource(&self.store), self.root, &to_nibbles(key), |payload| {
-            proof.push_node(payload.to_vec());
-        })
+        let value = lookup(
+            &StoreSource(&self.store),
+            self.root,
+            &to_nibbles(key),
+            |payload| {
+                proof.push_node(payload.to_vec());
+            },
+        )
         .ok()
         .flatten();
         (value, proof)
@@ -663,14 +674,39 @@ mod tests {
         let root = trie.root();
         let (v, proof) = trie.get_with_proof(&key(77));
         assert_eq!(v, Some(value(77)));
-        assert!(MerklePatriciaTrie::verify_proof(root, &key(77), v.as_deref(), &proof));
-        assert!(!MerklePatriciaTrie::verify_proof(root, &key(77), Some(b"forged"), &proof));
-        assert!(!MerklePatriciaTrie::verify_proof(root, &key(77), None, &proof));
-        assert!(!MerklePatriciaTrie::verify_proof(sha256(b"x"), &key(77), v.as_deref(), &proof));
+        assert!(MerklePatriciaTrie::verify_proof(
+            root,
+            &key(77),
+            v.as_deref(),
+            &proof
+        ));
+        assert!(!MerklePatriciaTrie::verify_proof(
+            root,
+            &key(77),
+            Some(b"forged"),
+            &proof
+        ));
+        assert!(!MerklePatriciaTrie::verify_proof(
+            root,
+            &key(77),
+            None,
+            &proof
+        ));
+        assert!(!MerklePatriciaTrie::verify_proof(
+            sha256(b"x"),
+            &key(77),
+            v.as_deref(),
+            &proof
+        ));
 
         let (none, absence) = trie.get_with_proof(b"not-present");
         assert!(none.is_none());
-        assert!(MerklePatriciaTrie::verify_proof(root, b"not-present", None, &absence));
+        assert!(MerklePatriciaTrie::verify_proof(
+            root,
+            b"not-present",
+            None,
+            &absence
+        ));
     }
 
     #[test]
@@ -682,11 +718,19 @@ mod tests {
         let (entries, proof) = trie.range_with_proof(&key(50), &key(60));
         assert_eq!(entries.len(), 10);
         assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
-        assert!(MerklePatriciaTrie::verify_range_proof(trie.root(), &entries, &proof));
+        assert!(MerklePatriciaTrie::verify_range_proof(
+            trie.root(),
+            &entries,
+            &proof
+        ));
 
         let mut forged = entries.clone();
         forged[3].1 = b"forged".to_vec();
-        assert!(!MerklePatriciaTrie::verify_range_proof(trie.root(), &forged, &proof));
+        assert!(!MerklePatriciaTrie::verify_range_proof(
+            trie.root(),
+            &forged,
+            &proof
+        ));
     }
 
     #[test]
@@ -710,7 +754,12 @@ mod tests {
         assert_eq!(trie.get(b"x"), None);
         let (v, proof) = trie.get_with_proof(b"x");
         assert!(v.is_none());
-        assert!(MerklePatriciaTrie::verify_proof(Hash::ZERO, b"x", None, &proof));
+        assert!(MerklePatriciaTrie::verify_proof(
+            Hash::ZERO,
+            b"x",
+            None,
+            &proof
+        ));
         assert!(trie.range(b"a", b"z").is_empty());
     }
 }

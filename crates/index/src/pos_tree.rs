@@ -111,9 +111,10 @@ impl Node {
     fn max_key(&self) -> Vec<u8> {
         match self {
             Node::Leaf(entries) => entries.last().map(|(k, _)| k.clone()).unwrap_or_default(),
-            Node::Internal(_, children) => {
-                children.last().map(|c| c.max_key.clone()).unwrap_or_default()
-            }
+            Node::Internal(_, children) => children
+                .last()
+                .map(|c| c.max_key.clone())
+                .unwrap_or_default(),
         }
     }
 
@@ -133,7 +134,7 @@ fn is_boundary(key: &[u8], level: u8) -> bool {
     data.push(0xB0);
     data.push(level);
     data.extend_from_slice(key);
-    sha256(&data).prefix_u64() % AVG_FANOUT == 0
+    sha256(&data).prefix_u64().is_multiple_of(AVG_FANOUT)
 }
 
 /// The Pattern-Oriented-Split Tree.
@@ -197,7 +198,11 @@ impl PosTree {
 
     /// Verify a range proof: structural chain plus coverage of every
     /// returned entry by a revealed leaf.
-    pub fn verify_range_proof(root: Hash, entries: &[(Vec<u8>, Vec<u8>)], proof: &IndexProof) -> bool {
+    pub fn verify_range_proof(
+        root: Hash,
+        entries: &[(Vec<u8>, Vec<u8>)],
+        proof: &IndexProof,
+    ) -> bool {
         if root.is_zero() {
             return entries.is_empty();
         }
@@ -300,21 +305,22 @@ impl PosTree {
                 (self.persist_leaf_runs(entries), inserted_new)
             }
             Node::Internal(level, mut children) => {
-                let idx = match children
-                    .binary_search_by(|c| c.max_key.as_slice().cmp(key))
-                {
+                let idx = match children.binary_search_by(|c| c.max_key.as_slice().cmp(key)) {
                     Ok(i) => i,
                     Err(i) => i.min(children.len() - 1),
                 };
-                let (replacements, inserted_new) =
-                    self.insert_rec(&children[idx].hash, key, value);
+                let (replacements, inserted_new) = self.insert_rec(&children[idx].hash, key, value);
                 children.splice(idx..idx + 1, replacements);
                 (self.persist_internal_runs(level, children), inserted_new)
             }
         }
     }
 
-    fn find_leaf<'a>(&self, key: &[u8], proof: Option<&mut IndexProof>) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+    fn find_leaf(
+        &self,
+        key: &[u8],
+        proof: Option<&mut IndexProof>,
+    ) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
         if self.root.is_zero() {
             return None;
         }
@@ -330,9 +336,7 @@ impl PosTree {
             match node {
                 Node::Leaf(entries) => return Some(entries),
                 Node::Internal(_, children) => {
-                    let idx = match children
-                        .binary_search_by(|c| c.max_key.as_slice().cmp(key))
-                    {
+                    let idx = match children.binary_search_by(|c| c.max_key.as_slice().cmp(key)) {
                         Ok(i) => i,
                         Err(i) => i.min(children.len() - 1),
                     };
@@ -390,7 +394,11 @@ impl PosTree {
     /// Number of distinct index nodes reachable from the current root
     /// (diagnostic used by the node-sharing experiments).
     pub fn node_count(&self) -> usize {
-        fn walk(store: &Arc<dyn ChunkStore>, hash: &Hash, seen: &mut std::collections::HashSet<Hash>) {
+        fn walk(
+            store: &Arc<dyn ChunkStore>,
+            hash: &Hash,
+            seen: &mut std::collections::HashSet<Hash>,
+        ) {
             if hash.is_zero() || !seen.insert(*hash) {
                 return;
             }
@@ -456,13 +464,11 @@ impl SiriIndex for PosTree {
 
     fn get_with_proof(&self, key: &[u8]) -> (Option<Vec<u8>>, IndexProof) {
         let mut proof = IndexProof::empty();
-        let value = self
-            .find_leaf(key, Some(&mut proof))
-            .and_then(|leaf| {
-                leaf.iter()
-                    .find(|(k, _)| k.as_slice() == key)
-                    .map(|(_, v)| v.clone())
-            });
+        let value = self.find_leaf(key, Some(&mut proof)).and_then(|leaf| {
+            leaf.iter()
+                .find(|(k, _)| k.as_slice() == key)
+                .map(|(_, v)| v.clone())
+        });
         (value, proof)
     }
 
@@ -621,17 +627,37 @@ mod tests {
         assert_eq!(v, Some(value(123)));
         assert!(PosTree::verify_proof(root, &key(123), v.as_deref(), &proof));
         // Claiming a different value must fail.
-        assert!(!PosTree::verify_proof(root, &key(123), Some(b"forged"), &proof));
+        assert!(!PosTree::verify_proof(
+            root,
+            &key(123),
+            Some(b"forged"),
+            &proof
+        ));
         // Claiming absence of a present key must fail.
         assert!(!PosTree::verify_proof(root, &key(123), None, &proof));
         // Verifying against a different root must fail.
-        assert!(!PosTree::verify_proof(sha256(b"other"), &key(123), v.as_deref(), &proof));
+        assert!(!PosTree::verify_proof(
+            sha256(b"other"),
+            &key(123),
+            v.as_deref(),
+            &proof
+        ));
 
         // Absence proof for a missing key.
         let (none, absence) = tree.get_with_proof(b"zzz-not-present");
         assert!(none.is_none());
-        assert!(PosTree::verify_proof(root, b"zzz-not-present", None, &absence));
-        assert!(!PosTree::verify_proof(root, b"zzz-not-present", Some(b"x"), &absence));
+        assert!(PosTree::verify_proof(
+            root,
+            b"zzz-not-present",
+            None,
+            &absence
+        ));
+        assert!(!PosTree::verify_proof(
+            root,
+            b"zzz-not-present",
+            Some(b"x"),
+            &absence
+        ));
     }
 
     #[test]
@@ -669,7 +695,11 @@ mod tests {
         forged[0].1 = b"forged".to_vec();
         assert!(!PosTree::verify_range_proof(root, &forged, &proof));
         // Wrong root breaks verification.
-        assert!(!PosTree::verify_range_proof(sha256(b"bad"), &entries, &proof));
+        assert!(!PosTree::verify_range_proof(
+            sha256(b"bad"),
+            &entries,
+            &proof
+        ));
     }
 
     #[test]
@@ -695,6 +725,10 @@ mod tests {
         }
         let (_, proof) = tree.get_with_proof(&key(2500));
         assert!(proof.len() >= 2, "tree of 5000 should have depth >= 2");
-        assert!(proof.len() <= 8, "depth should stay logarithmic, got {}", proof.len());
+        assert!(
+            proof.len() <= 8,
+            "depth should stay logarithmic, got {}",
+            proof.len()
+        );
     }
 }

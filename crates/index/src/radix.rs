@@ -212,7 +212,15 @@ mod tests {
     fn insert_get_roundtrip() {
         let mut tree = RadixTree::new();
         let words = [
-            "romane", "romanus", "romulus", "rubens", "ruber", "rubicon", "rubicundus", "r", "",
+            "romane",
+            "romanus",
+            "romulus",
+            "rubens",
+            "ruber",
+            "rubicon",
+            "rubicundus",
+            "r",
+            "",
         ];
         for (i, w) in words.iter().enumerate() {
             assert!(tree.insert(w.as_bytes(), i).is_none());

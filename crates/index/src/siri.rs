@@ -44,9 +44,12 @@ impl SiriKind {
     }
 }
 
+/// A key/value result set in key order, as returned by range scans.
+pub type IndexEntries = Vec<(Vec<u8>, Vec<u8>)>;
+
 /// Operations common to all structurally invariant, reusable, authenticated
 /// indexes.
-pub trait SiriIndex: Send {
+pub trait SiriIndex: Send + Sync {
     /// Which concrete structure this is.
     fn kind(&self) -> SiriKind;
 
@@ -77,7 +80,7 @@ pub trait SiriIndex: Send {
     /// Range scan returning one combined proof that covers every returned
     /// entry. For the unified Spitz ledger this is the operation that lets
     /// proofs "ride along" the scan (Section 6.2.2 of the paper).
-    fn range_with_proof(&self, start: &[u8], end: &[u8]) -> (Vec<(Vec<u8>, Vec<u8>)>, IndexProof);
+    fn range_with_proof(&self, start: &[u8], end: &[u8]) -> (IndexEntries, IndexProof);
 
     /// Re-open the index at a historical root (a previous block's instance).
     /// Returns `None` if the root is unknown to the backing store.

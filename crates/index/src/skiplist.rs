@@ -124,8 +124,8 @@ impl<K: Ord + AsRef<[u8]>, V> SkipList<K, V> {
             value,
             forward,
         });
-        for level in 0..node_level {
-            self.set_next(update[level], level, idx);
+        for (level, &predecessor) in update.iter().enumerate().take(node_level) {
+            self.set_next(predecessor, level, idx);
         }
         self.len += 1;
     }
@@ -179,7 +179,9 @@ impl<K: Ord + AsRef<[u8]>, V> SkipList<K, V> {
             order.push(current);
             current = self.nodes[current].forward[0];
         }
-        order.into_iter().map(move |i| (&self.nodes[i].key, &self.nodes[i].value))
+        order
+            .into_iter()
+            .map(move |i| (&self.nodes[i].key, &self.nodes[i].value))
     }
 }
 

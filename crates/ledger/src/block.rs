@@ -137,8 +137,14 @@ pub fn records_merkle_root(records: &[TxnRecord]) -> Hash {
     if records.is_empty() {
         return sha256(b"");
     }
-    let tree =
-        spitz_crypto::MerkleTree::from_leaves(records.iter().map(|r| r.encode()).collect::<Vec<_>>().iter().map(|v| v.as_slice()));
+    let tree = spitz_crypto::MerkleTree::from_leaves(
+        records
+            .iter()
+            .map(|r| r.encode())
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|v| v.as_slice()),
+    );
     tree.root()
 }
 
@@ -148,7 +154,11 @@ mod tests {
 
     fn record(i: u32) -> TxnRecord {
         TxnRecord {
-            op: if i % 2 == 0 { WriteOp::Insert } else { WriteOp::Update },
+            op: if i.is_multiple_of(2) {
+                WriteOp::Insert
+            } else {
+                WriteOp::Update
+            },
             key: format!("key-{i}").into_bytes(),
             value_hash: sha256(format!("value-{i}").as_bytes()),
             statement: format!("INSERT INTO t VALUES ({i})"),
@@ -179,7 +189,13 @@ mod tests {
 
     #[test]
     fn record_tampering_is_detected() {
-        let block = Block::new(0, Hash::ZERO, sha256(b"r"), 1, vec![record(1), record(2), record(3)]);
+        let block = Block::new(
+            0,
+            Hash::ZERO,
+            sha256(b"r"),
+            1,
+            vec![record(1), record(2), record(3)],
+        );
         assert!(block.verify_records());
 
         let mut tampered = block.clone();

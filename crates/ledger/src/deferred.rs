@@ -94,7 +94,10 @@ mod tests {
     use spitz_storage::InMemoryChunkStore;
 
     fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
-        (format!("k{i:04}").into_bytes(), format!("v{i}").into_bytes())
+        (
+            format!("k{i:04}").into_bytes(),
+            format!("v{i}").into_bytes(),
+        )
     }
 
     #[test]

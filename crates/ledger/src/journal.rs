@@ -30,15 +30,14 @@ impl JournalProof {
     /// Recompute the root implied by this proof for the given block hash.
     pub fn expected_root(&self, block_hash: Hash) -> Hash {
         let mut current = block_hash;
-        for sibling in &self.siblings {
-            if let Some((sibling_is_left, sibling_hash)) = sibling {
-                current = if *sibling_is_left {
-                    node_hash(sibling_hash, &current)
-                } else {
-                    node_hash(&current, sibling_hash)
-                };
-            }
-            // A promoted node keeps its hash for the next level.
+        // `None` siblings are levels where the node is promoted unchanged, so
+        // they are skipped by `flatten`.
+        for (sibling_is_left, sibling_hash) in self.siblings.iter().flatten() {
+            current = if *sibling_is_left {
+                node_hash(sibling_hash, &current)
+            } else {
+                node_hash(&current, sibling_hash)
+            };
         }
         current
     }
@@ -200,11 +199,7 @@ mod tests {
             let root = journal.root();
             for (i, expected) in blocks.iter().enumerate().take(n + 1) {
                 let proof = journal.prove(i as u64).unwrap();
-                assert!(
-                    proof.verify(root, *expected),
-                    "size {} index {i}",
-                    n + 1
-                );
+                assert!(proof.verify(root, *expected), "size {} index {i}", n + 1);
                 assert!(!proof.verify(root, sha256(b"forged block")));
             }
         }

@@ -56,6 +56,10 @@ pub struct LedgerProof {
     pub journal_proof: Option<JournalProof>,
 }
 
+/// Result of a verified range scan: the entries in key order plus the single
+/// combined proof covering all of them.
+pub type VerifiedRange = (Vec<(Vec<u8>, Vec<u8>)>, LedgerRangeProof);
+
 /// Proof returned with a verified range read: a single combined index proof
 /// covering every returned entry (the "unified index" benefit of Section
 /// 6.2.2).
@@ -128,9 +132,7 @@ impl Ledger {
     pub fn with_kind(store: Arc<dyn ChunkStore>, kind: SiriKind) -> Self {
         let index: Box<dyn SiriIndex> = match kind {
             SiriKind::PosTree => Box::new(PosTree::new(Arc::clone(&store))),
-            SiriKind::MerklePatriciaTrie => {
-                Box::new(MerklePatriciaTrie::new(Arc::clone(&store)))
-            }
+            SiriKind::MerklePatriciaTrie => Box::new(MerklePatriciaTrie::new(Arc::clone(&store))),
             SiriKind::MerkleBucketTree => Box::new(MerkleBucketTree::new(Arc::clone(&store))),
         };
         Ledger {
@@ -199,7 +201,10 @@ impl Ledger {
         let prev_hash = if height == 0 {
             Hash::ZERO
         } else {
-            inner.journal.block_hash(height - 1).expect("previous block exists")
+            inner
+                .journal
+                .block_hash(height - 1)
+                .expect("previous block exists")
         };
         let index_root = inner.index.root();
         let block = Block::new(height, prev_hash, index_root, timestamp, records);
@@ -265,7 +270,7 @@ impl Ledger {
 
     /// Verified range read: the proofs of the resultant records are returned
     /// simultaneously with the scan, using the unified index.
-    pub fn range_with_proof(&self, start: &[u8], end: &[u8]) -> (Vec<(Vec<u8>, Vec<u8>)>, LedgerRangeProof) {
+    pub fn range_with_proof(&self, start: &[u8], end: &[u8]) -> VerifiedRange {
         let inner = self.inner.read();
         let (entries, index_proof) = inner.index.range_with_proof(start, end);
         drop(inner);
@@ -321,7 +326,10 @@ mod tests {
     }
 
     fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
-        (format!("key-{i:06}").into_bytes(), format!("value-{i}").into_bytes())
+        (
+            format!("key-{i:06}").into_bytes(),
+            format!("value-{i}").into_bytes(),
+        )
     }
 
     #[test]

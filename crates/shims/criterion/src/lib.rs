@@ -1,0 +1,232 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the subset of the Criterion API the workspace benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — backed by a
+//! small wall-clock harness: each benchmark is warmed up briefly, then timed
+//! over a capped measurement window, and the mean ns/iter is printed. No
+//! statistics, plots or baselines; swap in the real crate for those.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Deliberately short defaults: the shim is for smoke-running
+            // benches, not for statistically rigorous measurement.
+            measurement_time: Duration::from_millis(300),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the measurement window for subsequent groups.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Override the sample count for subsequent groups.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (measurement_time, sample_size) = (self.measurement_time, self.sample_size);
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            measurement_time,
+            sample_size,
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (mt, id) = (self.measurement_time, id.into());
+        run_benchmark("", &id.0, mt, f);
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id that is only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples (kept for API compatibility; the shim uses
+    /// it only to bound the warm-up).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Throughput declarations are accepted and ignored.
+    pub fn throughput(&mut self, _elements: u64) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&self.name, &id.0, self.measurement_time, f);
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&self.name, &id.0, self.measurement_time, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    window: Duration,
+}
+
+impl Bencher {
+    /// Call `f` repeatedly for the measurement window, recording total time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            self.iters += 1;
+            // Check the clock every iteration: simple and good enough for a
+            // smoke harness (the real crate batches to amortize this).
+            self.elapsed = start.elapsed();
+            if self.elapsed >= MEASUREMENT_CAP.min(self.window) || self.iters >= MAX_ITERS {
+                break;
+            }
+        }
+    }
+}
+
+const MAX_ITERS: u64 = 1_000_000;
+/// Hard cap so `cargo bench` with many benches stays fast even when a bench
+/// asks for a long window.
+const MEASUREMENT_CAP: Duration = Duration::from_millis(500);
+
+impl Bencher {
+    fn new(window: Duration) -> Self {
+        Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            window,
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(group: &str, id: &str, window: Duration, mut f: F) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut b = Bencher::new(window);
+    f(&mut b);
+    let per_iter = if b.iters == 0 {
+        0.0
+    } else {
+        b.elapsed.as_nanos() as f64 / b.iters as f64
+    };
+    println!(
+        "bench {label:<50} {per_iter:>14.1} ns/iter ({} iters)",
+        b.iters
+    );
+}
+
+/// Mirror of `criterion_group!`: defines a function that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

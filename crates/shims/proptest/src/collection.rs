@@ -1,0 +1,187 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A range of collection sizes, mirroring `proptest::collection::SizeRange`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    low: usize,
+    /// Exclusive upper bound.
+    high: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.low + 1 >= self.high {
+            self.low
+        } else {
+            rng.usize_in(self.low, self.high)
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            low: r.start,
+            high: r.end.max(r.start + 1),
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            low: *r.start(),
+            high: r.end().saturating_add(1),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            low: n,
+            high: n + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with sizes drawn from a [`SizeRange`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generate vectors whose elements come from `element` and whose length falls
+/// in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `BTreeSet<T>`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        // The element strategy may not have `target` distinct values; bound
+        // the attempts so generation always terminates.
+        let mut attempts = 0;
+        while out.len() < target && attempts < target * 20 + 50 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Generate ordered sets whose elements come from `element` and whose size
+/// falls in `size` (best effort when the element domain is small).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>`.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.pick(rng);
+        let mut out = BTreeMap::new();
+        let mut attempts = 0;
+        while out.len() < target && attempts < target * 20 + 50 {
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Generate ordered maps from `key`/`value` strategies with sizes in `size`.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_respects_size() {
+        let mut rng = TestRng::deterministic("vec");
+        for _ in 0..100 {
+            let v = vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn set_and_map_reach_target_when_domain_allows() {
+        let mut rng = TestRng::deterministic("set");
+        let s = btree_set(0u64..1_000_000, 10..11).generate(&mut rng);
+        assert_eq!(s.len(), 10);
+        let m = btree_map(0u64..1_000_000, any::<u8>(), 10..11).generate(&mut rng);
+        assert_eq!(m.len(), 10);
+    }
+
+    #[test]
+    fn small_domain_terminates() {
+        let mut rng = TestRng::deterministic("small");
+        // Only two possible elements but a size target of 50: must terminate.
+        let s = btree_set(0u8..2, 50..51).generate(&mut rng);
+        assert!(s.len() <= 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Offline shim for `proptest`.
+//!
+//! The build environment has no registry access, so this crate implements the
+//! subset of the proptest API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//! * `any::<T>()` for integers and `bool`,
+//! * integer range strategies (`1u8..255`, `0u64..=10`, …),
+//! * [`collection::vec`], [`collection::btree_set`], [`collection::btree_map`],
+//! * string strategies from a small regex subset: literal characters,
+//!   `[a-z0-9_]`-style classes, and `{m}` / `{m,n}` repetition.
+//!
+//! Unlike the real proptest there is **no shrinking** and no persistent
+//! failure file: a failing case panics with the generated inputs left to the
+//! assertion message. Generation is deterministic per test name, so failures
+//! reproduce. Swap in the real crate by pointing the workspace dependency at
+//! a registry version.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod string;
+
+pub mod test_runner;
+
+/// The subset of `proptest::prelude` the tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a property test (panics on failure; the shim
+/// does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests. Mirrors `proptest::proptest!` for bodies of the
+/// form `fn name(binding in strategy, ...) { ... }`.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let run = || -> () { $body };
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(run),
+                    );
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest shim: case {}/{} of `{}` failed",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

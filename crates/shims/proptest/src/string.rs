@@ -1,0 +1,159 @@
+//! String strategies from a small regex subset.
+//!
+//! `&str` implements [`Strategy`] the way it does in real proptest, where the
+//! string is interpreted as a regular expression. The shim supports the
+//! subset the workspace's tests use: literal characters, character classes
+//! like `[a-z0-9_]` (ranges and single characters, no negation), and
+//! repetition suffixes `{m}`, `{m,n}`, `*`, `+`, `?` on the preceding atom.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated range in {pattern:?}"));
+                        assert!(lo <= hi, "inverted range in {pattern:?}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+            ),
+            '{' | '}' | '*' | '+' | '?' => {
+                panic!("quantifier without preceding atom in {pattern:?}")
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                if let Some((lo, hi)) = spec.split_once(',') {
+                    let lo: usize = lo.trim().parse().expect("bad repetition lower bound");
+                    let hi: usize = hi.trim().parse().expect("bad repetition upper bound");
+                    assert!(lo <= hi, "inverted repetition in {pattern:?}");
+                    (lo, hi)
+                } else {
+                    let n: usize = spec.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate_from(pieces: &[Piece], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in pieces {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.usize_in(piece.min, piece.max + 1)
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.usize_in(0, ranges.len())];
+                    let span = hi as u32 - lo as u32 + 1;
+                    let code = lo as u32 + (rng.next_u64() as u32) % span;
+                    out.push(char::from_u32(code).expect("class range spans valid chars"));
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parsing per call keeps the API simple; patterns in tests are tiny.
+        generate_from(&parse_pattern(self), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::deterministic("re1");
+        for _ in 0..200 {
+            let s = "[a-z]{3,10}".generate(&mut rng);
+            assert!((3..=10).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_suffixes() {
+        let mut rng = TestRng::deterministic("re2");
+        let s = "ab[0-9]{2}".generate(&mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].bytes().all(|b| b.is_ascii_digit()));
+
+        let t = "x?".generate(&mut rng);
+        assert!(t.is_empty() || t == "x");
+    }
+}

@@ -1,0 +1,208 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides just
+//! enough of the serde trait surface for the workspace to compile: the
+//! [`Serialize`]/[`Deserialize`] traits, minimal [`Serializer`]/
+//! [`Deserializer`] traits (string/bytes oriented, which is all the `Hash`
+//! impls need), the `de::Error` extension point, and no-op derive macros from
+//! the sibling `serde_derive` shim. A working string-based serializer is
+//! included so the manual impls are exercised by tests.
+//!
+//! To use the real crate, point the `serde` entry in the workspace
+//! `[workspace.dependencies]` at a registry version.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization half of the shim.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors produced by a [`Serializer`].
+    pub trait Error: Sized + std::error::Error {
+        /// Build an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A minimal data-format serializer: strings and byte strings only.
+    pub trait Serializer: Sized {
+        /// Value produced on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Whether the format is human readable (e.g. JSON-like vs binary).
+        fn is_human_readable(&self) -> bool {
+            true
+        }
+
+        /// Serialize a string.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+        /// Serialize a byte string.
+        fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// A value serializable into any [`Serializer`].
+    pub trait Serialize {
+        /// Serialize `self`.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl Serialize for &str {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl Serialize for Vec<u8> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_bytes(self)
+        }
+    }
+}
+
+/// Deserialization half of the shim.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors produced by a [`Deserializer`].
+    pub trait Error: Sized + std::error::Error {
+        /// Build an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A minimal data-format deserializer: strings and byte strings only.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+
+        /// Whether the format is human readable.
+        fn is_human_readable(&self) -> bool {
+            true
+        }
+
+        /// Deserialize a string.
+        fn deserialize_string(self) -> Result<String, Self::Error>;
+
+        /// Deserialize a byte string.
+        fn deserialize_byte_buf(self) -> Result<Vec<u8>, Self::Error>;
+    }
+
+    /// A value deserializable from any [`Deserializer`].
+    pub trait Deserialize<'de>: Sized {
+        /// Deserialize a value.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    impl<'de> Deserialize<'de> for String {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            deserializer.deserialize_string()
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Vec<u8> {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            deserializer.deserialize_byte_buf()
+        }
+    }
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+/// A simple string/hex serializer and deserializer pair, mostly so the shim's
+/// trait plumbing is exercised by real code paths and tests.
+pub mod plain {
+    use std::fmt;
+
+    /// Error type for the plain format.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct PlainError(pub String);
+
+    impl fmt::Display for PlainError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "plain codec error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for PlainError {}
+
+    impl crate::ser::Error for PlainError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            PlainError(msg.to_string())
+        }
+    }
+
+    impl crate::de::Error for PlainError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            PlainError(msg.to_string())
+        }
+    }
+
+    /// Serializes strings as-is and byte strings as lowercase hex.
+    pub struct PlainSerializer;
+
+    impl crate::ser::Serializer for PlainSerializer {
+        type Ok = String;
+        type Error = PlainError;
+
+        fn serialize_str(self, v: &str) -> Result<String, PlainError> {
+            Ok(v.to_string())
+        }
+
+        fn serialize_bytes(self, v: &[u8]) -> Result<String, PlainError> {
+            Ok(v.iter().map(|b| format!("{b:02x}")).collect())
+        }
+    }
+
+    /// Deserializes from a string produced by [`PlainSerializer`].
+    pub struct PlainDeserializer<'de>(pub &'de str);
+
+    impl<'de> crate::de::Deserializer<'de> for PlainDeserializer<'de> {
+        type Error = PlainError;
+
+        fn deserialize_string(self) -> Result<String, PlainError> {
+            Ok(self.0.to_string())
+        }
+
+        fn deserialize_byte_buf(self) -> Result<Vec<u8>, PlainError> {
+            if !self.0.len().is_multiple_of(2) {
+                return Err(PlainError("odd-length hex".into()));
+            }
+            (0..self.0.len())
+                .step_by(2)
+                .map(|i| {
+                    u8::from_str_radix(&self.0[i..i + 2], 16).map_err(|e| PlainError(e.to_string()))
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::plain::{PlainDeserializer, PlainSerializer};
+    use super::{de::Deserialize, ser::Serialize};
+
+    #[test]
+    fn plain_roundtrip() {
+        let s = "hello".to_string().serialize(PlainSerializer).unwrap();
+        assert_eq!(s, "hello");
+        assert_eq!(String::deserialize(PlainDeserializer(&s)).unwrap(), "hello");
+
+        let b = vec![0xde, 0xad].serialize(PlainSerializer).unwrap();
+        assert_eq!(b, "dead");
+        assert_eq!(
+            Vec::<u8>::deserialize(PlainDeserializer(&b)).unwrap(),
+            vec![0xde, 0xad]
+        );
+    }
+}

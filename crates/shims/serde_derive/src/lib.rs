@@ -1,0 +1,23 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros for the offline serde
+//! shim.
+//!
+//! Nothing in this workspace actually serializes the derived types through a
+//! serde `Serializer` (the storage layer has its own byte codecs), so the
+//! derives only need to exist for `#[derive(...)]` attributes to compile.
+//! They expand to nothing; the types therefore do **not** implement the shim
+//! `Serialize`/`Deserialize` traits. Swap in the real serde + serde_derive to
+//! get working implementations.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

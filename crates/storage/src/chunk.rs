@@ -129,7 +129,10 @@ mod tests {
         let c = Chunk::new(ChunkKind::Blob, &b"other"[..]);
         assert_ne!(a.address(), b.address());
         assert_ne!(a.address(), c.address());
-        assert_eq!(a.address(), Chunk::new(ChunkKind::Blob, &b"payload"[..]).address());
+        assert_eq!(
+            a.address(),
+            Chunk::new(ChunkKind::Blob, &b"payload"[..]).address()
+        );
     }
 
     #[test]

@@ -224,7 +224,11 @@ mod tests {
         }
 
         let hashes = |data: &[u8]| -> Vec<spitz_crypto::Hash> {
-            chunker.split(data).iter().map(|c| spitz_crypto::sha256(c)).collect()
+            chunker
+                .split(data)
+                .iter()
+                .map(|c| spitz_crypto::sha256(c))
+                .collect()
         };
         let orig_hashes = hashes(&original);
         let edit_hashes = hashes(&edited);

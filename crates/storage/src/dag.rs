@@ -109,7 +109,9 @@ mod tests {
         let store = InMemoryChunkStore::new();
         // Pseudo-random data so chunks are distinct and dedup does not merge
         // them; reachability must then see every chunk plus the meta node.
-        let data: Vec<u8> = (0..50_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..50_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         let blob = VBlob::write(&store, &data, &ChunkerConfig::default()).unwrap();
         let distinct: std::collections::HashSet<_> =
             blob.chunk_entries().iter().map(|(h, _)| *h).collect();

@@ -71,8 +71,12 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         let h = sha256(b"x");
-        assert!(StorageError::ChunkNotFound(h).to_string().contains("not found"));
-        assert!(StorageError::CorruptChunk(h).to_string().contains("corrupt"));
+        assert!(StorageError::ChunkNotFound(h)
+            .to_string()
+            .contains("not found"));
+        assert!(StorageError::CorruptChunk(h)
+            .to_string()
+            .contains("corrupt"));
         let e = StorageError::VersionNotFound {
             key: "acct".into(),
             version: 3,

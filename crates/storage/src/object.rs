@@ -247,7 +247,11 @@ mod tests {
             let data = random_bytes(len, len as u64 + 1);
             let blob = VBlob::write(&store, &data, &cfg).unwrap();
             assert_eq!(blob.len() as usize, len);
-            assert_eq!(VBlob::read(&store, &blob.root()).unwrap(), data, "len {len}");
+            assert_eq!(
+                VBlob::read(&store, &blob.root()).unwrap(),
+                data,
+                "len {len}"
+            );
         }
     }
 

@@ -70,9 +70,11 @@ impl Commit {
             return Err(corrupt());
         }
         let key = String::from_utf8(data[76..key_end].to_vec()).map_err(|_| corrupt())?;
-        let msg_len =
-            u32::from_be_bytes(data[key_end..key_end + 4].try_into().map_err(|_| corrupt())?)
-                as usize;
+        let msg_len = u32::from_be_bytes(
+            data[key_end..key_end + 4]
+                .try_into()
+                .map_err(|_| corrupt())?,
+        ) as usize;
         let msg_end = key_end + 4 + msg_len;
         if data.len() != msg_end {
             return Err(corrupt());
@@ -246,10 +248,7 @@ mod tests {
     #[test]
     fn missing_key_and_version_errors() {
         let vm = manager();
-        assert!(matches!(
-            vm.head("nope"),
-            Err(StorageError::KeyNotFound(_))
-        ));
+        assert!(matches!(vm.head("nope"), Err(StorageError::KeyNotFound(_))));
         vm.commit("k", sha256(b"v1"), "");
         assert!(matches!(
             vm.get_version("k", 0),

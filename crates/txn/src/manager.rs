@@ -453,7 +453,10 @@ mod tests {
         let mut txn = tm.begin(IsolationLevel::Serializable);
         tm.write(&mut txn, b"k", b"v".to_vec()).unwrap();
         tm.commit(&mut txn).unwrap();
-        assert!(matches!(tm.commit(&mut txn), Err(TxnError::AlreadyFinished)));
+        assert!(matches!(
+            tm.commit(&mut txn),
+            Err(TxnError::AlreadyFinished)
+        ));
         assert!(matches!(
             tm.write(&mut txn, b"k", b"v2".to_vec()),
             Err(TxnError::AlreadyFinished)

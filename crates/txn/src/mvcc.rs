@@ -129,7 +129,10 @@ mod tests {
         }
         // Every historical snapshot is still readable — immutability.
         for ts in 1..=100u64 {
-            assert_eq!(store.read_at(b"k", ts).unwrap().value, ts.to_string().into_bytes());
+            assert_eq!(
+                store.read_at(b"k", ts).unwrap().value,
+                ts.to_string().into_bytes()
+            );
         }
         assert_eq!(store.version_count(), 100);
     }

@@ -169,9 +169,21 @@ mod tests {
 
     #[test]
     fn hybrid_timestamp_packing_preserves_order() {
-        let a = HybridTimestamp { physical: 1, logical: 0, node_id: 3 };
-        let b = HybridTimestamp { physical: 1, logical: 1, node_id: 2 };
-        let c = HybridTimestamp { physical: 2, logical: 0, node_id: 1 };
+        let a = HybridTimestamp {
+            physical: 1,
+            logical: 0,
+            node_id: 3,
+        };
+        let b = HybridTimestamp {
+            physical: 1,
+            logical: 1,
+            node_id: 2,
+        };
+        let c = HybridTimestamp {
+            physical: 2,
+            logical: 0,
+            node_id: 1,
+        };
         assert!(a.as_u64() < b.as_u64());
         assert!(b.as_u64() < c.as_u64());
     }

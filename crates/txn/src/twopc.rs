@@ -125,9 +125,13 @@ impl TwoPhaseCoordinator {
         let global_txn_id = self.oracle.allocate();
 
         // Partition writes by participant.
-        let mut partitions: HashMap<usize, Vec<(Vec<u8>, Vec<u8>)>> = HashMap::new();
+        type Partitions = HashMap<usize, Vec<(Vec<u8>, Vec<u8>)>>;
+        let mut partitions: Partitions = HashMap::new();
         for (key, value) in writes {
-            partitions.entry(self.route(&key)).or_default().push((key, value));
+            partitions
+                .entry(self.route(&key))
+                .or_default()
+                .push((key, value));
         }
 
         // Phase 1: prepare.
@@ -170,13 +174,22 @@ mod tests {
     fn cluster(nodes: usize, scheme: CcScheme) -> TwoPhaseCoordinator {
         let oracle = Arc::new(TimestampOracle::new());
         let participants: Vec<Arc<Participant>> = (0..nodes)
-            .map(|i| Arc::new(Participant::new(format!("node-{i}"), Arc::clone(&oracle), scheme)))
+            .map(|i| {
+                Arc::new(Participant::new(
+                    format!("node-{i}"),
+                    Arc::clone(&oracle),
+                    scheme,
+                ))
+            })
             .collect();
         TwoPhaseCoordinator::new(participants, oracle)
     }
 
     fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
-        (format!("key-{i}").into_bytes(), format!("value-{i}").into_bytes())
+        (
+            format!("key-{i}").into_bytes(),
+            format!("value-{i}").into_bytes(),
+        )
     }
 
     #[test]
@@ -206,7 +219,10 @@ mod tests {
         // by going through a participant directly.
         let (key, value) = kv(1);
         let owner = coordinator.participant_for(&key);
-        assert_eq!(owner.prepare(9999, &[(key.clone(), value.clone())]), Vote::Yes);
+        assert_eq!(
+            owner.prepare(9999, &[(key.clone(), value.clone())]),
+            Vote::Yes
+        );
 
         // A distributed transaction touching that key and another one must
         // abort entirely: neither write becomes visible.

@@ -32,7 +32,8 @@ fn main() {
     let stock_seen_by_bob = tm.read(&mut bob, b"stock/widget");
     assert_eq!(stock_seen_by_alice, Some(b"1".to_vec()));
     assert_eq!(stock_seen_by_bob, Some(b"1".to_vec()));
-    tm.write(&mut alice, b"stock/widget", b"0".to_vec()).unwrap();
+    tm.write(&mut alice, b"stock/widget", b"0".to_vec())
+        .unwrap();
     tm.write(&mut bob, b"stock/widget", b"0".to_vec()).unwrap();
     let alice_result = tm.commit(&mut alice);
     let bob_result = tm.commit(&mut bob);
@@ -41,7 +42,10 @@ fn main() {
         alice_result.is_ok(),
         bob_result.is_ok()
     );
-    assert!(alice_result.is_ok() ^ bob_result.is_ok(), "exactly one purchase must win");
+    assert!(
+        alice_result.is_ok() ^ bob_result.is_ok(),
+        "exactly one purchase must win"
+    );
 
     // ------------------------------------------------------------------
     // The order history lives in the verifiable database.
@@ -61,10 +65,16 @@ fn main() {
         let record = Record::new(format!("order-{i:05}"))
             .with("item", Value::Text(format!("sku-{}", i % 20)))
             .with("quantity", Value::Integer(1 + (i % 3)))
-            .with("status", Value::Text(if i % 7 == 0 { "refunded" } else { "shipped" }.into()));
+            .with(
+                "status",
+                Value::Text(if i % 7 == 0 { "refunded" } else { "shipped" }.into()),
+            );
         db.insert_record("orders", &record).unwrap();
     }
-    println!("recorded 200 orders across {} ledger blocks", db.digest().block_height + 1);
+    println!(
+        "recorded 200 orders across {} ledger blocks",
+        db.digest().block_height + 1
+    );
 
     // Weakly isolated analytics: status report straight from the inverted
     // index, no serializable transaction needed.
@@ -82,7 +92,11 @@ fn main() {
     // Verified range scan over a window of raw order cells.
     let (entries, proof) = db.range_verified(&[0u8, 0, 0, 0], &[0u8, 0, 0, 1]).unwrap();
     let ok = auditor.verify_range(&entries, &proof);
-    println!("verified scan of the 'item' column: {} cells, verification {}", entries.len(), if ok { "PASSED" } else { "FAILED" });
+    println!(
+        "verified scan of the 'item' column: {} cells, verification {}",
+        entries.len(),
+        if ok { "PASSED" } else { "FAILED" }
+    );
     assert!(ok);
 
     // Deferred verification: queue a batch of reads, verify them together.
@@ -99,7 +113,10 @@ fn main() {
         }
     }
     let report = auditor.flush_deferred();
-    println!("deferred audit: {} verified, {} failed", report.verified, report.failed);
+    println!(
+        "deferred audit: {} verified, {} failed",
+        report.verified, report.failed
+    );
     assert!(report.all_ok());
 
     // A rollback attack (re-presenting an older digest) is refused.

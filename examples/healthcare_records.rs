@@ -28,7 +28,10 @@ fn main() {
         db.insert_record("patients", &record).unwrap();
     }
     let digest_icd9 = db.digest();
-    println!("loaded 50 ICD-9 coded records; ledger at block #{}", digest_icd9.block_height);
+    println!(
+        "loaded 50 ICD-9 coded records; ledger at block #{}",
+        digest_icd9.block_height
+    );
 
     // A recoding pass appends *new versions* under ICD-10; nothing is
     // deleted, the old versions remain in the immutable store and ledger.
@@ -48,8 +51,14 @@ fn main() {
 
     // Current state reflects the new coding.
     let current = db.get_record("patients", "patient-007").unwrap().unwrap();
-    println!("patient-007 current diagnosis: {:?}", current.get("diagnosis"));
-    assert_eq!(current.get("diagnosis"), Some(&Value::Text("icd10/E11.9".into())));
+    println!(
+        "patient-007 current diagnosis: {:?}",
+        current.get("diagnosis")
+    );
+    assert_eq!(
+        current.get("diagnosis"),
+        Some(&Value::Text("icd10/E11.9".into()))
+    );
 
     // Analytical queries over the inverted indexes.
     let diabetic = db
@@ -58,7 +67,9 @@ fn main() {
     println!("patients with the ICD-10 diabetes code: {}", diabetic.len());
     assert_eq!(diabetic.len(), 50);
 
-    let elevated = db.query_int_range("patients", "lab_glucose", 126, 200).unwrap();
+    let elevated = db
+        .query_int_range("patients", "lab_glucose", 126, 200)
+        .unwrap();
     println!("patients with elevated glucose (>=126): {}", elevated.len());
 
     // Point-in-time provenance: the pre-recoding ledger version can still be

@@ -30,7 +30,10 @@ fn main() {
 
     // Unverified fast path.
     let value = db.get(b"account/alice").unwrap();
-    println!("alice (unverified): {:?}", String::from_utf8_lossy(&value.clone().unwrap()));
+    println!(
+        "alice (unverified): {:?}",
+        String::from_utf8_lossy(&value.clone().unwrap())
+    );
 
     // Verified read: the proof is recomputed against the pinned digest.
     let (value, proof) = db.get_verified(b"account/bob").unwrap();
@@ -46,7 +49,11 @@ fn main() {
     // Verified range scan: one combined proof for the whole result.
     let (entries, range_proof) = db.range_verified(b"account/a", b"account/z").unwrap();
     let ok = client.verify_range(&entries, &range_proof);
-    println!("range scan returned {} accounts, verification {}", entries.len(), if ok { "PASSED" } else { "FAILED" });
+    println!(
+        "range scan returned {} accounts, verification {}",
+        entries.len(),
+        if ok { "PASSED" } else { "FAILED" }
+    );
     assert!(ok);
 
     // Tampering is detected: a forged value cannot pass verification.
@@ -56,5 +63,8 @@ fn main() {
 
     // The ledger's whole history can be audited.
     assert_eq!(db.ledger().audit_chain(), None);
-    println!("ledger audit: chain of {} blocks is consistent", db.digest().block_height + 1);
+    println!(
+        "ledger audit: chain of {} blocks is consistent",
+        db.digest().block_height + 1
+    );
 }

@@ -44,13 +44,19 @@ fn main() {
     for k in &keys {
         std::hint::black_box(kvs.get(k));
     }
-    println!("read  | immutable KVS        : {:8.1} kops/s", kops(READS, t.elapsed()));
+    println!(
+        "read  | immutable KVS        : {:8.1} kops/s",
+        kops(READS, t.elapsed())
+    );
 
     let t = Instant::now();
     for k in &keys {
         std::hint::black_box(spitz.get(k).unwrap());
     }
-    println!("read  | Spitz                : {:8.1} kops/s", kops(READS, t.elapsed()));
+    println!(
+        "read  | Spitz                : {:8.1} kops/s",
+        kops(READS, t.elapsed())
+    );
 
     let mut client = ClientVerifier::new();
     client.observe_digest(spitz.digest());
@@ -59,27 +65,39 @@ fn main() {
         let (value, proof) = spitz.get_verified(k).unwrap();
         assert!(client.verify_read(k, value.as_deref(), &proof));
     }
-    println!("read  | Spitz + verification : {:8.1} kops/s", kops(READS, t.elapsed()));
+    println!(
+        "read  | Spitz + verification : {:8.1} kops/s",
+        kops(READS, t.elapsed())
+    );
 
     let t = Instant::now();
     for k in &keys {
         std::hint::black_box(qldb.get(k));
     }
-    println!("read  | baseline             : {:8.1} kops/s", kops(READS, t.elapsed()));
+    println!(
+        "read  | baseline             : {:8.1} kops/s",
+        kops(READS, t.elapsed())
+    );
 
     let t = Instant::now();
     for k in &keys {
         let (value, proof) = qldb.get_verified(k).unwrap();
         assert!(proof.verify(k, &value));
     }
-    println!("read  | baseline + verify    : {:8.1} kops/s", kops(READS, t.elapsed()));
+    println!(
+        "read  | baseline + verify    : {:8.1} kops/s",
+        kops(READS, t.elapsed())
+    );
 
     let t = Instant::now();
     for k in &keys {
         let (value, proof) = non_intrusive.get_verified(k);
         assert!(proof.verify(k, value.as_deref()));
     }
-    println!("read  | non-intrusive + verify: {:8.1} kops/s", kops(READS, t.elapsed()));
+    println!(
+        "read  | non-intrusive + verify: {:8.1} kops/s",
+        kops(READS, t.elapsed())
+    );
 
     // Writes of fresh keys.
     let fresh: Vec<(Vec<u8>, Vec<u8>)> = (0..5_000).map(|i| record(RECORDS + i)).collect();
@@ -87,13 +105,19 @@ fn main() {
     for (k, v) in &fresh {
         spitz.put(k, v).unwrap();
     }
-    println!("write | Spitz                : {:8.1} kops/s", kops(fresh.len(), t.elapsed()));
+    println!(
+        "write | Spitz                : {:8.1} kops/s",
+        kops(fresh.len(), t.elapsed())
+    );
 
     let t = Instant::now();
     for (k, v) in &fresh {
         non_intrusive.put(k, v);
     }
-    println!("write | non-intrusive        : {:8.1} kops/s", kops(fresh.len(), t.elapsed()));
+    println!(
+        "write | non-intrusive        : {:8.1} kops/s",
+        kops(fresh.len(), t.elapsed())
+    );
 
     println!("\nexpected shape (paper): KVS fastest; Spitz close behind; verification costs");
     println!("Spitz ~2x, the baseline orders of magnitude; the non-intrusive design pays for");

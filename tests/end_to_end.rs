@@ -35,9 +35,7 @@ fn spitz_end_to_end_write_read_verify() {
     assert!(client.flush_deferred().all_ok());
 
     // Range scans with a single combined proof.
-    let (entries, proof) = db
-        .range_verified(&record(500).0, &record(600).0)
-        .unwrap();
+    let (entries, proof) = db.range_verified(&record(500).0, &record(600).0).unwrap();
     assert_eq!(entries.len(), 100);
     assert!(client.verify_range(&entries, &proof));
 
@@ -130,7 +128,10 @@ fn typed_tables_flow_through_the_ledger() {
         db.insert_record(
             "events",
             &Record::new(format!("evt-{i:04}"))
-                .with("kind", Value::Text(if i % 2 == 0 { "credit" } else { "debit" }.into()))
+                .with(
+                    "kind",
+                    Value::Text(if i % 2 == 0 { "credit" } else { "debit" }.into()),
+                )
                 .with("amount", Value::Integer(i)),
         )
         .unwrap();
@@ -138,10 +139,15 @@ fn typed_tables_flow_through_the_ledger() {
     // Each record is one ledger block; analytics agree with the raw data.
     assert_eq!(db.digest().block_height, 99);
     assert_eq!(
-        db.query_eq("events", "kind", &Value::Text("credit".into())).unwrap().len(),
+        db.query_eq("events", "kind", &Value::Text("credit".into()))
+            .unwrap()
+            .len(),
         50
     );
-    assert_eq!(db.query_int_range("events", "amount", 0, 10).unwrap().len(), 10);
+    assert_eq!(
+        db.query_int_range("events", "amount", 0, 10).unwrap().len(),
+        10
+    );
     assert_eq!(db.ledger().audit_chain(), None);
 
     let rec = db.get_record("events", "evt-0042").unwrap().unwrap();
@@ -160,7 +166,9 @@ fn storage_deduplication_bounds_ledger_growth() {
     }
     let distinct = SpitzDb::in_memory();
     for i in 0..500usize {
-        distinct.put(format!("key-{i}").as_bytes(), b"value").unwrap();
+        distinct
+            .put(format!("key-{i}").as_bytes(), b"value")
+            .unwrap();
     }
     let u = updates.storage_stats();
     let d = distinct.storage_stats();

@@ -3,9 +3,12 @@
 //! storage round-trips, and MVCC snapshot semantics.
 
 use proptest::prelude::*;
+use spitz::crypto::merkle::MerkleTree;
+use spitz::crypto::sha256;
+use spitz::index::codec::{self, Reader};
 use spitz::index::siri::SiriIndex;
 use spitz::index::PosTree;
-use spitz::storage::{ChunkStore, ChunkerConfig, InMemoryChunkStore, VBlob};
+use spitz::storage::{ChunkStore, Chunker, ChunkerConfig, InMemoryChunkStore, VBlob};
 use spitz::txn::MvccStore;
 use spitz::{Ledger, SpitzDb};
 
@@ -128,5 +131,75 @@ proptest! {
             .map(|(k, v)| (k.as_bytes().to_vec(), v.clone()))
             .collect();
         prop_assert_eq!(all, model);
+    }
+
+    /// Index-node codec round-trip: any sequence of (u32, u64, hash, bytes)
+    /// frames written by the `put_*` helpers is read back exactly by
+    /// `Reader`, leaving the reader exhausted.
+    #[test]
+    fn index_codec_roundtrips(
+        frames in proptest::collection::vec(
+            (any::<u32>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..48)),
+            0..24,
+        )
+    ) {
+        let mut buf = Vec::new();
+        for (a, b, payload) in &frames {
+            codec::put_u32(&mut buf, *a);
+            codec::put_u64(&mut buf, *b);
+            codec::put_hash(&mut buf, &sha256(payload));
+            codec::put_bytes(&mut buf, payload);
+        }
+        let mut reader = Reader::new(&buf);
+        for (a, b, payload) in &frames {
+            prop_assert_eq!(reader.u32(), Some(*a));
+            prop_assert_eq!(reader.u64(), Some(*b));
+            prop_assert_eq!(reader.hash(), Some(sha256(payload)));
+            prop_assert_eq!(reader.bytes(), Some(payload.as_slice()));
+        }
+        prop_assert!(reader.is_exhausted());
+        // A truncated buffer never panics, it just yields None at the cut.
+        // Every successful read must consume at least its 4-byte length
+        // prefix, so the reader drains in a bounded number of steps.
+        if !buf.is_empty() {
+            let mut truncated = Reader::new(&buf[..buf.len() - 1]);
+            let mut reads = 0usize;
+            while truncated.bytes().is_some() {
+                reads += 1;
+                prop_assert!(reads * 4 <= buf.len(), "reader failed to consume input");
+            }
+        }
+    }
+
+    /// Merkle audit proofs built from arbitrary leaves verify against the
+    /// root, and fail for tampered leaf data or a tampered root.
+    #[test]
+    fn merkle_audit_proofs_roundtrip(
+        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..48),
+        probe in any::<u64>(),
+    ) {
+        let tree = MerkleTree::from_leaves(leaves.iter().map(|l| l.as_slice()));
+        let root = tree.root();
+        prop_assert_eq!(tree.len(), leaves.len());
+        let index = (probe as usize) % leaves.len();
+        let proof = tree.audit_proof(index).unwrap();
+        prop_assert!(proof.verify(root, &leaves[index]));
+        let mut tampered = leaves[index].clone();
+        tampered.push(0xA5);
+        prop_assert!(!proof.verify(root, &tampered));
+        prop_assert!(!proof.verify(sha256(b"wrong root"), &leaves[index]));
+    }
+
+    /// The content-defined chunker is deterministic and lossless: the split
+    /// chunks reassemble to the original input, and splitting again yields
+    /// identical cut points.
+    #[test]
+    fn chunker_split_reassembles(data in proptest::collection::vec(any::<u8>(), 0..50_000)) {
+        let chunker = Chunker::with_defaults();
+        let chunks = chunker.split(&data);
+        let reassembled: Vec<u8> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        prop_assert_eq!(reassembled, data.clone());
+        prop_assert!(chunks.iter().all(|c| !c.is_empty()));
+        prop_assert_eq!(chunker.cut_points(&data), chunker.cut_points(&data));
     }
 }
