@@ -30,7 +30,12 @@ impl Default for ImmutableKvs {
 impl ImmutableKvs {
     /// Create an in-memory instance.
     pub fn new() -> Self {
-        let store: Arc<dyn ChunkStore> = InMemoryChunkStore::shared();
+        Self::with_store(InMemoryChunkStore::shared())
+    }
+
+    /// Create an instance over any chunk store (e.g. a
+    /// [`spitz_storage::DurableChunkStore`] for an on-disk KVS).
+    pub fn with_store(store: Arc<dyn ChunkStore>) -> Self {
         let index = RwLock::new(PosTree::new(Arc::clone(&store)));
         ImmutableKvs { store, index }
     }

@@ -47,10 +47,25 @@ impl NonIntrusiveVdb {
     /// Create an instance with `envelope_bytes` of additional per-hop
     /// envelope copying (models heavier RPC stacks).
     pub fn with_interaction_cost(envelope_bytes: usize) -> Self {
-        let store: Arc<dyn ChunkStore> = InMemoryChunkStore::shared();
+        Self::with_stores(
+            InMemoryChunkStore::shared(),
+            InMemoryChunkStore::shared(),
+            envelope_bytes,
+        )
+    }
+
+    /// Create an instance over explicit chunk stores for the two composed
+    /// systems (e.g. durable stores for an on-disk deployment). The two
+    /// systems are independent products in this architecture, so they do
+    /// not share a store.
+    pub fn with_stores(
+        underlying_store: Arc<dyn ChunkStore>,
+        ledger_store: Arc<dyn ChunkStore>,
+        envelope_bytes: usize,
+    ) -> Self {
         NonIntrusiveVdb {
-            underlying: ImmutableKvs::new(),
-            ledger: Ledger::new(store),
+            underlying: ImmutableKvs::with_store(underlying_store),
+            ledger: Ledger::new(ledger_store),
             envelope_bytes,
         }
     }

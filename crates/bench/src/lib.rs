@@ -21,6 +21,7 @@
 
 pub mod harness;
 pub mod systems;
+pub mod util;
 pub mod workload;
 
 pub use harness::{measure_throughput, FigureTable};

@@ -1,0 +1,34 @@
+//! Small filesystem helpers shared by benches and tests that exercise the
+//! durable chunk store.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A uniquely named temp directory removed on drop (the offline workspace
+/// has no `tempfile` dependency).
+pub struct TempDir(PathBuf);
+
+impl TempDir {
+    /// Create a fresh directory under the system temp dir. `label` keeps
+    /// leaked directories attributable when a process is killed.
+    pub fn new(label: &str) -> TempDir {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("spitz-bench-{label}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}

@@ -6,13 +6,14 @@
 //! point/range reads and writes, each with and without verification.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use spitz_index::inverted::{IndexValue, InvertedIndex};
 use spitz_index::BPlusTree;
 use spitz_ledger::{Digest, Ledger, LedgerProof, VerifiedRange};
-use spitz_storage::{ChunkStore, InMemoryChunkStore, StoreStats};
+use spitz_storage::{ChunkStore, DurableChunkStore, DurableConfig, InMemoryChunkStore, StoreStats};
 use spitz_txn::CcScheme;
 
 use crate::cell::UniversalKey;
@@ -68,6 +69,49 @@ impl SpitzDb {
         let raw = InMemoryChunkStore::shared();
         let store: Arc<dyn ChunkStore> = raw;
         let ledger = Arc::new(Ledger::with_kind(Arc::clone(&store), config.siri));
+        Self::assemble(store, ledger, config)
+    }
+
+    /// Open (or create) a durable instance persisted under `path` with the
+    /// default configuration.
+    ///
+    /// The chunk store, ledger blocks and index instances all live in
+    /// append-only segment files under `path`; reopening the same path
+    /// recovers the identical digest, chain head and records roots, and
+    /// keeps serving verifying Merkle proofs. (The typed-table catalog of
+    /// [`SpitzDb::create_table`] is in-memory metadata and is not yet
+    /// persisted.)
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with_config(path, SpitzConfig::default())
+    }
+
+    /// Open (or create) a durable instance under `path` with an explicit
+    /// Spitz configuration. `config.siri` must match the kind the database
+    /// was created with.
+    pub fn open_with_config(path: impl AsRef<Path>, config: SpitzConfig) -> Result<Self> {
+        Self::open_with_configs(path, config, DurableConfig::default())
+    }
+
+    /// Open (or create) a durable instance with explicit Spitz *and*
+    /// storage tuning (segment size, chunk-cache budget, fsync policy).
+    pub fn open_with_configs(
+        path: impl AsRef<Path>,
+        config: SpitzConfig,
+        durable: DurableConfig,
+    ) -> Result<Self> {
+        let store: Arc<dyn ChunkStore> =
+            Arc::new(DurableChunkStore::open_with_config(path, durable)?);
+        Self::with_store(store, config)
+    }
+
+    /// Build an instance over any chunk store, recovering a persisted
+    /// ledger if the store holds one (the reopen path for custom backends).
+    pub fn with_store(store: Arc<dyn ChunkStore>, config: SpitzConfig) -> Result<Self> {
+        let ledger = Arc::new(Ledger::open_with_kind(Arc::clone(&store), config.siri)?);
+        Ok(Self::assemble(store, ledger, config))
+    }
+
+    fn assemble(store: Arc<dyn ChunkStore>, ledger: Arc<Ledger>, config: SpitzConfig) -> Self {
         let node = Arc::new(ProcessorNode::new(
             Arc::clone(&store),
             Arc::clone(&ledger),
@@ -89,6 +133,11 @@ impl SpitzDb {
     /// The unified ledger.
     pub fn ledger(&self) -> &Arc<Ledger> {
         &self.ledger
+    }
+
+    /// The backing chunk store.
+    pub fn store(&self) -> &Arc<dyn ChunkStore> {
+        &self.store
     }
 
     /// Storage statistics of the backing chunk store.

@@ -25,6 +25,14 @@ impl WriteOp {
             WriteOp::Update => 1,
         }
     }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(WriteOp::Insert),
+            1 => Some(WriteOp::Update),
+            _ => None,
+        }
+    }
 }
 
 /// One modified record inside a block.
@@ -130,6 +138,85 @@ impl Block {
         records_merkle_root(&self.records) == self.header.records_root
             && self.records.len() as u32 == self.header.record_count
     }
+
+    /// Deterministic serialization of the whole block (header fields in
+    /// hash order, then every encoded record), used to persist blocks as
+    /// chunks in the chunk store.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.header.height.to_be_bytes());
+        out.extend_from_slice(self.header.prev_hash.as_bytes());
+        out.extend_from_slice(self.header.records_root.as_bytes());
+        out.extend_from_slice(self.header.index_root.as_bytes());
+        out.extend_from_slice(&self.header.timestamp.to_be_bytes());
+        out.extend_from_slice(&self.header.record_count.to_be_bytes());
+        for record in &self.records {
+            out.extend_from_slice(&record.encode());
+        }
+        out
+    }
+
+    /// Parse a block back out of its [`Block::encode`] form. Returns `None`
+    /// on any framing violation (truncation, trailing bytes, bad tags).
+    pub fn decode(bytes: &[u8]) -> Option<Block> {
+        let mut cursor = Cursor(bytes);
+        let height = u64::from_be_bytes(cursor.take(8)?.try_into().ok()?);
+        let prev_hash = cursor.take_hash()?;
+        let records_root = cursor.take_hash()?;
+        let index_root = cursor.take_hash()?;
+        let timestamp = u64::from_be_bytes(cursor.take(8)?.try_into().ok()?);
+        let record_count = u32::from_be_bytes(cursor.take(4)?.try_into().ok()?);
+        // Cap the pre-allocation by what the remaining bytes could possibly
+        // hold (a record is at least 41 bytes), so a forged count in an
+        // untrusted chunk cannot force a huge allocation before the framing
+        // check rejects it.
+        let max_plausible = cursor.0.len() / 41;
+        let mut records = Vec::with_capacity((record_count as usize).min(max_plausible));
+        for _ in 0..record_count {
+            let op = WriteOp::from_tag(cursor.take(1)?[0])?;
+            let key_len = u32::from_be_bytes(cursor.take(4)?.try_into().ok()?) as usize;
+            let key = cursor.take(key_len)?.to_vec();
+            let value_hash = cursor.take_hash()?;
+            let stmt_len = u32::from_be_bytes(cursor.take(4)?.try_into().ok()?) as usize;
+            let statement = String::from_utf8(cursor.take(stmt_len)?.to_vec()).ok()?;
+            records.push(TxnRecord {
+                op,
+                key,
+                value_hash,
+                statement,
+            });
+        }
+        if !cursor.0.is_empty() {
+            return None;
+        }
+        Some(Block {
+            header: BlockHeader {
+                height,
+                prev_hash,
+                records_root,
+                index_root,
+                timestamp,
+                record_count,
+            },
+            records,
+        })
+    }
+}
+
+/// Minimal byte cursor for [`Block::decode`].
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let (head, tail) = (self.0.get(..n)?, self.0.get(n..)?);
+        self.0 = tail;
+        Some(head)
+    }
+
+    fn take_hash(&mut self) -> Option<Hash> {
+        let bytes: [u8; 32] = self.take(32)?.try_into().ok()?;
+        Some(Hash::from_bytes(bytes))
+    }
 }
 
 /// Merkle root over the encoded transaction records of a block.
@@ -212,6 +299,45 @@ mod tests {
         let block = Block::new(0, Hash::ZERO, Hash::ZERO, 0, vec![]);
         assert!(block.verify_records());
         assert_eq!(block.header.record_count, 0);
+    }
+
+    #[test]
+    fn block_encoding_roundtrips_and_rejects_damage() {
+        let block = Block::new(
+            5,
+            sha256(b"prev"),
+            sha256(b"index root"),
+            42,
+            vec![record(1), record(2), record(3)],
+        );
+        let encoded = block.encode();
+        let decoded = Block::decode(&encoded).unwrap();
+        assert_eq!(decoded, block);
+        assert_eq!(decoded.hash(), block.hash());
+        assert!(decoded.verify_records());
+
+        // Truncation, trailing garbage and bad op tags are all rejected.
+        assert!(Block::decode(&encoded[..encoded.len() - 1]).is_none());
+        let mut trailing = encoded.clone();
+        trailing.push(0);
+        assert!(Block::decode(&trailing).is_none());
+        let mut bad_op = encoded.clone();
+        bad_op[8 + 32 * 3 + 8 + 4] = 9; // first record's op tag
+        assert!(Block::decode(&bad_op).is_none());
+
+        let empty = Block::new(0, Hash::ZERO, Hash::ZERO, 0, vec![]);
+        assert_eq!(Block::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn forged_record_count_is_rejected_without_huge_allocation() {
+        let block = Block::new(0, Hash::ZERO, Hash::ZERO, 0, vec![record(1)]);
+        let mut encoded = block.encode();
+        let offset = 8 + 32 * 3 + 8; // record_count field
+        encoded[offset..offset + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        // Must return None promptly instead of attempting a ~350 GB
+        // Vec::with_capacity for the claimed count.
+        assert!(Block::decode(&encoded).is_none());
     }
 
     #[test]

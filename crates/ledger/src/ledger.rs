@@ -24,10 +24,14 @@ use parking_lot::RwLock;
 use spitz_crypto::Hash;
 use spitz_index::siri::{verify_proof, verify_range_proof, SiriIndex, SiriKind};
 use spitz_index::{IndexProof, MerkleBucketTree, MerklePatriciaTrie, PosTree};
-use spitz_storage::ChunkStore;
+use spitz_storage::{Chunk, ChunkKind, ChunkStore, StorageError};
 
 use crate::block::{Block, TxnRecord, WriteOp};
 use crate::journal::{Journal, JournalProof};
+
+/// Root-pointer name under which the ledger stores the chunk address of its
+/// latest block (the durable equivalent of a git `HEAD` ref).
+pub const LEDGER_HEAD_ROOT: &str = "spitz/ledger/head";
 
 /// The database digest a client pins locally: enough to verify any proof the
 /// ledger hands out and to detect history rewrites between two digests.
@@ -111,6 +115,10 @@ struct LedgerInner {
     journal: Journal,
     blocks: Vec<Block>,
     timestamp: u64,
+    /// Chunk address of the latest persisted block ([`Hash::ZERO`] before
+    /// any block is sealed). Each block chunk records its predecessor's
+    /// chunk address, forming the walkable chain [`Ledger::open`] recovers.
+    head_chunk: Hash,
 }
 
 /// The unified, tamper-evident Spitz ledger.
@@ -143,8 +151,92 @@ impl Ledger {
                 journal: Journal::new(),
                 blocks: Vec::new(),
                 timestamp: 0,
+                head_chunk: Hash::ZERO,
             }),
         }
+    }
+
+    /// Reopen a ledger persisted in `store`, using the POS-Tree.
+    ///
+    /// Equivalent to [`Ledger::new`] when the store holds no ledger yet;
+    /// otherwise the block chain is walked back from the stored head
+    /// pointer, every block is re-verified (records root and `prev_hash`
+    /// linkage), the journal Merkle tree is rebuilt, and the live index is
+    /// reopened at the head block's index root — reproducing the exact
+    /// digest the ledger had when the store was last written.
+    pub fn open(store: Arc<dyn ChunkStore>) -> Result<Self, StorageError> {
+        Self::open_with_kind(store, SiriKind::PosTree)
+    }
+
+    /// Reopen a ledger persisted in `store` with a specific SIRI index.
+    /// `kind` must match the kind the ledger was created with — index nodes
+    /// of one SIRI structure are not readable as another.
+    pub fn open_with_kind(
+        store: Arc<dyn ChunkStore>,
+        kind: SiriKind,
+    ) -> Result<Self, StorageError> {
+        let Some(head_chunk) = store.root(LEDGER_HEAD_ROOT) else {
+            return Ok(Self::with_kind(store, kind));
+        };
+
+        // Walk the chain of block chunks head → genesis.
+        let mut chain = Vec::new();
+        let mut address = head_chunk;
+        loop {
+            let chunk = store.get_kind(&address, ChunkKind::Block)?;
+            let (prev_address, block) =
+                decode_block_chunk(chunk.data()).ok_or(StorageError::CorruptChunk(address))?;
+            let done = prev_address.is_zero();
+            chain.push((address, block));
+            if done {
+                break;
+            }
+            address = prev_address;
+        }
+        chain.reverse();
+
+        // Re-verify what the chain claims before trusting it.
+        let mut journal = Journal::new();
+        let mut blocks = Vec::with_capacity(chain.len());
+        let mut prev_hash = Hash::ZERO;
+        for (height, (address, block)) in chain.into_iter().enumerate() {
+            if block.header.height != height as u64
+                || block.header.prev_hash != prev_hash
+                || !block.verify_records()
+            {
+                return Err(StorageError::CorruptChunk(address));
+            }
+            prev_hash = block.hash();
+            journal.append(prev_hash);
+            blocks.push(block);
+        }
+
+        let head = blocks.last().expect("chain walk found at least the head");
+        let index_root = head.header.index_root;
+        let timestamp = head.header.timestamp;
+        let index: Option<Box<dyn SiriIndex>> = match kind {
+            SiriKind::PosTree => PosTree::open(Arc::clone(&store), index_root)
+                .map(|t| Box::new(t) as Box<dyn SiriIndex>),
+            SiriKind::MerklePatriciaTrie => {
+                MerklePatriciaTrie::open(Arc::clone(&store), index_root)
+                    .map(|t| Box::new(t) as Box<dyn SiriIndex>)
+            }
+            SiriKind::MerkleBucketTree => MerkleBucketTree::open(Arc::clone(&store), index_root)
+                .map(|t| Box::new(t) as Box<dyn SiriIndex>),
+        };
+        let index = index.ok_or(StorageError::ChunkNotFound(index_root))?;
+
+        Ok(Ledger {
+            store,
+            kind,
+            inner: RwLock::new(LedgerInner {
+                index,
+                journal,
+                blocks,
+                timestamp,
+                head_chunk,
+            }),
+        })
     }
 
     /// The chunk store backing this ledger.
@@ -209,6 +301,16 @@ impl Ledger {
         let index_root = inner.index.root();
         let block = Block::new(height, prev_hash, index_root, timestamp, records);
         inner.journal.append(block.hash());
+
+        // Persist the block as a chunk and advance the durable head pointer
+        // so the chain can be recovered by `Ledger::open`. On a purely
+        // in-memory store this is the same dedup-priced put as any other
+        // chunk; the root pointer lives in memory there too.
+        let block_chunk = encode_block_chunk(inner.head_chunk, &block);
+        let chunk_address = self.store.put(Chunk::new(ChunkKind::Block, block_chunk));
+        self.store.set_root(LEDGER_HEAD_ROOT, chunk_address);
+        inner.head_chunk = chunk_address;
+
         inner.blocks.push(block);
         drop(inner);
         self.digest()
@@ -314,6 +416,25 @@ impl Ledger {
         }
         None
     }
+}
+
+/// Payload of a [`ChunkKind::Block`] chunk: the chunk address of the
+/// previous block ([`Hash::ZERO`] for genesis) followed by the encoded
+/// block. The pointer is a *chunk* address (not the block hash) so the
+/// recovery walk can fetch each predecessor directly from the store.
+fn encode_block_chunk(prev_chunk: Hash, block: &Block) -> Vec<u8> {
+    let encoded = block.encode();
+    let mut out = Vec::with_capacity(32 + encoded.len());
+    out.extend_from_slice(prev_chunk.as_bytes());
+    out.extend_from_slice(&encoded);
+    out
+}
+
+/// Inverse of [`encode_block_chunk`].
+fn decode_block_chunk(payload: &[u8]) -> Option<(Hash, Block)> {
+    let prev: [u8; 32] = payload.get(..32)?.try_into().ok()?;
+    let block = Block::decode(payload.get(32..)?)?;
+    Some((Hash::from_bytes(prev), block))
 }
 
 #[cfg(test)]
@@ -439,6 +560,91 @@ mod tests {
         let v1 = ledger.checkout(1).unwrap();
         assert_eq!(v1.get(b"acct"), Some(b"250".to_vec()));
         assert!(ledger.checkout(2).is_none());
+    }
+
+    #[test]
+    fn reopened_ledger_reproduces_digest_blocks_and_proofs() {
+        let store: Arc<dyn ChunkStore> = InMemoryChunkStore::shared();
+        let first = Ledger::new(Arc::clone(&store));
+        for batch in 0..6u32 {
+            first.append_block((batch * 30..(batch + 1) * 30).map(kv).collect(), "load");
+        }
+        let digest = first.digest();
+        let blocks: Vec<_> = (0..6).map(|h| first.block(h).unwrap()).collect();
+        drop(first);
+
+        let reopened = Ledger::open(Arc::clone(&store)).unwrap();
+        assert_eq!(reopened.digest(), digest);
+        assert_eq!(reopened.height(), 6);
+        assert_eq!(reopened.len(), 180);
+        for (height, block) in blocks.iter().enumerate() {
+            assert_eq!(&reopened.block(height as u64).unwrap(), block);
+        }
+        assert_eq!(reopened.audit_chain(), None);
+
+        let (key, value) = kv(42);
+        let (read, proof) = reopened.get_with_proof(&key);
+        assert_eq!(read, Some(value.clone()));
+        assert!(proof.verify(&key, Some(&value)));
+
+        // The reopened ledger keeps appending on the same chain.
+        let digest2 = reopened.append_block(vec![kv(999)], "post-reopen");
+        assert_eq!(digest2.block_height, 6);
+        assert_eq!(reopened.audit_chain(), None);
+        let reread = Ledger::open(store).unwrap();
+        assert_eq!(reread.digest(), digest2);
+    }
+
+    #[test]
+    fn open_on_empty_store_is_a_fresh_ledger() {
+        let ledger = Ledger::open(InMemoryChunkStore::shared()).unwrap();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.height(), 0);
+        ledger.append_block(vec![kv(1)], "first");
+        assert_eq!(ledger.height(), 1);
+    }
+
+    #[test]
+    fn open_rejects_a_tampered_block_chain() {
+        let store = InMemoryChunkStore::shared();
+        let ledger = Ledger::new(Arc::clone(&store) as Arc<dyn ChunkStore>);
+        ledger.append_block((0..10).map(kv).collect(), "load");
+        ledger.append_block((10..20).map(kv).collect(), "load");
+        drop(ledger);
+
+        // Forge the head pointer to an unrelated chunk: the walk must fail
+        // rather than silently produce a different history.
+        let bogus = ChunkStore::put(
+            &store,
+            spitz_storage::Chunk::new(ChunkKind::Block, b"not a block".to_vec()),
+        );
+        store.set_root(LEDGER_HEAD_ROOT, bogus);
+        assert!(matches!(
+            Ledger::open(Arc::clone(&store) as Arc<dyn ChunkStore>),
+            Err(StorageError::CorruptChunk(_))
+        ));
+    }
+
+    #[test]
+    fn reopen_preserves_every_siri_kind() {
+        for kind in [
+            SiriKind::PosTree,
+            SiriKind::MerklePatriciaTrie,
+            SiriKind::MerkleBucketTree,
+        ] {
+            let store: Arc<dyn ChunkStore> = InMemoryChunkStore::shared();
+            let ledger = Ledger::with_kind(Arc::clone(&store), kind);
+            ledger.append_block((0..40).map(kv).collect(), "load");
+            let digest = ledger.digest();
+            drop(ledger);
+
+            let reopened = Ledger::open_with_kind(store, kind).unwrap();
+            assert_eq!(reopened.digest(), digest, "{}", kind.name());
+            let (key, value) = kv(7);
+            let (read, proof) = reopened.get_with_proof(&key);
+            assert_eq!(read, Some(value.clone()), "{}", kind.name());
+            assert!(proof.verify(&key, Some(&value)), "{}", kind.name());
+        }
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod ledger;
 pub use block::{Block, BlockHeader, TxnRecord, WriteOp};
 pub use deferred::{DeferredVerifier, VerificationReport};
 pub use journal::{Journal, JournalProof};
-pub use ledger::{Digest, Ledger, LedgerProof, LedgerRangeProof, VerifiedRange};
+pub use ledger::{Digest, Ledger, LedgerProof, LedgerRangeProof, VerifiedRange, LEDGER_HEAD_ROOT};

@@ -1,0 +1,179 @@
+//! A bounded chunk cache so hot reads of a durable store stay near
+//! in-memory speed.
+//!
+//! The cache is byte-budgeted (chunks vary from a few bytes to tens of
+//! kilobytes, so an entry count would be meaningless) and uses second-chance
+//! ("clock") eviction: a FIFO queue where entries touched since they were
+//! enqueued get one more trip around before being dropped. That captures
+//! most of LRU's benefit for this workload — index nodes near the root are
+//! re-read constantly and stay resident — without per-access list surgery.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use spitz_crypto::Hash;
+
+use crate::chunk::Chunk;
+
+#[derive(Debug)]
+struct CacheEntry {
+    chunk: Arc<Chunk>,
+    /// Set on every hit; gives the entry a second trip through the queue.
+    referenced: bool,
+}
+
+/// Byte-budgeted chunk cache with second-chance eviction.
+#[derive(Debug)]
+pub struct ChunkCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    entries: HashMap<Hash, CacheEntry>,
+    queue: VecDeque<Hash>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ChunkCache {
+    /// Create a cache holding at most `capacity_bytes` of chunk payloads.
+    /// A capacity of 0 disables caching entirely.
+    pub fn new(capacity_bytes: usize) -> Self {
+        ChunkCache {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            queue: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a chunk, marking it recently used.
+    pub fn get(&mut self, address: &Hash) -> Option<Arc<Chunk>> {
+        match self.entries.get_mut(address) {
+            Some(entry) => {
+                entry.referenced = true;
+                self.hits += 1;
+                Some(Arc::clone(&entry.chunk))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a chunk, evicting cold entries to stay within budget. Chunks
+    /// larger than the whole budget are not cached.
+    pub fn insert(&mut self, address: Hash, chunk: Arc<Chunk>) {
+        let size = chunk.storage_size();
+        if size > self.capacity_bytes || self.entries.contains_key(&address) {
+            return;
+        }
+        while self.used_bytes + size > self.capacity_bytes {
+            let Some(victim) = self.queue.pop_front() else {
+                break;
+            };
+            let Some(entry) = self.entries.get_mut(&victim) else {
+                continue;
+            };
+            if entry.referenced {
+                entry.referenced = false;
+                self.queue.push_back(victim);
+            } else {
+                let evicted = self.entries.remove(&victim).expect("entry exists");
+                self.used_bytes -= evicted.chunk.storage_size();
+            }
+        }
+        self.used_bytes += size;
+        self.queue.push_back(address);
+        self.entries.insert(
+            address,
+            CacheEntry {
+                chunk,
+                referenced: false,
+            },
+        );
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Number of resident chunks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` counters since creation.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ChunkKind;
+
+    fn chunk(i: u32, size: usize) -> (Hash, Arc<Chunk>) {
+        let mut data = vec![0u8; size];
+        data[..4].copy_from_slice(&i.to_be_bytes());
+        let chunk = Chunk::new(ChunkKind::Blob, data);
+        (chunk.address(), Arc::new(chunk))
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ChunkCache::new(0);
+        let (addr, c) = chunk(1, 10);
+        cache.insert(addr, c);
+        assert!(cache.is_empty());
+        assert!(cache.get(&addr).is_none());
+    }
+
+    #[test]
+    fn stays_within_byte_budget() {
+        let mut cache = ChunkCache::new(1000);
+        for i in 0..100 {
+            let (addr, c) = chunk(i, 67); // storage_size = 67 + 33 = 100
+            cache.insert(addr, c);
+        }
+        assert!(cache.used_bytes() <= 1000);
+        assert_eq!(cache.len(), 10);
+    }
+
+    #[test]
+    fn hot_entries_survive_eviction_pressure() {
+        let mut cache = ChunkCache::new(1000);
+        let (hot_addr, hot) = chunk(0, 67);
+        cache.insert(hot_addr, hot);
+        for i in 1..50 {
+            let (addr, c) = chunk(i, 67);
+            cache.insert(addr, c);
+            // Touch the hot chunk between insertions so it keeps its
+            // second chance.
+            assert!(cache.get(&hot_addr).is_some(), "evicted after insert {i}");
+        }
+        let (hits, misses) = cache.hit_stats();
+        assert_eq!(hits, 49);
+        assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn oversized_chunks_are_not_cached() {
+        let mut cache = ChunkCache::new(100);
+        let (addr, big) = chunk(1, 500);
+        cache.insert(addr, big);
+        assert!(cache.is_empty());
+        let (small_addr, small) = chunk(2, 20);
+        cache.insert(small_addr, small);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&small_addr).is_some());
+    }
+}

@@ -1,0 +1,211 @@
+//! On-disk record format of the durable chunk store.
+//!
+//! A segment file is a short header followed by a sequence of records:
+//!
+//! ```text
+//! segment  := magic(8) version(u32 BE) segment_id(u64 BE) record*
+//! record   := payload_len(u32 BE)   -- length of the chunk payload only
+//!             kind(u8)              -- ChunkKind tag
+//!             address(32)           -- SHA-256(kind || payload)
+//!             payload(payload_len)
+//!             crc(u32 BE)           -- CRC-32 over everything above
+//! ```
+//!
+//! The CRC covers the length prefix, kind tag, address and payload, so any
+//! single-bit flip anywhere in a record is detected. The address is stored
+//! (rather than recomputed) so that the open-time scan can rebuild the
+//! address → location index without hashing every payload; `audit()` is the
+//! pass that re-hashes.
+
+use spitz_crypto::hash::HASH_LEN;
+use spitz_crypto::Hash;
+
+use crate::chunk::{Chunk, ChunkKind};
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"SPITZSEG";
+
+/// Current segment format version.
+pub const SEGMENT_VERSION: u32 = 1;
+
+/// Bytes of the segment header (magic + version + segment id).
+pub const SEGMENT_HEADER_LEN: u64 = 8 + 4 + 8;
+
+/// Fixed per-record overhead: length prefix, kind tag, address and CRC.
+pub const RECORD_OVERHEAD: usize = 4 + 1 + HASH_LEN + 4;
+
+/// CRC-32 (IEEE 802.3, the polynomial used by gzip/zip) over `data`.
+///
+/// Implemented locally with a lazily built lookup table; the workspace has
+/// no registry access, so no `crc32fast` dependency.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ table[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Serialize the segment header for segment `id`.
+pub fn encode_segment_header(id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEGMENT_HEADER_LEN as usize);
+    out.extend_from_slice(&SEGMENT_MAGIC);
+    out.extend_from_slice(&SEGMENT_VERSION.to_be_bytes());
+    out.extend_from_slice(&id.to_be_bytes());
+    out
+}
+
+/// Parse and validate a segment header; returns the segment id.
+pub fn decode_segment_header(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < SEGMENT_HEADER_LEN as usize || bytes[..8] != SEGMENT_MAGIC {
+        return None;
+    }
+    let version = u32::from_be_bytes(bytes[8..12].try_into().ok()?);
+    if version != SEGMENT_VERSION {
+        return None;
+    }
+    Some(u64::from_be_bytes(bytes[12..20].try_into().ok()?))
+}
+
+/// Serialize one chunk record (including its trailing CRC).
+pub fn encode_record(address: &Hash, chunk: &Chunk) -> Vec<u8> {
+    let payload = chunk.data();
+    let mut out = Vec::with_capacity(RECORD_OVERHEAD + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.push(chunk.kind().tag());
+    out.extend_from_slice(address.as_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_be_bytes());
+    out
+}
+
+/// A record decoded from a segment file.
+#[derive(Debug)]
+pub struct DecodedRecord {
+    /// The address stored alongside the payload.
+    pub address: Hash,
+    /// The reconstructed chunk.
+    pub chunk: Chunk,
+}
+
+/// Why decoding a record failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecordError {
+    /// Fewer bytes remain than the record claims to span — a torn write if
+    /// it happens at the tail of the last segment, corruption otherwise.
+    Truncated,
+    /// The CRC did not match the record bytes.
+    BadCrc,
+    /// The kind tag is not a known [`ChunkKind`].
+    BadKind(u8),
+}
+
+/// Decode the record starting at `bytes[0]`; on success also returns the
+/// total encoded length so the caller can advance its cursor.
+pub fn decode_record(bytes: &[u8]) -> Result<(DecodedRecord, usize), RecordError> {
+    if bytes.len() < RECORD_OVERHEAD {
+        return Err(RecordError::Truncated);
+    }
+    let payload_len = u32::from_be_bytes(bytes[..4].try_into().unwrap()) as usize;
+    let total = RECORD_OVERHEAD + payload_len;
+    if bytes.len() < total {
+        return Err(RecordError::Truncated);
+    }
+    let body = &bytes[..total - 4];
+    let stored_crc = u32::from_be_bytes(bytes[total - 4..total].try_into().unwrap());
+    if crc32(body) != stored_crc {
+        return Err(RecordError::BadCrc);
+    }
+    let kind_tag = bytes[4];
+    let kind = ChunkKind::from_tag(kind_tag).ok_or(RecordError::BadKind(kind_tag))?;
+    let mut address = [0u8; HASH_LEN];
+    address.copy_from_slice(&bytes[5..5 + HASH_LEN]);
+    let payload = bytes[5 + HASH_LEN..total - 4].to_vec();
+    Ok((
+        DecodedRecord {
+            address: Hash::from_bytes(address),
+            chunk: Chunk::new(kind, payload),
+        },
+        total,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let chunk = Chunk::new(ChunkKind::Blob, b"payload bytes".to_vec());
+        let addr = chunk.address();
+        let encoded = encode_record(&addr, &chunk);
+        assert_eq!(encoded.len(), RECORD_OVERHEAD + chunk.len());
+        let (decoded, consumed) = decode_record(&encoded).unwrap();
+        assert_eq!(consumed, encoded.len());
+        assert_eq!(decoded.address, addr);
+        assert_eq!(decoded.chunk, chunk);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let chunk = Chunk::new(ChunkKind::Meta, b"abcdef".to_vec());
+        let encoded = encode_record(&chunk.address(), &chunk);
+        for byte in 0..encoded.len() {
+            for bit in 0..8 {
+                let mut bad = encoded.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_record(&bad).is_err(),
+                    "flip of byte {byte} bit {bit} went unnoticed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_records_report_truncation() {
+        let chunk = Chunk::new(ChunkKind::Blob, vec![7u8; 64]);
+        let encoded = encode_record(&chunk.address(), &chunk);
+        for cut in [0, 3, RECORD_OVERHEAD - 1, encoded.len() - 1] {
+            assert_eq!(
+                decode_record(&encoded[..cut]).unwrap_err(),
+                RecordError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_header_roundtrip() {
+        let header = encode_segment_header(42);
+        assert_eq!(header.len() as u64, SEGMENT_HEADER_LEN);
+        assert_eq!(decode_segment_header(&header), Some(42));
+        let mut bad = header.clone();
+        bad[0] ^= 1;
+        assert_eq!(decode_segment_header(&bad), None);
+    }
+}

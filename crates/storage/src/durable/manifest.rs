@@ -1,0 +1,210 @@
+//! The manifest: the one small mutable file of a durable store.
+//!
+//! Everything else in the store directory is append-only segment data; the
+//! manifest records what cannot be derived from a segment scan alone:
+//!
+//! * the segment order (which also names the active segment — the last one),
+//! * the cumulative [`StoreStats`] counters that are not reconstructible
+//!   from surviving chunks (`logical_bytes`, `dedup_hits`, `reads`),
+//! * the named root pointers (ledger chain head etc.).
+//!
+//! The manifest is plain text, one `key value...` pair per line, and is
+//! replaced atomically (write to a temporary file, `rename` over the old
+//! one) so a crash never leaves a half-written manifest behind. After a
+//! crash the manifest may be *stale* — counters miss the writes since the
+//! last rewrite — so the open path treats the segment scan as authoritative
+//! for `chunk_count`/`physical_bytes` and clamps `logical_bytes` from below.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use spitz_crypto::Hash;
+
+use crate::error::StorageError;
+use crate::store::StoreStats;
+use crate::Result;
+
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// First line of every manifest.
+const MANIFEST_HEADER: &str = "spitz-durable-manifest v1";
+
+/// Parsed manifest contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Segment ids in creation order; the last entry is the active segment.
+    pub segments: Vec<u64>,
+    /// Id the next rotated segment will get.
+    pub next_segment: u64,
+    /// Stats snapshot at the time of the last manifest rewrite.
+    pub stats: StoreStats,
+    /// Named root pointers (sorted map so rewrites are deterministic).
+    pub roots: BTreeMap<String, Hash>,
+}
+
+impl Manifest {
+    /// Serialize to the text form.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MANIFEST_HEADER);
+        out.push('\n');
+        let ids: Vec<String> = self.segments.iter().map(|id| id.to_string()).collect();
+        out.push_str(&format!("segments {}\n", ids.join(" ")));
+        out.push_str(&format!("next-segment {}\n", self.next_segment));
+        out.push_str(&format!(
+            "stats chunks={} physical={} logical={} dedup={} reads={}\n",
+            self.stats.chunk_count,
+            self.stats.physical_bytes,
+            self.stats.logical_bytes,
+            self.stats.dedup_hits,
+            self.stats.reads,
+        ));
+        for (name, hash) in &self.roots {
+            out.push_str(&format!("root {name} {}\n", hash.to_hex()));
+        }
+        out
+    }
+
+    /// Parse the text form.
+    pub fn decode(text: &str) -> Result<Manifest> {
+        let corrupt = |msg: &str| StorageError::ManifestCorrupt(msg.to_string());
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return Err(corrupt("missing header"));
+        }
+        let mut manifest = Manifest::default();
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("segments") => {
+                    manifest.segments = parts
+                        .map(|id| id.parse().map_err(|_| corrupt("bad segment id")))
+                        .collect::<Result<_>>()?;
+                }
+                Some("next-segment") => {
+                    manifest.next_segment = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| corrupt("bad next-segment"))?;
+                }
+                Some("stats") => {
+                    for field in parts {
+                        let (key, value) = field
+                            .split_once('=')
+                            .ok_or_else(|| corrupt("stats field is not key=value"))?;
+                        let value: u64 = value.parse().map_err(|_| corrupt("bad stats value"))?;
+                        match key {
+                            "chunks" => manifest.stats.chunk_count = value,
+                            "physical" => manifest.stats.physical_bytes = value,
+                            "logical" => manifest.stats.logical_bytes = value,
+                            "dedup" => manifest.stats.dedup_hits = value,
+                            "reads" => manifest.stats.reads = value,
+                            _ => return Err(corrupt("unknown stats field")),
+                        }
+                    }
+                }
+                Some("root") => {
+                    let name = parts.next().ok_or_else(|| corrupt("root without name"))?;
+                    let hex = parts.next().ok_or_else(|| corrupt("root without hash"))?;
+                    let hash = Hash::from_hex(hex).map_err(|_| corrupt("root hash is not hex"))?;
+                    manifest.roots.insert(name.to_string(), hash);
+                }
+                Some(other) => return Err(corrupt(&format!("unknown manifest line {other:?}"))),
+                None => {}
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// Load the manifest from a store directory, `None` if absent.
+    pub fn load(dir: &Path) -> Result<Option<Manifest>> {
+        let path = dir.join(MANIFEST_FILE);
+        match fs::read_to_string(&path) {
+            Ok(text) => Manifest::decode(&text).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StorageError::io(&path, e)),
+        }
+    }
+
+    /// Atomically replace the manifest in `dir`: write a temporary file and
+    /// rename it over [`MANIFEST_FILE`].
+    pub fn store(&self, dir: &Path) -> Result<()> {
+        let tmp: PathBuf = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        fs::write(&tmp, self.encode()).map_err(|e| StorageError::io(&tmp, e))?;
+        let path = dir.join(MANIFEST_FILE);
+        fs::rename(&tmp, &path).map_err(|e| StorageError::io(&path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durable::testutil::TempDir;
+    use spitz_crypto::sha256;
+
+    fn sample() -> Manifest {
+        Manifest {
+            segments: vec![0, 1, 5],
+            next_segment: 6,
+            stats: StoreStats {
+                chunk_count: 12,
+                physical_bytes: 3400,
+                logical_bytes: 9000,
+                dedup_hits: 88,
+                reads: 512,
+            },
+            roots: [
+                ("ledger/head".to_string(), sha256(b"head")),
+                ("other".to_string(), sha256(b"other")),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let manifest = sample();
+        assert_eq!(Manifest::decode(&manifest.encode()).unwrap(), manifest);
+        assert_eq!(Manifest::decode(&Manifest::default().encode()).unwrap(), {
+            Manifest::default()
+        });
+    }
+
+    #[test]
+    fn load_store_roundtrip_and_missing_file() {
+        let dir = TempDir::new("manifest-roundtrip");
+        assert_eq!(Manifest::load(dir.path()).unwrap(), None);
+        let manifest = sample();
+        manifest.store(dir.path()).unwrap();
+        assert_eq!(Manifest::load(dir.path()).unwrap(), Some(manifest.clone()));
+        // Rewrites replace atomically.
+        let mut updated = manifest;
+        updated.stats.reads += 1;
+        updated.store(dir.path()).unwrap();
+        assert_eq!(Manifest::load(dir.path()).unwrap(), Some(updated));
+    }
+
+    #[test]
+    fn garbage_manifests_are_rejected() {
+        for text in [
+            "",
+            "wrong header\n",
+            "spitz-durable-manifest v1\nsegments x\n",
+            "spitz-durable-manifest v1\nstats chunks=abc\n",
+            "spitz-durable-manifest v1\nstats bogus\n",
+            "spitz-durable-manifest v1\nroot name nothex\n",
+            "spitz-durable-manifest v1\nnonsense 1\n",
+        ] {
+            assert!(
+                matches!(
+                    Manifest::decode(text),
+                    Err(StorageError::ManifestCorrupt(_))
+                ),
+                "accepted {text:?}"
+            );
+        }
+    }
+}

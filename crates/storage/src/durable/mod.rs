@@ -1,0 +1,576 @@
+//! Durable, crash-recoverable chunk storage.
+//!
+//! [`DurableChunkStore`] implements the same [`ChunkStore`] trait as the
+//! in-memory store, but persists every chunk to append-only *segment files*
+//! in a store directory, so a database reopened from the same path
+//! reproduces its exact records-roots, chain head and digest.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! store-dir/
+//! ├── MANIFEST                 segment order, stats snapshot, root pointers
+//! ├── seg-0000000000.spitz     sealed segment (append-only, never rewritten)
+//! ├── seg-0000000001.spitz     sealed segment
+//! └── seg-0000000002.spitz     active segment (appends go here)
+//!
+//! segment  := magic "SPITZSEG" | version u32 | segment_id u64 | record*
+//! record   := payload_len u32  -- big endian
+//!           | kind u8          -- ChunkKind tag
+//!           | address [32]     -- SHA-256(kind || payload)
+//!           | payload [payload_len]
+//!           | crc u32          -- CRC-32 over all of the above
+//! ```
+//!
+//! # Recovery rules
+//!
+//! Opening a store scans every segment in manifest order and rebuilds the
+//! in-memory address → (segment, offset) index:
+//!
+//! 1. A record that is cut short **at the tail of the last segment** — or
+//!    whose CRC fails there — is the remnant of an append interrupted by a
+//!    crash. It is dropped and the file truncated back to the last intact
+//!    record; everything before it survives.
+//! 2. The same damage anywhere else cannot be a torn append (appends only
+//!    ever race the tail), so the open fails with
+//!    [`StorageError::SegmentCorrupt`] — tampering or media corruption.
+//!    One inherent ambiguity (shared with every length-prefixed WAL): a
+//!    corrupted *length prefix* whose claimed extent reaches past the end
+//!    of the last segment is indistinguishable from a torn append and is
+//!    dropped along with everything after it. For ledger data this is
+//!    still loud, not silent — the head root pointer stops resolving and
+//!    the reopen fails.
+//! 3. A record whose CRC passes but whose stored address does not hash to
+//!    its contents is caught by [`ChunkStore::audit`] (and by
+//!    [`crate::store::VerifyingStore`] at read time).
+//! 4. `chunk_count` and `physical_bytes` are recomputed from the scan and
+//!    are always exact. `logical_bytes`, `dedup_hits` and `reads` come from
+//!    the manifest snapshot: exact after a clean shutdown, a lower bound
+//!    after a crash (`logical_bytes` is clamped to at least
+//!    `physical_bytes`).
+//! 5. Segment files present on disk but missing from the manifest (a crash
+//!    between rotation and the manifest rewrite) are adopted in id order.
+//!
+//! Writes go to the active segment; when it exceeds
+//! [`DurableConfig::segment_target_bytes`] it is sealed and a new segment
+//! is started. An optional byte-budgeted [`cache::ChunkCache`] keeps hot
+//! chunks (index roots, recent blocks) resident so verified reads stay near
+//! in-memory speed.
+
+pub mod cache;
+pub mod format;
+pub mod manifest;
+pub mod segment;
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use spitz_crypto::Hash;
+
+use crate::chunk::{Chunk, ChunkKind};
+use crate::error::StorageError;
+use crate::store::{ChunkStore, StoreStats};
+use crate::Result;
+
+use cache::ChunkCache;
+use manifest::Manifest;
+use segment::{parse_segment_file_name, ChunkLocation, Segment};
+
+/// Tuning knobs of a [`DurableChunkStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct DurableConfig {
+    /// Seal the active segment and rotate once it grows past this size.
+    pub segment_target_bytes: u64,
+    /// Byte budget of the read-through chunk cache; 0 disables caching.
+    pub cache_capacity_bytes: usize,
+    /// `fsync` the active segment after every put (safest, slowest). With
+    /// the default `false`, durability is up to the OS page cache until
+    /// [`DurableChunkStore::flush`] or drop.
+    pub fsync_each_put: bool,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            segment_target_bytes: 64 * 1024 * 1024,
+            cache_capacity_bytes: 16 * 1024 * 1024,
+            fsync_each_put: false,
+        }
+    }
+}
+
+struct DurableInner {
+    index: HashMap<Hash, ChunkLocation>,
+    /// All open segments in id order; the last one is active.
+    segments: Vec<Segment>,
+    next_segment: u64,
+    stats: StoreStats,
+    roots: std::collections::BTreeMap<String, Hash>,
+    cache: ChunkCache,
+    /// Bytes dropped as torn tail records during the last open.
+    torn_bytes_recovered: u64,
+}
+
+/// A crash-recoverable [`ChunkStore`] over append-only segment files.
+pub struct DurableChunkStore {
+    dir: PathBuf,
+    config: DurableConfig,
+    inner: RwLock<DurableInner>,
+}
+
+impl DurableChunkStore {
+    /// Open (or create) a store in `dir` with the default configuration.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with_config(dir, DurableConfig::default())
+    }
+
+    /// Open (or create) a store in `dir`, already wrapped in an [`Arc`].
+    pub fn shared(dir: impl AsRef<Path>) -> Result<Arc<Self>> {
+        Self::open(dir).map(Arc::new)
+    }
+
+    /// Open (or create) a store in `dir` with explicit tuning.
+    pub fn open_with_config(dir: impl AsRef<Path>, config: DurableConfig) -> Result<Self> {
+        if config.segment_target_bytes == 0 {
+            return Err(StorageError::InvalidConfig(
+                "segment_target_bytes must be positive".into(),
+            ));
+        }
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| StorageError::io(&dir, e))?;
+
+        let manifest = Manifest::load(&dir)?.unwrap_or_default();
+        let segment_ids = discover_segments(&dir, &manifest)?;
+
+        let mut inner = DurableInner {
+            index: HashMap::new(),
+            segments: Vec::new(),
+            next_segment: 0,
+            stats: manifest.stats,
+            roots: manifest.roots.clone(),
+            cache: ChunkCache::new(config.cache_capacity_bytes),
+            torn_bytes_recovered: 0,
+        };
+
+        // Rebuild the address index by scanning every segment; only the
+        // last segment may carry a torn tail (recovery rule 1/2 above).
+        inner.stats.chunk_count = 0;
+        inner.stats.physical_bytes = 0;
+        for (position, &id) in segment_ids.iter().enumerate() {
+            let mut segment = Segment::open(&dir, id)?;
+            let is_last = position + 1 == segment_ids.len();
+            let outcome = segment.scan(is_last)?;
+            inner.torn_bytes_recovered += outcome.torn_bytes;
+            for (address, location) in outcome.records {
+                // Later duplicates of an address are re-appends of identical
+                // content; keep the first location.
+                if inner.index.try_insert_location(address, location) {
+                    let chunk_bytes = location.len as u64 - format::RECORD_OVERHEAD as u64;
+                    inner.stats.chunk_count += 1;
+                    inner.stats.physical_bytes +=
+                        chunk_bytes + 1 + spitz_crypto::hash::HASH_LEN as u64;
+                }
+            }
+            inner.segments.push(segment);
+        }
+        if inner.segments.is_empty() {
+            inner.segments.push(Segment::create(&dir, 0)?);
+        }
+        inner.next_segment = inner.segments.last().map(|s| s.id + 1).unwrap_or(1);
+        // A stale manifest can under-count logical writes after a crash;
+        // every physical byte was a logical write at least once.
+        inner.stats.logical_bytes = inner.stats.logical_bytes.max(inner.stats.physical_bytes);
+
+        let store = DurableChunkStore {
+            dir,
+            config,
+            inner: RwLock::new(inner),
+        };
+        store.write_manifest(&store.inner.write())?;
+        Ok(store)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configuration the store was opened with.
+    pub fn config(&self) -> DurableConfig {
+        self.config
+    }
+
+    /// Bytes dropped as torn tail records while opening (crash recovery).
+    pub fn torn_bytes_recovered(&self) -> u64 {
+        self.inner.read().torn_bytes_recovered
+    }
+
+    /// Number of segment files (sealed + active).
+    pub fn segment_count(&self) -> usize {
+        self.inner.read().segments.len()
+    }
+
+    /// `(hits, misses)` of the read-through cache since open.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.inner.read().cache.hit_stats()
+    }
+
+    /// Total number of distinct chunks of a particular kind (diagnostics,
+    /// mirrors [`crate::store::InMemoryChunkStore::count_kind`]).
+    pub fn count_kind(&self, kind: ChunkKind) -> usize {
+        self.inner
+            .read()
+            .index
+            .values()
+            .filter(|location| location.kind == kind)
+            .count()
+    }
+
+    /// Force segment contents and the manifest to stable storage.
+    pub fn flush(&self) -> Result<()> {
+        let inner = self.inner.write();
+        if let Some(active) = inner.segments.last() {
+            active.sync()?;
+        }
+        self.write_manifest(&inner)
+    }
+
+    fn write_manifest(&self, inner: &DurableInner) -> Result<()> {
+        Manifest {
+            segments: inner.segments.iter().map(|s| s.id).collect(),
+            next_segment: inner.next_segment,
+            stats: inner.stats,
+            roots: inner.roots.clone(),
+        }
+        .store(&self.dir)
+    }
+
+    /// Read a chunk from its segment. `cache` controls whether the chunk is
+    /// retained in the read cache — point reads want that, but a bulk scan
+    /// like [`ChunkStore::audit`] would flush the hot working set.
+    fn read_location(
+        &self,
+        inner: &mut DurableInner,
+        address: &Hash,
+        location: ChunkLocation,
+        cache: bool,
+    ) -> Result<Arc<Chunk>> {
+        let position = inner
+            .segments
+            .binary_search_by_key(&location.segment, |s| s.id)
+            .map_err(|_| StorageError::ChunkNotFound(*address))?;
+        let chunk = Arc::new(inner.segments[position].read(&location)?);
+        if cache {
+            inner.cache.insert(*address, Arc::clone(&chunk));
+        }
+        Ok(chunk)
+    }
+}
+
+impl ChunkStore for DurableChunkStore {
+    /// Store a chunk, appending it to the active segment.
+    ///
+    /// The `ChunkStore` trait keeps `put` infallible (content addressing
+    /// cannot fail), so an I/O failure of the underlying append — disk
+    /// full, EIO — panics rather than silently dropping the chunk. A
+    /// fallible `try_put` escape hatch is tracked as a ROADMAP follow-up.
+    fn put(&self, chunk: Chunk) -> Hash {
+        let address = chunk.address();
+        let mut inner = self.inner.write();
+        inner.stats.logical_bytes += chunk.storage_size() as u64;
+        if inner.index.contains_key(&address) {
+            inner.stats.dedup_hits += 1;
+            return address;
+        }
+
+        let active = inner.segments.last_mut().expect("active segment exists");
+        let location = active
+            .append(&address, &chunk)
+            .expect("append to active segment");
+        inner.stats.chunk_count += 1;
+        inner.stats.physical_bytes += chunk.storage_size() as u64;
+        inner.index.insert(address, location);
+        inner.cache.insert(address, Arc::new(chunk));
+
+        let rotate = inner.segments.last().expect("active").len >= self.config.segment_target_bytes;
+        if rotate {
+            let id = inner.next_segment;
+            inner.next_segment += 1;
+            if let Some(sealed) = inner.segments.last() {
+                let _ = sealed.sync();
+            }
+            let segment = Segment::create(&self.dir, id).expect("create rotated segment");
+            inner.segments.push(segment);
+            let _ = self.write_manifest(&inner);
+        } else if self.config.fsync_each_put {
+            let _ = inner.segments.last().expect("active").sync();
+        }
+        address
+    }
+
+    fn get(&self, address: &Hash) -> Result<Arc<Chunk>> {
+        let mut inner = self.inner.write();
+        inner.stats.reads += 1;
+        if let Some(chunk) = inner.cache.get(address) {
+            return Ok(chunk);
+        }
+        let location = *inner
+            .index
+            .get(address)
+            .ok_or(StorageError::ChunkNotFound(*address))?;
+        self.read_location(&mut inner, address, location, true)
+    }
+
+    fn contains(&self, address: &Hash) -> bool {
+        self.inner.read().index.contains_key(address)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.read().stats
+    }
+
+    fn audit(&self) -> Vec<Hash> {
+        let mut inner = self.inner.write();
+        let locations: Vec<(Hash, ChunkLocation)> =
+            inner.index.iter().map(|(a, l)| (*a, *l)).collect();
+        let mut failures = Vec::new();
+        for (address, location) in locations {
+            match self.read_location(&mut inner, &address, location, false) {
+                Ok(chunk) if chunk.address() == address => {}
+                _ => failures.push(address),
+            }
+        }
+        failures
+    }
+
+    fn set_root(&self, name: &str, hash: Hash) {
+        let mut inner = self.inner.write();
+        inner.roots.insert(name.to_string(), hash);
+        // Data before pointer: fsync the active segment so every chunk the
+        // new root can reference is durable before the manifest publishing
+        // the root hits disk. Without this ordering a crash could persist
+        // the manifest rename but not the referenced tail chunk, leaving a
+        // head pointer that never resolves again. (Sealed segments were
+        // synced at rotation.)
+        if let Some(active) = inner.segments.last() {
+            let _ = active.sync();
+        }
+        let _ = self.write_manifest(&inner);
+    }
+
+    fn root(&self, name: &str) -> Option<Hash> {
+        self.inner.read().roots.get(name).copied()
+    }
+}
+
+impl Drop for DurableChunkStore {
+    fn drop(&mut self) {
+        // Best-effort durability on clean shutdown; crash recovery covers
+        // the rest.
+        let _ = self.flush();
+    }
+}
+
+impl std::fmt::Debug for DurableChunkStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableChunkStore")
+            .field("dir", &self.dir)
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Union of the manifest's segment list and the segment files actually on
+/// disk (adopting rotations the manifest missed), in id order.
+fn discover_segments(dir: &Path, manifest: &Manifest) -> Result<Vec<u64>> {
+    let mut ids: Vec<u64> = manifest.segments.clone();
+    let entries = std::fs::read_dir(dir).map_err(|e| StorageError::io(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StorageError::io(dir, e))?;
+        if let Some(id) = entry.file_name().to_str().and_then(parse_segment_file_name) {
+            ids.push(id);
+        }
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    Ok(ids)
+}
+
+/// Tiny extension so the open-time scan can count only first occurrences.
+trait TryInsertLocation {
+    fn try_insert_location(&mut self, address: Hash, location: ChunkLocation) -> bool;
+}
+
+impl TryInsertLocation for HashMap<Hash, ChunkLocation> {
+    fn try_insert_location(&mut self, address: Hash, location: ChunkLocation) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.entry(address) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(slot) => {
+                slot.insert(location);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A uniquely named temp directory removed on drop (the workspace has
+    /// no `tempfile` dependency).
+    pub struct TempDir(PathBuf);
+
+    impl TempDir {
+        pub fn new(label: &str) -> TempDir {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path =
+                std::env::temp_dir().join(format!("spitz-{label}-{}-{n}", std::process::id()));
+            std::fs::create_dir_all(&path).expect("create temp dir");
+            TempDir(path)
+        }
+
+        pub fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testutil::TempDir;
+
+    fn blob(data: &[u8]) -> Chunk {
+        Chunk::new(ChunkKind::Blob, data.to_vec())
+    }
+
+    fn small_config() -> DurableConfig {
+        DurableConfig {
+            segment_target_bytes: 4 * 1024,
+            cache_capacity_bytes: 0,
+            fsync_each_put: false,
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_dedup() {
+        let dir = TempDir::new("durable-roundtrip");
+        let store = DurableChunkStore::open(dir.path()).unwrap();
+        let addr = store.put(blob(b"hello durable"));
+        assert!(store.contains(&addr));
+        assert_eq!(store.get(&addr).unwrap().data(), b"hello durable");
+
+        for _ in 0..5 {
+            assert_eq!(store.put(blob(b"hello durable")), addr);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.chunk_count, 1);
+        assert_eq!(stats.dedup_hits, 5);
+        assert!(stats.logical_bytes > stats.physical_bytes);
+        assert!(store.audit().is_empty());
+
+        let missing = spitz_crypto::sha256(b"absent");
+        assert!(matches!(
+            store.get(&missing),
+            Err(StorageError::ChunkNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn reopen_preserves_chunks_stats_and_roots() {
+        let dir = TempDir::new("durable-reopen");
+        let mut addresses = Vec::new();
+        let head = spitz_crypto::sha256(b"chain head");
+        let stats_before;
+        {
+            let store = DurableChunkStore::open_with_config(dir.path(), small_config()).unwrap();
+            for i in 0..200u32 {
+                addresses.push(store.put(blob(&i.to_be_bytes())));
+            }
+            store.put(blob(&0u32.to_be_bytes())); // one dedup hit
+            store.set_root("ledger/head", head);
+            stats_before = store.stats();
+            assert!(store.segment_count() > 1, "rotation must have happened");
+        }
+
+        let store = DurableChunkStore::open_with_config(dir.path(), small_config()).unwrap();
+        assert_eq!(store.torn_bytes_recovered(), 0);
+        for (i, addr) in addresses.iter().enumerate() {
+            let chunk = store.get(addr).unwrap();
+            assert_eq!(chunk.data(), (i as u32).to_be_bytes());
+        }
+        assert_eq!(store.root("ledger/head"), Some(head));
+        let stats = store.stats();
+        assert_eq!(stats.chunk_count, stats_before.chunk_count);
+        assert_eq!(stats.physical_bytes, stats_before.physical_bytes);
+        assert_eq!(stats.logical_bytes, stats_before.logical_bytes);
+        assert_eq!(stats.dedup_hits, stats_before.dedup_hits);
+        assert_eq!(store.count_kind(ChunkKind::Blob), 200);
+        assert!(store.audit().is_empty());
+    }
+
+    #[test]
+    fn cache_serves_repeated_reads() {
+        let dir = TempDir::new("durable-cache");
+        let config = DurableConfig {
+            cache_capacity_bytes: 1024 * 1024,
+            ..small_config()
+        };
+        let store = DurableChunkStore::open_with_config(dir.path(), config).unwrap();
+        let addr = store.put(blob(b"hot chunk"));
+        for _ in 0..10 {
+            store.get(&addr).unwrap();
+        }
+        let (hits, misses) = store.cache_stats();
+        assert_eq!(misses, 0, "put is write-through so every read hits");
+        assert_eq!(hits, 10);
+    }
+
+    #[test]
+    fn concurrent_puts_deduplicate_on_disk() {
+        let dir = TempDir::new("durable-concurrent");
+        let store =
+            Arc::new(DurableChunkStore::open_with_config(dir.path(), small_config()).unwrap());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    store.put(blob(&i.to_be_bytes()));
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.chunk_count, 200);
+        assert_eq!(stats.dedup_hits, 3 * 200);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let dir = TempDir::new("durable-badconfig");
+        let config = DurableConfig {
+            segment_target_bytes: 0,
+            ..DurableConfig::default()
+        };
+        assert!(matches!(
+            DurableChunkStore::open_with_config(dir.path(), config),
+            Err(StorageError::InvalidConfig(_))
+        ));
+    }
+}

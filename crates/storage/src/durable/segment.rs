@@ -1,0 +1,351 @@
+//! Segment files: append-only carriers of chunk records.
+//!
+//! A [`Segment`] wraps one open file handle used both for appending (the
+//! active segment) and for random-access reads (all segments). Reads and
+//! writes are serialized by the store's outer lock, so plain `Seek` +
+//! `Read` is sufficient and the code stays free of platform-specific I/O.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use spitz_crypto::Hash;
+
+use crate::chunk::{Chunk, ChunkKind};
+use crate::error::StorageError;
+use crate::Result;
+
+use super::format::{
+    decode_record, decode_segment_header, encode_record, encode_segment_header, SEGMENT_HEADER_LEN,
+};
+
+/// Location of one chunk record inside the segment set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkLocation {
+    /// Id of the segment holding the record.
+    pub segment: u64,
+    /// Byte offset of the record within the segment file.
+    pub offset: u64,
+    /// Total encoded length of the record.
+    pub len: u32,
+    /// Kind of the stored chunk (kept in the index so `get_kind` mismatches
+    /// fail without touching the disk).
+    pub kind: ChunkKind,
+}
+
+/// File name of segment `id` (fixed width so lexicographic = numeric order).
+pub fn segment_file_name(id: u64) -> String {
+    format!("seg-{id:010}.spitz")
+}
+
+/// Parse a segment id back out of a file name produced by
+/// [`segment_file_name`].
+pub fn parse_segment_file_name(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".spitz")?
+        .parse()
+        .ok()
+}
+
+/// One open segment file.
+#[derive(Debug)]
+pub struct Segment {
+    /// Segment id (position in the manifest's segment order).
+    pub id: u64,
+    path: PathBuf,
+    file: File,
+    /// Current file length; the append offset for the active segment.
+    pub len: u64,
+}
+
+/// Outcome of scanning a segment at open time.
+#[derive(Debug)]
+pub struct ScanOutcome {
+    /// Address and location of every intact record, in file order.
+    pub records: Vec<(Hash, ChunkLocation)>,
+    /// Bytes dropped from the tail as a torn write (0 when the file was
+    /// clean). Only ever non-zero when scanning with `tolerate_torn_tail`.
+    pub torn_bytes: u64,
+}
+
+impl Segment {
+    /// Create a fresh segment file (fails if it already exists).
+    pub fn create(dir: &Path, id: u64) -> Result<Segment> {
+        let path = dir.join(segment_file_name(id));
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .read(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StorageError::io(&path, e))?;
+        let header = encode_segment_header(id);
+        file.write_all(&header)
+            .map_err(|e| StorageError::io(&path, e))?;
+        Ok(Segment {
+            id,
+            path,
+            file,
+            len: SEGMENT_HEADER_LEN,
+        })
+    }
+
+    /// Open an existing segment file and validate its header.
+    pub fn open(dir: &Path, id: u64) -> Result<Segment> {
+        let path = dir.join(segment_file_name(id));
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StorageError::io(&path, e))?;
+        let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+        file.seek(SeekFrom::Start(0))
+            .and_then(|_| file.read_exact(&mut header))
+            .map_err(|e| StorageError::io(&path, e))?;
+        match decode_segment_header(&header) {
+            Some(found) if found == id => {}
+            _ => {
+                return Err(StorageError::SegmentCorrupt {
+                    segment: id,
+                    offset: 0,
+                    reason: "bad segment header".into(),
+                })
+            }
+        }
+        let len = file
+            .metadata()
+            .map_err(|e| StorageError::io(&path, e))?
+            .len();
+        Ok(Segment {
+            id,
+            path,
+            file,
+            len,
+        })
+    }
+
+    /// Append one encoded chunk record; returns its location.
+    pub fn append(&mut self, address: &Hash, chunk: &Chunk) -> Result<ChunkLocation> {
+        let record = encode_record(address, chunk);
+        self.file
+            .write_all(&record)
+            .map_err(|e| StorageError::io(&self.path, e))?;
+        let location = ChunkLocation {
+            segment: self.id,
+            offset: self.len,
+            len: record.len() as u32,
+            kind: chunk.kind(),
+        };
+        self.len += record.len() as u64;
+        Ok(location)
+    }
+
+    /// Read back and validate the record at `location`.
+    pub fn read(&mut self, location: &ChunkLocation) -> Result<Chunk> {
+        let mut buf = vec![0u8; location.len as usize];
+        self.file
+            .seek(SeekFrom::Start(location.offset))
+            .and_then(|_| self.file.read_exact(&mut buf))
+            .map_err(|e| StorageError::io(&self.path, e))?;
+        let (decoded, _) = decode_record(&buf).map_err(|e| StorageError::SegmentCorrupt {
+            segment: self.id,
+            offset: location.offset,
+            reason: format!("{e:?}"),
+        })?;
+        Ok(decoded.chunk)
+    }
+
+    /// Flush file contents to stable storage (`fsync`).
+    pub fn sync(&self) -> Result<()> {
+        self.file
+            .sync_all()
+            .map_err(|e| StorageError::io(&self.path, e))
+    }
+
+    /// Scan every record in the segment, rebuilding index entries.
+    ///
+    /// `tolerate_torn_tail` is set for the *last* segment only: a record
+    /// that is cut short or fails its CRC **at the very end of the file** is
+    /// treated as the remnant of a crashed append — the file is truncated
+    /// back to the last intact record and the scan succeeds. The same damage
+    /// anywhere else (or in a sealed segment) is corruption and fails the
+    /// open.
+    pub fn scan(&mut self, tolerate_torn_tail: bool) -> Result<ScanOutcome> {
+        let mut bytes = Vec::new();
+        self.file
+            .seek(SeekFrom::Start(0))
+            .and_then(|_| self.file.read_to_end(&mut bytes))
+            .map_err(|e| StorageError::io(&self.path, e))?;
+        if decode_segment_header(&bytes).is_none() {
+            return Err(StorageError::SegmentCorrupt {
+                segment: self.id,
+                offset: 0,
+                reason: "bad segment header".into(),
+            });
+        }
+
+        let mut records = Vec::new();
+        let mut offset = SEGMENT_HEADER_LEN as usize;
+        while offset < bytes.len() {
+            match decode_record(&bytes[offset..]) {
+                Ok((decoded, consumed)) => {
+                    records.push((
+                        decoded.address,
+                        ChunkLocation {
+                            segment: self.id,
+                            offset: offset as u64,
+                            len: consumed as u32,
+                            kind: decoded.chunk.kind(),
+                        },
+                    ));
+                    offset += consumed;
+                }
+                Err(error) => {
+                    // A damaged record that still claims to end before EOF
+                    // cannot be a torn append — refuse to open.
+                    let claimed_end = record_claimed_end(&bytes, offset);
+                    let reaches_eof = claimed_end.map(|end| end >= bytes.len()).unwrap_or(true);
+                    if !(tolerate_torn_tail && reaches_eof) {
+                        return Err(StorageError::SegmentCorrupt {
+                            segment: self.id,
+                            offset: offset as u64,
+                            reason: format!("{error:?}"),
+                        });
+                    }
+                    let torn = (bytes.len() - offset) as u64;
+                    self.truncate_to(offset as u64)?;
+                    return Ok(ScanOutcome {
+                        records,
+                        torn_bytes: torn,
+                    });
+                }
+            }
+        }
+        self.len = bytes.len() as u64;
+        Ok(ScanOutcome {
+            records,
+            torn_bytes: 0,
+        })
+    }
+
+    /// Cut the file back to `len` bytes (dropping a torn tail record).
+    fn truncate_to(&mut self, len: u64) -> Result<()> {
+        self.file
+            .set_len(len)
+            .map_err(|e| StorageError::io(&self.path, e))?;
+        self.file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| StorageError::io(&self.path, e))?;
+        self.len = len;
+        Ok(())
+    }
+}
+
+/// Where the record starting at `offset` claims to end, if its length
+/// prefix is readable.
+fn record_claimed_end(bytes: &[u8], offset: usize) -> Option<usize> {
+    let prefix = bytes.get(offset..offset + 4)?;
+    let payload_len = u32::from_be_bytes(prefix.try_into().ok()?) as usize;
+    Some(offset + super::format::RECORD_OVERHEAD + payload_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durable::testutil::TempDir;
+
+    fn blob(data: &[u8]) -> Chunk {
+        Chunk::new(ChunkKind::Blob, data.to_vec())
+    }
+
+    #[test]
+    fn append_scan_read_roundtrip() {
+        let dir = TempDir::new("segment-roundtrip");
+        let mut segment = Segment::create(dir.path(), 0).unwrap();
+        let chunks: Vec<Chunk> = (0..10u8).map(|i| blob(&[i; 33])).collect();
+        let mut locations = Vec::new();
+        for chunk in &chunks {
+            locations.push(segment.append(&chunk.address(), chunk).unwrap());
+        }
+        for (chunk, location) in chunks.iter().zip(&locations) {
+            assert_eq!(&segment.read(location).unwrap(), chunk);
+        }
+
+        let mut reopened = Segment::open(dir.path(), 0).unwrap();
+        let outcome = reopened.scan(true).unwrap();
+        assert_eq!(outcome.torn_bytes, 0);
+        assert_eq!(outcome.records.len(), 10);
+        for ((address, location), chunk) in outcome.records.iter().zip(&chunks) {
+            assert_eq!(*address, chunk.address());
+            assert_eq!(&reopened.read(location).unwrap(), chunk);
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_only_when_tolerated() {
+        let dir = TempDir::new("segment-torn");
+        let mut segment = Segment::create(dir.path(), 3).unwrap();
+        for i in 0..5u8 {
+            let chunk = blob(&[i; 50]);
+            segment.append(&chunk.address(), &chunk).unwrap();
+        }
+        let full_len = segment.len;
+        drop(segment);
+
+        // Cut into the middle of the last record.
+        let path = dir.path().join(segment_file_name(3));
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full_len - 20).unwrap();
+        drop(file);
+
+        let mut sealed = Segment::open(dir.path(), 3).unwrap();
+        assert!(matches!(
+            sealed.scan(false),
+            Err(StorageError::SegmentCorrupt { segment: 3, .. })
+        ));
+
+        let mut tail = Segment::open(dir.path(), 3).unwrap();
+        let outcome = tail.scan(true).unwrap();
+        assert_eq!(outcome.records.len(), 4);
+        assert!(outcome.torn_bytes > 0);
+        // The file is physically truncated back to the intact prefix and
+        // appends keep working.
+        let chunk = blob(b"after recovery");
+        let location = tail.append(&chunk.address(), &chunk).unwrap();
+        assert_eq!(tail.read(&location).unwrap(), chunk);
+        let rescanned = Segment::open(dir.path(), 3).unwrap().scan(true).unwrap();
+        assert_eq!(rescanned.records.len(), 5);
+        assert_eq!(rescanned.torn_bytes, 0);
+    }
+
+    #[test]
+    fn mid_file_corruption_fails_even_with_tolerance() {
+        let dir = TempDir::new("segment-midflip");
+        let mut segment = Segment::create(dir.path(), 0).unwrap();
+        for i in 0..5u8 {
+            let chunk = blob(&[i; 50]);
+            segment.append(&chunk.address(), &chunk).unwrap();
+        }
+        drop(segment);
+
+        // Flip one payload byte of the first record.
+        let path = dir.path().join(segment_file_name(0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let index = SEGMENT_HEADER_LEN as usize + 40;
+        bytes[index] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut reopened = Segment::open(dir.path(), 0).unwrap();
+        assert!(matches!(
+            reopened.scan(true),
+            Err(StorageError::SegmentCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn segment_file_names_roundtrip() {
+        assert_eq!(segment_file_name(7), "seg-0000000007.spitz");
+        assert_eq!(parse_segment_file_name("seg-0000000007.spitz"), Some(7));
+        assert_eq!(parse_segment_file_name("seg-x.spitz"), None);
+        assert_eq!(parse_segment_file_name("other"), None);
+    }
+}

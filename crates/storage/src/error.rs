@@ -38,6 +38,30 @@ pub enum StorageError {
     },
     /// Invalid configuration (e.g. chunker min size larger than max size).
     InvalidConfig(String),
+    /// An operating-system I/O failure in a durable store (message includes
+    /// the failing path and the OS error).
+    Io(String),
+    /// A durable segment file failed validation: a record in the *middle* of
+    /// a segment has a bad CRC or an undecodable header. (A damaged record at
+    /// the very tail of the last segment is treated as a torn write and
+    /// dropped instead.)
+    SegmentCorrupt {
+        /// Segment id containing the bad record.
+        segment: u64,
+        /// Byte offset of the bad record within the segment file.
+        offset: u64,
+        /// What failed to validate.
+        reason: String,
+    },
+    /// The manifest file of a durable store could not be parsed.
+    ManifestCorrupt(String),
+}
+
+impl StorageError {
+    /// Wrap an OS error together with the path it occurred on.
+    pub fn io(path: &std::path::Path, err: std::io::Error) -> Self {
+        StorageError::Io(format!("{}: {err}", path.display()))
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -57,6 +81,13 @@ impl fmt::Display for StorageError {
                 write!(f, "version {version} of key {key:?} not found")
             }
             StorageError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
+            StorageError::SegmentCorrupt {
+                segment,
+                offset,
+                reason,
+            } => write!(f, "segment {segment} corrupt at offset {offset}: {reason}"),
+            StorageError::ManifestCorrupt(msg) => write!(f, "manifest corrupt: {msg}"),
         }
     }
 }

@@ -19,6 +19,10 @@
 //! * **Merkle DAG** — [`object::VBlob`] and [`object::VMap`] are built from
 //!   chunks whose hashes chain up to a single root hash, so any node of the
 //!   structure is tamper evident.
+//! * **Durability** — [`durable::DurableChunkStore`] persists chunks in
+//!   append-only segment files with per-record CRCs, crash recovery of a
+//!   torn tail, and named root pointers, behind the same [`ChunkStore`]
+//!   trait.
 //!
 //! # Example
 //!
@@ -42,6 +46,7 @@
 pub mod chunk;
 pub mod chunker;
 pub mod dag;
+pub mod durable;
 pub mod error;
 pub mod object;
 pub mod store;
@@ -49,6 +54,7 @@ pub mod version;
 
 pub use chunk::{Chunk, ChunkKind};
 pub use chunker::{Chunker, ChunkerConfig};
+pub use durable::{DurableChunkStore, DurableConfig};
 pub use error::StorageError;
 pub use object::{VBlob, VMap};
 pub use store::{ChunkStore, InMemoryChunkStore, StoreStats};

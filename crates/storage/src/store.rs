@@ -63,6 +63,30 @@ pub trait ChunkStore: Send + Sync {
     /// Current statistics snapshot.
     fn stats(&self) -> StoreStats;
 
+    /// Verify the integrity of every stored chunk: its address must equal
+    /// the hash of its contents. Returns the addresses that fail.
+    ///
+    /// This models an offline audit pass over the physical storage; for a
+    /// durable store it re-reads and re-hashes every chunk on disk.
+    fn audit(&self) -> Vec<Hash>;
+
+    /// Persist a named root pointer (e.g. the ledger chain head).
+    ///
+    /// Root pointers are the only mutable cells in the otherwise
+    /// content-addressed store — the same role git refs play over its object
+    /// database. Stores without durability may keep them in memory; the
+    /// default implementation discards them.
+    fn set_root(&self, name: &str, hash: Hash) {
+        let _ = (name, hash);
+    }
+
+    /// Read back a named root pointer. The default implementation knows no
+    /// roots.
+    fn root(&self, name: &str) -> Option<Hash> {
+        let _ = name;
+        None
+    }
+
     /// Fetch a chunk and check that it has the expected kind.
     fn get_kind(&self, address: &Hash, expected: ChunkKind) -> Result<Arc<Chunk>> {
         let chunk = self.get(address)?;
@@ -85,6 +109,7 @@ pub struct InMemoryChunkStore {
 #[derive(Debug, Default)]
 struct StoreInner {
     chunks: HashMap<Hash, Arc<Chunk>>,
+    roots: HashMap<String, Hash>,
     stats: StoreStats,
 }
 
@@ -108,20 +133,6 @@ impl InMemoryChunkStore {
             .values()
             .filter(|c| c.kind() == kind)
             .count()
-    }
-
-    /// Verify the integrity of every stored chunk: its address must equal the
-    /// hash of its contents. Returns the addresses that fail.
-    ///
-    /// This models an offline audit pass over the physical storage.
-    pub fn audit(&self) -> Vec<Hash> {
-        let inner = self.inner.read();
-        inner
-            .chunks
-            .iter()
-            .filter(|(addr, chunk)| chunk.address() != **addr)
-            .map(|(addr, _)| *addr)
-            .collect()
     }
 }
 
@@ -156,6 +167,24 @@ impl ChunkStore for InMemoryChunkStore {
 
     fn stats(&self) -> StoreStats {
         self.inner.read().stats
+    }
+
+    fn audit(&self) -> Vec<Hash> {
+        let inner = self.inner.read();
+        inner
+            .chunks
+            .iter()
+            .filter(|(addr, chunk)| chunk.address() != **addr)
+            .map(|(addr, _)| *addr)
+            .collect()
+    }
+
+    fn set_root(&self, name: &str, hash: Hash) {
+        self.inner.write().roots.insert(name.to_string(), hash);
+    }
+
+    fn root(&self, name: &str) -> Option<Hash> {
+        self.inner.read().roots.get(name).copied()
     }
 }
 
@@ -203,6 +232,18 @@ impl<S: ChunkStore> ChunkStore for VerifyingStore<S> {
     fn stats(&self) -> StoreStats {
         self.inner.stats()
     }
+
+    fn audit(&self) -> Vec<Hash> {
+        self.inner.audit()
+    }
+
+    fn set_root(&self, name: &str, hash: Hash) {
+        self.inner.set_root(name, hash)
+    }
+
+    fn root(&self, name: &str) -> Option<Hash> {
+        self.inner.root(name)
+    }
 }
 
 impl<S: ChunkStore + ?Sized> ChunkStore for &S {
@@ -220,6 +261,18 @@ impl<S: ChunkStore + ?Sized> ChunkStore for &S {
 
     fn stats(&self) -> StoreStats {
         (**self).stats()
+    }
+
+    fn audit(&self) -> Vec<Hash> {
+        (**self).audit()
+    }
+
+    fn set_root(&self, name: &str, hash: Hash) {
+        (**self).set_root(name, hash)
+    }
+
+    fn root(&self, name: &str) -> Option<Hash> {
+        (**self).root(name)
     }
 
     fn get_kind(&self, address: &Hash, expected: ChunkKind) -> Result<Arc<Chunk>> {
@@ -242,6 +295,18 @@ impl<S: ChunkStore + ?Sized> ChunkStore for Arc<S> {
 
     fn stats(&self) -> StoreStats {
         (**self).stats()
+    }
+
+    fn audit(&self) -> Vec<Hash> {
+        (**self).audit()
+    }
+
+    fn set_root(&self, name: &str, hash: Hash) {
+        (**self).set_root(name, hash)
+    }
+
+    fn root(&self, name: &str) -> Option<Hash> {
+        (**self).root(name)
     }
 
     fn get_kind(&self, address: &Hash, expected: ChunkKind) -> Result<Arc<Chunk>> {
@@ -329,6 +394,19 @@ mod tests {
             store.put(blob(&[i]));
         }
         assert!(store.audit().is_empty());
+    }
+
+    #[test]
+    fn root_pointers_roundtrip_and_overwrite() {
+        let store = InMemoryChunkStore::new();
+        assert_eq!(store.root("ledger/head"), None);
+        let h1 = spitz_crypto::sha256(b"head-1");
+        let h2 = spitz_crypto::sha256(b"head-2");
+        store.set_root("ledger/head", h1);
+        assert_eq!(store.root("ledger/head"), Some(h1));
+        store.set_root("ledger/head", h2);
+        assert_eq!(store.root("ledger/head"), Some(h2));
+        assert_eq!(store.root("other"), None);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub use spitz_core::schema::{ColumnType, Record, Schema, Value};
 pub use spitz_core::verify::ClientVerifier;
 pub use spitz_crypto::Hash;
 pub use spitz_ledger::{Digest, Ledger};
+pub use spitz_storage::{ChunkStore, DurableChunkStore, DurableConfig};
 
 #[cfg(test)]
 mod tests {
