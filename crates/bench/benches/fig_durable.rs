@@ -7,6 +7,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use spitz_bench::util::TempDir;
 use spitz_core::db::{SpitzConfig, SpitzDb};
+use spitz_ledger::DurabilityPolicy;
 use spitz_storage::chunk::{Chunk, ChunkKind};
 use spitz_storage::durable::DurableConfig;
 use spitz_storage::{ChunkStore, DurableChunkStore, InMemoryChunkStore};
@@ -121,15 +122,43 @@ fn bench_db_write_path(c: &mut Criterion) {
         })
     });
 
+    // The headline durable row runs under the Grouped policy: commits are
+    // acknowledged at publication and fsyncs are amortized by the commit
+    // pipeline — the recommended configuration for write-heavy durable
+    // workloads (BASELINES.md tracks this row against in_memory).
     let dir = TempDir::new("db-put");
-    let durable_db =
-        SpitzDb::open_with_configs(dir.path(), SpitzConfig::default(), durable_config()).unwrap();
+    let durable_db = SpitzDb::open_with_configs(
+        dir.path(),
+        SpitzConfig::default().with_durability(DurabilityPolicy::grouped_default()),
+        durable_config(),
+    )
+    .unwrap();
     let mut j = 0u64;
     group.bench_function("durable", |b| {
         b.iter(|| {
             j += 1;
             durable_db
                 .put(format!("key-{j:012}").as_bytes(), b"value")
+                .unwrap()
+        })
+    });
+
+    // Strict: one fsync per commit (every acknowledged put is durable) —
+    // still cheaper than the pre-pipeline path, which also rewrote the
+    // whole manifest per commit.
+    let dir = TempDir::new("db-put-strict");
+    let strict_db = SpitzDb::open_with_configs(
+        dir.path(),
+        SpitzConfig::default().with_durability(DurabilityPolicy::Strict),
+        durable_config(),
+    )
+    .unwrap();
+    let mut k = 0u64;
+    group.bench_function("durable_strict", |b| {
+        b.iter(|| {
+            k += 1;
+            strict_db
+                .put(format!("key-{k:012}").as_bytes(), b"value")
                 .unwrap()
         })
     });

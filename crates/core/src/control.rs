@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use spitz_ledger::{Digest, Ledger, LedgerProof, LedgerRangeProof, VerifiedRange};
+use spitz_ledger::{CommitPipeline, Digest, Ledger, LedgerProof, LedgerRangeProof, VerifiedRange};
 use spitz_txn::{CcScheme, IsolationLevel, MvccStore, TimestampOracle, TransactionManager};
 
 use crate::cell::{Cell, CellStore};
@@ -179,23 +179,45 @@ pub struct ProcessorNode {
     cells: CellStore<Arc<dyn ChunkStore>>,
     oracle: Arc<TimestampOracle>,
     manager: TransactionManager,
+    /// When present, commits are routed through the group-commit pipeline
+    /// (concurrent writers coalesce into shared blocks, fsync amortized by
+    /// its `DurabilityPolicy`) instead of sealing a block inline.
+    pipeline: Option<Arc<CommitPipeline>>,
 }
 
 impl ProcessorNode {
-    /// Create a processor node over a shared chunk store and ledger.
+    /// Create a processor node over a shared chunk store and ledger,
+    /// committing inline (no pipeline).
     pub fn new(store: Arc<dyn ChunkStore>, ledger: Arc<Ledger>, scheme: CcScheme) -> Self {
+        Self::with_pipeline(store, ledger, scheme, None)
+    }
+
+    /// Create a processor node that routes commits through `pipeline` when
+    /// one is given.
+    pub fn with_pipeline(
+        store: Arc<dyn ChunkStore>,
+        ledger: Arc<Ledger>,
+        scheme: CcScheme,
+        pipeline: Option<Arc<CommitPipeline>>,
+    ) -> Self {
         let oracle = Arc::new(TimestampOracle::new());
         ProcessorNode {
             auditor: Auditor::new(ledger),
             cells: CellStore::new(store),
             oracle: Arc::clone(&oracle),
             manager: TransactionManager::new(Arc::new(MvccStore::new()), oracle, scheme),
+            pipeline,
         }
     }
 
     /// The node's auditor.
     pub fn auditor(&self) -> &Auditor {
         &self.auditor
+    }
+
+    /// The node's commit pipeline, when commits are grouped.
+    pub fn pipeline(&self) -> Option<&Arc<CommitPipeline>> {
+        self.pipeline.as_ref()
     }
 
     /// The node's transaction manager.
@@ -242,7 +264,17 @@ impl ProcessorNode {
 
     /// The write path of Section 5.1: run the writes through the local
     /// transaction manager (MVCC versions), persist cells, and have the
-    /// auditor record the block in the ledger.
+    /// auditor record the block in the ledger (via the group-commit
+    /// pipeline when one is configured).
+    ///
+    /// If the ledger commit fails (e.g. disk full in a durable store), the
+    /// ledger rolls its own index back and the error is returned — the
+    /// failed writes are not readable, since the read path serves from the
+    /// ledger index. The MVCC versions and cell chunks written before the
+    /// failure remain: the cells are unreferenced content-addressed chunks
+    /// (harmless until segment GC collects them) and a retried commit
+    /// simply writes newer MVCC versions, though explicit transactions may
+    /// conflict against the orphaned versions until then.
     fn commit_writes(&self, writes: Vec<(Vec<u8>, Vec<u8>)>, statement: &str) -> Result<Response> {
         let mut txn = self.manager.begin(IsolationLevel::Serializable);
         for (key, value) in &writes {
@@ -256,7 +288,10 @@ impl ProcessorNode {
             self.cells.put(&cell);
         }
 
-        let digest = self.auditor.record_writes(writes, statement);
+        let digest = match &self.pipeline {
+            Some(pipeline) => pipeline.commit(writes, statement).map_err(DbError::from)?,
+            None => self.auditor.record_writes(writes, statement),
+        };
         let _ = self.oracle.allocate();
         Ok(Response::Committed(digest))
     }

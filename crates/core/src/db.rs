@@ -12,7 +12,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use spitz_index::inverted::{IndexValue, InvertedIndex};
 use spitz_index::BPlusTree;
-use spitz_ledger::{Digest, Ledger, LedgerProof, VerifiedRange};
+use spitz_ledger::{CommitPipeline, Digest, DurabilityPolicy, Ledger, LedgerProof, VerifiedRange};
 use spitz_storage::{ChunkStore, DurableChunkStore, DurableConfig, InMemoryChunkStore, StoreStats};
 use spitz_txn::CcScheme;
 
@@ -29,6 +29,11 @@ pub struct SpitzConfig {
     pub siri: spitz_index::SiriKind,
     /// Concurrency-control scheme for serializable transactions.
     pub cc_scheme: CcScheme,
+    /// Durability policy of the commit pipeline that durable instances
+    /// route writes through (see [`DurabilityPolicy`] for the trade-offs).
+    /// Purely in-memory instances ([`SpitzDb::in_memory`] /
+    /// [`SpitzDb::with_config`]) commit inline and ignore this field.
+    pub durability: DurabilityPolicy,
 }
 
 impl Default for SpitzConfig {
@@ -36,7 +41,16 @@ impl Default for SpitzConfig {
         SpitzConfig {
             siri: spitz_index::SiriKind::PosTree,
             cc_scheme: CcScheme::Occ,
+            durability: DurabilityPolicy::Strict,
         }
+    }
+}
+
+impl SpitzConfig {
+    /// This configuration with a different durability policy.
+    pub fn with_durability(mut self, durability: DurabilityPolicy) -> Self {
+        self.durability = durability;
+        self
     }
 }
 
@@ -55,6 +69,9 @@ pub struct SpitzDb {
     ledger: Arc<Ledger>,
     node: Arc<ProcessorNode>,
     tables: RwLock<HashMap<String, Table>>,
+    /// Present on durable instances: the group-commit pipeline writes are
+    /// routed through. Shut down (drained + synced) when the db drops.
+    pipeline: Option<Arc<CommitPipeline>>,
 }
 
 impl SpitzDb {
@@ -69,7 +86,10 @@ impl SpitzDb {
         let raw = InMemoryChunkStore::shared();
         let store: Arc<dyn ChunkStore> = raw;
         let ledger = Arc::new(Ledger::with_kind(Arc::clone(&store), config.siri));
-        Self::assemble(store, ledger, config)
+        // Purely in-memory instances commit inline: there is no fsync to
+        // amortize, so the pipeline's thread hop would be pure overhead on
+        // the hot path the paper's figures measure.
+        Self::assemble(store, ledger, config, false)
     }
 
     /// Open (or create) a durable instance persisted under `path` with the
@@ -80,7 +100,10 @@ impl SpitzDb {
     /// recovers the identical digest, chain head and records roots, and
     /// keeps serving verifying Merkle proofs. (The typed-table catalog of
     /// [`SpitzDb::create_table`] is in-memory metadata and is not yet
-    /// persisted.)
+    /// persisted.) Writes are routed through a group-commit pipeline with
+    /// the default [`DurabilityPolicy::Strict`] — every acknowledged commit
+    /// is fsynced; pick `Grouped` via [`SpitzDb::open_with_config`] to
+    /// amortize the fsync across commits instead.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         Self::open_with_config(path, SpitzConfig::default())
     }
@@ -106,28 +129,54 @@ impl SpitzDb {
 
     /// Build an instance over any chunk store, recovering a persisted
     /// ledger if the store holds one (the reopen path for custom backends).
+    /// Writes go through a group-commit pipeline governed by
+    /// `config.durability`.
     pub fn with_store(store: Arc<dyn ChunkStore>, config: SpitzConfig) -> Result<Self> {
         let ledger = Arc::new(Ledger::open_with_kind(Arc::clone(&store), config.siri)?);
-        Ok(Self::assemble(store, ledger, config))
+        Ok(Self::assemble(store, ledger, config, true))
     }
 
-    fn assemble(store: Arc<dyn ChunkStore>, ledger: Arc<Ledger>, config: SpitzConfig) -> Self {
-        let node = Arc::new(ProcessorNode::new(
+    fn assemble(
+        store: Arc<dyn ChunkStore>,
+        ledger: Arc<Ledger>,
+        config: SpitzConfig,
+        group_commit: bool,
+    ) -> Self {
+        let pipeline =
+            group_commit.then(|| CommitPipeline::new(Arc::clone(&ledger), config.durability));
+        let node = Arc::new(ProcessorNode::with_pipeline(
             Arc::clone(&store),
             Arc::clone(&ledger),
             config.cc_scheme,
+            pipeline.clone(),
         ));
         SpitzDb {
             store,
             ledger,
             node,
             tables: RwLock::new(HashMap::new()),
+            pipeline,
         }
     }
 
     /// The processor node (control-layer access for advanced callers).
     pub fn processor(&self) -> &Arc<ProcessorNode> {
         &self.node
+    }
+
+    /// The group-commit pipeline, present on durable instances.
+    pub fn pipeline(&self) -> Option<&Arc<CommitPipeline>> {
+        self.pipeline.as_ref()
+    }
+
+    /// Drain the commit pipeline (if any) and force everything written so
+    /// far onto stable storage, regardless of the durability policy.
+    pub fn flush(&self) -> Result<()> {
+        match &self.pipeline {
+            Some(pipeline) => pipeline.flush()?,
+            None => self.store.sync()?,
+        }
+        Ok(())
     }
 
     /// The unified ledger.
@@ -327,6 +376,17 @@ impl SpitzDb {
             .get(column)
             .ok_or_else(|| DbError::UnknownColumn(column.to_string()))?;
         Ok(postings_to_primary_keys(index.lookup_range(low, high)))
+    }
+}
+
+impl Drop for SpitzDb {
+    fn drop(&mut self) {
+        // Graceful shutdown: drain queued commits, fsync outstanding work
+        // and join the committer thread before the store closes, so a clean
+        // exit never loses acknowledged writes under any durability policy.
+        if let Some(pipeline) = &self.pipeline {
+            pipeline.shutdown();
+        }
     }
 }
 

@@ -64,6 +64,11 @@ pub struct LedgerProof {
 /// combined proof covering all of them.
 pub type VerifiedRange = (Vec<(Vec<u8>, Vec<u8>)>, LedgerRangeProof);
 
+/// One commit group sealed into a shared block by
+/// [`Ledger::try_append_groups`]: a batch of key/value writes plus the
+/// provenance statement recorded with each of them.
+pub type CommitGroup = (Vec<(Vec<u8>, Vec<u8>)>, String);
+
 /// Proof returned with a verified range read: a single combined index proof
 /// covering every returned entry (the "unified index" benefit of Section
 /// 6.2.2).
@@ -267,26 +272,57 @@ impl Ledger {
     /// Commit a batch of writes as one block. Returns the new digest.
     ///
     /// `statement` records the query text for provenance (stored in every
-    /// transaction record of the block).
+    /// transaction record of the block). Panics if persisting the block
+    /// fails; fallible callers use [`Ledger::try_append_block`].
     pub fn append_block(&self, writes: Vec<(Vec<u8>, Vec<u8>)>, statement: &str) -> Digest {
+        self.try_append_block(writes, statement)
+            .expect("persisting the ledger block failed; use try_append_block to handle it")
+    }
+
+    /// Fallible variant of [`Ledger::append_block`]: a storage failure
+    /// (disk full while persisting the block chunk or publishing the head
+    /// root) surfaces as an error instead of a panic.
+    pub fn try_append_block(
+        &self,
+        writes: Vec<(Vec<u8>, Vec<u8>)>,
+        statement: &str,
+    ) -> Result<Digest, StorageError> {
+        self.try_append_groups(vec![(writes, statement.to_string())])
+    }
+
+    /// Seal several commit groups — each a batch of writes with its own
+    /// provenance statement — into **one** block. This is the group-commit
+    /// entry point used by [`crate::pipeline::CommitPipeline`]: concurrent
+    /// committers coalesce into a single block (one index-root update, one
+    /// block chunk, one head-root publication) instead of one block each.
+    ///
+    /// On an error the block is not sealed, no journal/chain state
+    /// advances, and the live index is rolled back to the pre-append root
+    /// (the failed groups' writes are not readable). Retrying the same
+    /// writes is safe: identical chunks deduplicate, so a successful retry
+    /// reproduces the block a non-failing commit would have sealed.
+    pub fn try_append_groups(&self, groups: Vec<CommitGroup>) -> Result<Digest, StorageError> {
         let mut inner = self.inner.write();
+        let prev_index_root = inner.index.root();
         inner.timestamp += 1;
         let timestamp = inner.timestamp;
 
-        let mut records = Vec::with_capacity(writes.len());
-        for (key, value) in writes {
-            let op = if inner.index.get(&key).is_some() {
-                WriteOp::Update
-            } else {
-                WriteOp::Insert
-            };
-            records.push(TxnRecord {
-                op,
-                key: key.clone(),
-                value_hash: spitz_crypto::sha256(&value),
-                statement: statement.to_string(),
-            });
-            inner.index.insert(key, value);
+        let mut records = Vec::with_capacity(groups.iter().map(|(w, _)| w.len()).sum());
+        for (writes, statement) in groups {
+            for (key, value) in writes {
+                let op = if inner.index.get(&key).is_some() {
+                    WriteOp::Update
+                } else {
+                    WriteOp::Insert
+                };
+                records.push(TxnRecord {
+                    op,
+                    key: key.clone(),
+                    value_hash: spitz_crypto::sha256(&value),
+                    statement: statement.clone(),
+                });
+                inner.index.insert(key, value);
+            }
         }
 
         let height = inner.journal.len() as u64;
@@ -300,20 +336,42 @@ impl Ledger {
         };
         let index_root = inner.index.root();
         let block = Block::new(height, prev_hash, index_root, timestamp, records);
-        inner.journal.append(block.hash());
 
         // Persist the block as a chunk and advance the durable head pointer
-        // so the chain can be recovered by `Ledger::open`. On a purely
-        // in-memory store this is the same dedup-priced put as any other
-        // chunk; the root pointer lives in memory there too.
+        // so the chain can be recovered by `Ledger::open`, *before* any
+        // chain state advances — a failed append leaves the journal and
+        // head untouched. On a purely in-memory store this is the same
+        // dedup-priced put as any other chunk; the root pointer lives in
+        // memory there too.
         let block_chunk = encode_block_chunk(inner.head_chunk, &block);
-        let chunk_address = self.store.put(Chunk::new(ChunkKind::Block, block_chunk));
-        self.store.set_root(LEDGER_HEAD_ROOT, chunk_address);
+        let persisted = self
+            .store
+            .try_put(Chunk::new(ChunkKind::Block, block_chunk))
+            .and_then(|address| {
+                self.store
+                    .try_set_root(LEDGER_HEAD_ROOT, address)
+                    .map(|()| address)
+            });
+        let chunk_address = match persisted {
+            Ok(address) => address,
+            Err(error) => {
+                // Roll the live index back to the pre-append version so
+                // the failed writes are not readable (the index nodes for
+                // `prev_index_root` are still in the store; this is the
+                // same node-sharing checkout historical reads use).
+                if let Some(previous) = inner.index.checkout(prev_index_root) {
+                    inner.index = previous;
+                }
+                inner.timestamp -= 1;
+                return Err(error);
+            }
+        };
         inner.head_chunk = chunk_address;
 
+        inner.journal.append(block.hash());
         inner.blocks.push(block);
         drop(inner);
-        self.digest()
+        Ok(self.digest())
     }
 
     /// The current database digest.
@@ -593,6 +651,75 @@ mod tests {
         assert_eq!(reopened.audit_chain(), None);
         let reread = Ledger::open(store).unwrap();
         assert_eq!(reread.digest(), digest2);
+    }
+
+    #[test]
+    fn failed_append_rolls_back_and_retry_reproduces_the_block() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        /// Forwards to an in-memory store but fails `try_put` of block
+        /// chunks while the switch is on (a disk-full stand-in).
+        struct FailingBlockStore {
+            inner: InMemoryChunkStore,
+            fail: AtomicBool,
+        }
+
+        impl ChunkStore for FailingBlockStore {
+            fn put(&self, chunk: spitz_storage::Chunk) -> Hash {
+                self.inner.put(chunk)
+            }
+            fn try_put(&self, chunk: spitz_storage::Chunk) -> Result<Hash, StorageError> {
+                if chunk.kind() == ChunkKind::Block && self.fail.load(Ordering::Relaxed) {
+                    return Err(StorageError::Io("simulated disk full".into()));
+                }
+                Ok(self.inner.put(chunk))
+            }
+            fn get(&self, address: &Hash) -> Result<Arc<spitz_storage::Chunk>, StorageError> {
+                self.inner.get(address)
+            }
+            fn contains(&self, address: &Hash) -> bool {
+                self.inner.contains(address)
+            }
+            fn stats(&self) -> spitz_storage::StoreStats {
+                self.inner.stats()
+            }
+            fn audit(&self) -> Vec<Hash> {
+                self.inner.audit()
+            }
+            fn set_root(&self, name: &str, hash: Hash) {
+                self.inner.set_root(name, hash)
+            }
+            fn root(&self, name: &str) -> Option<Hash> {
+                self.inner.root(name)
+            }
+        }
+
+        let store = Arc::new(FailingBlockStore {
+            inner: InMemoryChunkStore::new(),
+            fail: AtomicBool::new(false),
+        });
+        let ledger = Ledger::new(store.clone() as Arc<dyn ChunkStore>);
+        let good = ledger.append_block(vec![kv(1)], "PUT");
+
+        store.fail.store(true, Ordering::Relaxed);
+        let err = ledger.try_append_block(vec![kv(2)], "PUT");
+        assert!(matches!(err, Err(StorageError::Io(_))));
+        // The failed write is not readable and nothing advanced.
+        assert_eq!(ledger.get(&kv(2).0), None, "failed write must roll back");
+        assert_eq!(ledger.digest(), good);
+        assert_eq!(ledger.height(), 1);
+
+        // Retrying after the fault clears reproduces the exact block a
+        // non-failing commit would have sealed.
+        store.fail.store(false, Ordering::Relaxed);
+        let retried = ledger.try_append_block(vec![kv(2)], "PUT").unwrap();
+        assert_eq!(retried.block_height, 1);
+        assert_eq!(ledger.get(&kv(2).0), Some(kv(2).1));
+        assert_eq!(ledger.audit_chain(), None);
+
+        // And the whole chain still reopens cleanly.
+        let reopened = Ledger::open(store as Arc<dyn ChunkStore>).unwrap();
+        assert_eq!(reopened.digest(), retried);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   proofs ride along the traversal, and digests for client verification.
 //! * [`deferred`] — the deferred (batched, asynchronous-style) verification
 //!   scheme described in Section 5.3.
+//! * [`pipeline`] — the group-commit pipeline: concurrent committers are
+//!   coalesced into shared blocks and the fsync cost is amortized according
+//!   to a [`DurabilityPolicy`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,8 +28,12 @@ pub mod block;
 pub mod deferred;
 pub mod journal;
 pub mod ledger;
+pub mod pipeline;
 
 pub use block::{Block, BlockHeader, TxnRecord, WriteOp};
 pub use deferred::{DeferredVerifier, VerificationReport};
 pub use journal::{Journal, JournalProof};
-pub use ledger::{Digest, Ledger, LedgerProof, LedgerRangeProof, VerifiedRange, LEDGER_HEAD_ROOT};
+pub use ledger::{
+    CommitGroup, Digest, Ledger, LedgerProof, LedgerRangeProof, VerifiedRange, LEDGER_HEAD_ROOT,
+};
+pub use pipeline::{CommitPipeline, DurabilityPolicy, PipelineStats};

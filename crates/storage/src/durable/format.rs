@@ -4,12 +4,23 @@
 //!
 //! ```text
 //! segment  := magic(8) version(u32 BE) segment_id(u64 BE) record*
-//! record   := payload_len(u32 BE)   -- length of the chunk payload only
-//!             kind(u8)              -- ChunkKind tag
-//!             address(32)           -- SHA-256(kind || payload)
-//!             payload(payload_len)
+//! record   := payload_len(u32 BE)   -- length of the record payload only
+//!             kind(u8)              -- ChunkKind tag, or ROOT_RECORD_TAG
+//!             address(32)           -- chunk: SHA-256(kind || payload)
+//!                                   -- root:  the published root hash
+//!             payload(payload_len)  -- chunk: the chunk bytes
+//!                                   -- root:  the UTF-8 root name
 //!             crc(u32 BE)           -- CRC-32 over everything above
 //! ```
+//!
+//! Two record kinds share the frame: **chunk records** carry content-addressed
+//! chunk payloads, and **root records** publish a named root pointer directly
+//! into the log ("root `name` now points at `address`"). Embedding root
+//! publication in the log is what lets a commit become durable with a single
+//! segment append instead of a manifest rewrite: the data records precede
+//! their root record in the same append-only file, so a root record that
+//! survives crash recovery proves every record before it survived too
+//! (data-before-pointer by construction).
 //!
 //! The CRC covers the length prefix, kind tag, address and payload, so any
 //! single-bit flip anywhere in a record is detected. The address is stored
@@ -33,6 +44,10 @@ pub const SEGMENT_HEADER_LEN: u64 = 8 + 4 + 8;
 
 /// Fixed per-record overhead: length prefix, kind tag, address and CRC.
 pub const RECORD_OVERHEAD: usize = 4 + 1 + HASH_LEN + 4;
+
+/// Kind tag of a root-publication record (`b'R'`), disjoint from every
+/// [`ChunkKind`] tag.
+pub const ROOT_RECORD_TAG: u8 = b'R';
 
 /// CRC-32 (IEEE 802.3, the polynomial used by gzip/zip) over `data`.
 ///
@@ -83,12 +98,12 @@ pub fn decode_segment_header(bytes: &[u8]) -> Option<u64> {
     Some(u64::from_be_bytes(bytes[12..20].try_into().ok()?))
 }
 
-/// Serialize one chunk record (including its trailing CRC).
-pub fn encode_record(address: &Hash, chunk: &Chunk) -> Vec<u8> {
-    let payload = chunk.data();
+/// Assemble a record frame from its tag, address and payload, appending the
+/// trailing CRC.
+fn encode_frame(tag: u8, address: &Hash, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(RECORD_OVERHEAD + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    out.push(chunk.kind().tag());
+    out.push(tag);
     out.extend_from_slice(address.as_bytes());
     out.extend_from_slice(payload);
     let crc = crc32(&out);
@@ -96,13 +111,44 @@ pub fn encode_record(address: &Hash, chunk: &Chunk) -> Vec<u8> {
     out
 }
 
+/// Serialize one chunk record (including its trailing CRC).
+pub fn encode_record(address: &Hash, chunk: &Chunk) -> Vec<u8> {
+    encode_frame(chunk.kind().tag(), address, chunk.data())
+}
+
+/// Serialize one root-publication record: "root `name` now points at
+/// `hash`".
+pub fn encode_root_record(name: &str, hash: &Hash) -> Vec<u8> {
+    encode_frame(ROOT_RECORD_TAG, hash, name.as_bytes())
+}
+
+/// Encoded length of the root record [`encode_root_record`] produces for
+/// `name` (used by crash tests to compute truncation points).
+pub fn root_record_len(name: &str) -> usize {
+    RECORD_OVERHEAD + name.len()
+}
+
+/// What a decoded record carries.
+#[derive(Debug)]
+pub enum RecordBody {
+    /// A content-addressed chunk.
+    Chunk(Chunk),
+    /// A root publication: the record's address field is the new value of
+    /// the named root pointer.
+    Root {
+        /// Name of the published root pointer.
+        name: String,
+    },
+}
+
 /// A record decoded from a segment file.
 #[derive(Debug)]
 pub struct DecodedRecord {
-    /// The address stored alongside the payload.
+    /// The address stored in the frame: the chunk's content address, or the
+    /// published root hash.
     pub address: Hash,
-    /// The reconstructed chunk.
-    pub chunk: Chunk,
+    /// The decoded record body.
+    pub body: RecordBody,
 }
 
 /// Why decoding a record failed.
@@ -113,8 +159,11 @@ pub enum RecordError {
     Truncated,
     /// The CRC did not match the record bytes.
     BadCrc,
-    /// The kind tag is not a known [`ChunkKind`].
+    /// The kind tag is neither a known [`ChunkKind`] nor
+    /// [`ROOT_RECORD_TAG`].
     BadKind(u8),
+    /// A root record's name payload is not valid UTF-8.
+    BadRootName,
 }
 
 /// Decode the record starting at `bytes[0]`; on success also returns the
@@ -133,15 +182,22 @@ pub fn decode_record(bytes: &[u8]) -> Result<(DecodedRecord, usize), RecordError
     if crc32(body) != stored_crc {
         return Err(RecordError::BadCrc);
     }
-    let kind_tag = bytes[4];
-    let kind = ChunkKind::from_tag(kind_tag).ok_or(RecordError::BadKind(kind_tag))?;
+    let tag = bytes[4];
     let mut address = [0u8; HASH_LEN];
     address.copy_from_slice(&bytes[5..5 + HASH_LEN]);
-    let payload = bytes[5 + HASH_LEN..total - 4].to_vec();
+    let payload = &bytes[5 + HASH_LEN..total - 4];
+    let body = if tag == ROOT_RECORD_TAG {
+        RecordBody::Root {
+            name: String::from_utf8(payload.to_vec()).map_err(|_| RecordError::BadRootName)?,
+        }
+    } else {
+        let kind = ChunkKind::from_tag(tag).ok_or(RecordError::BadKind(tag))?;
+        RecordBody::Chunk(Chunk::new(kind, payload.to_vec()))
+    };
     Ok((
         DecodedRecord {
             address: Hash::from_bytes(address),
-            chunk: Chunk::new(kind, payload),
+            body,
         },
         total,
     ))
@@ -167,7 +223,39 @@ mod tests {
         let (decoded, consumed) = decode_record(&encoded).unwrap();
         assert_eq!(consumed, encoded.len());
         assert_eq!(decoded.address, addr);
-        assert_eq!(decoded.chunk, chunk);
+        match decoded.body {
+            RecordBody::Chunk(c) => assert_eq!(c, chunk),
+            other => panic!("expected a chunk record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_record_roundtrip() {
+        let hash = spitz_crypto::sha256(b"head block");
+        let encoded = encode_root_record("spitz/ledger/head", &hash);
+        assert_eq!(encoded.len(), root_record_len("spitz/ledger/head"));
+        let (decoded, consumed) = decode_record(&encoded).unwrap();
+        assert_eq!(consumed, encoded.len());
+        assert_eq!(decoded.address, hash);
+        match decoded.body {
+            RecordBody::Root { name } => assert_eq!(name, "spitz/ledger/head"),
+            other => panic!("expected a root record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_tag_is_disjoint_from_every_chunk_kind() {
+        for kind in [
+            ChunkKind::Blob,
+            ChunkKind::Meta,
+            ChunkKind::IndexNode,
+            ChunkKind::Commit,
+            ChunkKind::Block,
+            ChunkKind::Cell,
+        ] {
+            assert_ne!(kind.tag(), ROOT_RECORD_TAG);
+        }
+        assert_eq!(ChunkKind::from_tag(ROOT_RECORD_TAG), None);
     }
 
     #[test]

@@ -1,14 +1,22 @@
-//! Segment files: append-only carriers of chunk records.
+//! Segment files: append-only carriers of chunk and root records.
 //!
-//! A [`Segment`] wraps one open file handle used both for appending (the
-//! active segment) and for random-access reads (all segments). Reads and
-//! writes are serialized by the store's outer lock, so plain `Seek` +
-//! `Read` is sufficient and the code stays free of platform-specific I/O.
+//! A [`Segment`] wraps one open file handle shared by the appender (the
+//! active segment) and by random-access readers (all segments). The handle
+//! sits behind a per-segment mutex, so readers of *different* segments — and
+//! cache hits, which never reach a segment at all — proceed in parallel;
+//! only a cold read racing another cold read of the same segment serializes.
+//! A second independent handle serves `fsync`, so flushing a segment to
+//! stable storage never blocks its readers (`fsync` is per-inode, not
+//! per-descriptor). Appends are additionally serialized by the store's
+//! writer lock; the mutex only protects the seek position from interleaved
+//! reads.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use parking_lot::Mutex;
 use spitz_crypto::Hash;
 
 use crate::chunk::{Chunk, ChunkKind};
@@ -16,7 +24,8 @@ use crate::error::StorageError;
 use crate::Result;
 
 use super::format::{
-    decode_record, decode_segment_header, encode_record, encode_segment_header, SEGMENT_HEADER_LEN,
+    decode_record, decode_segment_header, encode_record, encode_root_record, encode_segment_header,
+    RecordBody, SEGMENT_HEADER_LEN,
 };
 
 /// Location of one chunk record inside the segment set.
@@ -53,16 +62,24 @@ pub struct Segment {
     /// Segment id (position in the manifest's segment order).
     pub id: u64,
     path: PathBuf,
-    file: File,
+    /// Read/append handle; the mutex keeps one reader's seek+read atomic
+    /// with respect to other readers and the appender.
+    file: Mutex<File>,
+    /// Separate handle used only for `fsync`, so a sync in progress never
+    /// holds the lock readers need.
+    sync_file: File,
     /// Current file length; the append offset for the active segment.
-    pub len: u64,
+    len: AtomicU64,
 }
 
 /// Outcome of scanning a segment at open time.
 #[derive(Debug)]
 pub struct ScanOutcome {
-    /// Address and location of every intact record, in file order.
+    /// Address and location of every intact chunk record, in file order.
     pub records: Vec<(Hash, ChunkLocation)>,
+    /// Every intact root-publication record, in file order (later entries
+    /// supersede earlier ones for the same name).
+    pub roots: Vec<(String, Hash)>,
     /// Bytes dropped from the tail as a torn write (0 when the file was
     /// clean). Only ever non-zero when scanning with `tolerate_torn_tail`.
     pub torn_bytes: u64,
@@ -81,11 +98,13 @@ impl Segment {
         let header = encode_segment_header(id);
         file.write_all(&header)
             .map_err(|e| StorageError::io(&path, e))?;
+        let sync_file = File::open(&path).map_err(|e| StorageError::io(&path, e))?;
         Ok(Segment {
             id,
             path,
-            file,
-            len: SEGMENT_HEADER_LEN,
+            file: Mutex::new(file),
+            sync_file,
+            len: AtomicU64::new(SEGMENT_HEADER_LEN),
         })
     }
 
@@ -115,53 +134,92 @@ impl Segment {
             .metadata()
             .map_err(|e| StorageError::io(&path, e))?
             .len();
+        let sync_file = File::open(&path).map_err(|e| StorageError::io(&path, e))?;
         Ok(Segment {
             id,
             path,
-            file,
-            len,
+            file: Mutex::new(file),
+            sync_file,
+            len: AtomicU64::new(len),
         })
     }
 
+    /// Current file length (the append offset for the active segment).
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True when the segment holds no records (header only).
+    pub fn is_empty(&self) -> bool {
+        self.len() <= SEGMENT_HEADER_LEN
+    }
+
+    /// Append pre-encoded record bytes; returns the offset they start at.
+    /// On a failed write the file is cut back to its previous length so a
+    /// partial record never sits in the middle of later appends.
+    fn append_bytes(&self, record: &[u8]) -> Result<u64> {
+        let offset = self.len.load(Ordering::Acquire);
+        let mut file = self.file.lock();
+        if let Err(e) = file.write_all(record) {
+            let _ = file.set_len(offset);
+            return Err(StorageError::io(&self.path, e));
+        }
+        self.len
+            .store(offset + record.len() as u64, Ordering::Release);
+        Ok(offset)
+    }
+
     /// Append one encoded chunk record; returns its location.
-    pub fn append(&mut self, address: &Hash, chunk: &Chunk) -> Result<ChunkLocation> {
+    pub fn append(&self, address: &Hash, chunk: &Chunk) -> Result<ChunkLocation> {
         let record = encode_record(address, chunk);
-        self.file
-            .write_all(&record)
-            .map_err(|e| StorageError::io(&self.path, e))?;
-        let location = ChunkLocation {
+        let offset = self.append_bytes(&record)?;
+        Ok(ChunkLocation {
             segment: self.id,
-            offset: self.len,
+            offset,
             len: record.len() as u32,
             kind: chunk.kind(),
-        };
-        self.len += record.len() as u64;
-        Ok(location)
+        })
     }
 
-    /// Read back and validate the record at `location`.
-    pub fn read(&mut self, location: &ChunkLocation) -> Result<Chunk> {
+    /// Append one root-publication record ("root `name` → `hash`").
+    pub fn append_root(&self, name: &str, hash: &Hash) -> Result<()> {
+        self.append_bytes(&encode_root_record(name, hash))
+            .map(|_| ())
+    }
+
+    /// Read back and validate the chunk record at `location`.
+    pub fn read(&self, location: &ChunkLocation) -> Result<Chunk> {
         let mut buf = vec![0u8; location.len as usize];
-        self.file
-            .seek(SeekFrom::Start(location.offset))
-            .and_then(|_| self.file.read_exact(&mut buf))
-            .map_err(|e| StorageError::io(&self.path, e))?;
-        let (decoded, _) = decode_record(&buf).map_err(|e| StorageError::SegmentCorrupt {
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(location.offset))
+                .and_then(|_| file.read_exact(&mut buf))
+                .map_err(|e| StorageError::io(&self.path, e))?;
+        }
+        let corrupt = |reason: String| StorageError::SegmentCorrupt {
             segment: self.id,
             offset: location.offset,
-            reason: format!("{e:?}"),
-        })?;
-        Ok(decoded.chunk)
+            reason,
+        };
+        let (decoded, _) = decode_record(&buf).map_err(|e| corrupt(format!("{e:?}")))?;
+        match decoded.body {
+            RecordBody::Chunk(chunk) => Ok(chunk),
+            RecordBody::Root { .. } => {
+                Err(corrupt("root record where a chunk was expected".into()))
+            }
+        }
     }
 
-    /// Flush file contents to stable storage (`fsync`).
+    /// Flush file contents to stable storage (`fsync`). Uses the dedicated
+    /// sync handle, so concurrent readers of this segment are not blocked.
     pub fn sync(&self) -> Result<()> {
-        self.file
+        self.sync_file
             .sync_all()
             .map_err(|e| StorageError::io(&self.path, e))
     }
 
-    /// Scan every record in the segment, rebuilding index entries.
+    /// Scan every record in the segment, rebuilding index entries and
+    /// replaying root publications.
     ///
     /// `tolerate_torn_tail` is set for the *last* segment only: a record
     /// that is cut short or fails its CRC **at the very end of the file** is
@@ -169,12 +227,14 @@ impl Segment {
     /// back to the last intact record and the scan succeeds. The same damage
     /// anywhere else (or in a sealed segment) is corruption and fails the
     /// open.
-    pub fn scan(&mut self, tolerate_torn_tail: bool) -> Result<ScanOutcome> {
+    pub fn scan(&self, tolerate_torn_tail: bool) -> Result<ScanOutcome> {
         let mut bytes = Vec::new();
-        self.file
-            .seek(SeekFrom::Start(0))
-            .and_then(|_| self.file.read_to_end(&mut bytes))
-            .map_err(|e| StorageError::io(&self.path, e))?;
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(0))
+                .and_then(|_| file.read_to_end(&mut bytes))
+                .map_err(|e| StorageError::io(&self.path, e))?;
+        }
         if decode_segment_header(&bytes).is_none() {
             return Err(StorageError::SegmentCorrupt {
                 segment: self.id,
@@ -184,19 +244,23 @@ impl Segment {
         }
 
         let mut records = Vec::new();
+        let mut roots = Vec::new();
         let mut offset = SEGMENT_HEADER_LEN as usize;
         while offset < bytes.len() {
             match decode_record(&bytes[offset..]) {
                 Ok((decoded, consumed)) => {
-                    records.push((
-                        decoded.address,
-                        ChunkLocation {
-                            segment: self.id,
-                            offset: offset as u64,
-                            len: consumed as u32,
-                            kind: decoded.chunk.kind(),
-                        },
-                    ));
+                    match decoded.body {
+                        RecordBody::Chunk(chunk) => records.push((
+                            decoded.address,
+                            ChunkLocation {
+                                segment: self.id,
+                                offset: offset as u64,
+                                len: consumed as u32,
+                                kind: chunk.kind(),
+                            },
+                        )),
+                        RecordBody::Root { name } => roots.push((name, decoded.address)),
+                    }
                     offset += consumed;
                 }
                 Err(error) => {
@@ -215,27 +279,26 @@ impl Segment {
                     self.truncate_to(offset as u64)?;
                     return Ok(ScanOutcome {
                         records,
+                        roots,
                         torn_bytes: torn,
                     });
                 }
             }
         }
-        self.len = bytes.len() as u64;
+        self.len.store(bytes.len() as u64, Ordering::Release);
         Ok(ScanOutcome {
             records,
+            roots,
             torn_bytes: 0,
         })
     }
 
     /// Cut the file back to `len` bytes (dropping a torn tail record).
-    fn truncate_to(&mut self, len: u64) -> Result<()> {
-        self.file
-            .set_len(len)
+    fn truncate_to(&self, len: u64) -> Result<()> {
+        let file = self.file.lock();
+        file.set_len(len)
             .map_err(|e| StorageError::io(&self.path, e))?;
-        self.file
-            .seek(SeekFrom::End(0))
-            .map_err(|e| StorageError::io(&self.path, e))?;
-        self.len = len;
+        self.len.store(len, Ordering::Release);
         Ok(())
     }
 }
@@ -260,7 +323,7 @@ mod tests {
     #[test]
     fn append_scan_read_roundtrip() {
         let dir = TempDir::new("segment-roundtrip");
-        let mut segment = Segment::create(dir.path(), 0).unwrap();
+        let segment = Segment::create(dir.path(), 0).unwrap();
         let chunks: Vec<Chunk> = (0..10u8).map(|i| blob(&[i; 33])).collect();
         let mut locations = Vec::new();
         for chunk in &chunks {
@@ -270,10 +333,11 @@ mod tests {
             assert_eq!(&segment.read(location).unwrap(), chunk);
         }
 
-        let mut reopened = Segment::open(dir.path(), 0).unwrap();
+        let reopened = Segment::open(dir.path(), 0).unwrap();
         let outcome = reopened.scan(true).unwrap();
         assert_eq!(outcome.torn_bytes, 0);
         assert_eq!(outcome.records.len(), 10);
+        assert!(outcome.roots.is_empty());
         for ((address, location), chunk) in outcome.records.iter().zip(&chunks) {
             assert_eq!(*address, chunk.address());
             assert_eq!(&reopened.read(location).unwrap(), chunk);
@@ -281,14 +345,58 @@ mod tests {
     }
 
     #[test]
+    fn root_records_interleave_with_chunks_and_replay_in_order() {
+        let dir = TempDir::new("segment-roots");
+        let segment = Segment::create(dir.path(), 0).unwrap();
+        let chunk1 = blob(b"block one");
+        let chunk2 = blob(b"block two");
+        segment.append(&chunk1.address(), &chunk1).unwrap();
+        segment.append_root("head", &chunk1.address()).unwrap();
+        segment.append(&chunk2.address(), &chunk2).unwrap();
+        segment.append_root("head", &chunk2.address()).unwrap();
+        segment.append_root("other", &chunk1.address()).unwrap();
+
+        let reopened = Segment::open(dir.path(), 0).unwrap();
+        let outcome = reopened.scan(true).unwrap();
+        assert_eq!(outcome.records.len(), 2);
+        assert_eq!(
+            outcome.roots,
+            vec![
+                ("head".to_string(), chunk1.address()),
+                ("head".to_string(), chunk2.address()),
+                ("other".to_string(), chunk1.address()),
+            ]
+        );
+    }
+
+    #[test]
+    fn reading_a_root_record_as_a_chunk_fails() {
+        let dir = TempDir::new("segment-root-read");
+        let segment = Segment::create(dir.path(), 0).unwrap();
+        let offset = segment.len();
+        let hash = spitz_crypto::sha256(b"target");
+        segment.append_root("head", &hash).unwrap();
+        let bogus = ChunkLocation {
+            segment: 0,
+            offset,
+            len: (segment.len() - offset) as u32,
+            kind: ChunkKind::Blob,
+        };
+        assert!(matches!(
+            segment.read(&bogus),
+            Err(StorageError::SegmentCorrupt { .. })
+        ));
+    }
+
+    #[test]
     fn torn_tail_is_truncated_only_when_tolerated() {
         let dir = TempDir::new("segment-torn");
-        let mut segment = Segment::create(dir.path(), 3).unwrap();
+        let segment = Segment::create(dir.path(), 3).unwrap();
         for i in 0..5u8 {
             let chunk = blob(&[i; 50]);
             segment.append(&chunk.address(), &chunk).unwrap();
         }
-        let full_len = segment.len;
+        let full_len = segment.len();
         drop(segment);
 
         // Cut into the middle of the last record.
@@ -297,13 +405,13 @@ mod tests {
         file.set_len(full_len - 20).unwrap();
         drop(file);
 
-        let mut sealed = Segment::open(dir.path(), 3).unwrap();
+        let sealed = Segment::open(dir.path(), 3).unwrap();
         assert!(matches!(
             sealed.scan(false),
             Err(StorageError::SegmentCorrupt { segment: 3, .. })
         ));
 
-        let mut tail = Segment::open(dir.path(), 3).unwrap();
+        let tail = Segment::open(dir.path(), 3).unwrap();
         let outcome = tail.scan(true).unwrap();
         assert_eq!(outcome.records.len(), 4);
         assert!(outcome.torn_bytes > 0);
@@ -318,9 +426,31 @@ mod tests {
     }
 
     #[test]
+    fn torn_root_record_is_dropped_like_any_tail() {
+        let dir = TempDir::new("segment-torn-root");
+        let segment = Segment::create(dir.path(), 0).unwrap();
+        let chunk = blob(b"data before the root");
+        segment.append(&chunk.address(), &chunk).unwrap();
+        segment.append_root("head", &chunk.address()).unwrap();
+        let full_len = segment.len();
+        drop(segment);
+
+        let path = dir.path().join(segment_file_name(0));
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full_len - 2).unwrap(); // tear the root record's CRC
+        drop(file);
+
+        let tail = Segment::open(dir.path(), 0).unwrap();
+        let outcome = tail.scan(true).unwrap();
+        assert_eq!(outcome.records.len(), 1, "the data record survives");
+        assert!(outcome.roots.is_empty(), "the torn root must not replay");
+        assert!(outcome.torn_bytes > 0);
+    }
+
+    #[test]
     fn mid_file_corruption_fails_even_with_tolerance() {
         let dir = TempDir::new("segment-midflip");
-        let mut segment = Segment::create(dir.path(), 0).unwrap();
+        let segment = Segment::create(dir.path(), 0).unwrap();
         for i in 0..5u8 {
             let chunk = blob(&[i; 50]);
             segment.append(&chunk.address(), &chunk).unwrap();
@@ -334,7 +464,7 @@ mod tests {
         bytes[index] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
 
-        let mut reopened = Segment::open(dir.path(), 0).unwrap();
+        let reopened = Segment::open(dir.path(), 0).unwrap();
         assert!(matches!(
             reopened.scan(true),
             Err(StorageError::SegmentCorrupt { .. })

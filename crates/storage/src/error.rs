@@ -55,6 +55,9 @@ pub enum StorageError {
     },
     /// The manifest file of a durable store could not be parsed.
     ManifestCorrupt(String),
+    /// The component (e.g. a commit pipeline) has shut down and accepts no
+    /// further operations.
+    Closed,
 }
 
 impl StorageError {
@@ -88,6 +91,7 @@ impl fmt::Display for StorageError {
                 reason,
             } => write!(f, "segment {segment} corrupt at offset {offset}: {reason}"),
             StorageError::ManifestCorrupt(msg) => write!(f, "manifest corrupt: {msg}"),
+            StorageError::Closed => write!(f, "component is closed"),
         }
     }
 }

@@ -54,6 +54,14 @@ pub trait ChunkStore: Send + Sync {
     /// chunk twice is a no-op for physical storage.
     fn put(&self, chunk: Chunk) -> Hash;
 
+    /// Fallible variant of [`ChunkStore::put`]: surfaces storage failures
+    /// (disk full, I/O errors in a durable backend) as a [`StorageError`]
+    /// instead of panicking. The default forwards to `put`, which cannot
+    /// fail for in-memory stores.
+    fn try_put(&self, chunk: Chunk) -> Result<Hash> {
+        Ok(self.put(chunk))
+    }
+
     /// Fetch a chunk by address.
     fn get(&self, address: &Hash) -> Result<Arc<Chunk>>;
 
@@ -80,11 +88,26 @@ pub trait ChunkStore: Send + Sync {
         let _ = (name, hash);
     }
 
+    /// Fallible variant of [`ChunkStore::set_root`] (a durable backend can
+    /// fail to append the root record). The default forwards to `set_root`.
+    fn try_set_root(&self, name: &str, hash: Hash) -> Result<()> {
+        self.set_root(name, hash);
+        Ok(())
+    }
+
     /// Read back a named root pointer. The default implementation knows no
     /// roots.
     fn root(&self, name: &str) -> Option<Hash> {
         let _ = name;
         None
+    }
+
+    /// Force everything written so far to stable storage. A no-op for
+    /// stores without a durability notion (the default); a durable backend
+    /// fsyncs its active log so that every chunk *and root publication*
+    /// appended before this call survives a crash.
+    fn sync(&self) -> Result<()> {
+        Ok(())
     }
 
     /// Fetch a chunk and check that it has the expected kind.
@@ -213,6 +236,10 @@ impl<S: ChunkStore> ChunkStore for VerifyingStore<S> {
         self.inner.put(chunk)
     }
 
+    fn try_put(&self, chunk: Chunk) -> Result<Hash> {
+        self.inner.try_put(chunk)
+    }
+
     fn get(&self, address: &Hash) -> Result<Arc<Chunk>> {
         let chunk = self.inner.get(address)?;
         let actual = chunk.address();
@@ -241,14 +268,26 @@ impl<S: ChunkStore> ChunkStore for VerifyingStore<S> {
         self.inner.set_root(name, hash)
     }
 
+    fn try_set_root(&self, name: &str, hash: Hash) -> Result<()> {
+        self.inner.try_set_root(name, hash)
+    }
+
     fn root(&self, name: &str) -> Option<Hash> {
         self.inner.root(name)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
     }
 }
 
 impl<S: ChunkStore + ?Sized> ChunkStore for &S {
     fn put(&self, chunk: Chunk) -> Hash {
         (**self).put(chunk)
+    }
+
+    fn try_put(&self, chunk: Chunk) -> Result<Hash> {
+        (**self).try_put(chunk)
     }
 
     fn get(&self, address: &Hash) -> Result<Arc<Chunk>> {
@@ -271,8 +310,16 @@ impl<S: ChunkStore + ?Sized> ChunkStore for &S {
         (**self).set_root(name, hash)
     }
 
+    fn try_set_root(&self, name: &str, hash: Hash) -> Result<()> {
+        (**self).try_set_root(name, hash)
+    }
+
     fn root(&self, name: &str) -> Option<Hash> {
         (**self).root(name)
+    }
+
+    fn sync(&self) -> Result<()> {
+        (**self).sync()
     }
 
     fn get_kind(&self, address: &Hash, expected: ChunkKind) -> Result<Arc<Chunk>> {
@@ -285,6 +332,10 @@ impl<S: ChunkStore + ?Sized> ChunkStore for Arc<S> {
         (**self).put(chunk)
     }
 
+    fn try_put(&self, chunk: Chunk) -> Result<Hash> {
+        (**self).try_put(chunk)
+    }
+
     fn get(&self, address: &Hash) -> Result<Arc<Chunk>> {
         (**self).get(address)
     }
@@ -305,8 +356,16 @@ impl<S: ChunkStore + ?Sized> ChunkStore for Arc<S> {
         (**self).set_root(name, hash)
     }
 
+    fn try_set_root(&self, name: &str, hash: Hash) -> Result<()> {
+        (**self).try_set_root(name, hash)
+    }
+
     fn root(&self, name: &str) -> Option<Hash> {
         (**self).root(name)
+    }
+
+    fn sync(&self) -> Result<()> {
+        (**self).sync()
     }
 
     fn get_kind(&self, address: &Hash, expected: ChunkKind) -> Result<Arc<Chunk>> {

@@ -42,7 +42,7 @@ pub use spitz_core::db::{SpitzConfig, SpitzDb};
 pub use spitz_core::schema::{ColumnType, Record, Schema, Value};
 pub use spitz_core::verify::ClientVerifier;
 pub use spitz_crypto::Hash;
-pub use spitz_ledger::{Digest, Ledger};
+pub use spitz_ledger::{CommitPipeline, Digest, DurabilityPolicy, Ledger};
 pub use spitz_storage::{ChunkStore, DurableChunkStore, DurableConfig};
 
 #[cfg(test)]

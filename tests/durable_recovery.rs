@@ -9,7 +9,10 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use spitz::core::db::SpitzConfig;
+use spitz::ledger::DurabilityPolicy;
 use spitz::storage::chunk::{Chunk, ChunkKind};
+use spitz::storage::durable::format::root_record_len;
 use spitz::storage::durable::DurableConfig;
 use spitz::storage::{ChunkStore, DurableChunkStore, StorageError};
 use spitz::{ClientVerifier, SpitzDb};
@@ -167,68 +170,187 @@ fn torn_tail_record_is_dropped_and_the_rest_survives() {
     );
 }
 
+/// Commit two blocks, record the per-block digests and the segment length
+/// after each commit, and return them — the shared setup of the crash
+/// tests. The database is closed cleanly; the caller then damages the
+/// segment to simulate the crash.
+fn two_block_history(
+    dir: &Path,
+    config: DurableConfig,
+) -> (spitz::Digest, spitz::Digest, PathBuf, u64) {
+    let store: Arc<dyn ChunkStore> =
+        Arc::new(DurableChunkStore::open_with_config(dir, config).unwrap());
+    let db = SpitzDb::with_store(store, Default::default()).unwrap();
+    let digest1 = db.put(b"k1", b"v1").unwrap();
+    let digest2 = db.put(b"k2", b"v2").unwrap();
+    drop(db);
+    let segment = single_segment_file(dir);
+    let len = std::fs::metadata(&segment).unwrap().len();
+    (digest1, digest2, segment, len)
+}
+
+fn truncate_to(path: &Path, len: u64) {
+    let file = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+    file.set_len(len).unwrap();
+}
+
+/// Crash simulation: the kill lands *between* the segment fsync of block
+/// 2's data and the append of its root record — the log ends exactly at
+/// the block chunk, with no (partial) root record after it. Reopen must
+/// land on block 1, the last *durable* root, with the chain and digest
+/// intact, and recommitting the lost write must reproduce block 2 exactly.
 #[test]
-fn torn_tail_under_a_ledger_drops_only_the_uncommitted_block() {
-    let dir = TempDir::new("torn-ledger");
+fn crash_before_root_record_recovers_to_previous_root() {
+    let dir = TempDir::new("crash-pre-root");
     let config = DurableConfig {
         segment_target_bytes: 1024 * 1024,
         cache_capacity_bytes: 0,
         fsync_each_put: false,
     };
+    let (digest1, digest2, segment, len) = two_block_history(dir.path(), config);
 
-    // Two committed blocks, then simulate a crash that tears the tail of
-    // the segment (as if a third append never completed).
-    let digest_before = {
+    // The file tail is [... block-2 chunk][root record]; cut the whole root
+    // record so the data survives but its publication never happened.
+    let root_len = root_record_len(spitz::ledger::LEDGER_HEAD_ROOT) as u64;
+    truncate_to(&segment, len - root_len);
+
+    let store: Arc<dyn ChunkStore> =
+        Arc::new(DurableChunkStore::open_with_config(dir.path(), config).unwrap());
+    let db = SpitzDb::with_store(Arc::clone(&store), Default::default()).unwrap();
+    assert_eq!(db.digest(), digest1, "must land on the last durable root");
+    assert_eq!(db.digest().block_height, 0);
+    assert_eq!(db.get(b"k1").unwrap(), Some(b"v1".to_vec()));
+    assert_eq!(db.get(b"k2").unwrap(), None, "unpublished commit is gone");
+    assert_eq!(db.ledger().audit_chain(), None);
+
+    // Recommitting the lost write reproduces the identical block 2: same
+    // height, same prev hash, same digest — and the block chunk that
+    // survived unreferenced deduplicates instead of growing the log.
+    let recommitted = db.put(b"k2", b"v2").unwrap();
+    assert_eq!(recommitted, digest2);
+    assert_eq!(db.ledger().audit_chain(), None);
+}
+
+/// Crash simulation: the kill lands *mid root-record* (a torn tail). The
+/// partial record must be dropped, recovery again lands on the last
+/// durable root, and every durability policy reopens to the same state.
+#[test]
+fn torn_root_record_recovers_to_previous_root_under_every_policy() {
+    for policy in [
+        DurabilityPolicy::Strict,
+        DurabilityPolicy::grouped_default(),
+        DurabilityPolicy::Os,
+    ] {
+        let dir = TempDir::new("crash-torn-root");
+        let config = DurableConfig {
+            segment_target_bytes: 1024 * 1024,
+            cache_capacity_bytes: 0,
+            fsync_each_put: false,
+        };
+        let (digest1, _digest2, segment, len) = two_block_history(dir.path(), config);
+
+        // Tear into the middle of block 2's root record (3 bytes short).
+        truncate_to(&segment, len - 3);
+
+        let durable = Arc::new(DurableChunkStore::open_with_config(dir.path(), config).unwrap());
+        assert!(durable.torn_bytes_recovered() > 0, "{}", policy.name());
+        let db = SpitzDb::with_store(
+            durable as Arc<dyn ChunkStore>,
+            SpitzConfig::default().with_durability(policy),
+        )
+        .unwrap();
+        assert_eq!(db.digest(), digest1, "{}", policy.name());
+        assert_eq!(db.get(b"k2").unwrap(), None, "{}", policy.name());
+        assert_eq!(db.ledger().audit_chain(), None, "{}", policy.name());
+
+        // The recovered chain keeps extending under the same policy.
+        let extended = db.put(b"k3", b"v3").unwrap();
+        assert_eq!(extended.block_height, 1, "{}", policy.name());
+        drop(db);
         let store: Arc<dyn ChunkStore> =
             Arc::new(DurableChunkStore::open_with_config(dir.path(), config).unwrap());
         let db = SpitzDb::with_store(store, Default::default()).unwrap();
+        assert_eq!(db.digest(), extended, "{}", policy.name());
+    }
+}
+
+/// N writer threads × M puts through the group-commit pipeline must yield
+/// exactly N·M records with a verifiable digest and a clean chain, and the
+/// whole history must survive a drain + reopen byte-identically.
+#[test]
+fn concurrent_pipeline_writers_commit_every_record_exactly_once() {
+    const WRITERS: u32 = 4;
+    const PUTS: u32 = 30;
+    let dir = TempDir::new("pipeline-concurrency");
+    let config = SpitzConfig::default().with_durability(DurabilityPolicy::grouped_default());
+
+    let digest = {
+        let db = SpitzDb::open_with_config(dir.path(), config).unwrap();
+        std::thread::scope(|scope| {
+            for writer in 0..WRITERS {
+                let db = &db;
+                scope.spawn(move || {
+                    for i in 0..PUTS {
+                        let key = format!("writer-{writer:02}/key-{i:04}");
+                        let value = format!("value-{writer}-{i}");
+                        db.put(key.as_bytes(), value.as_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+
+        assert_eq!(db.ledger().len() as u32, WRITERS * PUTS);
+        for writer in 0..WRITERS {
+            for i in 0..PUTS {
+                let key = format!("writer-{writer:02}/key-{i:04}");
+                assert_eq!(
+                    db.get(key.as_bytes()).unwrap(),
+                    Some(format!("value-{writer}-{i}").into_bytes())
+                );
+            }
+        }
+        assert_eq!(db.ledger().audit_chain(), None);
+        let pipeline = db.pipeline().expect("durable db commits via pipeline");
+        assert_eq!(pipeline.stats().commits, (WRITERS * PUTS) as u64);
+
+        // A verified read proves the coalesced blocks still chain cleanly.
+        let (value, proof) = db.get_verified(b"writer-00/key-0000").unwrap();
+        assert!(proof.verify(b"writer-00/key-0000", value.as_deref()));
+        db.digest()
+    }; // drop: drain + final fsync + manifest
+
+    let db = SpitzDb::open(dir.path()).unwrap();
+    assert_eq!(db.digest(), digest);
+    assert_eq!(db.ledger().len() as u32, WRITERS * PUTS);
+    assert_eq!(db.ledger().audit_chain(), None);
+}
+
+/// `flush()` makes grouped commits durable on demand: after a flush, a
+/// crash (simulated by leaking the store so nothing runs at drop) must not
+/// lose the flushed history.
+#[test]
+fn explicit_flush_makes_grouped_commits_durable() {
+    let dir = TempDir::new("pipeline-flush");
+    let config = SpitzConfig::default().with_durability(DurabilityPolicy::Grouped {
+        max_delay: std::time::Duration::from_secs(3600),
+        max_writes: 1_000_000, // only an explicit flush may sync
+    });
+
+    let digest = {
+        let db = SpitzDb::open_with_config(dir.path(), config).unwrap();
         db.put(b"k1", b"v1").unwrap();
         db.put(b"k2", b"v2").unwrap();
-        db.digest()
+        db.flush().unwrap();
+        let digest = db.digest();
+        // Simulate a hard kill: no pipeline drain, no store flush.
+        std::mem::forget(db);
+        digest
     };
 
-    let segment = single_segment_file(dir.path());
-    let len = std::fs::metadata(&segment).unwrap().len();
-    let file = std::fs::OpenOptions::new()
-        .write(true)
-        .open(&segment)
-        .unwrap();
-    file.set_len(len - 3).unwrap();
-    drop(file);
-
-    // The torn record was the most recent block chunk, so the recovered
-    // head pointer (written at commit time) no longer resolves — the store
-    // opens fine but the ledger walk must fail loudly rather than serve a
-    // silently shortened chain.
-    let store: Arc<dyn ChunkStore> =
-        Arc::new(DurableChunkStore::open_with_config(dir.path(), config).unwrap());
-    let result = SpitzDb::with_store(Arc::clone(&store), Default::default());
-    assert!(
-        matches!(
-            result.as_ref().err(),
-            Some(spitz::core::error::DbError::Storage(_))
-        ),
-        "dangling head pointer must not open silently: {:?}",
-        result.as_ref().err()
-    );
-    drop(result);
-    drop(store);
-
-    // Un-torn variant for contrast: without the truncation the digest is
-    // reproduced exactly.
-    let dir2 = TempDir::new("untorn-ledger");
-    {
-        let store: Arc<dyn ChunkStore> =
-            Arc::new(DurableChunkStore::open_with_config(dir2.path(), config).unwrap());
-        let db = SpitzDb::with_store(store, Default::default()).unwrap();
-        db.put(b"k1", b"v1").unwrap();
-        db.put(b"k2", b"v2").unwrap();
-        assert_eq!(db.digest().block_hash, digest_before.block_hash);
-    }
-    let store: Arc<dyn ChunkStore> =
-        Arc::new(DurableChunkStore::open_with_config(dir2.path(), config).unwrap());
-    let db = SpitzDb::with_store(store, Default::default()).unwrap();
-    assert_eq!(db.digest().block_hash, digest_before.block_hash);
+    let db = SpitzDb::open(dir.path()).unwrap();
+    assert_eq!(db.digest(), digest, "flushed commits must survive a crash");
+    assert_eq!(db.get(b"k2").unwrap(), Some(b"v2".to_vec()));
+    assert_eq!(db.ledger().audit_chain(), None);
 }
 
 #[test]
