@@ -1,0 +1,164 @@
+//! Sharded write throughput: shard count × concurrent writers.
+//!
+//! Each cell loads the same total number of single-key puts (20-byte
+//! values, the paper's write workload) into a fresh in-memory database —
+//! the single-ledger `SpitzDb` baseline, or a `ShardedDb` with N per-shard
+//! ledgers — from W writer threads, and reports aggregate throughput
+//! (×10³ ops/s). Keys hash-route across shards, so every shard takes ~1/N
+//! of the load.
+//!
+//! The shape to look for: a put's cost is dominated by the ledger's SIRI
+//! index update (hash, node rewrite, O(log n) path). Sharding splits one
+//! index of n keys into N indexes of n/N, so each put rewrites a shallower
+//! path of smaller nodes — single-key write throughput grows with the
+//! shard count even single-threaded, and multi-writer rows additionally
+//! split the per-ledger write lock N ways. Durable deployments stack this
+//! on top of the per-shard group-commit pipelines measured by
+//! `fig_group_commit`; the durable sharded recovery path is exercised by
+//! the `sharded` test suite and by `--smoke` here.
+//!
+//! Run with `--smoke` for a CI-sized workload; the smoke run also drives a
+//! durable sharded cell through flush, shutdown and reopen.
+
+use std::time::Instant;
+
+use spitz_bench::util::TempDir;
+use spitz_bench::FigureTable;
+use spitz_core::db::SpitzDb;
+use spitz_core::sharded::{ShardedConfig, ShardedDb};
+
+/// One writer's keyspace slice: distinct keys per writer, hash-spread over
+/// the shards by construction.
+fn write_slice(writer: u32, puts_per_writer: u32, mut put: impl FnMut(&[u8], &[u8])) {
+    for i in 0..puts_per_writer {
+        let key = format!("w{writer:02}/key-{i:06}");
+        let value = format!("value-{writer:02}-{i:014}");
+        put(key.as_bytes(), value.as_bytes());
+    }
+}
+
+/// W writers × N puts against a plain single-ledger in-memory `SpitzDb`.
+fn run_baseline(writers: u32, puts_per_writer: u32) -> f64 {
+    let db = SpitzDb::in_memory();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for writer in 0..writers {
+            let db = &db;
+            scope.spawn(move || {
+                write_slice(writer, puts_per_writer, |k, v| {
+                    db.put(k, v).expect("put");
+                });
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(db.ledger().len(), (writers * puts_per_writer) as usize);
+    ((writers * puts_per_writer) as f64 / elapsed) / 1_000.0
+}
+
+/// W writers × N puts against an in-memory `ShardedDb` with `shards`
+/// shards.
+fn run_sharded(shards: usize, writers: u32, puts_per_writer: u32) -> f64 {
+    let db = ShardedDb::in_memory(shards);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for writer in 0..writers {
+            let db = &db;
+            scope.spawn(move || {
+                write_slice(writer, puts_per_writer, |k, v| {
+                    db.put(k, v).expect("put");
+                });
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // Every record landed on exactly one shard, and the combined digest is
+    // self-consistent.
+    let total: usize = (0..db.shard_count())
+        .map(|s| db.shard(s).ledger().len())
+        .sum();
+    assert_eq!(total, (writers * puts_per_writer) as usize);
+    assert!(db.digest().verify());
+
+    ((writers * puts_per_writer) as f64 / elapsed) / 1_000.0
+}
+
+/// Durable sharded smoke: a small write load through per-shard commit
+/// pipelines, then flush, shutdown and reopen must reproduce the combined
+/// cross-shard digest from disk.
+fn durable_recovery_smoke() {
+    let dir = TempDir::new("fig-sharded-smoke");
+    let config = ShardedConfig::default().with_shards(4);
+    let db = ShardedDb::open(dir.path(), config).expect("open durable sharded db");
+    std::thread::scope(|scope| {
+        for writer in 0..4u32 {
+            let db = &db;
+            scope.spawn(move || {
+                write_slice(writer, 30, |k, v| {
+                    db.put(k, v).expect("put");
+                });
+            });
+        }
+    });
+    db.put_batch(
+        (0..16)
+            .map(|i| (format!("batch-{i}").into_bytes(), b"x".to_vec()))
+            .collect(),
+    )
+    .expect("cross-shard batch");
+    let digest = db.flush().expect("flush");
+    drop(db);
+    let reopened = ShardedDb::open(dir.path(), config).expect("reopen");
+    assert_eq!(reopened.digest(), digest, "combined digest must survive");
+    assert_eq!(
+        reopened.published_head().expect("head").expect("some").root,
+        digest.root
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let total_puts: u32 = if smoke { 4_000 } else { 48_000 };
+    let writer_axis: &[u32] = &[1, 4];
+    let shard_axis: &[usize] = if smoke { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+
+    let mut series = vec!["SpitzDb (1 ledger)".to_string()];
+    series.extend(shard_axis.iter().map(|s| format!("Sharded x{s}")));
+    let mut table = FigureTable::new(
+        format!(
+            "Sharded writes: throughput (x10^3 ops/s) vs #writers, \
+             {total_puts} single-key puts total, in-memory"
+        ),
+        "#Writers",
+        series.iter().map(|s| s.as_str()).collect(),
+    );
+
+    let mut best_single = 0f64;
+    let mut best_sharded = 0f64;
+    for &writers in writer_axis {
+        let per_writer = total_puts / writers;
+        let mut row = vec![run_baseline(writers, per_writer)];
+        best_single = best_single.max(row[0]);
+        for &shards in shard_axis {
+            let kops = run_sharded(shards, writers, per_writer);
+            if shards > 1 {
+                best_sharded = best_sharded.max(kops);
+            }
+            row.push(kops);
+        }
+        table.add_row(writers.to_string(), row);
+    }
+    table.print();
+
+    println!();
+    println!(
+        "best multi-shard ({best_sharded:.2} kops/s) vs best single-ledger \
+         ({best_single:.2} kops/s): {:.2}x",
+        best_sharded / best_single
+    );
+    durable_recovery_smoke();
+    if smoke {
+        println!("smoke run complete: sharded commit, flush and durable recovery verified");
+    }
+}

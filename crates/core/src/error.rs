@@ -49,7 +49,10 @@ impl From<spitz_storage::StorageError> for DbError {
 
 impl From<spitz_txn::TxnError> for DbError {
     fn from(e: spitz_txn::TxnError) -> Self {
-        DbError::TxnConflict(e.to_string())
+        match e {
+            spitz_txn::TxnError::Storage(msg) => DbError::Storage(msg),
+            other => DbError::TxnConflict(other.to_string()),
+        }
     }
 }
 

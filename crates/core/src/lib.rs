@@ -44,6 +44,7 @@ pub mod control;
 pub mod db;
 pub mod error;
 pub mod schema;
+pub mod sharded;
 pub mod verify;
 
 pub use cell::{Cell, CellStore, UniversalKey};
@@ -51,6 +52,10 @@ pub use control::{Auditor, ProcessorNode, Request, RequestHandler, Response};
 pub use db::{SpitzConfig, SpitzDb};
 pub use error::DbError;
 pub use schema::{ColumnType, Record, Schema, Value};
+pub use sharded::{
+    shard_for, PreparedBatch, ShardedConfig, ShardedDb, ShardedDigest, ShardedProof,
+    SHARDED_HEAD_ROOT, SHARD_MEMBER_ROOT,
+};
 pub use verify::ClientVerifier;
 
 /// Crate-wide result alias.

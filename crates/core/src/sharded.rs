@@ -1,0 +1,776 @@
+//! Multi-shard Spitz: N independent ledgers behind one keyspace, with
+//! two-phase commit for cross-shard writes and a cross-shard digest.
+//!
+//! This is the paper's processor-node control layer (Section 5.2) promoted
+//! from a simulation over bare MVCC stores to the real storage stack: "the
+//! solution is to add distributed transactions to each node, and follow the
+//! two-phase commit (2PC) protocol to coordinate each transaction so that
+//! transactions committed by different nodes can be made serializable."
+//! Concretely:
+//!
+//! * **One shard = one processor node.** Each shard owns a full [`SpitzDb`]
+//!   — its own chunk store (in-memory, or durable under its own directory),
+//!   unified ledger and group-commit pipeline. Keys route to shards by the
+//!   same content hash `spitz_txn`'s 2PC coordinator uses, so the mapping
+//!   is deterministic and client-recomputable.
+//! * **Single-key operations** (`put`/`get`/`get_verified`) route straight
+//!   to the owning shard and cost exactly what a single-ledger Spitz costs
+//!   — this is where the partitioned-journal shape gets its scaling: W
+//!   writers spread over N shards contend on N ledgers and N commit
+//!   pipelines instead of one.
+//! * **Cross-shard batches** run real two-phase commit: every involved
+//!   shard's [`spitz_txn::Participant`] validates under MVCC + 2PL
+//!   (no-wait locks, so distributed deadlock is impossible), durably
+//!   *stages* its part in its own chunk store, and votes. Only when every
+//!   shard votes yes do the prepared writes flow into each shard's ledger
+//!   (via that shard's commit pipeline); on any no-vote — conflict, disk
+//!   full, crash injection — every shard aborts and nothing becomes
+//!   visible. A coordinator crash between prepare and commit is resolved by
+//!   [`ShardedDb::recover`] with presumed abort.
+//! * **The cross-shard digest** ([`ShardedDigest`]) is a small Merkle tree
+//!   (RFC 6962 shape, from `spitz_crypto::merkle`) whose leaves are the
+//!   per-shard [`Digest`]s. A client pins the single root and can verify a
+//!   read anywhere in the keyspace: the shard's ledger proof chains to the
+//!   shard digest, and an audit path chains the shard digest to the pinned
+//!   root ([`ShardedProof`]). The digest is recomputed per commit epoch and
+//!   persisted as the named root [`SHARDED_HEAD_ROOT`] through the same
+//!   log-embedded root-record path the per-shard ledger heads use.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use spitz_crypto::merkle::{AuditProof, MerkleTree};
+use spitz_crypto::Hash;
+use spitz_ledger::{CommitPipeline, Digest, Ledger, LedgerProof};
+use spitz_storage::{Chunk, ChunkKind, ChunkStore};
+use spitz_txn::TwoPhaseCoordinator;
+use spitz_txn::{CcScheme, Participant, PreparedApply, PreparedGlobal, TimestampOracle};
+
+use crate::db::{SpitzConfig, SpitzDb};
+use crate::error::DbError;
+use crate::Result;
+
+/// Named root under which the latest cross-shard digest chunk is published
+/// (in shard 0's store), mirroring `spitz/ledger/head` one level up.
+pub const SHARDED_HEAD_ROOT: &str = "spitz/sharded/head";
+
+/// Named root of the per-shard membership record: which shard index of how
+/// many this store is. Guards a sharded database against being reassembled
+/// with the wrong shard count or with shard directories swapped.
+pub const SHARD_MEMBER_ROOT: &str = "spitz/sharded/member";
+
+/// Which shard of `shards` owns `key`. This is the routing function used by
+/// [`ShardedDb`], `spitz_txn`'s [`TwoPhaseCoordinator`] and verifying
+/// clients alike: the SHA-256 prefix of the key modulo the shard count.
+pub fn shard_for(key: &[u8], shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard count must be positive");
+    (spitz_crypto::sha256(key).prefix_u64() % shards as u64) as usize
+}
+
+/// Configuration of a sharded Spitz instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Number of shards (independent ledgers). Must be at least 1.
+    pub shards: usize,
+    /// Per-shard Spitz configuration (SIRI kind, CC scheme, durability).
+    pub spitz: SpitzConfig,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            spitz: SpitzConfig::default(),
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// This configuration with a different shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// This configuration with a different per-shard Spitz configuration.
+    pub fn with_spitz(mut self, spitz: SpitzConfig) -> Self {
+        self.spitz = spitz;
+        self
+    }
+}
+
+/// The cross-shard digest: what a client of a sharded Spitz pins. One
+/// Merkle root over the per-shard ledger digests covers the whole keyspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedDigest {
+    /// Commit epoch: total number of blocks sealed across all shards. Every
+    /// committed write advances some shard's chain, so the epoch advances
+    /// with every commit and is reproducible after a restart.
+    pub epoch: u64,
+    /// Merkle root over the encoded per-shard digests (RFC 6962 shape).
+    pub root: Hash,
+    /// The per-shard digests, in shard order (the tree's leaves).
+    pub shards: Vec<Digest>,
+}
+
+impl ShardedDigest {
+    /// Compute the digest over per-shard digests, in shard order.
+    pub fn over(shards: Vec<Digest>) -> ShardedDigest {
+        let epoch = shards.iter().map(block_count).sum();
+        ShardedDigest {
+            epoch,
+            root: merkle_tree(&shards).root(),
+            shards,
+        }
+    }
+
+    /// Self-consistency: the root and epoch really are the ones implied by
+    /// the per-shard digests.
+    pub fn verify(&self) -> bool {
+        !self.shards.is_empty()
+            && self.root == merkle_tree(&self.shards).root()
+            && self.epoch == self.shards.iter().map(block_count).sum::<u64>()
+    }
+
+    /// Audit path proving that shard `shard`'s digest is a leaf of this
+    /// root. `None` when the shard index is out of range.
+    pub fn membership_proof(&self, shard: usize) -> Option<AuditProof> {
+        merkle_tree(&self.shards).audit_proof(shard)
+    }
+
+    /// Canonical byte encoding, stored as the payload of the
+    /// [`SHARDED_HEAD_ROOT`] digest chunk.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 4 + self.shards.len() * DIGEST_ENCODED_LEN);
+        out.extend_from_slice(&self.epoch.to_be_bytes());
+        out.extend_from_slice(&(self.shards.len() as u32).to_be_bytes());
+        for digest in &self.shards {
+            out.extend_from_slice(&digest.encode());
+        }
+        out
+    }
+
+    /// Inverse of [`ShardedDigest::encode`]. Returns `None` for malformed
+    /// bytes or when the decoded digest is not self-consistent.
+    pub fn decode(bytes: &[u8]) -> Option<ShardedDigest> {
+        let epoch = u64::from_be_bytes(bytes.get(..8)?.try_into().ok()?);
+        let count = u32::from_be_bytes(bytes.get(8..12)?.try_into().ok()?) as usize;
+        let body = bytes.get(12..)?;
+        if body.len() != count * DIGEST_ENCODED_LEN {
+            return None;
+        }
+        let shards = body
+            .chunks(DIGEST_ENCODED_LEN)
+            .map(Digest::decode)
+            .collect::<Option<Vec<Digest>>>()?;
+        // The root is recomputed from the leaves, so only the epoch and
+        // non-emptiness can actually be inconsistent with the payload.
+        if shards.is_empty() || epoch != shards.iter().map(block_count).sum::<u64>() {
+            return None;
+        }
+        Some(ShardedDigest {
+            epoch,
+            root: merkle_tree(&shards).root(),
+            shards,
+        })
+    }
+}
+
+/// Byte width of [`Digest::encode`].
+const DIGEST_ENCODED_LEN: usize = 8 + 32 * 3 + 1;
+
+/// Number of sealed blocks a digest stands for.
+fn block_count(digest: &Digest) -> u64 {
+    if digest.block_hash == Hash::ZERO {
+        0
+    } else {
+        digest.block_height + 1
+    }
+}
+
+/// The Merkle tree over encoded per-shard digests.
+fn merkle_tree(shards: &[Digest]) -> MerkleTree {
+    let leaves: Vec<Vec<u8>> = shards.iter().map(|d| d.encode()).collect();
+    MerkleTree::from_leaves(leaves.iter().map(|l| l.as_slice()))
+}
+
+/// Proof returned with a verified sharded read: the serving shard's ledger
+/// proof plus the audit path from that shard's digest up to the cross-shard
+/// root. A client that pins only the [`ShardedDigest::root`] can verify a
+/// read of any key.
+#[derive(Debug, Clone)]
+pub struct ShardedProof {
+    /// Index of the shard that served the read.
+    pub shard: usize,
+    /// Total shard count (needed to recompute the routing).
+    pub shard_count: usize,
+    /// The shard's ledger proof; its embedded digest is the Merkle leaf.
+    pub ledger_proof: LedgerProof,
+    /// Audit path from the shard digest leaf to the cross-shard root.
+    pub membership: AuditProof,
+    /// The cross-shard root this proof verifies against (compare with the
+    /// pinned [`ShardedDigest::root`]).
+    pub root: Hash,
+}
+
+impl ShardedProof {
+    /// Client-side verification: the key routes to the claimed shard, the
+    /// shard's ledger proof verifies the value, and the shard digest is a
+    /// leaf of the cross-shard root at the claimed position.
+    pub fn verify(&self, key: &[u8], value: Option<&[u8]>) -> bool {
+        self.shard_count > 0
+            && self.shard == shard_for(key, self.shard_count)
+            && self.membership.leaf_index == self.shard
+            && self.membership.tree_size == self.shard_count
+            && self.ledger_proof.verify(key, value)
+            && self
+                .membership
+                .verify(self.root, &self.ledger_proof.digest.encode())
+    }
+}
+
+/// A cross-shard batch prepared on every involved shard but not yet
+/// committed or aborted (2PC phase 1 complete). Finish it with
+/// [`ShardedDb::commit_prepared`] / [`ShardedDb::abort_prepared`]; dropping
+/// it unfinished models a coordinator crash, which [`ShardedDb::recover`]
+/// resolves by presumed abort.
+#[derive(Debug)]
+pub struct PreparedBatch(PreparedGlobal);
+
+impl PreparedBatch {
+    /// The global transaction id assigned by the coordinator.
+    pub fn global_txn_id(&self) -> u64 {
+        self.0.global_txn_id
+    }
+
+    /// Indexes of the shards holding a prepared part of this batch.
+    pub fn involved_shards(&self) -> &[usize] {
+        &self.0.involved
+    }
+}
+
+/// The sink wiring one shard's 2PC participant to that shard's ledger:
+/// prepared writes are durably staged in the shard's chunk store at phase 1
+/// and sealed into the shard's ledger (through its commit pipeline, when
+/// one exists) at phase 2.
+struct ShardSink {
+    shard: usize,
+    store: Arc<dyn ChunkStore>,
+    ledger: Arc<Ledger>,
+    pipeline: Option<Arc<CommitPipeline>>,
+}
+
+impl PreparedApply for ShardSink {
+    fn stage(
+        &self,
+        global_txn_id: u64,
+        writes: &[(Vec<u8>, Vec<u8>)],
+    ) -> std::result::Result<(), String> {
+        // Durably stage the prepared writes as a content-addressed chunk.
+        // This is the write that makes disk-full surface at *prepare* time
+        // (a No vote, global abort) instead of after the commit decision.
+        // An aborted transaction's staged chunk is simply never referenced
+        // — the same orphan class as rolled-back grouped commits, reclaimed
+        // by future segment GC.
+        let chunk = Chunk::new(
+            ChunkKind::Meta,
+            encode_staged(global_txn_id, self.shard, writes),
+        );
+        self.store
+            .try_put(chunk)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn apply(
+        &self,
+        _global_txn_id: u64,
+        writes: Vec<(Vec<u8>, Vec<u8>)>,
+        statement: &str,
+    ) -> std::result::Result<(), String> {
+        match &self.pipeline {
+            Some(pipeline) => pipeline.commit(writes, statement).map(|_| ()),
+            None => self.ledger.try_append_block(writes, statement).map(|_| ()),
+        }
+        .map_err(|e| e.to_string())
+    }
+}
+
+/// Payload of a staged-writes chunk: magic ‖ gtid ‖ shard ‖ count ‖ entries.
+fn encode_staged(global_txn_id: u64, shard: usize, writes: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"spitz-2pc-stage\0");
+    out.extend_from_slice(&global_txn_id.to_be_bytes());
+    out.extend_from_slice(&(shard as u32).to_be_bytes());
+    out.extend_from_slice(&(writes.len() as u32).to_be_bytes());
+    for (key, value) in writes {
+        out.extend_from_slice(&(key.len() as u32).to_be_bytes());
+        out.extend_from_slice(key);
+        out.extend_from_slice(&(value.len() as u32).to_be_bytes());
+        out.extend_from_slice(value);
+    }
+    out
+}
+
+/// Payload of a shard membership record: magic ‖ shard index ‖ shard count
+/// ‖ SIRI kind tag.
+fn encode_member(shard: usize, shards: usize, kind_tag: u8) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"spitz-shard-member\0");
+    out.extend_from_slice(&(shard as u32).to_be_bytes());
+    out.extend_from_slice(&(shards as u32).to_be_bytes());
+    out.push(kind_tag);
+    out
+}
+
+/// The multi-shard Spitz database.
+pub struct ShardedDb {
+    shards: Vec<Arc<SpitzDb>>,
+    coordinator: TwoPhaseCoordinator,
+    /// Epoch of the last digest published to [`SHARDED_HEAD_ROOT`].
+    /// Serializes publications and keeps a slower concurrent publisher
+    /// from rolling the head back to a staler digest.
+    published_epoch: parking_lot::Mutex<u64>,
+}
+
+impl ShardedDb {
+    /// Create an in-memory sharded instance with `shards` shards and the
+    /// default per-shard configuration.
+    pub fn in_memory(shards: usize) -> Self {
+        Self::with_config(ShardedConfig::default().with_shards(shards))
+    }
+
+    /// Create an in-memory sharded instance with an explicit configuration.
+    pub fn with_config(config: ShardedConfig) -> Self {
+        assert!(config.shards >= 1, "need at least one shard");
+        let dbs: Vec<Arc<SpitzDb>> = (0..config.shards)
+            .map(|_| Arc::new(SpitzDb::with_config(config.spitz)))
+            .collect();
+        // In-memory membership records keep the invariants uniform across
+        // backends (and are exercised by `with_stores` round-trips).
+        for (i, db) in dbs.iter().enumerate() {
+            let _ = ensure_member(db.store(), i, config.shards, config.spitz);
+        }
+        Self::assemble(dbs)
+    }
+
+    /// Open (or create) a durable sharded instance under `path`: shard `i`
+    /// lives in `path/shard-{i:03}` with its own segment files, ledger and
+    /// commit pipeline. Reopening with the same configuration reproduces
+    /// every per-shard digest and therefore the identical cross-shard
+    /// digest; reopening with a different shard count (or mixed-up shard
+    /// directories) is rejected via the persisted membership records.
+    pub fn open(path: impl AsRef<Path>, config: ShardedConfig) -> Result<Self> {
+        assert!(config.shards >= 1, "need at least one shard");
+        let path = path.as_ref();
+        let mut dbs = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            let dir = path.join(format!("shard-{i:03}"));
+            let db = Arc::new(SpitzDb::open_with_config(&dir, config.spitz)?);
+            ensure_member(db.store(), i, config.shards, config.spitz)?;
+            dbs.push(db);
+        }
+        Ok(Self::assemble(dbs))
+    }
+
+    /// Build a sharded instance over caller-provided chunk stores, one per
+    /// shard (the hook fault-injection tests use to wrap stores with
+    /// failpoints). Each store gets a full `SpitzDb` via
+    /// [`SpitzDb::with_store`].
+    pub fn with_stores(stores: Vec<Arc<dyn ChunkStore>>, spitz: SpitzConfig) -> Result<Self> {
+        assert!(!stores.is_empty(), "need at least one shard store");
+        let shards = stores.len();
+        let mut dbs = Vec::with_capacity(shards);
+        for (i, store) in stores.into_iter().enumerate() {
+            ensure_member(&store, i, shards, spitz)?;
+            dbs.push(Arc::new(SpitzDb::with_store(store, spitz)?));
+        }
+        Ok(Self::assemble(dbs))
+    }
+
+    /// Wire the 2PC layer over already-opened shards. Participants use
+    /// MVCC + two-phase locking regardless of the shards' own CC scheme:
+    /// 2PL takes its (no-wait) locks in the prepare phase, so a `Yes` vote
+    /// guarantees the commit phase cannot fail validation — the property
+    /// 2PC requires of its participants. No-wait locks also mean two
+    /// batches that collide on a key never block each other, so
+    /// distributed deadlock is impossible; the loser aborts and retries.
+    fn assemble(dbs: Vec<Arc<SpitzDb>>) -> Self {
+        let oracle = Arc::new(TimestampOracle::new());
+        let participants: Vec<Arc<Participant>> = dbs
+            .iter()
+            .enumerate()
+            .map(|(i, db)| {
+                let sink = ShardSink {
+                    shard: i,
+                    store: Arc::clone(db.store()),
+                    ledger: Arc::clone(db.ledger()),
+                    pipeline: db.pipeline().cloned(),
+                };
+                Arc::new(Participant::with_apply(
+                    format!("shard-{i}"),
+                    Arc::clone(&oracle),
+                    CcScheme::TwoPhaseLocking,
+                    Some(Arc::new(sink) as Arc<dyn PreparedApply>),
+                ))
+            })
+            .collect();
+        let coordinator = TwoPhaseCoordinator::new(participants, oracle);
+        let db = ShardedDb {
+            shards: dbs,
+            coordinator,
+            published_epoch: parking_lot::Mutex::new(0),
+        };
+        if let Ok(Some(head)) = db.published_head() {
+            *db.published_epoch.lock() = head.epoch;
+        }
+        db
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct access to one shard's `SpitzDb` (diagnostics, tests).
+    pub fn shard(&self, index: usize) -> &Arc<SpitzDb> {
+        &self.shards[index]
+    }
+
+    /// The 2PC coordinator driving cross-shard batches.
+    pub fn coordinator(&self) -> &TwoPhaseCoordinator {
+        &self.coordinator
+    }
+
+    /// Which shard owns `key`.
+    pub fn route(&self, key: &[u8]) -> usize {
+        shard_for(key, self.shards.len())
+    }
+
+    /// Write one key/value pair: routes to the owning shard and seals a
+    /// block in that shard's ledger only. Returns the shard's new digest
+    /// (use [`ShardedDb::digest`] for the combined one).
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<Digest> {
+        self.shards[self.route(key)].put(key, value)
+    }
+
+    /// Write a batch atomically. A batch whose keys all land on one shard
+    /// is sealed as a single block there; a batch spanning shards runs
+    /// two-phase commit across the involved shards (all-or-nothing: either
+    /// every shard's ledger seals its part, or no shard's does). On success
+    /// the refreshed cross-shard digest is published and returned.
+    pub fn put_batch(&self, writes: Vec<(Vec<u8>, Vec<u8>)>) -> Result<ShardedDigest> {
+        if !writes.is_empty() {
+            let first = self.route(&writes[0].0);
+            if writes.iter().all(|(key, _)| self.route(key) == first) {
+                self.shards[first].put_batch(writes)?;
+            } else {
+                self.coordinator
+                    .execute_with_statement(writes, "PUT BATCH")?;
+            }
+        }
+        let digest = self.digest();
+        self.publish_head(&digest)?;
+        Ok(digest)
+    }
+
+    /// Phase 1 only of a cross-shard batch: prepare every involved shard
+    /// and return the in-doubt handle (crash-injection and recovery tests
+    /// drive 2PC through this).
+    pub fn prepare_batch(&self, writes: Vec<(Vec<u8>, Vec<u8>)>) -> Result<PreparedBatch> {
+        Ok(PreparedBatch(
+            self.coordinator.prepare(writes, "PUT BATCH")?,
+        ))
+    }
+
+    /// Phase 2 (commit) of a batch prepared with
+    /// [`ShardedDb::prepare_batch`].
+    pub fn commit_prepared(&self, prepared: PreparedBatch) -> Result<ShardedDigest> {
+        self.coordinator.commit_prepared(prepared.0)?;
+        let digest = self.digest();
+        self.publish_head(&digest)?;
+        Ok(digest)
+    }
+
+    /// Phase 2 (abort) of a batch prepared with
+    /// [`ShardedDb::prepare_batch`]: nothing becomes visible anywhere.
+    pub fn abort_prepared(&self, prepared: PreparedBatch) {
+        self.coordinator.abort_prepared(prepared.0);
+    }
+
+    /// Coordinator-crash recovery: resolve every in-doubt batch. A batch
+    /// with no commit decision is presumed aborted (no shard keeps prepared
+    /// state or locks); a batch whose commit was decided but whose ledger
+    /// apply failed on some shard (disk full after the vote) gets the
+    /// apply retried there, preserving all-or-nothing. Returns the number
+    /// of batches resolved.
+    pub fn recover(&self) -> usize {
+        self.coordinator.recover()
+    }
+
+    /// Unverified point read, routed to the owning shard.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.shards[self.route(key)].get(key)
+    }
+
+    /// Verified point read: the value plus a [`ShardedProof`] chaining the
+    /// shard's ledger proof up to the cross-shard root.
+    pub fn get_verified(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, ShardedProof)> {
+        let shard = self.route(key);
+        let (value, ledger_proof) = self.shards[shard].get_verified(key)?;
+        // Snapshot the other shards' digests around the serving shard's
+        // proof-time digest so leaf and proof agree.
+        let digests: Vec<Digest> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, db)| {
+                if i == shard {
+                    ledger_proof.digest
+                } else {
+                    db.digest()
+                }
+            })
+            .collect();
+        let combined = ShardedDigest::over(digests);
+        let membership = combined
+            .membership_proof(shard)
+            .expect("shard index is in range");
+        Ok((
+            value,
+            ShardedProof {
+                shard,
+                shard_count: self.shards.len(),
+                ledger_proof,
+                membership,
+                root: combined.root,
+            },
+        ))
+    }
+
+    /// Unverified range read over `start <= key < end`, merged across all
+    /// shards in key order. (Keys are hash-partitioned, so every shard may
+    /// hold part of any range; a verified cross-shard range proof is a
+    /// follow-up.)
+    pub fn range(&self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            entries.extend(shard.range(start, end)?);
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(entries)
+    }
+
+    /// The current cross-shard digest (what clients pin). Recomputed from
+    /// the live per-shard digests; take it at a quiescent point (e.g. after
+    /// [`ShardedDb::flush`]) for an exact pin under concurrency.
+    pub fn digest(&self) -> ShardedDigest {
+        ShardedDigest::over(self.shards.iter().map(|db| db.digest()).collect())
+    }
+
+    /// True when the live state matches a pinned cross-shard digest.
+    pub fn verify(&self, pinned: &ShardedDigest) -> bool {
+        pinned.verify() && self.digest().root == pinned.root
+    }
+
+    /// The last cross-shard digest published to the [`SHARDED_HEAD_ROOT`]
+    /// root (in shard 0's store), if any. After [`ShardedDb::flush`] this
+    /// equals [`ShardedDb::digest`].
+    pub fn published_head(&self) -> Result<Option<ShardedDigest>> {
+        let store = self.shards[0].store();
+        let Some(address) = store.root(SHARDED_HEAD_ROOT) else {
+            return Ok(None);
+        };
+        let chunk = store.get_kind(&address, ChunkKind::Meta)?;
+        ShardedDigest::decode(chunk.data())
+            .map(Some)
+            .ok_or(DbError::Storage(format!(
+                "corrupt cross-shard digest chunk {address}"
+            )))
+    }
+
+    /// Drain every shard's commit pipeline, force everything onto stable
+    /// storage, and publish the resulting cross-shard digest durably.
+    pub fn flush(&self) -> Result<ShardedDigest> {
+        for shard in &self.shards {
+            shard.flush()?;
+        }
+        let digest = self.digest();
+        self.publish_head(&digest)?;
+        self.shards[0].store().sync()?;
+        Ok(digest)
+    }
+
+    /// Publish a cross-shard digest chunk and advance [`SHARDED_HEAD_ROOT`]
+    /// through the existing root-record path. Publications are serialized
+    /// and monotone by epoch: a concurrent publisher that lost the race
+    /// with a newer digest leaves the newer head in place.
+    fn publish_head(&self, digest: &ShardedDigest) -> Result<()> {
+        let mut published = self.published_epoch.lock();
+        if digest.epoch < *published {
+            return Ok(());
+        }
+        let store = self.shards[0].store();
+        let address = store.try_put(Chunk::new(ChunkKind::Meta, digest.encode()))?;
+        store.try_set_root(SHARDED_HEAD_ROOT, address)?;
+        *published = digest.epoch;
+        Ok(())
+    }
+}
+
+/// Verify (or, on first open, write) a shard's membership record.
+fn ensure_member(
+    store: &Arc<dyn ChunkStore>,
+    shard: usize,
+    shards: usize,
+    spitz: SpitzConfig,
+) -> Result<()> {
+    let expected = encode_member(shard, shards, spitz.siri.tag());
+    match store.root(SHARD_MEMBER_ROOT) {
+        Some(address) => {
+            let chunk = store.get_kind(&address, ChunkKind::Meta)?;
+            if chunk.data() != expected.as_slice() {
+                return Err(DbError::BadRequest(format!(
+                    "shard store mismatch: expected shard {shard} of {shards} \
+                     ({}), found a different membership record — wrong shard \
+                     count, swapped directories, or wrong SIRI kind",
+                    spitz.siri.name(),
+                )));
+            }
+        }
+        None => {
+            let address = store.try_put(Chunk::new(ChunkKind::Meta, expected))?;
+            store.try_set_root(SHARD_MEMBER_ROOT, address)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
+        (
+            format!("key-{i:05}").into_bytes(),
+            format!("value-{i}").into_bytes(),
+        )
+    }
+
+    #[test]
+    fn single_key_ops_route_and_read_back() {
+        let db = ShardedDb::in_memory(4);
+        for i in 0..100 {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        for i in 0..100 {
+            let (k, v) = kv(i);
+            assert_eq!(db.get(&k).unwrap(), Some(v));
+            assert_eq!(db.route(&k), shard_for(&k, 4));
+            assert_eq!(db.route(&k), db.coordinator().route(&k));
+        }
+        assert_eq!(db.get(b"missing").unwrap(), None);
+        // All four shards got some share of 100 hashed keys.
+        for s in 0..4 {
+            assert!(!db.shard(s).ledger().is_empty(), "shard {s} is empty");
+        }
+    }
+
+    #[test]
+    fn cross_shard_batch_commits_atomically_and_publishes_head() {
+        let db = ShardedDb::in_memory(3);
+        let writes: Vec<_> = (0..60).map(kv).collect();
+        let digest = db.put_batch(writes.clone()).unwrap();
+        assert!(digest.verify());
+        for (k, v) in &writes {
+            assert_eq!(db.get(k).unwrap(), Some(v.clone()));
+        }
+        assert_eq!(db.published_head().unwrap().unwrap().root, digest.root);
+        assert!(db.verify(&digest));
+    }
+
+    #[test]
+    fn sharded_proofs_chain_to_the_combined_root() {
+        let db = ShardedDb::in_memory(4);
+        db.put_batch((0..80).map(kv).collect()).unwrap();
+        let pinned = db.digest();
+
+        let (k, v) = kv(17);
+        let (value, proof) = db.get_verified(&k).unwrap();
+        assert_eq!(value, Some(v.clone()));
+        assert_eq!(proof.root, pinned.root);
+        assert!(proof.verify(&k, value.as_deref()));
+        assert!(!proof.verify(&k, Some(b"forged")));
+        assert!(!proof.verify(b"other-key", value.as_deref()));
+
+        // Absence proof for a missing key.
+        let (missing, proof) = db.get_verified(b"no-such-key").unwrap();
+        assert!(missing.is_none());
+        assert!(proof.verify(b"no-such-key", None));
+        assert!(!proof.verify(b"no-such-key", Some(b"x")));
+    }
+
+    #[test]
+    fn digest_epoch_advances_with_every_commit() {
+        let db = ShardedDb::in_memory(2);
+        let d0 = db.digest();
+        assert_eq!(d0.epoch, 0);
+        db.put(b"a", b"1").unwrap();
+        let d1 = db.digest();
+        assert_eq!(d1.epoch, 1);
+        assert_ne!(d0.root, d1.root);
+        db.put_batch((0..10).map(kv).collect()).unwrap();
+        let d2 = db.digest();
+        assert!(d2.epoch > d1.epoch);
+        assert_ne!(d1.root, d2.root);
+    }
+
+    #[test]
+    fn sharded_digest_encoding_round_trips() {
+        let db = ShardedDb::in_memory(3);
+        db.put_batch((0..30).map(kv).collect()).unwrap();
+        let digest = db.digest();
+        let decoded = ShardedDigest::decode(&digest.encode()).unwrap();
+        assert_eq!(decoded, digest);
+        assert!(ShardedDigest::decode(b"garbage").is_none());
+        // Tampering with a shard-digest leaf cannot forge the pinned root:
+        // decode recomputes the root over the (tampered) leaves, so the
+        // result no longer matches the original pin.
+        let mut tampered = digest.encode();
+        let last = tampered.len() - 2;
+        tampered[last] ^= 0xFF;
+        if let Some(decoded) = ShardedDigest::decode(&tampered) {
+            assert_ne!(decoded.root, digest.root);
+        }
+    }
+
+    #[test]
+    fn range_merges_across_shards_in_key_order() {
+        let db = ShardedDb::in_memory(4);
+        db.put_batch((0..100).map(kv).collect()).unwrap();
+        let entries = db.range(b"key-00020", b"key-00030").unwrap();
+        assert_eq!(entries.len(), 10);
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(entries[0].0, b"key-00020".to_vec());
+    }
+
+    #[test]
+    fn membership_records_reject_mixed_up_stores() {
+        use spitz_storage::InMemoryChunkStore;
+        let stores: Vec<Arc<dyn ChunkStore>> =
+            (0..2).map(|_| InMemoryChunkStore::shared() as _).collect();
+        let db = ShardedDb::with_stores(stores.clone(), SpitzConfig::default()).unwrap();
+        db.put(b"k", b"v").unwrap();
+        drop(db);
+
+        // Same stores, same order: reopens fine.
+        ShardedDb::with_stores(stores.clone(), SpitzConfig::default()).unwrap();
+        // Swapped order: rejected by the membership records.
+        let swapped = vec![Arc::clone(&stores[1]), Arc::clone(&stores[0])];
+        assert!(matches!(
+            ShardedDb::with_stores(swapped, SpitzConfig::default()),
+            Err(DbError::BadRequest(_))
+        ));
+    }
+}

@@ -42,6 +42,26 @@ impl SiriKind {
             SiriKind::MerkleBucketTree => "mbt",
         }
     }
+
+    /// Stable one-byte tag used in durable encodings (digest records, shard
+    /// membership records). New kinds must append tags, never renumber.
+    pub fn tag(self) -> u8 {
+        match self {
+            SiriKind::PosTree => 0,
+            SiriKind::MerklePatriciaTrie => 1,
+            SiriKind::MerkleBucketTree => 2,
+        }
+    }
+
+    /// Inverse of [`SiriKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<SiriKind> {
+        match tag {
+            0 => Some(SiriKind::PosTree),
+            1 => Some(SiriKind::MerklePatriciaTrie),
+            2 => Some(SiriKind::MerkleBucketTree),
+            _ => None,
+        }
+    }
 }
 
 /// A key/value result set in key order, as returned by range scans.

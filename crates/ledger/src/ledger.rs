@@ -49,6 +49,42 @@ pub struct Digest {
     pub index_kind: SiriKind,
 }
 
+impl Digest {
+    /// Canonical byte encoding of a digest, used as the Merkle leaf of the
+    /// cross-shard digest (`spitz_core`'s `ShardedDigest`) and for durable
+    /// digest records. Fixed width: height ‖ block hash ‖ index root ‖
+    /// journal root ‖ SIRI kind tag.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 32 * 3 + 1);
+        out.extend_from_slice(&self.block_height.to_be_bytes());
+        out.extend_from_slice(self.block_hash.as_bytes());
+        out.extend_from_slice(self.index_root.as_bytes());
+        out.extend_from_slice(self.journal_root.as_bytes());
+        out.push(self.index_kind.tag());
+        out
+    }
+
+    /// Inverse of [`Digest::encode`]. Returns `None` for a malformed or
+    /// truncated encoding.
+    pub fn decode(bytes: &[u8]) -> Option<Digest> {
+        if bytes.len() != 8 + 32 * 3 + 1 {
+            return None;
+        }
+        let hash_at = |offset: usize| -> Hash {
+            let mut raw = [0u8; 32];
+            raw.copy_from_slice(&bytes[offset..offset + 32]);
+            Hash::from_bytes(raw)
+        };
+        Some(Digest {
+            block_height: u64::from_be_bytes(bytes[..8].try_into().ok()?),
+            block_hash: hash_at(8),
+            index_root: hash_at(40),
+            journal_root: hash_at(72),
+            index_kind: SiriKind::from_tag(bytes[104])?,
+        })
+    }
+}
+
 /// Proof returned with a verified point read.
 #[derive(Debug, Clone)]
 pub struct LedgerProof {

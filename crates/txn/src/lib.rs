@@ -28,4 +28,4 @@ pub mod twopc;
 pub use manager::{CcScheme, IsolationLevel, Transaction, TransactionManager, TxnError};
 pub use mvcc::MvccStore;
 pub use timestamp::{HybridLogicalClock, HybridTimestamp, TimestampOracle};
-pub use twopc::{Participant, TwoPhaseCoordinator, Vote};
+pub use twopc::{Participant, PreparedApply, PreparedGlobal, TwoPhaseCoordinator, Vote};

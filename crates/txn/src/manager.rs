@@ -48,6 +48,12 @@ pub enum TxnError {
     Conflict(String),
     /// The transaction was already finished (committed or aborted).
     AlreadyFinished,
+    /// A storage-layer failure while applying committed writes (e.g. a
+    /// shard ledger hitting disk full in the commit phase of 2PC). Retrying
+    /// is safe because apply implementations must be all-or-nothing per
+    /// attempt (the ledger rolls a failed append back before returning),
+    /// so a failed apply leaves nothing partially persisted to double-apply.
+    Storage(String),
 }
 
 impl std::fmt::Display for TxnError {
@@ -55,6 +61,7 @@ impl std::fmt::Display for TxnError {
         match self {
             TxnError::Conflict(reason) => write!(f, "transaction aborted: {reason}"),
             TxnError::AlreadyFinished => write!(f, "transaction already finished"),
+            TxnError::Storage(reason) => write!(f, "commit apply failed: {reason}"),
         }
     }
 }

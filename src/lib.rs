@@ -40,6 +40,7 @@ pub use spitz_txn as txn;
 
 pub use spitz_core::db::{SpitzConfig, SpitzDb};
 pub use spitz_core::schema::{ColumnType, Record, Schema, Value};
+pub use spitz_core::sharded::{ShardedConfig, ShardedDb, ShardedDigest, ShardedProof};
 pub use spitz_core::verify::ClientVerifier;
 pub use spitz_crypto::Hash;
 pub use spitz_ledger::{CommitPipeline, Digest, DurabilityPolicy, Ledger};

@@ -1,8 +1,13 @@
 //! Helpers shared by the integration test suite (`tests/common/` is the
 //! cargo idiom for test support code that is not itself a test target).
 
+// Not every test target uses every helper; silence per-target dead-code.
+#![allow(dead_code)]
+
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+pub mod failpoint;
 
 /// A uniquely named temp directory removed on drop (the offline workspace
 /// has no `tempfile` dependency).
