@@ -6,7 +6,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use spitz_bench::systems::{load_kvs, load_qldb, load_spitz};
 use spitz_bench::workload::{KeyValueWorkload, WorkloadConfig};
-use spitz_core::verify::ClientVerifier;
+use spitz_core::proof::Verifier;
 
 fn bench_range(c: &mut Criterion) {
     let workload = KeyValueWorkload::generate(WorkloadConfig::with_records(20_000));
@@ -32,7 +32,7 @@ fn bench_range(c: &mut Criterion) {
             std::hint::black_box(spitz.range(&ranges[i].0, &ranges[i].1).unwrap())
         })
     });
-    let mut client = ClientVerifier::new();
+    let mut client = Verifier::new();
     client.observe_digest(spitz.digest());
     group.bench_function("spitz_verify", |b| {
         b.iter(|| {

@@ -12,7 +12,7 @@
 use spitz_bench::systems::{load_kvs, load_qldb, load_spitz};
 use spitz_bench::workload::{KeyValueWorkload, WorkloadConfig};
 use spitz_bench::{measure_throughput, FigureTable};
-use spitz_core::verify::ClientVerifier;
+use spitz_core::proof::Verifier;
 
 fn sizes(full: bool) -> Vec<usize> {
     if full {
@@ -68,7 +68,7 @@ fn main() {
         let spitz_read = measure_throughput(keys.len(), |i| {
             std::hint::black_box(spitz.get(&keys[i]).unwrap());
         });
-        let mut client = ClientVerifier::new();
+        let mut client = Verifier::new();
         client.observe_digest(spitz.digest());
         let spitz_read_verify = measure_throughput(keys.len(), |i| {
             let (value, proof) = spitz.get_verified(&keys[i]).unwrap();
@@ -99,7 +99,7 @@ fn main() {
         let spitz_write = measure_throughput(writes.len(), |i| {
             spitz.put(&writes[i].0, &writes[i].1).unwrap();
         });
-        let mut client = ClientVerifier::new();
+        let mut client = Verifier::new();
         client.observe_digest(spitz.digest());
         let spitz_write_verify = measure_throughput(writes.len(), |i| {
             let digest = spitz.put(&writes[i].0, &writes[i].1).unwrap();

@@ -8,7 +8,7 @@
 use spitz_bench::systems::{load_kvs, load_qldb, load_spitz};
 use spitz_bench::workload::{KeyValueWorkload, WorkloadConfig};
 use spitz_bench::{measure_throughput, FigureTable};
-use spitz_core::verify::ClientVerifier;
+use spitz_core::proof::Verifier;
 
 fn sizes(full: bool) -> Vec<usize> {
     if full {
@@ -50,7 +50,7 @@ fn main() {
         let spitz_scan = measure_throughput(ranges.len(), |i| {
             std::hint::black_box(spitz.range(&ranges[i].0, &ranges[i].1).unwrap());
         });
-        let mut client = ClientVerifier::new();
+        let mut client = Verifier::new();
         client.observe_digest(spitz.digest());
         let spitz_scan_verify = measure_throughput(ranges.len(), |i| {
             let (entries, proof) = spitz.range_verified(&ranges[i].0, &ranges[i].1).unwrap();

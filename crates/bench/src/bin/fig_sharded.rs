@@ -17,8 +17,15 @@
 //! `fig_group_commit`; the durable sharded recovery path is exercised by
 //! the `sharded` test suite and by `--smoke` here.
 //!
+//! A second table compares cross-shard **range reads**: the unverified
+//! merge (`range_unverified`) against the verified snapshot path
+//! (`snapshot()` + `range_verified`, which fences an epoch, fans out
+//! complete per-shard SIRI range proofs and chains them to the single
+//! root) — the cost of the completeness guarantee, per shard count.
+//!
 //! Run with `--smoke` for a CI-sized workload; the smoke run also drives a
-//! durable sharded cell through flush, shutdown and reopen.
+//! durable sharded cell through flush, shutdown and reopen, and checks the
+//! verified range proofs end to end.
 
 use std::time::Instant;
 
@@ -26,6 +33,7 @@ use spitz_bench::util::TempDir;
 use spitz_bench::FigureTable;
 use spitz_core::db::SpitzDb;
 use spitz_core::sharded::{ShardedConfig, ShardedDb};
+use spitz_core::Verifier;
 
 /// One writer's keyspace slice: distinct keys per writer, hash-spread over
 /// the shards by construction.
@@ -82,6 +90,55 @@ fn run_sharded(shards: usize, writers: u32, puts_per_writer: u32) -> f64 {
     assert!(db.digest().verify());
 
     ((writers * puts_per_writer) as f64 / elapsed) / 1_000.0
+}
+
+/// Range-read throughput (×10³ entries/s) over a loaded sharded db:
+/// unverified merge vs the verified snapshot path with client-side proof
+/// verification.
+fn run_ranges(shards: usize, keys: u32, scans: u32, width: u32) -> (f64, f64) {
+    let db = ShardedDb::in_memory(shards);
+    let writes: Vec<(Vec<u8>, Vec<u8>)> = (0..keys)
+        .map(|i| {
+            (
+                format!("key-{i:06}").into_bytes(),
+                format!("value-{i:014}").into_bytes(),
+            )
+        })
+        .collect();
+    db.put_batch(writes).unwrap();
+
+    let bounds: Vec<(Vec<u8>, Vec<u8>)> = (0..scans)
+        .map(|i| {
+            let lo = (i * 37) % (keys - width);
+            (
+                format!("key-{lo:06}").into_bytes(),
+                format!("key-{:06}", lo + width).into_bytes(),
+            )
+        })
+        .collect();
+
+    let start = Instant::now();
+    let mut returned = 0usize;
+    for (lo, hi) in &bounds {
+        returned += db.range_unverified(lo, hi).unwrap().len();
+    }
+    let unverified = (returned as f64 / start.elapsed().as_secs_f64()) / 1_000.0;
+
+    let mut client = Verifier::new();
+    let start = Instant::now();
+    let mut returned = 0usize;
+    let snapshot = db.snapshot().unwrap();
+    assert!(client.observe_sharded(snapshot.digest()));
+    for (lo, hi) in &bounds {
+        let (entries, proof) = snapshot.range_verified(lo, hi).unwrap();
+        assert!(
+            client.verify_sharded_range(&entries, &proof),
+            "proof must verify"
+        );
+        returned += entries.len();
+    }
+    let verified = (returned as f64 / start.elapsed().as_secs_f64()) / 1_000.0;
+    (unverified, verified)
 }
 
 /// Durable sharded smoke: a small write load through per-shard commit
@@ -157,8 +214,32 @@ fn main() {
          ({best_single:.2} kops/s): {:.2}x",
         best_sharded / best_single
     );
+
+    // Cross-shard range reads: unverified merge vs verified snapshot path.
+    let (range_keys, range_scans, range_width) = if smoke {
+        (2_000u32, 40u32, 100u32)
+    } else {
+        (20_000u32, 200u32, 500u32)
+    };
+    let mut range_table = FigureTable::new(
+        format!(
+            "Sharded range reads: throughput (x10^3 entries/s), {range_keys} keys, \
+             {range_scans} scans x {range_width} entries, in-memory"
+        ),
+        "#Shards",
+        vec!["unverified merge", "verified snapshot"],
+    );
+    for &shards in shard_axis {
+        let (unverified, verified) = run_ranges(shards, range_keys, range_scans, range_width);
+        range_table.add_row(shards.to_string(), vec![unverified, verified]);
+    }
+    range_table.print();
+
     durable_recovery_smoke();
     if smoke {
-        println!("smoke run complete: sharded commit, flush and durable recovery verified");
+        println!(
+            "smoke run complete: sharded commit, verified range proofs, flush \
+             and durable recovery verified"
+        );
     }
 }

@@ -13,14 +13,22 @@ use parking_lot::RwLock;
 use spitz_index::inverted::{IndexValue, InvertedIndex};
 use spitz_index::BPlusTree;
 use spitz_ledger::{CommitPipeline, Digest, DurabilityPolicy, Ledger, LedgerProof, VerifiedRange};
-use spitz_storage::{ChunkStore, DurableChunkStore, DurableConfig, InMemoryChunkStore, StoreStats};
+use spitz_storage::{
+    Chunk, ChunkKind, ChunkStore, DurableChunkStore, DurableConfig, InMemoryChunkStore, StoreStats,
+};
 use spitz_txn::CcScheme;
 
 use crate::cell::UniversalKey;
 use crate::control::{ProcessorNode, Request, Response};
 use crate::error::DbError;
-use crate::schema::{ColumnType, Record, Schema, Value};
+use crate::schema::{ColumnDef, ColumnType, Record, Schema, Value};
+use crate::snapshot::Snapshot;
 use crate::Result;
+
+/// Named root under which the typed-table catalog (the set of
+/// [`Schema`]s created with [`SpitzDb::create_table`]) is persisted, so a
+/// reopened database still knows its tables.
+pub const CATALOG_ROOT: &str = "spitz/catalog";
 
 /// Configuration for a Spitz instance.
 #[derive(Debug, Clone, Copy)]
@@ -58,9 +66,102 @@ impl SpitzConfig {
 /// primary keys to the record's latest commit timestamp.
 struct Table {
     schema: Schema,
+    /// First universal-key column id of this table. Column ids are
+    /// allocated globally (`base + position`), so two tables never share a
+    /// universal-key range — which is what lets the catalog rebuild scan
+    /// each table's cells unambiguously.
+    column_base: u32,
     inverted: HashMap<String, InvertedIndex>,
     primary: BPlusTree<u64>,
     next_timestamp: u64,
+}
+
+impl Table {
+    /// Fresh table state for a schema: one empty inverted index per column.
+    fn empty(schema: Schema, column_base: u32) -> Table {
+        let mut inverted = HashMap::new();
+        for column in &schema.columns {
+            let index = match column.column_type {
+                ColumnType::Integer => InvertedIndex::numeric(),
+                ColumnType::Text | ColumnType::Bytes => InvertedIndex::text(),
+            };
+            inverted.insert(column.name.clone(), index);
+        }
+        Table {
+            schema,
+            column_base,
+            inverted,
+            primary: BPlusTree::new(),
+            next_timestamp: 1,
+        }
+    }
+
+    /// The universal-key column id of a named column.
+    fn column_id(&self, name: &str) -> Result<u32> {
+        Ok(self.column_base + self.schema.column_id(name)?)
+    }
+}
+
+/// The inverted-index key for a typed value.
+fn index_value_of(value: &Value) -> IndexValue {
+    match value {
+        Value::Integer(v) => IndexValue::Int(*v),
+        Value::Text(s) => IndexValue::text(s.as_bytes()),
+        Value::Bytes(b) => IndexValue::text(b),
+    }
+}
+
+const CATALOG_MAGIC: &[u8] = b"spitz-catalog\0";
+
+/// Payload of the catalog chunk: magic ‖ table count ‖ per table (name,
+/// column base, column count, per column (name, type tag)). Uses the shared
+/// `spitz_index::codec` framing helpers.
+fn encode_catalog(tables: &[(&Schema, u32)]) -> Vec<u8> {
+    use spitz_index::codec::{put_bytes, put_u32};
+    let mut out = Vec::new();
+    out.extend_from_slice(CATALOG_MAGIC);
+    put_u32(&mut out, tables.len() as u32);
+    for (schema, column_base) in tables {
+        put_bytes(&mut out, schema.table.as_bytes());
+        put_u32(&mut out, *column_base);
+        put_u32(&mut out, schema.columns.len() as u32);
+        for column in &schema.columns {
+            put_bytes(&mut out, column.name.as_bytes());
+            out.push(match column.column_type {
+                ColumnType::Integer => 0,
+                ColumnType::Text => 1,
+                ColumnType::Bytes => 2,
+            });
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_catalog`]: `(schema, column_base)` per table. `None`
+/// for malformed bytes.
+fn decode_catalog(bytes: &[u8]) -> Option<Vec<(Schema, u32)>> {
+    let bytes = bytes.strip_prefix(CATALOG_MAGIC)?;
+    let mut r = spitz_index::codec::Reader::new(bytes);
+    let table_count = r.u32()? as usize;
+    let mut tables = Vec::with_capacity(table_count);
+    for _ in 0..table_count {
+        let table = String::from_utf8(r.bytes()?.to_vec()).ok()?;
+        let column_base = r.u32()?;
+        let column_count = r.u32()? as usize;
+        let mut columns = Vec::with_capacity(column_count);
+        for _ in 0..column_count {
+            let name = String::from_utf8(r.bytes()?.to_vec()).ok()?;
+            let column_type = match r.u8()? {
+                0 => ColumnType::Integer,
+                1 => ColumnType::Text,
+                2 => ColumnType::Bytes,
+                _ => return None,
+            };
+            columns.push(ColumnDef { name, column_type });
+        }
+        tables.push((Schema { table, columns }, column_base));
+    }
+    r.is_exhausted().then_some(tables)
 }
 
 /// The Spitz verifiable database.
@@ -98,9 +199,11 @@ impl SpitzDb {
     /// The chunk store, ledger blocks and index instances all live in
     /// append-only segment files under `path`; reopening the same path
     /// recovers the identical digest, chain head and records roots, and
-    /// keeps serving verifying Merkle proofs. (The typed-table catalog of
-    /// [`SpitzDb::create_table`] is in-memory metadata and is not yet
-    /// persisted.) Writes are routed through a group-commit pipeline with
+    /// keeps serving verifying Merkle proofs. The typed-table catalog of
+    /// [`SpitzDb::create_table`] is persisted under the [`CATALOG_ROOT`]
+    /// named root and rebuilt (schemas plus analytical indexes, by scanning
+    /// the ledger's universal-key ranges) on reopen.
+    /// Writes are routed through a group-commit pipeline with
     /// the default [`DurabilityPolicy::Strict`] — every acknowledged commit
     /// is fsynced; pick `Grouped` via [`SpitzDb::open_with_config`] to
     /// amortize the fsync across commits instead.
@@ -133,7 +236,9 @@ impl SpitzDb {
     /// `config.durability`.
     pub fn with_store(store: Arc<dyn ChunkStore>, config: SpitzConfig) -> Result<Self> {
         let ledger = Arc::new(Ledger::open_with_kind(Arc::clone(&store), config.siri)?);
-        Ok(Self::assemble(store, ledger, config, true))
+        let db = Self::assemble(store, ledger, config, true);
+        db.reload_catalog()?;
+        Ok(db)
     }
 
     fn assemble(
@@ -199,6 +304,18 @@ impl SpitzDb {
         self.ledger.digest()
     }
 
+    /// Pin the current state as a [`Snapshot`]: quiesce the commit pipeline
+    /// (when one exists), then capture the digest and an index checkout in
+    /// one step. All reads against the snapshot are repeatable and their
+    /// proofs verify against the pinned digest while writers keep
+    /// committing ("pin once, verify many").
+    pub fn snapshot(&self) -> Result<Snapshot> {
+        if let Some(pipeline) = &self.pipeline {
+            pipeline.fence()?;
+        }
+        Ok(Snapshot::new(self.ledger.snapshot()?))
+    }
+
     // ------------------------------------------------------------------
     // Key/value API (the operations measured in Figures 6–8)
     // ------------------------------------------------------------------
@@ -248,26 +365,88 @@ impl SpitzDb {
     // ------------------------------------------------------------------
 
     /// Create a table from a schema. Numeric columns get skip-list inverted
-    /// indexes, text columns radix-tree inverted indexes.
+    /// indexes, text columns radix-tree inverted indexes. The schema is
+    /// persisted under the [`CATALOG_ROOT`] named root, so it survives
+    /// [`SpitzDb::open`]. Each table gets its own globally allocated
+    /// universal-key column-id range, so no two tables' cells ever share a
+    /// key prefix.
     pub fn create_table(&self, schema: Schema) -> Result<()> {
-        let mut inverted = HashMap::new();
-        for column in &schema.columns {
-            let index = match column.column_type {
-                ColumnType::Integer => InvertedIndex::numeric(),
-                ColumnType::Text | ColumnType::Bytes => InvertedIndex::text(),
-            };
-            inverted.insert(column.name.clone(), index);
-        }
-        self.tables.write().insert(
-            schema.table.clone(),
-            Table {
-                schema,
-                inverted,
-                primary: BPlusTree::new(),
-                next_timestamp: 1,
-            },
-        );
+        // The tables lock is held across the catalog publication: two
+        // concurrent `create_table` calls must not race the read-encode-
+        // publish cycle, or the later root write could durably drop the
+        // earlier table.
+        let mut tables = self.tables.write();
+        let column_base = tables
+            .values()
+            .map(|t| t.column_base + t.schema.columns.len() as u32)
+            .max()
+            .unwrap_or(0);
+        tables.insert(schema.table.clone(), Table::empty(schema, column_base));
+        let catalog: Vec<(&Schema, u32)> = tables
+            .values()
+            .map(|t| (&t.schema, t.column_base))
+            .collect();
+        let payload = encode_catalog(&catalog);
+        let address = self.store.try_put(Chunk::new(ChunkKind::Meta, payload))?;
+        self.store.try_set_root(CATALOG_ROOT, address)?;
         Ok(())
+    }
+
+    /// Reload the persisted table catalog (if any) and rebuild each table's
+    /// analytical state — inverted indexes, primary-key tree and the next
+    /// record timestamp — by scanning the ledger's universal-key ranges.
+    fn reload_catalog(&self) -> Result<()> {
+        let Some(address) = self.store.root(CATALOG_ROOT) else {
+            return Ok(());
+        };
+        let chunk = self.store.get_kind(&address, ChunkKind::Meta)?;
+        let catalog = decode_catalog(chunk.data())
+            .ok_or_else(|| DbError::Storage(format!("corrupt catalog chunk {address}")))?;
+        let mut tables = self.tables.write();
+        for (schema, column_base) in catalog {
+            let mut table = Table::empty(schema, column_base);
+            self.rebuild_table(&mut table);
+            tables.insert(table.schema.table.clone(), table);
+        }
+        Ok(())
+    }
+
+    /// Rebuild one table's in-memory indexes from the ledger: every cell
+    /// version in the table's own column-id range is replayed into the
+    /// inverted indexes, the primary tree keeps each record's latest
+    /// timestamp, and `next_timestamp` resumes after the highest one seen.
+    fn rebuild_table(&self, table: &mut Table) {
+        let mut max_timestamp = 0u64;
+        for (position, column) in table.schema.columns.iter().enumerate() {
+            let id = table.column_base + position as u32;
+            let start = UniversalKey::column_prefix(id);
+            let end = UniversalKey::column_prefix(id + 1);
+            for (ukey, encoded) in self.ledger.range(&start, &end) {
+                let Ok(decoded) = UniversalKey::decode(&ukey) else {
+                    continue;
+                };
+                let Ok(value) = Value::decode(&encoded) else {
+                    continue;
+                };
+                if value.column_type() != column.column_type {
+                    continue;
+                }
+                if let Some(index) = table.inverted.get_mut(&column.name) {
+                    index.add(&index_value_of(&value), ukey.clone());
+                }
+                let newer = table
+                    .primary
+                    .get(&decoded.primary_key)
+                    .is_none_or(|&ts| decoded.timestamp > ts);
+                if newer {
+                    table
+                        .primary
+                        .insert(&decoded.primary_key, decoded.timestamp);
+                }
+                max_timestamp = max_timestamp.max(decoded.timestamp);
+            }
+        }
+        table.next_timestamp = max_timestamp + 1;
     }
 
     /// Insert (or append a new version of) a record: one cell per column,
@@ -284,7 +463,7 @@ impl SpitzDb {
 
         let mut writes = Vec::with_capacity(record.values.len());
         for (column, value) in &record.values {
-            let column_id = t.schema.column_id(column)?;
+            let column_id = t.column_id(column)?;
             let encoded = value.encode();
             let ukey = UniversalKey::new(
                 column_id,
@@ -292,13 +471,8 @@ impl SpitzDb {
                 timestamp,
                 &encoded,
             );
-            let index_value = match value {
-                Value::Integer(v) => IndexValue::Int(*v),
-                Value::Text(s) => IndexValue::text(s.as_bytes()),
-                Value::Bytes(b) => IndexValue::text(b),
-            };
             if let Some(index) = t.inverted.get_mut(column) {
-                index.add(&index_value, ukey.encode());
+                index.add(&index_value_of(value), ukey.encode());
             }
             writes.push((ukey.encode(), encoded));
         }
@@ -319,7 +493,7 @@ impl SpitzDb {
         };
         let mut record = Record::new(primary_key);
         for column in &t.schema.columns {
-            let column_id = t.schema.column_id(&column.name)?;
+            let column_id = t.column_id(&column.name)?;
             // The value hash is unknown at lookup time, so scan the cell's
             // key range (all versions) and take the one at `timestamp`.
             let prefix = UniversalKey::cell_prefix(column_id, primary_key.as_bytes());
@@ -350,12 +524,9 @@ impl SpitzDb {
             .inverted
             .get(column)
             .ok_or_else(|| DbError::UnknownColumn(column.to_string()))?;
-        let index_value = match value {
-            Value::Integer(v) => IndexValue::Int(*v),
-            Value::Text(s) => IndexValue::text(s.as_bytes()),
-            Value::Bytes(b) => IndexValue::text(b),
-        };
-        Ok(postings_to_primary_keys(index.lookup_eq(&index_value)))
+        Ok(postings_to_primary_keys(
+            index.lookup_eq(&index_value_of(value)),
+        ))
     }
 
     /// Analytical range lookup over an integer column, e.g. "all items with

@@ -11,17 +11,21 @@
 //! * a **control layer**: [processor nodes](control::ProcessorNode) made of a
 //!   request handler, an [auditor](control::Auditor) that talks to the
 //!   ledger, and a transaction manager from `spitz-txn`;
-//! * a **client side**: the [`verify::ClientVerifier`] that pins digests and
-//!   verifies proofs locally, either online or deferred.
+//! * a **snapshot read path**: [`snapshot::Snapshot`] /
+//!   [`snapshot::ShardedSnapshot`] pin a (consistent-cut) digest once and
+//!   serve repeatable verified reads against that pin;
+//! * a **client side**: the single [`proof::Verifier`] entry point that pins
+//!   digests and verifies every proof shape — point, complete range,
+//!   sharded point and sharded range — either online or deferred.
 //!
-//! The [`SpitzDb`](db::SpitzDb) facade wires these together and is the type
-//! the examples and benchmarks use.
+//! The [`SpitzDb`] facade wires these together and is the type the
+//! examples and benchmarks use.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use spitz_core::db::SpitzDb;
-//! use spitz_core::verify::ClientVerifier;
+//! use spitz_core::proof::Verifier;
 //!
 //! let db = SpitzDb::in_memory();
 //! db.put(b"patient/42/diagnosis", b"ICD-10 E11.9").unwrap();
@@ -30,9 +34,14 @@
 //! assert_eq!(db.get(b"patient/42/diagnosis").unwrap().as_deref(), Some(b"ICD-10 E11.9".as_ref()));
 //!
 //! // Verified read: the proof is checked against the pinned digest.
-//! let mut client = ClientVerifier::new();
+//! let mut client = Verifier::new();
 //! client.observe_digest(db.digest());
 //! let (value, proof) = db.get_verified(b"patient/42/diagnosis").unwrap();
+//! assert!(client.verify_read(b"patient/42/diagnosis", value.as_deref(), &proof));
+//!
+//! // Or pin once and read repeatedly against the same snapshot.
+//! let snapshot = db.snapshot().unwrap();
+//! let (value, proof) = snapshot.get_verified(b"patient/42/diagnosis");
 //! assert!(client.verify_read(b"patient/42/diagnosis", value.as_deref(), &proof));
 //! ```
 
@@ -43,20 +52,32 @@ pub mod cell;
 pub mod control;
 pub mod db;
 pub mod error;
+pub mod proof;
 pub mod schema;
 pub mod sharded;
-pub mod verify;
+pub mod snapshot;
+pub mod staged;
 
 pub use cell::{Cell, CellStore, UniversalKey};
 pub use control::{Auditor, ProcessorNode, Request, RequestHandler, Response};
-pub use db::{SpitzConfig, SpitzDb};
+pub use db::{SpitzConfig, SpitzDb, CATALOG_ROOT};
 pub use error::DbError;
+pub use proof::{ShardedProof, ShardedRangeProof, Verifier};
 pub use schema::{ColumnType, Record, Schema, Value};
 pub use sharded::{
-    shard_for, PreparedBatch, ShardedConfig, ShardedDb, ShardedDigest, ShardedProof,
-    SHARDED_HEAD_ROOT, SHARD_MEMBER_ROOT,
+    shard_for, PreparedBatch, ShardedConfig, ShardedDb, ShardedDigest, SHARDED_HEAD_ROOT,
+    SHARD_MEMBER_ROOT,
 };
-pub use verify::ClientVerifier;
+pub use snapshot::{ShardedSnapshot, Snapshot};
+
+/// Compatibility alias: the consolidated [`proof::Verifier`] replaces the
+/// old `verify::ClientVerifier`.
+pub type ClientVerifier = proof::Verifier;
+
+/// Compatibility module alias for the pre-consolidation `verify` path.
+pub mod verify {
+    pub use crate::proof::Verifier as ClientVerifier;
+}
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, DbError>;

@@ -1,0 +1,412 @@
+//! The one proof layer of Spitz: every verified read — point or range,
+//! single-node or sharded — funnels through the types in this module and is
+//! checked by the single [`Verifier`] entry point.
+//!
+//! Section 5.3 of the paper: "Clients can use the digest of the ledger to
+//! perform verification locally. … To verify the correctness of the results,
+//! clients can recalculate the digest with the received proof and compare it
+//! with the previous digest saved locally." The [`Verifier`] is that client:
+//! it pins the latest digest it has seen (a [`Digest`] for a single ledger,
+//! a [`ShardedDigest`] root for a sharded deployment), verifies read and
+//! range proofs against the pin, and refuses digests that rewind history.
+//!
+//! Proof types:
+//!
+//! * [`LedgerProof`] / [`LedgerRangeProof`] (re-exported from
+//!   `spitz_ledger`) — single-ledger point and complete range proofs.
+//! * [`ShardedProof`] — a point proof chained through its shard-digest leaf
+//!   to the single cross-shard Merkle root.
+//! * [`ShardedRangeProof`] — a complete cross-shard range proof: one
+//!   complete per-shard range proof for **every** shard, bound together by
+//!   recomputing the cross-shard root from the revealed shard digests, so a
+//!   server can neither forge an entry, omit an entry, nor withhold a whole
+//!   shard's contribution.
+
+use spitz_crypto::merkle::AuditProof;
+use spitz_crypto::Hash;
+use spitz_ledger::{DeferredVerifier, Digest, LedgerProof, LedgerRangeProof, VerificationReport};
+
+use crate::sharded::{shard_for, ShardedDigest};
+
+/// Proof returned with a verified sharded point read: the serving shard's
+/// ledger proof plus the audit path from that shard's digest up to the
+/// cross-shard root. A client that pins only the [`ShardedDigest::root`]
+/// can verify a read of any key.
+#[derive(Debug, Clone)]
+pub struct ShardedProof {
+    /// Index of the shard that served the read.
+    pub shard: usize,
+    /// Total shard count (needed to recompute the routing).
+    pub shard_count: usize,
+    /// The shard's ledger proof; its embedded digest is the Merkle leaf.
+    pub ledger_proof: LedgerProof,
+    /// Audit path from the shard digest leaf to the cross-shard root.
+    pub membership: AuditProof,
+    /// The cross-shard root this proof verifies against (compare with the
+    /// pinned [`ShardedDigest::root`]).
+    pub root: Hash,
+}
+
+impl ShardedProof {
+    /// Client-side verification: the key routes to the claimed shard, the
+    /// shard's ledger proof verifies the value, and the shard digest is a
+    /// leaf of the cross-shard root at the claimed position.
+    pub fn verify(&self, key: &[u8], value: Option<&[u8]>) -> bool {
+        self.shard_count > 0
+            && self.shard == shard_for(key, self.shard_count)
+            && self.membership.leaf_index == self.shard
+            && self.membership.tree_size == self.shard_count
+            && self.ledger_proof.verify(key, value)
+            && self
+                .membership
+                .verify(self.root, &self.ledger_proof.digest.encode())
+    }
+}
+
+/// Proof returned with a verified sharded **range** read. Keys are
+/// hash-partitioned, so every shard may hold part of any range; the proof
+/// therefore carries one complete [`LedgerRangeProof`] per shard — all of
+/// them, in shard order. Because every shard's digest is revealed, the
+/// verifier recomputes the cross-shard Merkle root (and commit epoch)
+/// directly from the leaves, which both authenticates each per-shard proof
+/// and guarantees no shard's contribution was withheld.
+#[derive(Debug, Clone)]
+pub struct ShardedRangeProof {
+    /// Total shard count (needed to recompute the routing).
+    pub shard_count: usize,
+    /// Commit epoch of the pinned cut (sum of per-shard sealed blocks).
+    pub epoch: u64,
+    /// The cross-shard root this proof verifies against.
+    pub root: Hash,
+    /// One complete range proof per shard, indexed by shard.
+    pub shards: Vec<LedgerRangeProof>,
+}
+
+impl ShardedRangeProof {
+    /// Client-side verification of a merged cross-shard range result.
+    ///
+    /// Checks, in order: every shard contributed a proof over the same
+    /// `[start, end)` bounds; the merged entries are strictly sorted; the
+    /// revealed per-shard digests recompute exactly the claimed cross-shard
+    /// root and epoch; and each shard's complete range proof verifies
+    /// against its own partition of the entries (so nothing is forged *or*
+    /// omitted on any shard).
+    pub fn verify(&self, entries: &[(Vec<u8>, Vec<u8>)]) -> bool {
+        if self.shard_count == 0 || self.shards.len() != self.shard_count {
+            return false;
+        }
+        let start = &self.shards[0].start;
+        let end = &self.shards[0].end;
+        if !self
+            .shards
+            .iter()
+            .all(|p| &p.start == start && &p.end == end)
+        {
+            return false;
+        }
+        if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+            return false;
+        }
+        // Recompute root and epoch from the revealed shard digests: this is
+        // what binds the per-shard proofs to the single pinned root and
+        // makes withholding a shard impossible.
+        let combined = ShardedDigest::over(self.shards.iter().map(|p| p.digest).collect());
+        if combined.root != self.root || combined.epoch != self.epoch {
+            return false;
+        }
+        // Partition the merged entries back onto their shards and verify
+        // each shard's complete range proof against its exact partition.
+        let mut split: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); self.shard_count];
+        for (key, value) in entries {
+            split[shard_for(key, self.shard_count)].push((key.clone(), value.clone()));
+        }
+        self.shards
+            .iter()
+            .zip(split.iter())
+            .all(|(proof, part)| proof.verify(part))
+    }
+}
+
+/// Result of a verified sharded range read: the merged entries in key
+/// order plus the single [`ShardedRangeProof`] covering all of them.
+pub type ShardedVerifiedRange = (Vec<(Vec<u8>, Vec<u8>)>, ShardedRangeProof);
+
+/// A sharded pin: the cross-shard root a client trusts, with the commit
+/// epoch used to order successive pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShardedPin {
+    epoch: u64,
+    root: Hash,
+}
+
+/// The single client-side verification entry point.
+///
+/// One `Verifier` serves every Spitz deployment shape: pin a [`Digest`]
+/// (single ledger) with [`Verifier::observe_digest`] and/or a
+/// [`ShardedDigest`] with [`Verifier::observe_sharded`], then verify point
+/// reads, complete range reads, sharded reads and sharded ranges against
+/// the pins. Digest observations only move forward — an attempt to present
+/// an older state (a rollback) or a different state at the same height (a
+/// fork) is refused.
+#[derive(Default)]
+pub struct Verifier {
+    pinned: Option<Digest>,
+    pinned_sharded: Option<ShardedPin>,
+    deferred: DeferredVerifier,
+}
+
+impl Verifier {
+    /// Create a verifier with no pinned digest yet.
+    pub fn new() -> Self {
+        Verifier::default()
+    }
+
+    /// The single-ledger digest currently pinned, if any.
+    pub fn pinned_digest(&self) -> Option<Digest> {
+        self.pinned
+    }
+
+    /// The cross-shard root currently pinned, if any.
+    pub fn pinned_sharded_root(&self) -> Option<Hash> {
+        self.pinned_sharded.map(|p| p.root)
+    }
+
+    /// Observe a fresh digest from the server. Returns `false` (and refuses
+    /// to move the pin) when the new digest would rewind history — a
+    /// tampering signal.
+    pub fn observe_digest(&mut self, digest: Digest) -> bool {
+        match self.pinned {
+            None => {
+                self.pinned = Some(digest);
+                true
+            }
+            Some(previous) => {
+                let moves_forward = digest.block_height >= previous.block_height;
+                let same_point = digest.block_height == previous.block_height
+                    && digest.block_hash != previous.block_hash;
+                if moves_forward && !same_point {
+                    self.pinned = Some(digest);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Observe a fresh cross-shard digest. The digest must be internally
+    /// consistent and must not rewind the commit epoch; a different root at
+    /// the pinned epoch is a fork and is refused.
+    pub fn observe_sharded(&mut self, digest: &ShardedDigest) -> bool {
+        if !digest.verify() {
+            return false;
+        }
+        match self.pinned_sharded {
+            None => {
+                self.pinned_sharded = Some(ShardedPin {
+                    epoch: digest.epoch,
+                    root: digest.root,
+                });
+                true
+            }
+            Some(previous) => {
+                let moves_forward = digest.epoch > previous.epoch;
+                let same_point = digest.epoch == previous.epoch && digest.root == previous.root;
+                if moves_forward || same_point {
+                    self.pinned_sharded = Some(ShardedPin {
+                        epoch: digest.epoch,
+                        root: digest.root,
+                    });
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Online verification of a point read against the pinned digest.
+    ///
+    /// The proof must verify cryptographically *and* be anchored at a digest
+    /// that is not older than the pinned one.
+    pub fn verify_read(&mut self, key: &[u8], value: Option<&[u8]>, proof: &LedgerProof) -> bool {
+        if !proof.verify(key, value) {
+            return false;
+        }
+        self.observe_digest(proof.digest)
+    }
+
+    /// Online verification of a complete range read.
+    pub fn verify_range(
+        &mut self,
+        entries: &[(Vec<u8>, Vec<u8>)],
+        proof: &LedgerRangeProof,
+    ) -> bool {
+        if !proof.verify(entries) {
+            return false;
+        }
+        self.observe_digest(proof.digest)
+    }
+
+    /// Verification of a sharded point read against the pinned cross-shard
+    /// root. Requires a pin (via [`Verifier::observe_sharded`]): a point
+    /// proof reveals only one shard's digest, so it cannot establish a new
+    /// trusted root by itself.
+    pub fn verify_sharded_read(
+        &mut self,
+        key: &[u8],
+        value: Option<&[u8]>,
+        proof: &ShardedProof,
+    ) -> bool {
+        match self.pinned_sharded {
+            Some(pin) => pin.root == proof.root && proof.verify(key, value),
+            None => false,
+        }
+    }
+
+    /// Verification of a merged sharded range read. The proof reveals every
+    /// shard digest, so it can also *advance* the pin the way a digest
+    /// observation does (never rewind it).
+    pub fn verify_sharded_range(
+        &mut self,
+        entries: &[(Vec<u8>, Vec<u8>)],
+        proof: &ShardedRangeProof,
+    ) -> bool {
+        if !proof.verify(entries) {
+            return false;
+        }
+        let combined = ShardedDigest::over(proof.shards.iter().map(|p| p.digest).collect());
+        self.observe_sharded(&combined)
+    }
+
+    /// Deferred verification: queue the result now, verify later in batch.
+    pub fn defer_read(&self, key: Vec<u8>, value: Option<Vec<u8>>, proof: LedgerProof) {
+        self.deferred.submit(key, value, proof);
+    }
+
+    /// Verify every deferred result queued so far.
+    pub fn flush_deferred(&self) -> VerificationReport {
+        self.deferred.verify_batch()
+    }
+
+    /// Number of reads queued for deferred verification.
+    pub fn deferred_pending(&self) -> usize {
+        self.deferred.pending_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::SpitzDb;
+    use crate::sharded::ShardedDb;
+
+    #[test]
+    fn online_verification_accepts_honest_server() {
+        let db = SpitzDb::in_memory();
+        db.put(b"k1", b"v1").unwrap();
+        db.put(b"k2", b"v2").unwrap();
+
+        let mut client = Verifier::new();
+        client.observe_digest(db.digest());
+
+        let (value, proof) = db.get_verified(b"k1").unwrap();
+        assert!(client.verify_read(b"k1", value.as_deref(), &proof));
+
+        let (entries, proof) = db.range_verified(b"k1", b"k3").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(client.verify_range(&entries, &proof));
+    }
+
+    #[test]
+    fn forged_values_are_rejected() {
+        let db = SpitzDb::in_memory();
+        db.put(b"k", b"honest").unwrap();
+        let mut client = Verifier::new();
+        client.observe_digest(db.digest());
+        let (_, proof) = db.get_verified(b"k").unwrap();
+        assert!(!client.verify_read(b"k", Some(b"forged"), &proof));
+        assert!(!client.verify_read(b"k", None, &proof));
+    }
+
+    #[test]
+    fn digest_rollback_is_detected() {
+        let db = SpitzDb::in_memory();
+        db.put(b"a", b"1").unwrap();
+        let old_digest = db.digest();
+        db.put(b"b", b"2").unwrap();
+        let new_digest = db.digest();
+
+        let mut client = Verifier::new();
+        assert!(client.observe_digest(new_digest));
+        // A server trying to present an older state is refused.
+        assert!(!client.observe_digest(old_digest));
+        assert_eq!(client.pinned_digest().unwrap(), new_digest);
+
+        // Same height but a different block hash is also refused (fork).
+        let mut forked = new_digest;
+        forked.block_hash = spitz_crypto::sha256(b"fork");
+        assert!(!client.observe_digest(forked));
+    }
+
+    #[test]
+    fn sharded_rollback_is_detected() {
+        let db = ShardedDb::in_memory(3);
+        db.put(b"a", b"1").unwrap();
+        let old = db.digest();
+        db.put(b"b", b"2").unwrap();
+        let new = db.digest();
+
+        let mut client = Verifier::new();
+        assert!(client.observe_sharded(&new));
+        assert!(!client.observe_sharded(&old), "rollback must be refused");
+        assert_eq!(client.pinned_sharded_root(), Some(new.root));
+
+        // A forged digest that is not self-consistent is refused outright.
+        let mut forged = new.clone();
+        forged.root = spitz_crypto::sha256(b"fork");
+        assert!(!client.observe_sharded(&forged));
+    }
+
+    #[test]
+    fn sharded_point_reads_need_a_pin() {
+        let db = ShardedDb::in_memory(2);
+        db.put(b"k", b"v").unwrap();
+        let (value, proof) = db.get_verified(b"k").unwrap();
+
+        let mut client = Verifier::new();
+        assert!(
+            !client.verify_sharded_read(b"k", value.as_deref(), &proof),
+            "a point read cannot establish trust by itself"
+        );
+        assert!(client.observe_sharded(&db.digest()));
+        assert!(client.verify_sharded_read(b"k", value.as_deref(), &proof));
+        assert!(!client.verify_sharded_read(b"k", Some(b"forged"), &proof));
+    }
+
+    #[test]
+    fn deferred_verification_batches_work() {
+        let db = SpitzDb::in_memory();
+        let writes: Vec<_> = (0..40u32)
+            .map(|i| {
+                (
+                    format!("k{i:02}").into_bytes(),
+                    format!("v{i}").into_bytes(),
+                )
+            })
+            .collect();
+        db.put_batch(writes).unwrap();
+
+        let client = Verifier::new();
+        for i in 0..40u32 {
+            let key = format!("k{i:02}").into_bytes();
+            let (value, proof) = db.get_verified(&key).unwrap();
+            client.defer_read(key, value, proof);
+        }
+        assert_eq!(client.deferred_pending(), 40);
+        let report = client.flush_deferred();
+        assert_eq!(report.verified, 40);
+        assert!(report.all_ok());
+        assert_eq!(client.deferred_pending(), 0);
+    }
+}

@@ -35,19 +35,31 @@
 //!   root ([`ShardedProof`]). The digest is recomputed per commit epoch and
 //!   persisted as the named root [`SHARDED_HEAD_ROOT`] through the same
 //!   log-embedded root-record path the per-shard ledger heads use.
+//! * **The epoch fence** makes [`ShardedDb::digest`] a true consistent cut
+//!   under concurrent writers: every commit path holds the fence shared,
+//!   and a cut takes it exclusively (draining any in-flight commits) before
+//!   snapshotting the per-shard digests — so a published root can never mix
+//!   one half of a cross-shard transaction with the other half missing.
+//!   [`ShardedDb::snapshot`] pins such a cut as a
+//!   [`crate::snapshot::ShardedSnapshot`] for repeatable verified reads,
+//!   including verified cross-shard ranges ([`ShardedRangeProof`]).
 
 use std::path::Path;
 use std::sync::Arc;
 
 use spitz_crypto::merkle::{AuditProof, MerkleTree};
 use spitz_crypto::Hash;
-use spitz_ledger::{CommitPipeline, Digest, Ledger, LedgerProof};
+use spitz_ledger::{CommitPipeline, Digest, Ledger};
 use spitz_storage::{Chunk, ChunkKind, ChunkStore};
 use spitz_txn::TwoPhaseCoordinator;
 use spitz_txn::{CcScheme, Participant, PreparedApply, PreparedGlobal, TimestampOracle};
 
+pub use crate::proof::{ShardedProof, ShardedRangeProof};
+
 use crate::db::{SpitzConfig, SpitzDb};
 use crate::error::DbError;
+use crate::snapshot::ShardedSnapshot;
+use crate::staged::{StagedEntry, StagedLog};
 use crate::Result;
 
 /// Named root under which the latest cross-shard digest chunk is published
@@ -181,52 +193,13 @@ const DIGEST_ENCODED_LEN: usize = 8 + 32 * 3 + 1;
 
 /// Number of sealed blocks a digest stands for.
 fn block_count(digest: &Digest) -> u64 {
-    if digest.block_hash == Hash::ZERO {
-        0
-    } else {
-        digest.block_height + 1
-    }
+    digest.block_count()
 }
 
 /// The Merkle tree over encoded per-shard digests.
 fn merkle_tree(shards: &[Digest]) -> MerkleTree {
     let leaves: Vec<Vec<u8>> = shards.iter().map(|d| d.encode()).collect();
     MerkleTree::from_leaves(leaves.iter().map(|l| l.as_slice()))
-}
-
-/// Proof returned with a verified sharded read: the serving shard's ledger
-/// proof plus the audit path from that shard's digest up to the cross-shard
-/// root. A client that pins only the [`ShardedDigest::root`] can verify a
-/// read of any key.
-#[derive(Debug, Clone)]
-pub struct ShardedProof {
-    /// Index of the shard that served the read.
-    pub shard: usize,
-    /// Total shard count (needed to recompute the routing).
-    pub shard_count: usize,
-    /// The shard's ledger proof; its embedded digest is the Merkle leaf.
-    pub ledger_proof: LedgerProof,
-    /// Audit path from the shard digest leaf to the cross-shard root.
-    pub membership: AuditProof,
-    /// The cross-shard root this proof verifies against (compare with the
-    /// pinned [`ShardedDigest::root`]).
-    pub root: Hash,
-}
-
-impl ShardedProof {
-    /// Client-side verification: the key routes to the claimed shard, the
-    /// shard's ledger proof verifies the value, and the shard digest is a
-    /// leaf of the cross-shard root at the claimed position.
-    pub fn verify(&self, key: &[u8], value: Option<&[u8]>) -> bool {
-        self.shard_count > 0
-            && self.shard == shard_for(key, self.shard_count)
-            && self.membership.leaf_index == self.shard
-            && self.membership.tree_size == self.shard_count
-            && self.ledger_proof.verify(key, value)
-            && self
-                .membership
-                .verify(self.root, &self.ledger_proof.digest.encode())
-    }
 }
 
 /// A cross-shard batch prepared on every involved shard but not yet
@@ -251,13 +224,29 @@ impl PreparedBatch {
 
 /// The sink wiring one shard's 2PC participant to that shard's ledger:
 /// prepared writes are durably staged in the shard's chunk store at phase 1
-/// and sealed into the shard's ledger (through its commit pipeline, when
-/// one exists) at phase 2.
+/// (and recorded in the shard's [`StagedLog`], so a restarted process can
+/// find them again) and sealed into the shard's ledger (through its commit
+/// pipeline, when one exists) at phase 2.
 struct ShardSink {
     shard: usize,
     store: Arc<dyn ChunkStore>,
     ledger: Arc<Ledger>,
     pipeline: Option<Arc<CommitPipeline>>,
+    staged: Arc<StagedLog>,
+}
+
+impl ShardSink {
+    fn commit_writes(
+        &self,
+        writes: Vec<(Vec<u8>, Vec<u8>)>,
+        statement: &str,
+    ) -> std::result::Result<(), String> {
+        match &self.pipeline {
+            Some(pipeline) => pipeline.commit(writes, statement).map(|_| ()),
+            None => self.ledger.try_append_block(writes, statement).map(|_| ()),
+        }
+        .map_err(|e| e.to_string())
+    }
 }
 
 impl PreparedApply for ShardSink {
@@ -276,23 +265,33 @@ impl PreparedApply for ShardSink {
             ChunkKind::Meta,
             encode_staged(global_txn_id, self.shard, writes),
         );
-        self.store
-            .try_put(chunk)
-            .map(|_| ())
+        let address = self.store.try_put(chunk).map_err(|e| e.to_string())?;
+        // Record the staged batch in the shard's durable log so a restart
+        // can still find (and resolve) it. Failing this is a No vote too.
+        self.staged
+            .add(global_txn_id, address)
             .map_err(|e| e.to_string())
     }
 
     fn apply(
         &self,
-        _global_txn_id: u64,
+        global_txn_id: u64,
         writes: Vec<(Vec<u8>, Vec<u8>)>,
         statement: &str,
     ) -> std::result::Result<(), String> {
-        match &self.pipeline {
-            Some(pipeline) => pipeline.commit(writes, statement).map(|_| ()),
-            None => self.ledger.try_append_block(writes, statement).map(|_| ()),
-        }
-        .map_err(|e| e.to_string())
+        self.commit_writes(writes, statement)?;
+        // The batch is sealed in the ledger; drop it from the staged log.
+        // A failure here is deliberately ignored: the entry would be
+        // re-applied by a later recovery pass, which re-seals the same
+        // values (a duplicate block, not divergent state).
+        let _ = self.staged.remove(global_txn_id);
+        Ok(())
+    }
+
+    fn discard(&self, global_txn_id: u64) {
+        // Presumed abort: drop the staged-log entry; the staged chunk
+        // itself is an unreferenced orphan for segment GC.
+        let _ = self.staged.remove(global_txn_id);
     }
 }
 
@@ -312,6 +311,25 @@ fn encode_staged(global_txn_id: u64, shard: usize, writes: &[(Vec<u8>, Vec<u8>)]
     out
 }
 
+/// A decoded staged batch: `(global_txn_id, shard, writes)`.
+type StagedBatch = (u64, usize, Vec<(Vec<u8>, Vec<u8>)>);
+
+/// Inverse of [`encode_staged`]. `None` for malformed bytes.
+fn decode_staged(bytes: &[u8]) -> Option<StagedBatch> {
+    let bytes = bytes.strip_prefix(b"spitz-2pc-stage\0".as_slice())?;
+    let mut r = spitz_index::codec::Reader::new(bytes);
+    let global_txn_id = r.u64()?;
+    let shard = r.u32()? as usize;
+    let count = r.u32()? as usize;
+    let mut writes = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = r.bytes()?.to_vec();
+        let value = r.bytes()?.to_vec();
+        writes.push((key, value));
+    }
+    r.is_exhausted().then_some((global_txn_id, shard, writes))
+}
+
 /// Payload of a shard membership record: magic ‖ shard index ‖ shard count
 /// ‖ SIRI kind tag.
 fn encode_member(shard: usize, shards: usize, kind_tag: u8) -> Vec<u8> {
@@ -327,6 +345,17 @@ fn encode_member(shard: usize, shards: usize, kind_tag: u8) -> Vec<u8> {
 pub struct ShardedDb {
     shards: Vec<Arc<SpitzDb>>,
     coordinator: TwoPhaseCoordinator,
+    /// The epoch fence. Every commit path holds it shared; taking a
+    /// consistent cut ([`ShardedDb::digest`] / [`ShardedDb::snapshot`] /
+    /// verified reads) takes it exclusively, so the per-shard digests it
+    /// snapshots can never interleave with a half-applied cross-shard
+    /// transaction. Commit epochs themselves come from the shared
+    /// `spitz_txn` timestamp oracle the 2PC coordinator allocates from.
+    fence: parking_lot::RwLock<()>,
+    /// Per-shard durable staged-batch logs (in-doubt bookkeeping).
+    staged_logs: Vec<Arc<StagedLog>>,
+    /// The coordinator's durable commit-decision log (shard 0's store).
+    decisions: StagedLog,
     /// Epoch of the last digest published to [`SHARDED_HEAD_ROOT`].
     /// Serializes publications and keeps a slower concurrent publisher
     /// from rolling the head back to a staler digest.
@@ -397,6 +426,10 @@ impl ShardedDb {
     /// distributed deadlock is impossible; the loser aborts and retries.
     fn assemble(dbs: Vec<Arc<SpitzDb>>) -> Self {
         let oracle = Arc::new(TimestampOracle::new());
+        let staged_logs: Vec<Arc<StagedLog>> = dbs
+            .iter()
+            .map(|db| Arc::new(StagedLog::staged(Arc::clone(db.store()))))
+            .collect();
         let participants: Vec<Arc<Participant>> = dbs
             .iter()
             .enumerate()
@@ -406,6 +439,7 @@ impl ShardedDb {
                     store: Arc::clone(db.store()),
                     ledger: Arc::clone(db.ledger()),
                     pipeline: db.pipeline().cloned(),
+                    staged: Arc::clone(&staged_logs[i]),
                 };
                 Arc::new(Participant::with_apply(
                     format!("shard-{i}"),
@@ -416,9 +450,13 @@ impl ShardedDb {
             })
             .collect();
         let coordinator = TwoPhaseCoordinator::new(participants, oracle);
+        let decisions = StagedLog::decisions(Arc::clone(dbs[0].store()));
         let db = ShardedDb {
             shards: dbs,
             coordinator,
+            fence: parking_lot::RwLock::new(()),
+            staged_logs,
+            decisions,
             published_epoch: parking_lot::Mutex::new(0),
         };
         if let Ok(Some(head)) = db.published_head() {
@@ -451,6 +489,7 @@ impl ShardedDb {
     /// block in that shard's ledger only. Returns the shard's new digest
     /// (use [`ShardedDb::digest`] for the combined one).
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<Digest> {
+        let _epoch = self.fence.read();
         self.shards[self.route(key)].put(key, value)
     }
 
@@ -458,15 +497,20 @@ impl ShardedDb {
     /// is sealed as a single block there; a batch spanning shards runs
     /// two-phase commit across the involved shards (all-or-nothing: either
     /// every shard's ledger seals its part, or no shard's does). On success
-    /// the refreshed cross-shard digest is published and returned.
+    /// the refreshed cross-shard digest — a fenced consistent cut — is
+    /// published and returned.
     pub fn put_batch(&self, writes: Vec<(Vec<u8>, Vec<u8>)>) -> Result<ShardedDigest> {
         if !writes.is_empty() {
+            let _epoch = self.fence.read();
             let first = self.route(&writes[0].0);
             if writes.iter().all(|(key, _)| self.route(key) == first) {
                 self.shards[first].put_batch(writes)?;
             } else {
-                self.coordinator
-                    .execute_with_statement(writes, "PUT BATCH")?;
+                // Split-phase 2PC with a durable commit decision between
+                // the phases, so a crash after the decision is redone (not
+                // presumed aborted) by a restarted process.
+                let prepared = self.coordinator.prepare(writes, "PUT BATCH")?;
+                self.finish_decided(prepared)?;
             }
         }
         let digest = self.digest();
@@ -478,6 +522,7 @@ impl ShardedDb {
     /// and return the in-doubt handle (crash-injection and recovery tests
     /// drive 2PC through this).
     pub fn prepare_batch(&self, writes: Vec<(Vec<u8>, Vec<u8>)>) -> Result<PreparedBatch> {
+        let _epoch = self.fence.read();
         Ok(PreparedBatch(
             self.coordinator.prepare(writes, "PUT BATCH")?,
         ))
@@ -486,26 +531,132 @@ impl ShardedDb {
     /// Phase 2 (commit) of a batch prepared with
     /// [`ShardedDb::prepare_batch`].
     pub fn commit_prepared(&self, prepared: PreparedBatch) -> Result<ShardedDigest> {
-        self.coordinator.commit_prepared(prepared.0)?;
+        {
+            let _epoch = self.fence.read();
+            self.finish_decided(prepared.0)?;
+        }
         let digest = self.digest();
         self.publish_head(&digest)?;
         Ok(digest)
     }
 
+    /// Record the commit decision durably, drive phase 2, and clear the
+    /// decision once every involved shard has applied. Called with the
+    /// epoch fence held shared.
+    fn finish_decided(&self, prepared: PreparedGlobal) -> Result<()> {
+        let global_txn_id = prepared.global_txn_id;
+        // The decision record makes the commit survive a process crash:
+        // recovery finds staged-but-unapplied parts and redoes them. If the
+        // decision itself cannot be persisted, nothing has committed yet —
+        // abort cleanly everywhere.
+        if let Err(error) = self.decisions.add(global_txn_id, Hash::ZERO) {
+            self.coordinator.abort_prepared(prepared);
+            return Err(error.into());
+        }
+        self.coordinator.commit_prepared(prepared)?;
+        // Every shard applied: the decision record has served its purpose.
+        // (On failure it is retained so recovery can redo the apply.)
+        let _ = self.decisions.remove(global_txn_id);
+        Ok(())
+    }
+
     /// Phase 2 (abort) of a batch prepared with
     /// [`ShardedDb::prepare_batch`]: nothing becomes visible anywhere.
     pub fn abort_prepared(&self, prepared: PreparedBatch) {
+        let _epoch = self.fence.read();
         self.coordinator.abort_prepared(prepared.0);
     }
 
-    /// Coordinator-crash recovery: resolve every in-doubt batch. A batch
-    /// with no commit decision is presumed aborted (no shard keeps prepared
-    /// state or locks); a batch whose commit was decided but whose ledger
-    /// apply failed on some shard (disk full after the vote) gets the
-    /// apply retried there, preserving all-or-nothing. Returns the number
-    /// of batches resolved.
+    /// Coordinator-crash recovery: resolve every in-doubt batch, both
+    /// in-process and across process restarts.
+    ///
+    /// In-process, a batch with no commit decision is presumed aborted (no
+    /// shard keeps prepared state or locks) and a batch whose commit was
+    /// decided but whose ledger apply failed on some shard (disk full after
+    /// the vote) gets the apply retried there. Then the durable staged logs
+    /// are scanned: batches staged by a *previous* process are resolved the
+    /// same way — redo when a durable commit decision exists, presumed
+    /// abort otherwise — so `recover()` preserves all-or-nothing across a
+    /// kill-and-reopen. Returns the number of batches resolved.
     pub fn recover(&self) -> usize {
-        self.coordinator.recover()
+        // Exclusive fence: a recovery pass racing a live `put_batch` (which
+        // holds the fence shared for its whole prepare→decide→commit cycle)
+        // could otherwise presume-abort staged entries of a batch whose
+        // decision is about to land, losing the redo information.
+        let _epoch = self.fence.write();
+        let mut resolved = self.coordinator.recover();
+
+        // Scan the durable staged logs for batches no live participant
+        // knows about (staged by a previous incarnation of this process).
+        let mut in_doubt: std::collections::BTreeMap<u64, Vec<(usize, StagedEntry)>> =
+            std::collections::BTreeMap::new();
+        for (shard, log) in self.staged_logs.iter().enumerate() {
+            for entry in log.entries().unwrap_or_default() {
+                in_doubt
+                    .entry(entry.global_txn_id)
+                    .or_default()
+                    .push((shard, entry));
+            }
+        }
+        for (global_txn_id, parts) in in_doubt {
+            let decided = self.decisions.contains(global_txn_id).unwrap_or(false);
+            for (shard, entry) in parts {
+                if decided {
+                    // Redo: decode the staged chunk and seal it into the
+                    // shard's ledger. Failures leave the entry in place for
+                    // the next recovery pass.
+                    let Ok(chunk) = self.shards[shard]
+                        .store()
+                        .get_kind(&entry.chunk, ChunkKind::Meta)
+                    else {
+                        continue;
+                    };
+                    let Some((_, _, writes)) = decode_staged(chunk.data()) else {
+                        continue;
+                    };
+                    let db = &self.shards[shard];
+                    let applied = match db.pipeline() {
+                        Some(pipeline) => pipeline.commit(writes, "PUT BATCH (redo)").map(|_| ()),
+                        None => db
+                            .ledger()
+                            .try_append_block(writes, "PUT BATCH (redo)")
+                            .map(|_| ()),
+                    };
+                    if applied.is_ok() {
+                        let _ = self.staged_logs[shard].remove(global_txn_id);
+                    }
+                } else {
+                    // Presumed abort: nothing was visible; drop the entry.
+                    let _ = self.staged_logs[shard].remove(global_txn_id);
+                }
+            }
+            if decided && self.all_staged_cleared(global_txn_id) {
+                let _ = self.decisions.remove(global_txn_id);
+            }
+            resolved += 1;
+        }
+
+        // Clear decision records whose batches have fully applied (e.g. a
+        // crash between the last apply and the decision cleanup).
+        for entry in self.decisions.entries().unwrap_or_default() {
+            if self.all_staged_cleared(entry.global_txn_id)
+                && !self
+                    .coordinator
+                    .participants()
+                    .iter()
+                    .any(|p| p.prepared_ids().contains(&entry.global_txn_id))
+            {
+                let _ = self.decisions.remove(entry.global_txn_id);
+            }
+        }
+        resolved
+    }
+
+    /// True when no shard's staged log still records `global_txn_id`.
+    fn all_staged_cleared(&self, global_txn_id: u64) -> bool {
+        self.staged_logs
+            .iter()
+            .all(|log| !log.contains(global_txn_id).unwrap_or(true))
     }
 
     /// Unverified point read, routed to the owning shard.
@@ -514,12 +665,20 @@ impl ShardedDb {
     }
 
     /// Verified point read: the value plus a [`ShardedProof`] chaining the
-    /// shard's ledger proof up to the cross-shard root.
+    /// shard's ledger proof up to the cross-shard root of a fenced
+    /// consistent cut.
+    ///
+    /// Each call takes the epoch fence exclusively (the price of a
+    /// consistent cut per read). Read-heavy workloads should pin a
+    /// [`ShardedDb::snapshot`] once and serve many `get_verified` calls
+    /// from it instead — one fence, repeatable reads, same proofs.
     pub fn get_verified(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, ShardedProof)> {
+        let _cut = self.fence.write();
         let shard = self.route(key);
         let (value, ledger_proof) = self.shards[shard].get_verified(key)?;
-        // Snapshot the other shards' digests around the serving shard's
-        // proof-time digest so leaf and proof agree.
+        // Under the exclusive fence no commit is in flight, so the serving
+        // shard's proof-time digest and the other shards' digests form one
+        // consistent cut.
         let digests: Vec<Digest> = self
             .shards
             .iter()
@@ -548,11 +707,13 @@ impl ShardedDb {
         ))
     }
 
-    /// Unverified range read over `start <= key < end`, merged across all
-    /// shards in key order. (Keys are hash-partitioned, so every shard may
-    /// hold part of any range; a verified cross-shard range proof is a
-    /// follow-up.)
-    pub fn range(&self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    /// **Unverified** range read over `start <= key < end`, merged across
+    /// all shards in key order. The merge is not proven: use
+    /// [`ShardedDb::range_verified`] (or a [`ShardedSnapshot`]) when the
+    /// caller needs the cross-shard completeness guarantee — this explicit
+    /// name exists so the unverified fast path is a visible choice, never a
+    /// default.
+    pub fn range_unverified(&self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut entries = Vec::new();
         for shard in &self.shards {
             entries.extend(shard.range(start, end)?);
@@ -561,10 +722,62 @@ impl ShardedDb {
         Ok(entries)
     }
 
-    /// The current cross-shard digest (what clients pin). Recomputed from
-    /// the live per-shard digests; take it at a quiescent point (e.g. after
-    /// [`ShardedDb::flush`]) for an exact pin under concurrency.
+    /// Verified range read over `start <= key < end` against a fenced
+    /// consistent cut: per-shard complete SIRI range proofs, chained
+    /// through the shard-digest leaves to the single cross-shard root.
+    /// Equivalent to `self.snapshot()?.range_verified(start, end)` but
+    /// without pinning index checkouts.
+    pub fn range_verified(
+        &self,
+        start: &[u8],
+        end: &[u8],
+    ) -> Result<crate::proof::ShardedVerifiedRange> {
+        let _cut = self.fence.write();
+        let mut merged = Vec::new();
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (entries, proof) = shard.range_verified(start, end)?;
+            merged.extend(entries);
+            parts.push(proof);
+        }
+        merged.sort_by(|a, b| a.0.cmp(&b.0));
+        let combined = ShardedDigest::over(parts.iter().map(|p| p.digest).collect());
+        Ok((
+            merged,
+            ShardedRangeProof {
+                shard_count: self.shards.len(),
+                epoch: combined.epoch,
+                root: combined.root,
+                shards: parts,
+            },
+        ))
+    }
+
+    /// Pin a fenced consistent cut as a [`ShardedSnapshot`]: all shard
+    /// pipelines are quiesced inside one epoch, each shard's state is
+    /// checked out at its digest, and the combined digest covers exactly
+    /// that cut. Reads against the snapshot are repeatable and all verify
+    /// against the single pinned root while writers move on.
+    pub fn snapshot(&self) -> Result<ShardedSnapshot> {
+        let _cut = self.fence.write();
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for db in &self.shards {
+            shards.push(db.snapshot()?);
+        }
+        let digest = ShardedDigest::over(shards.iter().map(|s| s.digest()).collect());
+        // The snapshot epoch comes from the same oracle that numbers 2PC
+        // transactions: allocated inside the exclusive fence, it totally
+        // orders this cut against every cross-shard commit.
+        let taken_at = self.coordinator.oracle().allocate();
+        Ok(ShardedSnapshot::new(digest, shards, taken_at))
+    }
+
+    /// The current cross-shard digest (what clients pin). Taken under the
+    /// exclusive epoch fence, so it is a **consistent cut**: every commit
+    /// (including every cross-shard 2PC batch) is either fully reflected in
+    /// all its shards' leaves or not at all.
     pub fn digest(&self) -> ShardedDigest {
+        let _cut = self.fence.write();
         ShardedDigest::over(self.shards.iter().map(|db| db.digest()).collect())
     }
 
@@ -749,10 +962,17 @@ mod tests {
     fn range_merges_across_shards_in_key_order() {
         let db = ShardedDb::in_memory(4);
         db.put_batch((0..100).map(kv).collect()).unwrap();
-        let entries = db.range(b"key-00020", b"key-00030").unwrap();
+        let entries = db.range_unverified(b"key-00020", b"key-00030").unwrap();
         assert_eq!(entries.len(), 10);
         assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
         assert_eq!(entries[0].0, b"key-00020".to_vec());
+
+        // The verified merge returns the same entries plus a proof that
+        // chains every shard's contribution to the single root.
+        let (verified, proof) = db.range_verified(b"key-00020", b"key-00030").unwrap();
+        assert_eq!(verified, entries);
+        assert!(proof.verify(&verified));
+        assert_eq!(proof.root, db.digest().root);
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! The unified snapshot read path: pin once, verify many.
+//!
+//! Every verified read in Spitz is anchored at a digest. The types here make
+//! that anchor first-class: a [`Snapshot`] pins one ledger's digest and
+//! serves repeatable point/range reads whose proofs all verify against that
+//! pin, and a [`ShardedSnapshot`] pins a **consistent cut** across every
+//! shard (taken under the sharded database's epoch fence, so no cross-shard
+//! transaction is ever half-visible) and serves reads verified against the
+//! single cross-shard root.
+//!
+//! This is the snapshot-isolated analytical read path over the transactional
+//! write stream: writers keep committing while a snapshot holder scans, and
+//! node sharing between index versions makes the pinned instance cheap (the
+//! checkout reuses every unchanged node of the live index).
+
+use spitz_ledger::{Digest, LedgerProof, LedgerSnapshot, VerifiedRange};
+
+use crate::proof::{ShardedProof, ShardedRangeProof, ShardedVerifiedRange};
+use crate::sharded::{shard_for, ShardedDigest};
+use crate::Result;
+
+/// A pinned, immutable view of one Spitz database at a single digest.
+///
+/// Obtained from `SpitzDb::snapshot` (or as a per-shard component of a
+/// [`ShardedSnapshot`]). All reads see exactly the pinned state; all proofs
+/// are anchored at [`Snapshot::digest`].
+#[derive(Debug)]
+pub struct Snapshot {
+    inner: LedgerSnapshot,
+}
+
+impl Snapshot {
+    pub(crate) fn new(inner: LedgerSnapshot) -> Self {
+        Snapshot { inner }
+    }
+
+    /// The digest this snapshot is pinned at.
+    pub fn digest(&self) -> Digest {
+        self.inner.digest()
+    }
+
+    /// Number of key/value entries visible in the snapshot.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Unverified point read against the pinned state.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.inner.get(key)
+    }
+
+    /// Verified point read: value plus a proof anchored at the pinned
+    /// digest.
+    pub fn get_verified(&self, key: &[u8]) -> (Option<Vec<u8>>, LedgerProof) {
+        self.inner.get_with_proof(key)
+    }
+
+    /// Unverified range read against the pinned state.
+    pub fn range(&self, start: &[u8], end: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.inner.range(start, end)
+    }
+
+    /// Verified range read: entries plus a **complete** range proof
+    /// anchored at the pinned digest.
+    pub fn range_verified(&self, start: &[u8], end: &[u8]) -> VerifiedRange {
+        self.inner.range_with_proof(start, end)
+    }
+}
+
+/// A pinned, immutable, **consistent** view of a sharded Spitz database.
+///
+/// Obtained from `ShardedDb::snapshot`, which fences every shard's commit
+/// pipeline inside one epoch before pinning the per-shard digests — so the
+/// cut can never show one half of a cross-shard transaction. Every read is
+/// verified against the single pinned cross-shard root.
+#[derive(Debug)]
+pub struct ShardedSnapshot {
+    digest: ShardedDigest,
+    shards: Vec<Snapshot>,
+    taken_at: u64,
+}
+
+impl ShardedSnapshot {
+    pub(crate) fn new(digest: ShardedDigest, shards: Vec<Snapshot>, taken_at: u64) -> Self {
+        debug_assert_eq!(digest.shards.len(), shards.len());
+        ShardedSnapshot {
+            digest,
+            shards,
+            taken_at,
+        }
+    }
+
+    /// The consistent-cut cross-shard digest this snapshot is pinned at.
+    pub fn digest(&self) -> &ShardedDigest {
+        &self.digest
+    }
+
+    /// The snapshot epoch: a timestamp allocated from the same strictly
+    /// monotonic oracle the 2PC coordinator assigns global transaction ids
+    /// from, taken inside the exclusive epoch fence. Snapshots therefore
+    /// order totally against each other *and* against every cross-shard
+    /// transaction: a transaction with a larger id committed after this
+    /// cut and cannot be visible in it.
+    pub fn taken_at(&self) -> u64 {
+        self.taken_at
+    }
+
+    /// The pinned cross-shard root (what a verifying client compares
+    /// against).
+    pub fn root(&self) -> spitz_crypto::Hash {
+        self.digest.root
+    }
+
+    /// Number of shards in the cut.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's pinned snapshot (diagnostics, tests).
+    pub fn shard(&self, index: usize) -> &Snapshot {
+        &self.shards[index]
+    }
+
+    /// Unverified point read against the pinned cut.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.shards[shard_for(key, self.shards.len())].get(key)
+    }
+
+    /// Verified point read: value plus a [`ShardedProof`] chaining the
+    /// serving shard's pinned proof to the pinned cross-shard root.
+    pub fn get_verified(&self, key: &[u8]) -> (Option<Vec<u8>>, ShardedProof) {
+        let shard = shard_for(key, self.shards.len());
+        let (value, ledger_proof) = self.shards[shard].get_verified(key);
+        let membership = self
+            .digest
+            .membership_proof(shard)
+            .expect("shard index is in range");
+        (
+            value,
+            ShardedProof {
+                shard,
+                shard_count: self.shards.len(),
+                ledger_proof,
+                membership,
+                root: self.digest.root,
+            },
+        )
+    }
+
+    /// Verified cross-shard range read over `start <= key < end`.
+    ///
+    /// Fans out a complete SIRI range proof per shard against each shard's
+    /// pinned digest, merges the per-shard results in key order, and chains
+    /// everything through the shard-digest leaves to the single pinned
+    /// root. [`ShardedRangeProof::verify`] re-checks all of it client-side:
+    /// nothing forged, nothing omitted, no shard withheld.
+    pub fn range_verified(&self, start: &[u8], end: &[u8]) -> Result<ShardedVerifiedRange> {
+        let mut merged = Vec::new();
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (entries, proof) = shard.range_verified(start, end);
+            merged.extend(entries);
+            parts.push(proof);
+        }
+        merged.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok((
+            merged,
+            ShardedRangeProof {
+                shard_count: self.shards.len(),
+                epoch: self.digest.epoch,
+                root: self.digest.root,
+                shards: parts,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::db::SpitzDb;
+    use crate::proof::Verifier;
+    use crate::sharded::ShardedDb;
+
+    fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
+        (
+            format!("key-{i:05}").into_bytes(),
+            format!("value-{i}").into_bytes(),
+        )
+    }
+
+    #[test]
+    fn single_db_snapshot_pins_and_serves_repeatable_verified_reads() {
+        let db = SpitzDb::in_memory();
+        db.put_batch((0..50).map(kv).collect()).unwrap();
+        let snapshot = db.snapshot().unwrap();
+        let pinned = snapshot.digest();
+
+        // The live database moves on; the snapshot does not.
+        db.put(b"key-00007", b"rewritten").unwrap();
+        assert_ne!(db.digest(), pinned);
+        assert_eq!(snapshot.get(b"key-00007"), Some(kv(7).1));
+
+        let mut client = Verifier::new();
+        client.observe_digest(pinned);
+        for i in [0u32, 7, 23, 49] {
+            let (k, v) = kv(i);
+            let (value, proof) = snapshot.get_verified(&k);
+            assert_eq!(value, Some(v));
+            assert!(client.verify_read(&k, value.as_deref(), &proof));
+        }
+        let (entries, proof) = snapshot.range_verified(&kv(10).0, &kv(20).0);
+        assert_eq!(entries.len(), 10);
+        assert!(client.verify_range(&entries, &proof));
+        assert_eq!(client.pinned_digest(), Some(pinned));
+    }
+
+    #[test]
+    fn sharded_snapshot_reads_verify_against_one_pinned_root() {
+        let db = ShardedDb::in_memory(4);
+        db.put_batch((0..120).map(kv).collect()).unwrap();
+        let snapshot = db.snapshot().unwrap();
+        assert!(snapshot.digest().verify());
+
+        let mut client = Verifier::new();
+        assert!(client.observe_sharded(snapshot.digest()));
+
+        // Point reads from every shard chain to the same pinned root.
+        for i in [0u32, 31, 77, 119] {
+            let (k, v) = kv(i);
+            let (value, proof) = snapshot.get_verified(&k);
+            assert_eq!(value, Some(v));
+            assert_eq!(proof.root, snapshot.root());
+            assert!(client.verify_sharded_read(&k, value.as_deref(), &proof));
+        }
+        // Absence proof.
+        let (missing, proof) = snapshot.get_verified(b"no-such-key");
+        assert!(missing.is_none());
+        assert!(client.verify_sharded_read(b"no-such-key", None, &proof));
+
+        // Range reads merge across shards and verify completely.
+        let (entries, proof) = snapshot.range_verified(b"key-00020", b"key-00040").unwrap();
+        assert_eq!(entries.len(), 20);
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(client.verify_sharded_range(&entries, &proof));
+
+        // Tampering is rejected: forged value, omission, smuggled entry.
+        let mut forged = entries.clone();
+        forged[3].1 = b"forged".to_vec();
+        assert!(!proof.verify(&forged));
+        let mut truncated = entries.clone();
+        truncated.remove(11);
+        assert!(!proof.verify(&truncated));
+        let mut padded = entries.clone();
+        padded.push(kv(999));
+        padded.sort_by(|a, b| a.0.cmp(&b.0));
+        assert!(!proof.verify(&padded));
+    }
+
+    #[test]
+    fn sharded_snapshot_is_stable_while_writers_advance() {
+        let db = ShardedDb::in_memory(3);
+        db.put_batch((0..60).map(kv).collect()).unwrap();
+        let snapshot = db.snapshot().unwrap();
+        let pinned_root = snapshot.root();
+
+        db.put_batch((60..90).map(kv).collect()).unwrap();
+        assert_ne!(db.digest().root, pinned_root);
+
+        // The snapshot still serves (and proves) exactly the old cut.
+        let (entries, proof) = snapshot.range_verified(&kv(0).0, &kv(90).0).unwrap();
+        assert_eq!(entries.len(), 60);
+        assert_eq!(proof.root, pinned_root);
+        assert!(proof.verify(&entries));
+        assert_eq!(snapshot.get(&kv(75).0), None);
+    }
+}

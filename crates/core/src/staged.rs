@@ -1,0 +1,202 @@
+//! Durable bookkeeping for in-doubt cross-shard transactions.
+//!
+//! 2PC participants durably *stage* their prepared writes as
+//! content-addressed chunks (see `ShardedDb`), but a content-addressed
+//! store cannot be enumerated — so each shard additionally keeps a small
+//! **staged log**: a named root pointing at a chunk that lists the staged
+//! batches not yet applied or discarded on that shard. The coordinator
+//! keeps a matching **decision log** (in shard 0's store) of batches whose
+//! commit was decided. Together they let `ShardedDb::recover()` resolve
+//! in-doubt batches across *process restarts*, not just in-process:
+//!
+//! * staged on some shard, **no** decision record → presumed abort: the
+//!   staged entry is dropped, nothing was ever visible.
+//! * staged on some shard, decision record present → the commit was
+//!   decided; the staged writes are re-applied into that shard's ledger
+//!   (redo), preserving all-or-nothing across the crash.
+//!
+//! Entries leave a shard's staged log when the batch is applied or
+//! discarded there; a decision record is cleared once every involved shard
+//! has applied. List updates go through `try_put`/`try_set_root`, so a full
+//! disk during staging is a clean `No` vote rather than a panic.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use spitz_crypto::Hash;
+use spitz_storage::{Chunk, ChunkKind, ChunkStore, StorageError};
+
+/// Named root of a shard's staged-batch list.
+pub const STAGED_ROOT: &str = "spitz/2pc/staged";
+
+/// Named root of the coordinator's commit-decision list (shard 0's store).
+pub const DECIDED_ROOT: &str = "spitz/2pc/decided";
+
+const STAGED_MAGIC: &[u8] = b"spitz-2pc-staged-log\0";
+const DECIDED_MAGIC: &[u8] = b"spitz-2pc-decided-log\0";
+
+/// One staged-but-unresolved batch on a shard: the global transaction id
+/// and the chunk address of the staged writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagedEntry {
+    /// Global transaction id assigned by the coordinator.
+    pub global_txn_id: u64,
+    /// Address of the staged-writes chunk in the shard's store.
+    pub chunk: Hash,
+}
+
+/// A durable, root-anchored list of [`StagedEntry`]s in one shard's store.
+pub struct StagedLog {
+    store: Arc<dyn ChunkStore>,
+    root: &'static str,
+    magic: &'static [u8],
+    /// Serializes read-modify-write cycles on the list root.
+    lock: Mutex<()>,
+}
+
+impl StagedLog {
+    /// The staged-batch log of a shard's store.
+    pub fn staged(store: Arc<dyn ChunkStore>) -> StagedLog {
+        StagedLog {
+            store,
+            root: STAGED_ROOT,
+            magic: STAGED_MAGIC,
+            lock: Mutex::new(()),
+        }
+    }
+
+    /// The coordinator's decision log (kept in shard 0's store). Decision
+    /// entries reuse the staged-entry shape with a zero chunk address.
+    pub fn decisions(store: Arc<dyn ChunkStore>) -> StagedLog {
+        StagedLog {
+            store,
+            root: DECIDED_ROOT,
+            magic: DECIDED_MAGIC,
+            lock: Mutex::new(()),
+        }
+    }
+
+    /// The current entries, oldest first.
+    pub fn entries(&self) -> Result<Vec<StagedEntry>, StorageError> {
+        let _guard = self.lock.lock();
+        self.read_list()
+    }
+
+    /// True when the log records `global_txn_id`.
+    pub fn contains(&self, global_txn_id: u64) -> Result<bool, StorageError> {
+        Ok(self
+            .entries()?
+            .iter()
+            .any(|e| e.global_txn_id == global_txn_id))
+    }
+
+    /// Append an entry (idempotent per transaction id).
+    pub fn add(&self, global_txn_id: u64, chunk: Hash) -> Result<(), StorageError> {
+        let _guard = self.lock.lock();
+        let mut list = self.read_list()?;
+        if list.iter().any(|e| e.global_txn_id == global_txn_id) {
+            return Ok(());
+        }
+        list.push(StagedEntry {
+            global_txn_id,
+            chunk,
+        });
+        self.write_list(&list)
+    }
+
+    /// Remove an entry. Removing an absent id is a no-op.
+    pub fn remove(&self, global_txn_id: u64) -> Result<(), StorageError> {
+        let _guard = self.lock.lock();
+        let mut list = self.read_list()?;
+        let before = list.len();
+        list.retain(|e| e.global_txn_id != global_txn_id);
+        if list.len() == before {
+            return Ok(());
+        }
+        self.write_list(&list)
+    }
+
+    fn read_list(&self) -> Result<Vec<StagedEntry>, StorageError> {
+        let Some(address) = self.store.root(self.root) else {
+            return Ok(Vec::new());
+        };
+        let chunk = self.store.get_kind(&address, ChunkKind::Meta)?;
+        decode_list(self.magic, chunk.data()).ok_or(StorageError::CorruptChunk(address))
+    }
+
+    fn write_list(&self, list: &[StagedEntry]) -> Result<(), StorageError> {
+        let address = self
+            .store
+            .try_put(Chunk::new(ChunkKind::Meta, encode_list(self.magic, list)))?;
+        self.store.try_set_root(self.root, address)
+    }
+}
+
+fn encode_list(magic: &[u8], list: &[StagedEntry]) -> Vec<u8> {
+    use spitz_index::codec::{put_hash, put_u32, put_u64};
+    let mut out = Vec::with_capacity(magic.len() + 4 + list.len() * 40);
+    out.extend_from_slice(magic);
+    put_u32(&mut out, list.len() as u32);
+    for entry in list {
+        put_u64(&mut out, entry.global_txn_id);
+        put_hash(&mut out, &entry.chunk);
+    }
+    out
+}
+
+fn decode_list(magic: &[u8], bytes: &[u8]) -> Option<Vec<StagedEntry>> {
+    let bytes = bytes.strip_prefix(magic)?;
+    let mut r = spitz_index::codec::Reader::new(bytes);
+    let count = r.u32()? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(StagedEntry {
+            global_txn_id: r.u64()?,
+            chunk: r.hash()?,
+        });
+    }
+    r.is_exhausted().then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spitz_storage::InMemoryChunkStore;
+
+    #[test]
+    fn staged_log_round_trips_through_the_store() {
+        let store: Arc<dyn ChunkStore> = InMemoryChunkStore::shared();
+        let log = StagedLog::staged(Arc::clone(&store));
+        assert!(log.entries().unwrap().is_empty());
+
+        let chunk = spitz_crypto::sha256(b"staged writes");
+        log.add(7, chunk).unwrap();
+        log.add(9, Hash::ZERO).unwrap();
+        log.add(7, chunk).unwrap(); // idempotent
+        assert_eq!(log.entries().unwrap().len(), 2);
+        assert!(log.contains(7).unwrap());
+        assert!(!log.contains(8).unwrap());
+
+        // The list survives a "reopen" of the same store.
+        let reopened = StagedLog::staged(Arc::clone(&store));
+        assert_eq!(reopened.entries().unwrap(), log.entries().unwrap());
+
+        log.remove(7).unwrap();
+        log.remove(7).unwrap(); // no-op
+        assert_eq!(log.entries().unwrap().len(), 1);
+        assert_eq!(log.entries().unwrap()[0].global_txn_id, 9);
+    }
+
+    #[test]
+    fn staged_and_decision_logs_do_not_collide() {
+        let store: Arc<dyn ChunkStore> = InMemoryChunkStore::shared();
+        let staged = StagedLog::staged(Arc::clone(&store));
+        let decisions = StagedLog::decisions(Arc::clone(&store));
+        staged.add(1, Hash::ZERO).unwrap();
+        decisions.add(2, Hash::ZERO).unwrap();
+        assert!(staged.contains(1).unwrap());
+        assert!(!staged.contains(2).unwrap());
+        assert!(decisions.contains(2).unwrap());
+        assert!(!decisions.contains(1).unwrap());
+    }
+}

@@ -1,4 +1,4 @@
-//! The [`Hash`] digest type used throughout Spitz.
+//! The [`Hash`](struct@Hash) digest type used throughout Spitz.
 //!
 //! A `Hash` is a 32-byte SHA-256 digest. It is `Copy`, ordered, hashable and
 //! serde-serializable, so it can be used directly as a content address in the
@@ -134,7 +134,7 @@ impl<'de> Deserialize<'de> for Hash {
     }
 }
 
-/// Errors produced when parsing a [`Hash`] from hex.
+/// Errors produced when parsing a [`Hash`](struct@Hash) from hex.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HashParseError {
     /// The input was not valid hexadecimal.

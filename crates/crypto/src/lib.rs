@@ -2,7 +2,7 @@
 //!
 //! Everything that the rest of the system relies on for tamper evidence lives
 //! here: a from-scratch [SHA-256](sha256::Sha256) implementation, the
-//! 32-byte [`Hash`] digest type, hex encoding, and a binary
+//! 32-byte [`Hash`](struct@Hash) digest type, hex encoding, and a binary
 //! [Merkle tree](merkle::MerkleTree) with audit and consistency proofs in the
 //! style used by transparency logs and ledger databases.
 //!

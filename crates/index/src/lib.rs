@@ -8,7 +8,7 @@
 //!   ForkBase), the [Merkle Patricia Trie](mpt::MerklePatriciaTrie) (MPT,
 //!   from Ethereum) and the [Merkle Bucket Tree](mbt::MerkleBucketTree)
 //!   (MBT, from Hyperledger Fabric). All three implement the common
-//!   [`SiriIndex`](siri::SiriIndex) trait: content-addressed nodes stored in
+//!   [`SiriIndex`] trait: content-addressed nodes stored in
 //!   a [`spitz_storage::ChunkStore`], so unchanged subtrees are physically
 //!   shared between versions, plus Merkle proofs for point and range lookups.
 //! * **Plain query indexes** used purely for performance: an in-memory

@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use spitz_crypto::{sha256, Hash};
-use spitz_storage::{Chunk, ChunkKind, ChunkStore};
+use spitz_storage::{Chunk, ChunkKind, ChunkStore, StorageError};
 
 use crate::codec::{put_bytes, put_u32, Reader};
 use crate::proof::{hash_index_node, IndexProof};
@@ -150,34 +150,41 @@ impl MerkleBucketTree {
             let below = levels.last().expect("non-empty");
             let mut level = Vec::with_capacity(below.len().div_ceil(TREE_FANOUT));
             for group in below.chunks(TREE_FANOUT) {
-                level.push(self.internal_hash(group));
+                // Only reached from `new()` with all-zero buckets, so no
+                // store write can actually happen (all-zero groups hash to
+                // zero without touching the store).
+                level.push(
+                    self.internal_hash(group)
+                        .expect("empty tree writes no nodes"),
+                );
             }
             levels.push(level);
         }
         self.levels = levels;
     }
 
-    fn internal_hash(&self, children: &[Hash]) -> Hash {
+    fn internal_hash(&self, children: &[Hash]) -> Result<Hash, StorageError> {
         if children.iter().all(|h| h.is_zero()) {
-            return Hash::ZERO;
+            return Ok(Hash::ZERO);
         }
         self.store
-            .put(Chunk::new(ChunkKind::IndexNode, encode_internal(children)))
+            .try_put(Chunk::new(ChunkKind::IndexNode, encode_internal(children)))
     }
 
     /// Recompute the internal-node path above `bucket_index` after the bucket
     /// hash changed.
-    fn update_path(&mut self, bucket_index: usize) {
+    fn update_path(&mut self, bucket_index: usize) -> Result<(), StorageError> {
         let mut index = bucket_index;
         for level in 0..self.levels.len() - 1 {
             let group_index = index / TREE_FANOUT;
             let start = group_index * TREE_FANOUT;
             let end = (start + TREE_FANOUT).min(self.levels[level].len());
             let group: Vec<Hash> = self.levels[level][start..end].to_vec();
-            let parent = self.internal_hash(&group);
+            let parent = self.internal_hash(&group)?;
             self.levels[level + 1][group_index] = parent;
             index = group_index;
         }
+        Ok(())
     }
 
     fn load_bucket(&self, bucket_index: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
@@ -287,32 +294,70 @@ impl MerkleBucketTree {
         }
     }
 
-    /// Verify a range proof: chain structure plus coverage of every claimed
-    /// entry by a revealed bucket.
+    /// Verify a **complete** range proof. MBT buckets partition by *hash*,
+    /// not by key, so any bucket can hold part of any range — a complete
+    /// proof therefore reveals the entire bucket tree (the hash-partitioned
+    /// weakness the paper's SIRI analysis calls out). The verifier re-walks
+    /// the revealed internal nodes from the root, failing if any non-empty
+    /// subtree was withheld, and checks that the claimed entries are exactly
+    /// the revealed buckets' contents restricted to `start <= key < end`.
     pub fn verify_range_proof(
         root: Hash,
+        start: &[u8],
+        end: &[u8],
         entries: &[(Vec<u8>, Vec<u8>)],
         proof: &IndexProof,
     ) -> bool {
-        if root.is_zero() {
+        if root.is_zero() || start >= end {
             return entries.is_empty();
         }
-        if entries.is_empty() {
-            return true;
-        }
-        if !proof.verify_chain(root) {
-            return false;
-        }
-        let buckets: Vec<Vec<(Vec<u8>, Vec<u8>)>> = proof
+        let nodes: std::collections::HashMap<Hash, &[u8]> = proof
             .nodes
             .iter()
-            .filter_map(|n| decode_bucket(n))
+            .map(|n| (hash_index_node(n), n.as_slice()))
             .collect();
-        entries.iter().all(|(k, v)| {
-            buckets
+        let mut all = Vec::new();
+        if !collect_buckets(&nodes, &root, &mut all) {
+            return false;
+        }
+        let mut in_range: Vec<(Vec<u8>, Vec<u8>)> = all
+            .into_iter()
+            .filter(|(k, _)| k.as_slice() >= start && k.as_slice() < end)
+            .collect();
+        in_range.sort_by(|a, b| a.0.cmp(&b.0));
+        in_range == entries
+    }
+}
+
+/// Walk the revealed bucket tree from `hash`, collecting every bucket
+/// entry. `false` when a referenced non-empty node was not revealed or a
+/// payload fails to decode.
+fn collect_buckets(
+    nodes: &std::collections::HashMap<Hash, &[u8]>,
+    hash: &Hash,
+    out: &mut Vec<(Vec<u8>, Vec<u8>)>,
+) -> bool {
+    let Some(payload) = nodes.get(hash) else {
+        return false;
+    };
+    match payload.first() {
+        Some(1) => {
+            let Some(children) = decode_internal(payload) else {
+                return false;
+            };
+            children
                 .iter()
-                .any(|b| b.iter().any(|(bk, bv)| bk == k && bv == v))
-        })
+                .filter(|c| !c.is_zero())
+                .all(|c| collect_buckets(nodes, c, out))
+        }
+        Some(0) => {
+            let Some(entries) = decode_bucket(payload) else {
+                return false;
+            };
+            out.extend(entries);
+            true
+        }
+        _ => false,
     }
 }
 
@@ -333,21 +378,33 @@ impl SiriIndex for MerkleBucketTree {
         self.len
     }
 
-    fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) {
+    fn try_insert(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StorageError> {
         let bucket_index = bucket_of(&key);
         let mut entries = self.load_bucket(bucket_index);
-        match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key.as_slice())) {
-            Ok(i) => entries[i].1 = value,
+        let inserted_new = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key.as_slice()))
+        {
+            Ok(i) => {
+                entries[i].1 = value;
+                false
+            }
             Err(i) => {
                 entries.insert(i, (key, value));
-                self.len += 1;
+                true
             }
-        }
+        };
+        // Persist the bucket before mutating any in-memory level, so a
+        // failed put leaves the tree at its previous root. A failure inside
+        // `update_path` can leave the cached levels stale; callers recover
+        // by checking out the previous root (the ledger's rollback path).
         let hash = self
             .store
-            .put(Chunk::new(ChunkKind::IndexNode, encode_bucket(&entries)));
+            .try_put(Chunk::new(ChunkKind::IndexNode, encode_bucket(&entries)))?;
         self.levels[0][bucket_index] = hash;
-        self.update_path(bucket_index);
+        self.update_path(bucket_index)?;
+        if inserted_new {
+            self.len += 1;
+        }
+        Ok(())
     }
 
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
@@ -383,13 +440,19 @@ impl SiriIndex for MerkleBucketTree {
     fn range_with_proof(&self, start: &[u8], end: &[u8]) -> (Vec<(Vec<u8>, Vec<u8>)>, IndexProof) {
         let entries = self.range(start, end);
         let mut proof = IndexProof::empty();
+        if self.root().is_zero() || start >= end {
+            return (entries, proof);
+        }
+        // Completeness over hash-partitioned buckets requires revealing the
+        // whole tree: every non-empty internal node (top-down) and bucket.
         let mut seen_nodes = std::collections::HashSet::new();
-        for (k, _) in &entries {
-            let path = self.proof_path(bucket_of(k));
-            for node in path.nodes {
-                let hash = hash_index_node(&node);
-                if seen_nodes.insert(hash) {
-                    proof.push_node(node);
+        let depth = self.levels.len();
+        for level in (0..depth).rev() {
+            for hash in &self.levels[level] {
+                if !hash.is_zero() && seen_nodes.insert(*hash) {
+                    if let Ok(chunk) = self.store.get_kind(hash, ChunkKind::IndexNode) {
+                        proof.push_node(chunk.data().to_vec());
+                    }
                 }
             }
         }
@@ -533,11 +596,14 @@ mod tests {
         for i in 0..300u32 {
             tree.insert(key(i), value(i));
         }
-        let (entries, proof) = tree.range_with_proof(&key(100), &key(120));
+        let (start, end) = (key(100), key(120));
+        let (entries, proof) = tree.range_with_proof(&start, &end);
         assert_eq!(entries.len(), 20);
         assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
         assert!(MerkleBucketTree::verify_range_proof(
             tree.root(),
+            &start,
+            &end,
             &entries,
             &proof
         ));
@@ -546,7 +612,19 @@ mod tests {
         forged[0].1 = b"forged".to_vec();
         assert!(!MerkleBucketTree::verify_range_proof(
             tree.root(),
+            &start,
+            &end,
             &forged,
+            &proof
+        ));
+        // Omitting an entry breaks verification (completeness).
+        let mut truncated = entries.clone();
+        truncated.pop();
+        assert!(!MerkleBucketTree::verify_range_proof(
+            tree.root(),
+            &start,
+            &end,
+            &truncated,
             &proof
         ));
     }

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use spitz_crypto::Hash;
-use spitz_storage::{Chunk, ChunkKind, ChunkStore};
+use spitz_storage::{Chunk, ChunkKind, ChunkStore, StorageError};
 
 use crate::codec::{put_bytes, put_hash, Reader};
 use crate::proof::{hash_index_node, IndexProof};
@@ -245,9 +245,9 @@ impl MerklePatriciaTrie {
         Some(trie)
     }
 
-    fn save(&self, node: &MptNode) -> Hash {
+    fn save(&self, node: &MptNode) -> Result<Hash, StorageError> {
         self.store
-            .put(Chunk::new(ChunkKind::IndexNode, node.encode()))
+            .try_put(Chunk::new(ChunkKind::IndexNode, node.encode()))
     }
 
     fn load(&self, hash: &Hash) -> Option<MptNode> {
@@ -256,16 +256,22 @@ impl MerklePatriciaTrie {
     }
 
     /// Recursive insert; returns the hash of the replacement node and whether
-    /// a new key was added.
-    fn insert_rec(&self, node: Option<Hash>, path: &[u8], value: &[u8]) -> (Hash, bool) {
+    /// a new key was added. A storage failure while persisting any node
+    /// aborts the insert with the trie root untouched.
+    fn insert_rec(
+        &self,
+        node: Option<Hash>,
+        path: &[u8],
+        value: &[u8],
+    ) -> Result<(Hash, bool), StorageError> {
         let Some(hash) = node else {
-            return (
+            return Ok((
                 self.save(&MptNode::Leaf {
                     path: path.to_vec(),
                     value: value.to_vec(),
-                }),
+                })?,
                 true,
-            );
+            ));
         };
         let node = self.load(&hash).expect("mpt node missing from store");
         match node {
@@ -274,13 +280,13 @@ impl MerklePatriciaTrie {
                 value: lvalue,
             } => {
                 if lpath == path {
-                    return (
+                    return Ok((
                         self.save(&MptNode::Leaf {
                             path: lpath,
                             value: value.to_vec(),
-                        }),
+                        })?,
                         false,
-                    );
+                    ));
                 }
                 let cp = common_prefix(&lpath, path);
                 let mut children: [Option<Hash>; 16] = Default::default();
@@ -293,7 +299,7 @@ impl MerklePatriciaTrie {
                     children[lrem[0] as usize] = Some(self.save(&MptNode::Leaf {
                         path: lrem[1..].to_vec(),
                         value: lvalue,
-                    }));
+                    })?);
                 }
                 let prem = &path[cp..];
                 let mut branch_value2 = branch_value;
@@ -303,33 +309,33 @@ impl MerklePatriciaTrie {
                     children[prem[0] as usize] = Some(self.save(&MptNode::Leaf {
                         path: prem[1..].to_vec(),
                         value: value.to_vec(),
-                    }));
+                    })?);
                 }
                 let branch = self.save(&MptNode::Branch {
                     children: Box::new(children),
                     value: branch_value2,
-                });
+                })?;
                 let result = if cp > 0 {
                     self.save(&MptNode::Extension {
                         path: path[..cp].to_vec(),
                         child: branch,
-                    })
+                    })?
                 } else {
                     branch
                 };
-                (result, true)
+                Ok((result, true))
             }
             MptNode::Extension { path: epath, child } => {
                 let cp = common_prefix(&epath, path);
                 if cp == epath.len() {
-                    let (new_child, added) = self.insert_rec(Some(child), &path[cp..], value);
-                    return (
+                    let (new_child, added) = self.insert_rec(Some(child), &path[cp..], value)?;
+                    return Ok((
                         self.save(&MptNode::Extension {
                             path: epath,
                             child: new_child,
-                        }),
+                        })?,
                         added,
-                    );
+                    ));
                 }
                 // Split the extension at the divergence point.
                 let mut children: [Option<Hash>; 16] = Default::default();
@@ -339,7 +345,7 @@ impl MerklePatriciaTrie {
                     self.save(&MptNode::Extension {
                         path: erem[1..].to_vec(),
                         child,
-                    })
+                    })?
                 } else {
                     child
                 };
@@ -352,21 +358,21 @@ impl MerklePatriciaTrie {
                     children[prem[0] as usize] = Some(self.save(&MptNode::Leaf {
                         path: prem[1..].to_vec(),
                         value: value.to_vec(),
-                    }));
+                    })?);
                 }
                 let branch = self.save(&MptNode::Branch {
                     children: Box::new(children),
                     value: branch_value,
-                });
+                })?;
                 let result = if cp > 0 {
                     self.save(&MptNode::Extension {
                         path: path[..cp].to_vec(),
                         child: branch,
-                    })
+                    })?
                 } else {
                     branch
                 };
-                (result, true)
+                Ok((result, true))
             }
             MptNode::Branch {
                 mut children,
@@ -374,24 +380,24 @@ impl MerklePatriciaTrie {
             } => {
                 if path.is_empty() {
                     let added = bvalue.is_none();
-                    return (
+                    return Ok((
                         self.save(&MptNode::Branch {
                             children,
                             value: Some(value.to_vec()),
-                        }),
+                        })?,
                         added,
-                    );
+                    ));
                 }
                 let idx = path[0] as usize;
-                let (new_child, added) = self.insert_rec(children[idx], &path[1..], value);
+                let (new_child, added) = self.insert_rec(children[idx], &path[1..], value)?;
                 children[idx] = Some(new_child);
-                (
+                Ok((
                     self.save(&MptNode::Branch {
                         children,
                         value: bvalue,
-                    }),
+                    })?,
                     added,
-                )
+                ))
             }
         }
     }
@@ -487,18 +493,21 @@ impl MerklePatriciaTrie {
         }
     }
 
-    /// Verify a range proof by re-running every claimed lookup against the
-    /// revealed nodes.
+    /// Verify a **complete** range proof. The MPT's range scan is an
+    /// in-order walk of the whole trie (the SIRI weakness the paper's
+    /// ablation quantifies), so the proof reveals every node; the verifier
+    /// re-walks the revealed nodes from the root — failing if any referenced
+    /// node was withheld — and checks that the claimed entries are exactly
+    /// the collected entries restricted to `start <= key < end`.
     pub fn verify_range_proof(
         root: Hash,
+        start: &[u8],
+        end: &[u8],
         entries: &[(Vec<u8>, Vec<u8>)],
         proof: &IndexProof,
     ) -> bool {
-        if root.is_zero() {
+        if root.is_zero() || start >= end {
             return entries.is_empty();
-        }
-        if !entries.is_empty() && !proof.verify_chain(root) {
-            return false;
         }
         let source = ProofSource(
             proof
@@ -507,10 +516,58 @@ impl MerklePatriciaTrie {
                 .map(|n| (hash_index_node(n), n.clone()))
                 .collect(),
         );
-        entries.iter().all(|(k, v)| {
-            matches!(lookup(&source, root, &to_nibbles(k), |_| {}), Ok(Some(found)) if found == *v)
-        })
+        let mut all = Vec::new();
+        if collect_entries(&source, &root, &mut Vec::new(), &mut all).is_err() {
+            return false;
+        }
+        let mut in_range: Vec<(Vec<u8>, Vec<u8>)> = all
+            .into_iter()
+            .filter(|(k, _)| k.as_slice() >= start && k.as_slice() < end)
+            .collect();
+        in_range.sort_by(|a, b| a.0.cmp(&b.0));
+        in_range == entries
     }
+}
+
+/// Walk every node reachable from `hash` through `source`, collecting all
+/// `(key, value)` entries. `Err(())` when a referenced node cannot be
+/// resolved — for proof verification that means the server withheld part of
+/// the trie.
+fn collect_entries<S: NodeSource>(
+    source: &S,
+    hash: &Hash,
+    prefix: &mut Vec<u8>,
+    out: &mut Vec<(Vec<u8>, Vec<u8>)>,
+) -> Result<(), ()> {
+    let payload = source.payload(hash).ok_or(())?;
+    let node = MptNode::decode(&payload).ok_or(())?;
+    match node {
+        MptNode::Leaf { path, value } => {
+            let depth = path.len();
+            prefix.extend_from_slice(&path);
+            out.push((from_nibbles(prefix), value));
+            prefix.truncate(prefix.len() - depth);
+        }
+        MptNode::Extension { path, child } => {
+            let depth = path.len();
+            prefix.extend_from_slice(&path);
+            collect_entries(source, &child, prefix, out)?;
+            prefix.truncate(prefix.len() - depth);
+        }
+        MptNode::Branch { children, value } => {
+            if let Some(v) = value {
+                out.push((from_nibbles(prefix), v));
+            }
+            for (i, child) in children.iter().enumerate() {
+                if let Some(child) = child {
+                    prefix.push(i as u8);
+                    collect_entries(source, child, prefix, out)?;
+                    prefix.pop();
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 impl SiriIndex for MerklePatriciaTrie {
@@ -526,18 +583,19 @@ impl SiriIndex for MerklePatriciaTrie {
         self.len
     }
 
-    fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) {
+    fn try_insert(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StorageError> {
         let nibbles = to_nibbles(&key);
         let root = if self.root.is_zero() {
             None
         } else {
             Some(self.root)
         };
-        let (new_root, added) = self.insert_rec(root, &nibbles, &value);
+        let (new_root, added) = self.insert_rec(root, &nibbles, &value)?;
         self.root = new_root;
         if added {
             self.len += 1;
         }
+        Ok(())
     }
 
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
@@ -715,11 +773,14 @@ mod tests {
         for i in 0..300u32 {
             trie.insert(key(i), value(i));
         }
-        let (entries, proof) = trie.range_with_proof(&key(50), &key(60));
+        let (start, end) = (key(50), key(60));
+        let (entries, proof) = trie.range_with_proof(&start, &end);
         assert_eq!(entries.len(), 10);
         assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
         assert!(MerklePatriciaTrie::verify_range_proof(
             trie.root(),
+            &start,
+            &end,
             &entries,
             &proof
         ));
@@ -728,7 +789,19 @@ mod tests {
         forged[3].1 = b"forged".to_vec();
         assert!(!MerklePatriciaTrie::verify_range_proof(
             trie.root(),
+            &start,
+            &end,
             &forged,
+            &proof
+        ));
+        // Omitting an entry breaks verification (completeness).
+        let mut truncated = entries.clone();
+        truncated.remove(4);
+        assert!(!MerklePatriciaTrie::verify_range_proof(
+            trie.root(),
+            &start,
+            &end,
+            &truncated,
             &proof
         ));
     }

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use spitz_crypto::{sha256, Hash};
-use spitz_storage::{Chunk, ChunkKind, ChunkStore};
+use spitz_storage::{Chunk, ChunkKind, ChunkStore, StorageError};
 
 use crate::codec::{put_bytes, put_hash, put_u32, put_u64, Reader};
 use crate::proof::IndexProof;
@@ -196,51 +196,50 @@ impl PosTree {
         }
     }
 
-    /// Verify a range proof: structural chain plus coverage of every
-    /// returned entry by a revealed leaf.
+    /// Verify a **complete** range proof: the claimed entries must be
+    /// exactly the tree's contents in `start <= key < end`. The verifier
+    /// re-runs the same pruned descent the server's scan performed, using
+    /// the revealed nodes as its node source: any child whose key span
+    /// overlaps the range must be revealed (else the proof is rejected for
+    /// omission), and the entries collected from the revealed leaves must
+    /// equal the claimed entries byte for byte.
     pub fn verify_range_proof(
         root: Hash,
+        start: &[u8],
+        end: &[u8],
         entries: &[(Vec<u8>, Vec<u8>)],
         proof: &IndexProof,
     ) -> bool {
-        if root.is_zero() {
+        if root.is_zero() || start >= end {
             return entries.is_empty();
         }
-        if entries.is_empty() {
-            // Nothing claimed; a structural check of whatever was revealed is
-            // still required when a proof is supplied.
-            return proof.is_empty() || proof.verify_chain(root);
-        }
-        if !proof.verify_chain(root) {
-            return false;
-        }
-        let leaves: Vec<Vec<(Vec<u8>, Vec<u8>)>> = proof
+        let nodes: std::collections::HashMap<Hash, &[u8]> = proof
             .nodes
             .iter()
-            .filter_map(|n| match Node::decode(n) {
-                Some(Node::Leaf(entries)) => Some(entries),
-                _ => None,
-            })
+            .map(|n| (crate::proof::hash_index_node(n), n.as_slice()))
             .collect();
-        entries.iter().all(|(k, v)| {
-            leaves
-                .iter()
-                .any(|leaf| leaf.iter().any(|(lk, lv)| lk == k && lv == v))
-        })
+        let mut collected = Vec::new();
+        if !collect_range(&nodes, &root, start, end, None, &mut collected) {
+            return false;
+        }
+        collected == entries
     }
 
-    fn save_node(&self, node: &Node) -> (Hash, u64, Vec<u8>) {
+    fn save_node(&self, node: &Node) -> Result<(Hash, u64), StorageError> {
         let payload = node.encode();
         let count = node.count();
         let hash = self
             .store
-            .put(Chunk::new(ChunkKind::IndexNode, payload.clone()));
-        (hash, count, payload)
+            .try_put(Chunk::new(ChunkKind::IndexNode, payload))?;
+        Ok((hash, count))
     }
 
     /// Split a freshly modified node's entries at content-defined boundaries
     /// and persist the resulting nodes, returning their child references.
-    fn persist_leaf_runs(&self, entries: Vec<(Vec<u8>, Vec<u8>)>) -> Vec<ChildRef> {
+    fn persist_leaf_runs(
+        &self,
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<Vec<ChildRef>, StorageError> {
         let mut out = Vec::new();
         let mut current: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         let total = entries.len();
@@ -250,16 +249,20 @@ impl PosTree {
             let force = current.len() >= MAX_NODE_ENTRIES;
             let last = i + 1 == total;
             if (boundary || force) && !last {
-                out.push(self.child_ref_for(Node::Leaf(std::mem::take(&mut current))));
+                out.push(self.child_ref_for(Node::Leaf(std::mem::take(&mut current)))?);
             }
         }
         if !current.is_empty() {
-            out.push(self.child_ref_for(Node::Leaf(current)));
+            out.push(self.child_ref_for(Node::Leaf(current))?);
         }
-        out
+        Ok(out)
     }
 
-    fn persist_internal_runs(&self, level: u8, children: Vec<ChildRef>) -> Vec<ChildRef> {
+    fn persist_internal_runs(
+        &self,
+        level: u8,
+        children: Vec<ChildRef>,
+    ) -> Result<Vec<ChildRef>, StorageError> {
         let mut out = Vec::new();
         let mut current: Vec<ChildRef> = Vec::new();
         let total = children.len();
@@ -269,28 +272,33 @@ impl PosTree {
             let force = current.len() >= MAX_NODE_ENTRIES;
             let last = i + 1 == total;
             if (boundary || force) && !last {
-                out.push(self.child_ref_for(Node::Internal(level, std::mem::take(&mut current))));
+                out.push(self.child_ref_for(Node::Internal(level, std::mem::take(&mut current)))?);
             }
         }
         if !current.is_empty() {
-            out.push(self.child_ref_for(Node::Internal(level, current)));
+            out.push(self.child_ref_for(Node::Internal(level, current))?);
         }
-        out
+        Ok(out)
     }
 
-    fn child_ref_for(&self, node: Node) -> ChildRef {
+    fn child_ref_for(&self, node: Node) -> Result<ChildRef, StorageError> {
         let max_key = node.max_key();
-        let (hash, count, _) = self.save_node(&node);
-        ChildRef {
+        let (hash, count) = self.save_node(&node)?;
+        Ok(ChildRef {
             max_key,
             hash,
             count,
-        }
+        })
     }
 
     /// Recursive insert; returns the replacement children for the node at
     /// `hash` and whether a brand-new key was added.
-    fn insert_rec(&self, hash: &Hash, key: &[u8], value: &[u8]) -> (Vec<ChildRef>, bool) {
+    fn insert_rec(
+        &self,
+        hash: &Hash,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(Vec<ChildRef>, bool), StorageError> {
         let node = load_node(&self.store, hash).expect("pos-tree node missing from store");
         match node {
             Node::Leaf(mut entries) => {
@@ -302,16 +310,17 @@ impl PosTree {
                         inserted_new = true;
                     }
                 }
-                (self.persist_leaf_runs(entries), inserted_new)
+                Ok((self.persist_leaf_runs(entries)?, inserted_new))
             }
             Node::Internal(level, mut children) => {
                 let idx = match children.binary_search_by(|c| c.max_key.as_slice().cmp(key)) {
                     Ok(i) => i,
                     Err(i) => i.min(children.len() - 1),
                 };
-                let (replacements, inserted_new) = self.insert_rec(&children[idx].hash, key, value);
+                let (replacements, inserted_new) =
+                    self.insert_rec(&children[idx].hash, key, value)?;
                 children.splice(idx..idx + 1, replacements);
-                (self.persist_internal_runs(level, children), inserted_new)
+                Ok((self.persist_internal_runs(level, children)?, inserted_new))
             }
         }
     }
@@ -422,6 +431,51 @@ fn load_node(store: &Arc<dyn ChunkStore>, hash: &Hash) -> Option<Node> {
     Node::decode(chunk.data())
 }
 
+/// Client-side replay of [`PosTree::range_rec`] over the revealed proof
+/// nodes: descend every child whose span `(prev_max, max_key]` overlaps
+/// `[start, end)`, failing if a needed node was not revealed, and collect
+/// the in-range leaf entries in key order.
+fn collect_range(
+    nodes: &std::collections::HashMap<Hash, &[u8]>,
+    hash: &Hash,
+    start: &[u8],
+    end: &[u8],
+    min_key: Option<&[u8]>,
+    out: &mut Vec<(Vec<u8>, Vec<u8>)>,
+) -> bool {
+    let Some(payload) = nodes.get(hash) else {
+        return false;
+    };
+    let Some(node) = Node::decode(payload) else {
+        return false;
+    };
+    match node {
+        Node::Leaf(entries) => {
+            for (k, v) in entries {
+                if k.as_slice() >= start && k.as_slice() < end {
+                    out.push((k, v));
+                }
+            }
+            true
+        }
+        Node::Internal(_, children) => {
+            let mut prev_max: Option<Vec<u8>> = min_key.map(|k| k.to_vec());
+            for child in children {
+                let covers_start = child.max_key.as_slice() >= start;
+                let covers_end = prev_max.as_deref().map(|p| p < end).unwrap_or(true);
+                if covers_start
+                    && covers_end
+                    && !collect_range(nodes, &child.hash, start, end, prev_max.as_deref(), out)
+                {
+                    return false;
+                }
+                prev_max = Some(child.max_key);
+            }
+            true
+        }
+    }
+}
+
 impl SiriIndex for PosTree {
     fn kind(&self) -> SiriKind {
         SiriKind::PosTree
@@ -435,24 +489,25 @@ impl SiriIndex for PosTree {
         self.len
     }
 
-    fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) {
+    fn try_insert(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StorageError> {
         if self.root.is_zero() {
-            let refs = self.persist_leaf_runs(vec![(key, value)]);
-            self.root = self.collapse(refs, 1);
+            let refs = self.persist_leaf_runs(vec![(key, value)])?;
+            self.root = self.collapse(refs, 1)?;
             self.len = 1;
-            return;
+            return Ok(());
         }
-        let (refs, inserted_new) = self.insert_rec(&self.root.clone(), &key, &value);
+        let (refs, inserted_new) = self.insert_rec(&self.root.clone(), &key, &value)?;
         // Determine the level above the returned refs: reload one ref to see.
         let level_above = match load_node(&self.store, &refs[0].hash) {
             Some(Node::Leaf(_)) => 1,
             Some(Node::Internal(level, _)) => level + 1,
             None => 1,
         };
-        self.root = self.collapse(refs, level_above);
+        self.root = self.collapse(refs, level_above)?;
         if inserted_new {
             self.len += 1;
         }
+        Ok(())
     }
 
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
@@ -499,12 +554,12 @@ impl SiriIndex for PosTree {
 impl PosTree {
     /// Collapse a list of sibling references into a single root by stacking
     /// internal levels until one node remains.
-    fn collapse(&self, mut refs: Vec<ChildRef>, mut level: u8) -> Hash {
+    fn collapse(&self, mut refs: Vec<ChildRef>, mut level: u8) -> Result<Hash, StorageError> {
         while refs.len() > 1 {
-            refs = self.persist_internal_runs(level, refs);
+            refs = self.persist_internal_runs(level, refs)?;
             level += 1;
         }
-        refs.pop().map(|r| r.hash).unwrap_or(Hash::ZERO)
+        Ok(refs.pop().map(|r| r.hash).unwrap_or(Hash::ZERO))
     }
 }
 
@@ -686,17 +741,44 @@ mod tests {
             tree.insert(key(i), value(i));
         }
         let root = tree.root();
-        let (entries, proof) = tree.range_with_proof(&key(300), &key(340));
+        let (start, end) = (key(300), key(340));
+        let (entries, proof) = tree.range_with_proof(&start, &end);
         assert_eq!(entries.len(), 40);
-        assert!(PosTree::verify_range_proof(root, &entries, &proof));
+        assert!(PosTree::verify_range_proof(
+            root, &start, &end, &entries, &proof
+        ));
 
         // Tampering with a returned value breaks verification.
         let mut forged = entries.clone();
         forged[0].1 = b"forged".to_vec();
-        assert!(!PosTree::verify_range_proof(root, &forged, &proof));
+        assert!(!PosTree::verify_range_proof(
+            root, &start, &end, &forged, &proof
+        ));
+        // Omitting an entry breaks verification (completeness).
+        let mut truncated = entries.clone();
+        truncated.remove(17);
+        assert!(!PosTree::verify_range_proof(
+            root, &start, &end, &truncated, &proof
+        ));
+        // Smuggling an extra entry breaks verification.
+        let mut padded = entries.clone();
+        padded.push((key(500), value(500)));
+        assert!(!PosTree::verify_range_proof(
+            root, &start, &end, &padded, &proof
+        ));
         // Wrong root breaks verification.
         assert!(!PosTree::verify_range_proof(
             sha256(b"bad"),
+            &start,
+            &end,
+            &entries,
+            &proof
+        ));
+        // Narrowing the claimed bounds must not let a shorter result pass.
+        assert!(!PosTree::verify_range_proof(
+            root,
+            &key(301),
+            &end,
             &entries,
             &proof
         ));

@@ -15,6 +15,7 @@
 //! [`verify_proof`].
 
 use spitz_crypto::Hash;
+use spitz_storage::StorageError;
 
 use crate::mbt::MerkleBucketTree;
 use crate::mpt::MerklePatriciaTrie;
@@ -84,8 +85,20 @@ pub trait SiriIndex: Send + Sync {
         self.len() == 0
     }
 
-    /// Insert or overwrite a key/value pair.
-    fn insert(&mut self, key: Vec<u8>, value: Vec<u8>);
+    /// Insert or overwrite a key/value pair, surfacing storage failures
+    /// (disk full while persisting an index node) as a [`StorageError`].
+    /// On an error the index root is left unchanged; partially written
+    /// nodes are unreferenced content-addressed chunks, reclaimed by
+    /// segment GC like any other orphan.
+    fn try_insert(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<(), StorageError>;
+
+    /// Insert or overwrite a key/value pair. Panics on a storage failure;
+    /// fallible callers (the ledger's commit path) use
+    /// [`SiriIndex::try_insert`].
+    fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.try_insert(key, value)
+            .expect("persisting an index node failed; use try_insert to handle it")
+    }
 
     /// Point lookup.
     fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
@@ -124,21 +137,29 @@ pub fn verify_proof(
     }
 }
 
-/// Verify a range proof produced by an index of the given kind: every
-/// returned entry must be covered by the revealed nodes and the revealed
-/// nodes must chain to the trusted root.
+/// Verify a **complete** range proof produced by an index of the given
+/// kind: the claimed entries must be *exactly* the contiguous set of
+/// entries with `start <= key < end` under the trusted root — nothing
+/// forged (every entry chains to the root) and nothing omitted (the
+/// verifier re-walks the revealed nodes and fails if any subtree that
+/// could overlap the range was withheld). The boundary keys are part of
+/// the proof statement, so a server cannot silently narrow the range.
 pub fn verify_range_proof(
     kind: SiriKind,
     root: Hash,
+    start: &[u8],
+    end: &[u8],
     entries: &[(Vec<u8>, Vec<u8>)],
     proof: &IndexProof,
 ) -> bool {
     match kind {
-        SiriKind::PosTree => PosTree::verify_range_proof(root, entries, proof),
+        SiriKind::PosTree => PosTree::verify_range_proof(root, start, end, entries, proof),
         SiriKind::MerklePatriciaTrie => {
-            MerklePatriciaTrie::verify_range_proof(root, entries, proof)
+            MerklePatriciaTrie::verify_range_proof(root, start, end, entries, proof)
         }
-        SiriKind::MerkleBucketTree => MerkleBucketTree::verify_range_proof(root, entries, proof),
+        SiriKind::MerkleBucketTree => {
+            MerkleBucketTree::verify_range_proof(root, start, end, entries, proof)
+        }
     }
 }
 

@@ -64,6 +64,17 @@ impl Digest {
         out
     }
 
+    /// Number of sealed blocks this digest stands for (0 for the digest of
+    /// an empty ledger). The cross-shard digest sums these into its commit
+    /// epoch.
+    pub fn block_count(&self) -> u64 {
+        if self.block_hash == Hash::ZERO {
+            0
+        } else {
+            self.block_height + 1
+        }
+    }
+
     /// Inverse of [`Digest::encode`]. Returns `None` for a malformed or
     /// truncated encoding.
     pub fn decode(bytes: &[u8]) -> Option<Digest> {
@@ -107,9 +118,16 @@ pub type CommitGroup = (Vec<(Vec<u8>, Vec<u8>)>, String);
 
 /// Proof returned with a verified range read: a single combined index proof
 /// covering every returned entry (the "unified index" benefit of Section
-/// 6.2.2).
+/// 6.2.2). The proof carries the queried bounds, and verification is
+/// **complete**: the claimed entries must be exactly the ledger's contents
+/// in `start <= key < end` — a server can neither forge an entry nor
+/// silently omit one.
 #[derive(Debug, Clone)]
 pub struct LedgerRangeProof {
+    /// Inclusive lower bound of the proven range.
+    pub start: Vec<u8>,
+    /// Exclusive upper bound of the proven range.
+    pub end: Vec<u8>,
     /// Combined Merkle paths for all returned entries.
     pub index_proof: IndexProof,
     /// The digest the proof was generated against.
@@ -140,11 +158,15 @@ impl LedgerProof {
 }
 
 impl LedgerRangeProof {
-    /// Client-side verification of a verified range read.
+    /// Client-side verification of a verified range read: the entries must
+    /// be exactly the contiguous `start <= key < end` contents under the
+    /// proof's digest (completeness included).
     pub fn verify(&self, entries: &[(Vec<u8>, Vec<u8>)]) -> bool {
         verify_range_proof(
             self.digest.index_kind,
             self.digest.index_root,
+            &self.start,
+            &self.end,
             entries,
             &self.index_proof,
         )
@@ -357,7 +379,16 @@ impl Ledger {
                     value_hash: spitz_crypto::sha256(&value),
                     statement: statement.clone(),
                 });
-                inner.index.insert(key, value);
+                // Index-node puts route through `try_put`: disk full while
+                // persisting an index node is an error with a rollback, not
+                // a panic inside the committer.
+                if let Err(error) = inner.index.try_insert(key, value) {
+                    if let Some(previous) = inner.index.checkout(prev_index_root) {
+                        inner.index = previous;
+                    }
+                    inner.timestamp -= 1;
+                    return Err(error);
+                }
             }
         }
 
@@ -412,23 +443,33 @@ impl Ledger {
 
     /// The current database digest.
     pub fn digest(&self) -> Digest {
+        digest_of(&self.inner.read(), self.kind)
+    }
+
+    /// Pin the current state as a [`LedgerSnapshot`]: the digest, a
+    /// checked-out index instance at that digest's root and the journal
+    /// inclusion proof of the head block are all captured under one lock,
+    /// so repeated reads against the snapshot stay mutually consistent (and
+    /// verifiable against the pinned digest) while writers move the live
+    /// ledger forward.
+    pub fn snapshot(&self) -> Result<LedgerSnapshot, StorageError> {
         let inner = self.inner.read();
+        let digest = digest_of(&inner, self.kind);
         let height = inner.journal.len() as u64;
-        let (block_height, block_hash) = if height == 0 {
-            (0, Hash::ZERO)
+        let journal_proof = if height == 0 {
+            None
         } else {
-            (
-                height - 1,
-                inner.journal.block_hash(height - 1).expect("block exists"),
-            )
+            inner.journal.prove(height - 1)
         };
-        Digest {
-            block_height,
-            block_hash,
-            index_root: inner.index.root(),
-            journal_root: inner.journal.root(),
-            index_kind: self.kind,
-        }
+        let index = inner
+            .index
+            .checkout(digest.index_root)
+            .ok_or(StorageError::ChunkNotFound(digest.index_root))?;
+        Ok(LedgerSnapshot {
+            digest,
+            index,
+            journal_proof,
+        })
     }
 
     /// Unverified point read (the fast path when verification is disabled).
@@ -447,8 +488,10 @@ impl Ledger {
         } else {
             inner.journal.prove(height - 1)
         };
+        // The digest must come from the same lock scope as the proof, or a
+        // concurrent writer could move the root between the two.
+        let digest = digest_of(&inner, self.kind);
         drop(inner);
-        let digest = self.digest();
         (
             value,
             LedgerProof {
@@ -469,11 +512,13 @@ impl Ledger {
     pub fn range_with_proof(&self, start: &[u8], end: &[u8]) -> VerifiedRange {
         let inner = self.inner.read();
         let (entries, index_proof) = inner.index.range_with_proof(start, end);
+        let digest = digest_of(&inner, self.kind);
         drop(inner);
-        let digest = self.digest();
         (
             entries,
             LedgerRangeProof {
+                start: start.to_vec(),
+                end: end.to_vec(),
                 index_proof,
                 digest,
             },
@@ -509,6 +554,101 @@ impl Ledger {
             prev = block.hash();
         }
         None
+    }
+}
+
+/// The digest implied by a ledger's locked inner state.
+fn digest_of(inner: &LedgerInner, kind: SiriKind) -> Digest {
+    let height = inner.journal.len() as u64;
+    let (block_height, block_hash) = if height == 0 {
+        (0, Hash::ZERO)
+    } else {
+        (
+            height - 1,
+            inner.journal.block_hash(height - 1).expect("block exists"),
+        )
+    };
+    Digest {
+        block_height,
+        block_hash,
+        index_root: inner.index.root(),
+        journal_root: inner.journal.root(),
+        index_kind: kind,
+    }
+}
+
+/// A pinned, immutable view of a ledger at one digest: the unit of the
+/// snapshot read path. All reads are served from the checked-out index
+/// instance (node sharing makes the checkout cheap for the POS-Tree), and
+/// every proof is anchored at the pinned digest — "pin once, verify many".
+pub struct LedgerSnapshot {
+    digest: Digest,
+    index: Box<dyn SiriIndex>,
+    journal_proof: Option<JournalProof>,
+}
+
+impl LedgerSnapshot {
+    /// The digest this snapshot is pinned at.
+    pub fn digest(&self) -> Digest {
+        self.digest
+    }
+
+    /// Number of key/value entries visible in the snapshot.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Unverified point read against the pinned state.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.index.get(key)
+    }
+
+    /// Verified point read: the proof is anchored at the pinned digest, so
+    /// a client holding that digest verifies without further round trips.
+    pub fn get_with_proof(&self, key: &[u8]) -> (Option<Vec<u8>>, LedgerProof) {
+        let (value, index_proof) = self.index.get_with_proof(key);
+        (
+            value,
+            LedgerProof {
+                index_proof,
+                digest: self.digest,
+                journal_proof: self.journal_proof.clone(),
+            },
+        )
+    }
+
+    /// Unverified range read against the pinned state.
+    pub fn range(&self, start: &[u8], end: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.index.range(start, end)
+    }
+
+    /// Verified range read against the pinned state, with a complete range
+    /// proof anchored at the pinned digest.
+    pub fn range_with_proof(&self, start: &[u8], end: &[u8]) -> VerifiedRange {
+        let (entries, index_proof) = self.index.range_with_proof(start, end);
+        (
+            entries,
+            LedgerRangeProof {
+                start: start.to_vec(),
+                end: end.to_vec(),
+                index_proof,
+                digest: self.digest,
+            },
+        )
+    }
+}
+
+impl std::fmt::Debug for LedgerSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LedgerSnapshot")
+            .field("digest", &self.digest)
+            .field("len", &self.index.len())
+            .finish()
     }
 }
 
@@ -622,6 +762,45 @@ mod tests {
         assert_eq!(ledger.audit_chain(), None);
         assert_eq!(ledger.block(5).unwrap().header.height, 5);
         assert!(ledger.block(99).is_none());
+    }
+
+    #[test]
+    fn snapshot_pins_a_digest_while_the_ledger_moves_on() {
+        let ledger = ledger();
+        ledger.append_block((0..100).map(kv).collect(), "load");
+        let snapshot = ledger.snapshot().unwrap();
+        let pinned = snapshot.digest();
+        assert_eq!(pinned, ledger.digest());
+
+        // Writers move the live ledger; the snapshot stays put.
+        ledger.append_block(vec![kv(7)], "overwrite");
+        ledger.append_block(vec![kv(999)], "insert");
+        assert_ne!(ledger.digest(), pinned);
+        assert_eq!(snapshot.digest(), pinned);
+        assert_eq!(snapshot.len(), 100);
+        assert_eq!(snapshot.get(&kv(999).0), None);
+
+        // Reads against the snapshot verify against the pinned digest.
+        let (k, v) = kv(42);
+        let (value, proof) = snapshot.get_with_proof(&k);
+        assert_eq!(value, Some(v.clone()));
+        assert_eq!(proof.digest, pinned);
+        assert!(proof.verify(&k, Some(&v)));
+
+        let (start, _) = kv(10);
+        let (end, _) = kv(20);
+        let (entries, proof) = snapshot.range_with_proof(&start, &end);
+        assert_eq!(entries.len(), 10);
+        assert_eq!(proof.digest, pinned);
+        assert!(proof.verify(&entries));
+
+        // An empty ledger snapshots too.
+        let fresh = Ledger::new(InMemoryChunkStore::shared());
+        let empty = fresh.snapshot().unwrap();
+        assert!(empty.is_empty());
+        let (missing, proof) = empty.get_with_proof(b"x");
+        assert!(missing.is_none());
+        assert!(proof.verify(b"x", None));
     }
 
     #[test]

@@ -112,13 +112,17 @@ impl Ticket {
     }
 }
 
-/// One enqueued commit (or flush barrier) awaiting the committer.
+/// One enqueued commit (or flush/fence barrier) awaiting the committer. A
+/// barrier carries no writes and is not counted as a commit; it is
+/// fulfilled with the digest at the quiesced point after everything queued
+/// before it has been sealed.
 struct Pending {
     writes: Vec<(Vec<u8>, Vec<u8>)>,
     statement: String,
     ticket: Arc<Ticket>,
-    /// A barrier carries no writes and forces an fsync when it flushes.
-    barrier: bool,
+    /// Forces an fsync when this entry's batch flushes (flush barriers;
+    /// fence barriers quiesce without paying for durability).
+    sync: bool,
 }
 
 #[derive(Default)]
@@ -228,14 +232,29 @@ impl CommitPipeline {
         writes: Vec<(Vec<u8>, Vec<u8>)>,
         statement: &str,
     ) -> Result<Digest, StorageError> {
-        self.enqueue(writes, statement, false).wait()
+        self.enqueue(writes, statement, false, false).wait()
     }
 
     /// Drain every queued commit and force an `fsync`, regardless of
     /// policy. On return, everything committed before this call is on
     /// stable storage.
     pub fn flush(&self) -> Result<(), StorageError> {
-        self.enqueue(Vec::new(), "FLUSH", true).wait().map(|_| ())
+        self.enqueue(Vec::new(), "FLUSH", true, true)
+            .wait()
+            .map(|_| ())
+    }
+
+    /// Epoch fence: drain every commit queued before this call and return
+    /// the digest at that quiesced point. The returned digest is a *published
+    /// prefix* of the commit order — its `(index_root, journal_root,
+    /// block_height)` triple corresponds to exactly the blocks sealed so far,
+    /// with no commit half-applied. Unlike [`CommitPipeline::flush`], a fence
+    /// does not force an fsync: it buys a consistent cut, not durability.
+    ///
+    /// The sharded database fences every shard pipeline inside one epoch to
+    /// snapshot a consistent cross-shard cut.
+    pub fn fence(&self) -> Result<Digest, StorageError> {
+        self.enqueue(Vec::new(), "FENCE", true, false).wait()
     }
 
     fn enqueue(
@@ -243,6 +262,7 @@ impl CommitPipeline {
         writes: Vec<(Vec<u8>, Vec<u8>)>,
         statement: &str,
         barrier: bool,
+        sync: bool,
     ) -> FlushWait {
         let ticket = Ticket::new();
         let mut state = lock(&self.shared.state);
@@ -259,7 +279,7 @@ impl CommitPipeline {
                 writes,
                 statement: statement.to_string(),
                 ticket: Arc::clone(&ticket),
-                barrier,
+                sync,
             });
             self.shared.work.notify_one();
         }
@@ -395,17 +415,17 @@ fn committer_loop(ledger: Arc<Ledger>, shared: Arc<Shared>, policy: DurabilityPo
             })
             .collect();
         let commits = groups.len();
-        let has_barrier = batch.iter().any(|p| p.barrier);
+        let wants_sync = batch.iter().any(|p| p.sync);
         let result = if commits == 0 {
             Ok(ledger.digest())
         } else {
             shared.stats.flushes.fetch_add(1, Relaxed);
-            // Contain panics that escape the append (e.g. an index-node
-            // `put` hitting disk-full inside a SIRI insert, which does not
-            // go through `try_put` yet): a poisoned commit must surface as
-            // an error on every ticket, never as a dead committer thread
-            // that would leave all present and future callers parked
-            // forever.
+            // Contain panics that escape the append (index writes route
+            // through `try_put` now, but a corrupt node read or a bug in an
+            // index implementation can still unwind): a poisoned commit
+            // must surface as an error on every ticket, never as a dead
+            // committer thread that would leave all present and future
+            // callers parked forever.
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 ledger.try_append_groups(groups)
             }))
@@ -421,7 +441,7 @@ fn committer_loop(ledger: Arc<Ledger>, shared: Arc<Shared>, policy: DurabilityPo
 
         // Apply the durability policy before acknowledging.
         let result = result.and_then(|digest| {
-            let force = has_barrier || shutting_down;
+            let force = wants_sync || shutting_down;
             let need_sync = match policy {
                 DurabilityPolicy::Strict => commits > 0 || force,
                 DurabilityPolicy::Os => force,
@@ -558,6 +578,34 @@ mod tests {
             stats.syncs < stats.commits,
             "grouped syncs must be amortized: {stats:?}"
         );
+    }
+
+    #[test]
+    fn fence_returns_a_quiesced_digest_without_forcing_a_sync() {
+        let (ledger, pipeline) = pipeline(DurabilityPolicy::Os);
+        // Enqueue a burst of commits from several threads, then fence: the
+        // returned digest must be the exact digest of the drained ledger.
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let pipeline = &pipeline;
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        pipeline.commit(vec![kv(t * 25 + i)], "PUT").unwrap();
+                    }
+                });
+            }
+        });
+        let before = pipeline.stats().syncs;
+        let fenced = pipeline.fence().unwrap();
+        assert_eq!(fenced, ledger.digest(), "fence must quiesce the queue");
+        assert_eq!(ledger.len(), 100);
+        assert_eq!(
+            pipeline.stats().syncs,
+            before,
+            "a fence must not pay for an fsync"
+        );
+        // Fences are not commits.
+        assert_eq!(pipeline.stats().commits, 100);
     }
 
     #[test]

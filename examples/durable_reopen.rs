@@ -10,14 +10,14 @@
 //! proofs that still verify against the pre-restart pin, and storage
 //! statistics (including dedup counters) carried across.
 
-use spitz::{ClientVerifier, SpitzDb};
+use spitz::{SpitzDb, Verifier};
 
 fn main() {
     let dir = std::env::temp_dir().join(format!("spitz-durable-reopen-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
     // ---- Phase 1: a fresh database, some committed history ----------------
-    let mut client = ClientVerifier::new();
+    let mut client = Verifier::new();
     let digest_before = {
         let db = SpitzDb::open(&dir).expect("open fresh durable db");
         let accounts: Vec<_> = (0..100u32)

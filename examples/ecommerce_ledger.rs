@@ -7,7 +7,7 @@
 //! Run with: `cargo run --example ecommerce_ledger`
 
 use spitz::txn::{CcScheme, IsolationLevel, MvccStore, TimestampOracle, TransactionManager};
-use spitz::{ClientVerifier, ColumnType, Record, Schema, SpitzDb, Value};
+use spitz::{ColumnType, Record, Schema, SpitzDb, Value, Verifier};
 use std::sync::Arc;
 
 fn main() {
@@ -86,7 +86,7 @@ fn main() {
     // ------------------------------------------------------------------
     // The auditor verifies what the merchant reports.
     // ------------------------------------------------------------------
-    let mut auditor = ClientVerifier::new();
+    let mut auditor = Verifier::new();
     auditor.observe_digest(db.digest());
 
     // Verified range scan over a window of raw order cells.

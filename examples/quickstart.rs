@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use spitz::{ClientVerifier, SpitzDb};
+use spitz::{SpitzDb, Verifier};
 
 fn main() {
     // A Spitz instance with the paper's default configuration: POS-Tree
@@ -20,7 +20,7 @@ fn main() {
     .unwrap();
 
     // A verifying client pins the digest it trusts.
-    let mut client = ClientVerifier::new();
+    let mut client = Verifier::new();
     client.observe_digest(db.digest());
     println!(
         "pinned digest: block #{} index root {}",
@@ -60,6 +60,18 @@ fn main() {
     let forged_ok = client.verify_read(b"account/bob", Some(b"balance=999999"), &proof);
     println!("forged balance accepted? {forged_ok}");
     assert!(!forged_ok);
+
+    // Snapshot read path: pin once, then read repeatedly against that pin
+    // while writers move the live database forward.
+    let snapshot = db.snapshot().unwrap();
+    db.put(b"account/alice", b"balance=0").unwrap();
+    let (value, proof) = snapshot.get_verified(b"account/alice");
+    assert!(client.verify_read(b"account/alice", value.as_deref(), &proof));
+    println!(
+        "snapshot still proves alice = {:?} at block #{} (live db moved on)",
+        String::from_utf8_lossy(value.as_deref().unwrap()),
+        snapshot.digest().block_height,
+    );
 
     // The ledger's whole history can be audited.
     assert_eq!(db.ledger().audit_chain(), None);

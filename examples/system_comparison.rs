@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example system_comparison`
 
 use spitz::baseline::{ImmutableKvs, NonIntrusiveVdb, QldbBaseline};
-use spitz::{ClientVerifier, SpitzDb};
+use spitz::{SpitzDb, Verifier};
 use std::time::Instant;
 
 const RECORDS: usize = 20_000;
@@ -58,7 +58,7 @@ fn main() {
         kops(READS, t.elapsed())
     );
 
-    let mut client = ClientVerifier::new();
+    let mut client = Verifier::new();
     client.observe_digest(spitz.digest());
     let t = Instant::now();
     for k in &keys {

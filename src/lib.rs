@@ -13,17 +13,23 @@
 //!   ([`spitz_baseline`]).
 //!
 //! The most common entry points are re-exported at the top level:
-//! [`SpitzDb`], [`ClientVerifier`], [`Schema`], [`Record`] and [`Value`].
+//! [`SpitzDb`], [`Verifier`], [`Snapshot`], [`Schema`], [`Record`] and
+//! [`Value`].
 //!
 //! ```
-//! use spitz::{ClientVerifier, SpitzDb};
+//! use spitz::{SpitzDb, Verifier};
 //!
 //! let db = SpitzDb::in_memory();
 //! db.put(b"invoice/2026-001", b"amount=1250;status=paid").unwrap();
 //!
-//! let mut client = ClientVerifier::new();
+//! let mut client = Verifier::new();
 //! client.observe_digest(db.digest());
 //! let (value, proof) = db.get_verified(b"invoice/2026-001").unwrap();
+//! assert!(client.verify_read(b"invoice/2026-001", value.as_deref(), &proof));
+//!
+//! // Pin once, verify many: the snapshot read path.
+//! let snapshot = db.snapshot().unwrap();
+//! let (value, proof) = snapshot.get_verified(b"invoice/2026-001");
 //! assert!(client.verify_read(b"invoice/2026-001", value.as_deref(), &proof));
 //! ```
 
@@ -39,9 +45,11 @@ pub use spitz_storage as storage;
 pub use spitz_txn as txn;
 
 pub use spitz_core::db::{SpitzConfig, SpitzDb};
+pub use spitz_core::proof::{ShardedProof, ShardedRangeProof, Verifier};
 pub use spitz_core::schema::{ColumnType, Record, Schema, Value};
-pub use spitz_core::sharded::{ShardedConfig, ShardedDb, ShardedDigest, ShardedProof};
-pub use spitz_core::verify::ClientVerifier;
+pub use spitz_core::sharded::{ShardedConfig, ShardedDb, ShardedDigest};
+pub use spitz_core::snapshot::{ShardedSnapshot, Snapshot};
+pub use spitz_core::ClientVerifier;
 pub use spitz_crypto::Hash;
 pub use spitz_ledger::{CommitPipeline, Digest, DurabilityPolicy, Ledger};
 pub use spitz_storage::{ChunkStore, DurableChunkStore, DurableConfig};

@@ -256,6 +256,82 @@ proptest! {
         prop_assert_eq!(total, model.len());
     }
 
+    /// The sharded snapshot's verified range read equals the HashMap model
+    /// exactly (completeness both ways), every returned entry's proof
+    /// chains to the single pinned root, and a mutated per-shard response —
+    /// a forged value, an omitted entry, a smuggled entry — is rejected by
+    /// the merge verification.
+    #[test]
+    fn sharded_range_verified_matches_model_and_rejects_tampering(
+        entries in proptest::collection::btree_map(
+            "[a-m]{1,5}",
+            proptest::collection::vec(any::<u8>(), 1..12),
+            1..60,
+        ),
+        bounds in ("[a-m]{1,3}", "[a-m]{1,3}"),
+        shard_count in 1usize..5,
+    ) {
+        let db = ShardedDb::in_memory(shard_count);
+        let mut model: std::collections::HashMap<Vec<u8>, Vec<u8>> =
+            std::collections::HashMap::new();
+        let writes: Vec<(Vec<u8>, Vec<u8>)> = entries
+            .iter()
+            .map(|(k, v)| (k.as_bytes().to_vec(), v.clone()))
+            .collect();
+        for (k, v) in &writes {
+            model.insert(k.clone(), v.clone());
+        }
+        db.put_batch(writes).unwrap();
+
+        let (lo, hi) = (bounds.0.as_bytes(), bounds.1.as_bytes());
+        let (start, end) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+
+        let snapshot = db.snapshot().unwrap();
+        let (got, proof) = snapshot.range_verified(start, end).unwrap();
+
+        // Exactly the model's contents in [start, end), in key order.
+        let mut expected: Vec<(Vec<u8>, Vec<u8>)> = model
+            .iter()
+            .filter(|(k, _)| k.as_slice() >= start && k.as_slice() < end)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        expected.sort_by(|a, b| a.0.cmp(&b.0));
+        prop_assert_eq!(&got, &expected);
+
+        // The merged proof verifies against the pinned root, and so does
+        // every entry individually through the point-read path.
+        prop_assert!(proof.verify(&got));
+        prop_assert_eq!(proof.root, snapshot.root());
+        let mut client = spitz::Verifier::new();
+        prop_assert!(client.observe_sharded(snapshot.digest()));
+        prop_assert!(client.verify_sharded_range(&got, &proof));
+        for (k, v) in got.iter().take(6) {
+            let (value, point_proof) = snapshot.get_verified(k);
+            prop_assert_eq!(value.as_ref(), Some(v));
+            prop_assert!(client.verify_sharded_read(k, value.as_deref(), &point_proof));
+        }
+
+        // Tampering with one shard's range response is rejected.
+        if !got.is_empty() {
+            let mut forged = got.clone();
+            forged[0].1.push(0xFF);
+            prop_assert!(!proof.verify(&forged));
+
+            let mut truncated = got.clone();
+            truncated.remove(truncated.len() / 2);
+            prop_assert!(!proof.verify(&truncated));
+
+            let mut smuggled = got.clone();
+            let mut alien = start.to_vec();
+            alien.push(b'z');
+            if start < end && !model.contains_key(&alien) {
+                smuggled.push((alien, b"alien".to_vec()));
+                smuggled.sort_by(|a, b| a.0.cmp(&b.0));
+                prop_assert!(!proof.verify(&smuggled));
+            }
+        }
+    }
+
     /// The content-defined chunker is deterministic and lossless: the split
     /// chunks reassemble to the original input, and splitting again yields
     /// identical cut points.

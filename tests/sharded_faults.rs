@@ -5,12 +5,13 @@
 
 use std::sync::Arc;
 
-use spitz::core::sharded::ShardedDb;
+use spitz::core::sharded::{ShardedConfig, ShardedDb};
 use spitz::core::SpitzConfig;
 use spitz::storage::{ChunkStore, InMemoryChunkStore};
 
 mod common;
 use common::failpoint::{FailMode, FailpointStore};
+use common::TempDir;
 
 fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
     (
@@ -163,6 +164,92 @@ fn disk_full_after_k_operations_still_aborts_atomically() {
                 assert_eq!(db.recover(), 0, "fail-after-{k}");
             }
         }
+    }
+}
+
+/// Kill-and-reopen: a coordinator crash between prepare and commit leaves
+/// durably staged batches behind. A *restarted process* must find them via
+/// the staged logs and resolve them by presumed abort — in-process state is
+/// gone, so this exercises the durable scan, not the participant maps.
+#[test]
+fn staged_batches_survive_a_kill_and_reopen_and_recover_to_abort() {
+    let dir = TempDir::new("sharded-2pc-kill");
+    let config = ShardedConfig::default().with_shards(3);
+    let writes: Vec<_> = (100..124).map(kv).collect();
+
+    {
+        let db = ShardedDb::open(dir.path(), config).unwrap();
+        db.put_batch((0..30).map(kv).collect()).unwrap();
+        let prepared = db.prepare_batch(writes.clone()).unwrap();
+        assert!(prepared.involved_shards().len() > 1);
+        db.flush().unwrap();
+        // The coordinator "crashes": the process exits with the batch
+        // prepared but undecided. (Dropping the handle without commit or
+        // abort, then dropping the whole database.)
+        drop(prepared);
+    }
+
+    let db = ShardedDb::open(dir.path(), config).unwrap();
+    let base = db.digest();
+    // In-doubt state is invisible but present on disk; recovery resolves
+    // it by presumed abort even though no in-process participant knows it.
+    for (k, _) in &writes {
+        assert_eq!(db.get(k).unwrap(), None);
+    }
+    assert!(db.recover() >= 1, "the staged batch must be found on disk");
+    assert_eq!(db.recover(), 0, "recovery is idempotent");
+    assert_eq!(db.digest(), base, "presumed abort must not move a ledger");
+    for (k, _) in &writes {
+        assert_eq!(db.get(k).unwrap(), None);
+    }
+    // The same batch commits cleanly afterwards.
+    db.put_batch(writes.clone()).unwrap();
+    for (k, v) in &writes {
+        assert_eq!(db.get(k).unwrap(), Some(v.clone()));
+    }
+}
+
+/// Kill-and-reopen after the commit *decision*: a batch whose commit was
+/// decided (durable decision record) but whose apply failed on one shard
+/// must be **redone** — not aborted — by a restarted process, preserving
+/// all-or-nothing across the crash.
+#[test]
+fn decided_batches_survive_a_kill_and_reopen_and_recover_to_commit() {
+    let failpoints: Vec<Arc<FailpointStore>> = (0..3)
+        .map(|_| FailpointStore::new(InMemoryChunkStore::shared() as Arc<dyn ChunkStore>))
+        .collect();
+    let stores: Vec<Arc<dyn ChunkStore>> = failpoints
+        .iter()
+        .map(|fp| Arc::clone(fp) as Arc<dyn ChunkStore>)
+        .collect();
+
+    let writes;
+    {
+        let db = ShardedDb::with_stores(stores.clone(), SpitzConfig::default()).unwrap();
+        db.put_batch((0..30).map(kv).collect()).unwrap();
+        writes = batch_hitting(&db, 200, 24, 1);
+
+        // Prepare everywhere (staging succeeds), then make shard 1's store
+        // refuse writes: the commit decision lands durably, but shard 1's
+        // apply fails, and the process dies before any retry.
+        let prepared = db.prepare_batch(writes.clone()).unwrap();
+        failpoints[1].arm(0, FailMode::Error);
+        assert!(db.commit_prepared(prepared).is_err());
+        failpoints[1].disarm();
+        // Process death: drop the database; the wrapped stores survive as
+        // the "disk".
+    }
+
+    let db = ShardedDb::with_stores(stores, SpitzConfig::default()).unwrap();
+    // The decision was made, so a restarted recovery must redo shard 1's
+    // part from its staged chunk — every write becomes visible.
+    assert!(db.recover() >= 1, "the decided batch must be redone");
+    for (k, v) in &writes {
+        assert_eq!(db.get(k).unwrap(), Some(v.clone()), "redo must complete");
+    }
+    assert_eq!(db.recover(), 0, "recovery is idempotent");
+    for s in 0..3 {
+        assert_eq!(db.shard(s).ledger().audit_chain(), None);
     }
 }
 

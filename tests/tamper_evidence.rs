@@ -186,3 +186,51 @@ fn every_record_byte_is_covered_by_the_records_root() {
         assert!(!stmt_tamper.verify_records(), "statement byte {i}");
     }
 }
+
+/// Mutating one shard's contribution to a verified cross-shard range —
+/// its entries, its claimed bounds, its digest leaf, or the whole part —
+/// must be rejected by the merge verification against the pinned root.
+#[test]
+fn mutated_shard_range_response_is_rejected_by_the_merge() {
+    let db = spitz::ShardedDb::in_memory(3);
+    let writes: Vec<_> = (0..60)
+        .map(|i| {
+            (
+                format!("acct/{i:03}").into_bytes(),
+                format!("balance={i}").into_bytes(),
+            )
+        })
+        .collect();
+    db.put_batch(writes).unwrap();
+
+    let snapshot = db.snapshot().unwrap();
+    let (entries, proof) = snapshot.range_verified(b"acct/010", b"acct/040").unwrap();
+    assert_eq!(entries.len(), 30);
+    assert!(proof.verify(&entries));
+
+    // A forged value in the merged result.
+    let mut forged = entries.clone();
+    forged[5].1 = b"balance=999999".to_vec();
+    assert!(!proof.verify(&forged));
+
+    // One shard's digest leaf swapped for another epoch's digest: the
+    // recomputed cross-shard root no longer matches the pinned root.
+    let moved = db.route(b"acct/010");
+    db.put(b"acct/010", b"moved-on").unwrap();
+    let newer = db.snapshot().unwrap();
+    let (_, newer_proof) = newer.range_verified(b"acct/010", b"acct/040").unwrap();
+    let mut leaf_swapped = proof.clone();
+    leaf_swapped.shards[moved] = newer_proof.shards[moved].clone();
+    assert!(!leaf_swapped.verify(&entries));
+
+    // A withheld shard part (server drops one shard's contribution).
+    let mut withheld = proof.clone();
+    withheld.shards.pop();
+    assert!(!withheld.verify(&entries));
+
+    // Narrowed bounds on one shard (hiding that shard's tail entries).
+    let (_, narrow) = snapshot.range_verified(b"acct/010", b"acct/020").unwrap();
+    let mut narrowed = proof.clone();
+    narrowed.shards[1] = narrow.shards[1].clone();
+    assert!(!narrowed.verify(&entries));
+}
