@@ -153,14 +153,24 @@ impl<S: ChunkStore> CellStore<S> {
     }
 
     /// Persist a cell. Returns the chunk address of the stored cell.
+    /// Panics on a storage failure; the write path uses
+    /// [`CellStore::try_put`].
     ///
     /// Layout: `encoded key || value || value_len (u32)`. The trailing length
     /// lets the decoder recover the variable-length key without a prefix.
     pub fn put(&self, cell: &Cell) -> Hash {
+        self.try_put(cell)
+            .expect("persisting a cell chunk failed; use try_put to handle it")
+    }
+
+    /// Fallible variant of [`CellStore::put`]: a storage failure (disk full
+    /// while appending the cell chunk) surfaces as an error instead of a
+    /// panic.
+    pub fn try_put(&self, cell: &Cell) -> Result<Hash> {
         let mut payload = cell.key.encode();
         payload.extend_from_slice(&cell.value);
         payload.extend_from_slice(&(cell.value.len() as u32).to_be_bytes());
-        self.store.put(Chunk::new(ChunkKind::Cell, payload))
+        Ok(self.store.try_put(Chunk::new(ChunkKind::Cell, payload))?)
     }
 
     /// Load a cell by its chunk address.

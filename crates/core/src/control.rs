@@ -133,9 +133,15 @@ impl Auditor {
 
     /// Record a committed batch of writes in the ledger; returns the new
     /// digest (the "proof" handed back to the processor in the paper's write
-    /// path).
-    pub fn record_writes(&self, writes: Vec<(Vec<u8>, Vec<u8>)>, statement: &str) -> Digest {
-        self.ledger.append_block(writes, statement)
+    /// path). A storage failure while sealing the block (disk full in a
+    /// durable store) surfaces as an error — the ledger has already rolled
+    /// its index back, so the failed writes are not readable.
+    pub fn record_writes(
+        &self,
+        writes: Vec<(Vec<u8>, Vec<u8>)>,
+        statement: &str,
+    ) -> Result<Digest> {
+        Ok(self.ledger.try_append_block(writes, statement)?)
     }
 
     /// Fetch the proof for a key (read path step 3).
@@ -282,15 +288,17 @@ impl ProcessorNode {
         }
         let commit_ts = self.manager.commit(&mut txn)?;
 
-        // Persist one cell per write in the virtual cell store.
+        // Persist one cell per write in the virtual cell store. A failed
+        // cell put aborts the commit before the ledger moves: the MVCC
+        // versions written above are orphans a retry overwrites.
         for (key, value) in &writes {
             let cell = Cell::new(0, key.clone(), commit_ts, value.clone());
-            self.cells.put(&cell);
+            self.cells.try_put(&cell)?;
         }
 
         let digest = match &self.pipeline {
             Some(pipeline) => pipeline.commit(writes, statement).map_err(DbError::from)?,
-            None => self.auditor.record_writes(writes, statement),
+            None => self.auditor.record_writes(writes, statement)?,
         };
         let _ = self.oracle.allocate();
         Ok(Response::Committed(digest))

@@ -5,16 +5,19 @@
 //! path). It exposes the operations the paper's evaluation measures:
 //! point/range reads and writes, each with and without verification.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use spitz_crypto::Hash;
 use spitz_index::inverted::{IndexValue, InvertedIndex};
 use spitz_index::BPlusTree;
 use spitz_ledger::{CommitPipeline, Digest, DurabilityPolicy, Ledger, LedgerProof, VerifiedRange};
 use spitz_storage::{
-    Chunk, ChunkKind, ChunkStore, DurableChunkStore, DurableConfig, InMemoryChunkStore, StoreStats,
+    Chunk, ChunkKind, ChunkStore, CompactionReport, DurableChunkStore, DurableConfig,
+    InMemoryChunkStore, StorageError, StoreStats,
 };
 use spitz_txn::CcScheme;
 
@@ -30,6 +33,35 @@ use crate::Result;
 /// reopened database still knows its tables.
 pub const CATALOG_ROOT: &str = "spitz/catalog";
 
+/// When the storage engine should compact itself.
+///
+/// Compaction is a mark-sweep pass over a durable instance's segment files:
+/// chunks unreachable from the database's named roots (superseded index
+/// nodes, orphaned cells, rolled-back writes) are dropped by rewriting the
+/// live survivors into fresh segments. The pass costs a full reachability
+/// walk, so the trigger is deliberately coarse: never before
+/// `min_disk_bytes` are on disk, and only while the measured
+/// space amplification (disk bytes ÷ live bytes) exceeds `max_space_amp`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionTrigger {
+    /// Do not compact while the store's segment files hold fewer total
+    /// bytes than this — small stores are not worth a mark pass.
+    pub min_disk_bytes: u64,
+    /// Compact when `disk_bytes / live_bytes` exceeds this ratio (2.0 =
+    /// "at most half the disk is garbage"). Before the first mark pass the
+    /// live size is unknown and the size floor alone decides.
+    pub max_space_amp: f64,
+}
+
+impl Default for CompactionTrigger {
+    fn default() -> Self {
+        CompactionTrigger {
+            min_disk_bytes: 64 << 20,
+            max_space_amp: 2.0,
+        }
+    }
+}
+
 /// Configuration for a Spitz instance.
 #[derive(Debug, Clone, Copy)]
 pub struct SpitzConfig {
@@ -42,6 +74,10 @@ pub struct SpitzConfig {
     /// Purely in-memory instances ([`SpitzDb::in_memory`] /
     /// [`SpitzDb::with_config`]) commit inline and ignore this field.
     pub durability: DurabilityPolicy,
+    /// Automatic segment-compaction trigger, checked inline on the write
+    /// paths of durable instances. `None` (the default) disables automatic
+    /// compaction; [`SpitzDb::compact`] always works explicitly.
+    pub compaction: Option<CompactionTrigger>,
 }
 
 impl Default for SpitzConfig {
@@ -50,6 +86,7 @@ impl Default for SpitzConfig {
             siri: spitz_index::SiriKind::PosTree,
             cc_scheme: CcScheme::Occ,
             durability: DurabilityPolicy::Strict,
+            compaction: None,
         }
     }
 }
@@ -58,6 +95,12 @@ impl SpitzConfig {
     /// This configuration with a different durability policy.
     pub fn with_durability(mut self, durability: DurabilityPolicy) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// This configuration with automatic compaction governed by `trigger`.
+    pub fn with_compaction(mut self, trigger: CompactionTrigger) -> Self {
+        self.compaction = Some(trigger);
         self
     }
 }
@@ -173,6 +216,17 @@ pub struct SpitzDb {
     /// Present on durable instances: the group-commit pipeline writes are
     /// routed through. Shut down (drained + synced) when the db drops.
     pipeline: Option<Arc<CommitPipeline>>,
+    /// Present on instances opened over a [`DurableChunkStore`]: the
+    /// concrete handle the compaction entry points need (the trait object
+    /// in `store` cannot run a mark-sweep pass).
+    durable: Option<Arc<DurableChunkStore>>,
+    /// Automatic-compaction trigger, `None` when disabled.
+    compaction: Option<CompactionTrigger>,
+    /// Disk-byte watermark below which [`SpitzDb::maybe_compact`] skips
+    /// even the stats check. Re-armed after every compaction (and after a
+    /// pass is judged unnecessary) so a hot write path does not re-evaluate
+    /// the trigger on every commit.
+    compact_floor: AtomicU64,
 }
 
 impl SpitzDb {
@@ -225,9 +279,13 @@ impl SpitzDb {
         config: SpitzConfig,
         durable: DurableConfig,
     ) -> Result<Self> {
-        let store: Arc<dyn ChunkStore> =
-            Arc::new(DurableChunkStore::open_with_config(path, durable)?);
-        Self::with_store(store, config)
+        let concrete = Arc::new(DurableChunkStore::open_with_config(path, durable)?);
+        let store: Arc<dyn ChunkStore> = Arc::clone(&concrete) as Arc<dyn ChunkStore>;
+        let mut db = Self::with_store(store, config)?;
+        // Keep the concrete handle: compaction needs the segment-level API
+        // the `ChunkStore` trait object does not expose.
+        db.durable = Some(concrete);
+        Ok(db)
     }
 
     /// Build an instance over any chunk store, recovering a persisted
@@ -261,6 +319,9 @@ impl SpitzDb {
             node,
             tables: RwLock::new(HashMap::new()),
             pipeline,
+            durable: None,
+            compaction: config.compaction,
+            compact_floor: AtomicU64::new(0),
         }
     }
 
@@ -299,6 +360,105 @@ impl SpitzDb {
         self.store.stats()
     }
 
+    /// The concrete durable store, when this instance was opened over one
+    /// (compaction diagnostics, fault-injection tests).
+    pub fn durable_store(&self) -> Option<&Arc<DurableChunkStore>> {
+        self.durable.as_ref()
+    }
+
+    /// The GC mark phase: every chunk address this database can still
+    /// reach. The set spans the ledger (block chain, head index version,
+    /// index roots pinned by live snapshots — see `Ledger::collect_live`),
+    /// the target chunk of every named root (catalog, shard membership,
+    /// cross-shard head, 2PC logs), and the staged-writes chunks referenced
+    /// by the 2PC staged/decision logs. Everything else in the store is
+    /// reclaimable garbage.
+    ///
+    /// Only meaningful on durable instances; returns an error when called
+    /// on an in-memory one.
+    pub fn collect_live(&self) -> std::result::Result<HashSet<Hash>, StorageError> {
+        let durable = self
+            .durable
+            .as_ref()
+            .ok_or_else(|| StorageError::KeyNotFound("no durable store to mark".into()))?;
+        let mut live = HashSet::new();
+        self.ledger.collect_live(&mut live)?;
+        for (name, address) in durable.roots() {
+            live.insert(address);
+            crate::staged::collect_staged_references(&self.store, &name, address, &mut live)?;
+        }
+        Ok(live)
+    }
+
+    /// Compact the durable store: mark everything reachable (see
+    /// [`SpitzDb::collect_live`]), rewrite the live chunks out of sealed
+    /// segments into fresh ones, and delete the old segment files.
+    ///
+    /// Readers are never blocked — concurrent verified reads, pinned
+    /// snapshots and writers keep working throughout, and the digest is
+    /// unchanged by construction (compaction moves chunks, it never alters
+    /// them). Returns `Ok(None)` on in-memory instances and when the store
+    /// has nothing to compact; errors leave the store exactly as it was.
+    pub fn compact(&self) -> Result<Option<CompactionReport>> {
+        let Some(durable) = self.durable.as_ref() else {
+            return Ok(None);
+        };
+        let result = durable.compact_with(|| self.collect_live());
+        // Re-arm the automatic trigger above the post-pass footprint (also
+        // on error, so a failed pass cannot wedge the write path into
+        // retrying the mark on every commit).
+        let pad = self
+            .compaction
+            .map(|t| t.min_disk_bytes / 2)
+            .unwrap_or_default();
+        self.compact_floor.store(
+            durable.stats().disk_bytes.saturating_add(pad),
+            Ordering::Relaxed,
+        );
+        Ok(result?)
+    }
+
+    /// Inline automatic-compaction check, called on the write paths. Cheap
+    /// unless the disk footprint crossed the re-armed watermark; compaction
+    /// failures here are swallowed (the next explicit [`SpitzDb::compact`]
+    /// surfaces them) so a GC hiccup never fails a commit.
+    fn maybe_compact(&self) {
+        let Some(trigger) = self.compaction else {
+            return;
+        };
+        let Some(durable) = self.durable.as_ref() else {
+            return;
+        };
+        let stored = self.compact_floor.load(Ordering::Relaxed);
+        if stored == u64::MAX {
+            // A pass claimed the trigger and is still running.
+            return;
+        }
+        let stats = durable.stats();
+        if stats.disk_bytes < stored.max(trigger.min_disk_bytes) {
+            return;
+        }
+        if stats.live_bytes != 0 && stats.space_amplification() < trigger.max_space_amp {
+            // Mostly-live growth: push the next check out instead of
+            // re-reading stats on every subsequent commit.
+            self.compact_floor.store(
+                stats.disk_bytes.saturating_add(trigger.min_disk_bytes / 2),
+                Ordering::Relaxed,
+            );
+            return;
+        }
+        // Claim the trigger before the (long) pass so concurrent writers
+        // do not pile up behind the compaction lock; `compact` re-arms.
+        if self
+            .compact_floor
+            .compare_exchange(stored, u64::MAX, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let _ = self.compact();
+    }
+
     /// The current database digest (what clients pin).
     pub fn digest(&self) -> Digest {
         self.ledger.digest()
@@ -326,7 +486,10 @@ impl SpitzDb {
             key: key.to_vec(),
             value: value.to_vec(),
         })? {
-            Response::Committed(digest) => Ok(digest),
+            Response::Committed(digest) => {
+                self.maybe_compact();
+                Ok(digest)
+            }
             _ => Err(DbError::BadRequest("unexpected response".into())),
         }
     }
@@ -334,7 +497,10 @@ impl SpitzDb {
     /// Write a batch atomically as one ledger block.
     pub fn put_batch(&self, writes: Vec<(Vec<u8>, Vec<u8>)>) -> Result<Digest> {
         match self.node.handle(Request::PutBatch { writes })? {
-            Response::Committed(digest) => Ok(digest),
+            Response::Committed(digest) => {
+                self.maybe_compact();
+                Ok(digest)
+            }
             _ => Err(DbError::BadRequest("unexpected response".into())),
         }
     }

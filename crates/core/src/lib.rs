@@ -60,7 +60,7 @@ pub mod staged;
 
 pub use cell::{Cell, CellStore, UniversalKey};
 pub use control::{Auditor, ProcessorNode, Request, RequestHandler, Response};
-pub use db::{SpitzConfig, SpitzDb, CATALOG_ROOT};
+pub use db::{CompactionTrigger, SpitzConfig, SpitzDb, CATALOG_ROOT};
 pub use error::DbError;
 pub use proof::{ShardedProof, ShardedRangeProof, Verifier};
 pub use schema::{ColumnType, Record, Schema, Value};

@@ -50,7 +50,7 @@ use std::sync::Arc;
 use spitz_crypto::merkle::{AuditProof, MerkleTree};
 use spitz_crypto::Hash;
 use spitz_ledger::{CommitPipeline, Digest, Ledger};
-use spitz_storage::{Chunk, ChunkKind, ChunkStore};
+use spitz_storage::{Chunk, ChunkKind, ChunkStore, CompactionReport, DurableConfig};
 use spitz_txn::TwoPhaseCoordinator;
 use spitz_txn::{CcScheme, Participant, PreparedApply, PreparedGlobal, TimestampOracle};
 
@@ -84,8 +84,13 @@ pub fn shard_for(key: &[u8], shards: usize) -> usize {
 pub struct ShardedConfig {
     /// Number of shards (independent ledgers). Must be at least 1.
     pub shards: usize,
-    /// Per-shard Spitz configuration (SIRI kind, CC scheme, durability).
+    /// Per-shard Spitz configuration (SIRI kind, CC scheme, durability,
+    /// compaction trigger).
     pub spitz: SpitzConfig,
+    /// Per-shard storage tuning (segment size, cache budget, fsync
+    /// policy). Only [`ShardedDb::open`] uses it; in-memory and
+    /// caller-provided-store instances ignore it.
+    pub durable: DurableConfig,
 }
 
 impl Default for ShardedConfig {
@@ -93,6 +98,7 @@ impl Default for ShardedConfig {
         ShardedConfig {
             shards: 4,
             spitz: SpitzConfig::default(),
+            durable: DurableConfig::default(),
         }
     }
 }
@@ -107,6 +113,12 @@ impl ShardedConfig {
     /// This configuration with a different per-shard Spitz configuration.
     pub fn with_spitz(mut self, spitz: SpitzConfig) -> Self {
         self.spitz = spitz;
+        self
+    }
+
+    /// This configuration with different per-shard storage tuning.
+    pub fn with_durable(mut self, durable: DurableConfig) -> Self {
+        self.durable = durable;
         self
     }
 }
@@ -395,11 +407,24 @@ impl ShardedDb {
         let mut dbs = Vec::with_capacity(config.shards);
         for i in 0..config.shards {
             let dir = path.join(format!("shard-{i:03}"));
-            let db = Arc::new(SpitzDb::open_with_config(&dir, config.spitz)?);
+            let db = Arc::new(SpitzDb::open_with_configs(
+                &dir,
+                config.spitz,
+                config.durable,
+            )?);
             ensure_member(db.store(), i, config.shards, config.spitz)?;
             dbs.push(db);
         }
-        Ok(Self::assemble(dbs))
+        let db = Self::assemble(dbs);
+        // Batches whose commit was durably decided before the previous
+        // process died are redone eagerly — their effects were promised, so
+        // a reopened database must show them without waiting for an
+        // explicit `recover()` call. Undecided staged entries are left for
+        // `recover()`: only the caller knows no coordinator still intends
+        // to decide them.
+        db.resolve_staged(false);
+        db.clear_settled_decisions();
+        Ok(db)
     }
 
     /// Build a sharded instance over caller-provided chunk stores, one per
@@ -430,6 +455,24 @@ impl ShardedDb {
             .iter()
             .map(|db| Arc::new(StagedLog::staged(Arc::clone(db.store()))))
             .collect();
+        let decisions = StagedLog::decisions(Arc::clone(dbs[0].store()));
+        // A fresh oracle would recycle global transaction ids issued by a
+        // previous process incarnation. A recycled id colliding with a
+        // stale staged-log entry makes the log point at the wrong staged
+        // chunk, so a later redo would seal the *old* batch's writes.
+        // Advance past every id the durable 2PC logs still record.
+        let mut max_stale = 0u64;
+        for log in &staged_logs {
+            for entry in log.entries().unwrap_or_default() {
+                max_stale = max_stale.max(entry.global_txn_id);
+            }
+        }
+        for entry in decisions.entries().unwrap_or_default() {
+            max_stale = max_stale.max(entry.global_txn_id);
+        }
+        if max_stale > 0 {
+            oracle.advance_past(max_stale);
+        }
         let participants: Vec<Arc<Participant>> = dbs
             .iter()
             .enumerate()
@@ -450,7 +493,6 @@ impl ShardedDb {
             })
             .collect();
         let coordinator = TwoPhaseCoordinator::new(participants, oracle);
-        let decisions = StagedLog::decisions(Arc::clone(dbs[0].store()));
         let db = ShardedDb {
             shards: dbs,
             coordinator,
@@ -584,10 +626,20 @@ impl ShardedDb {
         // could otherwise presume-abort staged entries of a batch whose
         // decision is about to land, losing the redo information.
         let _epoch = self.fence.write();
-        let mut resolved = self.coordinator.recover();
+        let resolved = self.coordinator.recover() + self.resolve_staged(true);
+        self.clear_settled_decisions();
+        resolved
+    }
 
-        // Scan the durable staged logs for batches no live participant
-        // knows about (staged by a previous incarnation of this process).
+    /// Scan the durable staged logs for batches no live participant knows
+    /// about (staged by a previous incarnation of this process) and resolve
+    /// them: redo into the shard's ledger when a durable commit decision
+    /// exists, otherwise — only when `presume_abort` is set — drop the
+    /// entry. With `presume_abort` false (the eager pass at open),
+    /// undecided entries are left untouched for an explicit
+    /// [`ShardedDb::recover`]. Returns the number of batches resolved.
+    fn resolve_staged(&self, presume_abort: bool) -> usize {
+        let mut resolved = 0;
         let mut in_doubt: std::collections::BTreeMap<u64, Vec<(usize, StagedEntry)>> =
             std::collections::BTreeMap::new();
         for (shard, log) in self.staged_logs.iter().enumerate() {
@@ -600,6 +652,9 @@ impl ShardedDb {
         }
         for (global_txn_id, parts) in in_doubt {
             let decided = self.decisions.contains(global_txn_id).unwrap_or(false);
+            if !decided && !presume_abort {
+                continue;
+            }
             for (shard, entry) in parts {
                 if decided {
                     // Redo: decode the staged chunk and seal it into the
@@ -635,9 +690,15 @@ impl ShardedDb {
             }
             resolved += 1;
         }
+        resolved
+    }
 
-        // Clear decision records whose batches have fully applied (e.g. a
-        // crash between the last apply and the decision cleanup).
+    /// Clear decision records whose batches have fully applied (e.g. a
+    /// crash between the last apply and the decision cleanup). Without
+    /// this, settled entries pin their decision chunks forever — the
+    /// decision log must shrink back once its entries stop protecting
+    /// anything.
+    fn clear_settled_decisions(&self) {
         for entry in self.decisions.entries().unwrap_or_default() {
             if self.all_staged_cleared(entry.global_txn_id)
                 && !self
@@ -649,7 +710,6 @@ impl ShardedDb {
                 let _ = self.decisions.remove(entry.global_txn_id);
             }
         }
-        resolved
     }
 
     /// True when no shard's staged log still records `global_txn_id`.
@@ -800,6 +860,16 @@ impl ShardedDb {
             .ok_or(DbError::Storage(format!(
                 "corrupt cross-shard digest chunk {address}"
             )))
+    }
+
+    /// Compact every durable shard's store (see [`SpitzDb::compact`]):
+    /// per-shard mark-sweep over that shard's roots, staged logs included,
+    /// so in-doubt 2PC batches survive. Shards compact independently —
+    /// readers and writers on other shards are never blocked. Returns the
+    /// per-shard reports in shard order (`None` for in-memory shards and
+    /// shards with nothing to compact).
+    pub fn compact(&self) -> Result<Vec<Option<CompactionReport>>> {
+        self.shards.iter().map(|db| db.compact()).collect()
     }
 
     /// Drain every shard's commit pipeline, force everything onto stable

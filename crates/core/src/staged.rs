@@ -20,6 +20,7 @@
 //! has applied. List updates go through `try_put`/`try_set_root`, so a full
 //! disk during staging is a clean `No` vote rather than a panic.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -90,17 +91,24 @@ impl StagedLog {
             .any(|e| e.global_txn_id == global_txn_id))
     }
 
-    /// Append an entry (idempotent per transaction id).
+    /// Append an entry. Idempotent per `(transaction id, chunk)`; an
+    /// existing entry for the same id but a *different* chunk is replaced —
+    /// the log must never keep pointing at an older incarnation's staged
+    /// writes when an id is (incorrectly) recycled.
     pub fn add(&self, global_txn_id: u64, chunk: Hash) -> Result<(), StorageError> {
         let _guard = self.lock.lock();
         let mut list = self.read_list()?;
-        if list.iter().any(|e| e.global_txn_id == global_txn_id) {
-            return Ok(());
+        if let Some(existing) = list.iter_mut().find(|e| e.global_txn_id == global_txn_id) {
+            if existing.chunk == chunk {
+                return Ok(());
+            }
+            existing.chunk = chunk;
+        } else {
+            list.push(StagedEntry {
+                global_txn_id,
+                chunk,
+            });
         }
-        list.push(StagedEntry {
-            global_txn_id,
-            chunk,
-        });
         self.write_list(&list)
     }
 
@@ -130,6 +138,35 @@ impl StagedLog {
             .try_put(Chunk::new(ChunkKind::Meta, encode_list(self.magic, list)))?;
         self.store.try_set_root(self.root, address)
     }
+}
+
+/// GC mark support: the chunk addresses a staged/decision log keeps alive.
+///
+/// `root_name`/`address` come from enumerating the store's named roots
+/// during the mark phase. For the [`STAGED_ROOT`] and [`DECIDED_ROOT`]
+/// lists this inserts every referenced staged-writes chunk into `live` (the
+/// list chunk itself is the root target, marked by the caller); other roots
+/// are ignored. In-doubt 2PC batches therefore survive compaction — their
+/// staged writes must stay readable for a later redo.
+pub fn collect_staged_references(
+    store: &Arc<dyn ChunkStore>,
+    root_name: &str,
+    address: Hash,
+    live: &mut HashSet<Hash>,
+) -> Result<(), StorageError> {
+    let magic = match root_name {
+        STAGED_ROOT => STAGED_MAGIC,
+        DECIDED_ROOT => DECIDED_MAGIC,
+        _ => return Ok(()),
+    };
+    let chunk = store.get_kind(&address, ChunkKind::Meta)?;
+    let list = decode_list(magic, chunk.data()).ok_or(StorageError::CorruptChunk(address))?;
+    for entry in list {
+        if entry.chunk != Hash::ZERO {
+            live.insert(entry.chunk);
+        }
+    }
+    Ok(())
 }
 
 fn encode_list(magic: &[u8], list: &[StagedEntry]) -> Vec<u8> {
@@ -185,6 +222,44 @@ mod tests {
         log.remove(7).unwrap(); // no-op
         assert_eq!(log.entries().unwrap().len(), 1);
         assert_eq!(log.entries().unwrap()[0].global_txn_id, 9);
+    }
+
+    #[test]
+    fn add_replaces_the_chunk_when_an_id_is_recycled() {
+        let store: Arc<dyn ChunkStore> = InMemoryChunkStore::shared();
+        let log = StagedLog::staged(Arc::clone(&store));
+        let old = spitz_crypto::sha256(b"old incarnation");
+        let new = spitz_crypto::sha256(b"new incarnation");
+        log.add(7, old).unwrap();
+        log.add(7, new).unwrap();
+        let entries = log.entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].chunk, new,
+            "recycled id must not keep the stale chunk"
+        );
+    }
+
+    #[test]
+    fn collect_staged_references_marks_entry_chunks_of_2pc_roots_only() {
+        let store: Arc<dyn ChunkStore> = InMemoryChunkStore::shared();
+        let staged = StagedLog::staged(Arc::clone(&store));
+        let chunk = store
+            .try_put(Chunk::new(ChunkKind::Meta, b"staged writes".to_vec()))
+            .unwrap();
+        staged.add(3, chunk).unwrap();
+        staged.add(4, Hash::ZERO).unwrap();
+
+        let root = store.root(STAGED_ROOT).expect("staged root published");
+        let mut live = HashSet::new();
+        collect_staged_references(&store, STAGED_ROOT, root, &mut live).unwrap();
+        assert!(live.contains(&chunk));
+        assert!(!live.contains(&Hash::ZERO));
+        assert_eq!(live.len(), 1);
+
+        // A non-2PC root is ignored, even with a bogus address.
+        collect_staged_references(&store, "spitz/catalog", Hash::ZERO, &mut live).unwrap();
+        assert_eq!(live.len(), 1);
     }
 
     #[test]

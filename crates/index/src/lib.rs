@@ -56,5 +56,5 @@ pub use mpt::MerklePatriciaTrie;
 pub use pos_tree::PosTree;
 pub use proof::IndexProof;
 pub use radix::RadixTree;
-pub use siri::{SiriIndex, SiriKind};
+pub use siri::{collect_reachable, node_children, SiriIndex, SiriKind};
 pub use skiplist::SkipList;

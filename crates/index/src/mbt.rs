@@ -90,6 +90,18 @@ fn decode_internal(data: &[u8]) -> Option<Vec<Hash>> {
     r.is_exhausted().then_some(children)
 }
 
+/// Child node addresses of an encoded MBT node (empty for a bucket);
+/// [`Hash::ZERO`] children denote empty subtrees that have no stored node
+/// and are skipped. `None` when the payload decodes as neither node form.
+pub(crate) fn node_children(payload: &[u8]) -> Option<Vec<Hash>> {
+    match payload.first()? {
+        0 => decode_bucket(payload).map(|_| Vec::new()),
+        1 => decode_internal(payload)
+            .map(|children| children.into_iter().filter(|h| *h != Hash::ZERO).collect()),
+        _ => None,
+    }
+}
+
 impl MerkleBucketTree {
     /// Create an empty tree writing its nodes into `store`.
     pub fn new(store: Arc<dyn ChunkStore>) -> Self {

@@ -114,6 +114,16 @@ impl MptNode {
     }
 }
 
+/// Child node addresses of an encoded MPT node (empty for a leaf); `None`
+/// when the payload does not decode as an MPT node.
+pub(crate) fn node_children(payload: &[u8]) -> Option<Vec<Hash>> {
+    MptNode::decode(payload).map(|node| match node {
+        MptNode::Leaf { .. } => Vec::new(),
+        MptNode::Extension { child, .. } => vec![child],
+        MptNode::Branch { children, .. } => children.iter().flatten().copied().collect(),
+    })
+}
+
 /// Convert a key to its nibble path (two nibbles per byte, high first).
 fn to_nibbles(key: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(key.len() * 2);

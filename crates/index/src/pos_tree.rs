@@ -108,6 +108,13 @@ impl Node {
         }
     }
 
+    fn children(self) -> Vec<Hash> {
+        match self {
+            Node::Leaf(_) => Vec::new(),
+            Node::Internal(_, children) => children.into_iter().map(|c| c.hash).collect(),
+        }
+    }
+
     fn max_key(&self) -> Vec<u8> {
         match self {
             Node::Leaf(entries) => entries.last().map(|(k, _)| k.clone()).unwrap_or_default(),
@@ -129,6 +136,12 @@ impl Node {
 /// Content-defined split decision: an entry with this key ends a node at the
 /// given level. Seeded per level so that leaf and internal splits are
 /// independent.
+/// Child node addresses of an encoded Pos-Tree node (empty for a leaf);
+/// `None` when the payload does not decode as a Pos-Tree node.
+pub(crate) fn node_children(payload: &[u8]) -> Option<Vec<Hash>> {
+    Node::decode(payload).map(Node::children)
+}
+
 fn is_boundary(key: &[u8], level: u8) -> bool {
     let mut data = Vec::with_capacity(key.len() + 2);
     data.push(0xB0);

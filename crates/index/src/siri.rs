@@ -14,8 +14,12 @@
 //! verify without holding the server's index), exposed uniformly through
 //! [`verify_proof`].
 
+use std::collections::HashSet;
+use std::sync::Arc;
+
 use spitz_crypto::Hash;
-use spitz_storage::StorageError;
+use spitz_storage::chunk::ChunkKind;
+use spitz_storage::{ChunkStore, StorageError};
 
 use crate::mbt::MerkleBucketTree;
 use crate::mpt::MerklePatriciaTrie;
@@ -163,9 +167,106 @@ pub fn verify_range_proof(
     }
 }
 
+/// The chunk addresses of an index node's direct children.
+///
+/// `payload` is the raw payload of an `IndexNode` chunk. The byte tags of
+/// the three SIRI encodings overlap (e.g. a Pos-Tree leaf and an MPT leaf
+/// both start with `0`), so the caller must pass the kind the subtree was
+/// built with; decoding under the wrong kind fails or yields nonsense.
+/// Returns `None` when the payload does not decode as a node of `kind`.
+pub fn node_children(kind: SiriKind, payload: &[u8]) -> Option<Vec<Hash>> {
+    match kind {
+        SiriKind::PosTree => crate::pos_tree::node_children(payload),
+        SiriKind::MerklePatriciaTrie => crate::mpt::node_children(payload),
+        SiriKind::MerkleBucketTree => crate::mbt::node_children(payload),
+    }
+}
+
+/// Walk an index of `kind` downward from `root`, inserting the chunk
+/// address of every reachable node into `live`.
+///
+/// Nodes already in `live` are not re-walked, so marking many historical
+/// roots costs only the *unshared* suffix of each version (structural
+/// sharing is the point of a SIRI). This is the mark phase of the storage
+/// sweep: a missing or undecodable node is an error — compacting with an
+/// incomplete live set would delete reachable data — so the caller must
+/// abort on `Err`, never treat it as "nothing reachable".
+pub fn collect_reachable(
+    store: &Arc<dyn ChunkStore>,
+    kind: SiriKind,
+    root: Hash,
+    live: &mut HashSet<Hash>,
+) -> Result<(), StorageError> {
+    let mut stack = vec![root];
+    while let Some(address) = stack.pop() {
+        if address == Hash::ZERO || !live.insert(address) {
+            continue;
+        }
+        let chunk = store.get_kind(&address, ChunkKind::IndexNode)?;
+        let children =
+            node_children(kind, chunk.data()).ok_or(StorageError::CorruptChunk(address))?;
+        stack.extend(children);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spitz_storage::InMemoryChunkStore;
+
+    #[test]
+    fn collect_reachable_marks_every_node_and_shares_subtrees() {
+        for kind in [
+            SiriKind::PosTree,
+            SiriKind::MerklePatriciaTrie,
+            SiriKind::MerkleBucketTree,
+        ] {
+            let store: Arc<dyn ChunkStore> = Arc::new(InMemoryChunkStore::new());
+            let mut index: Box<dyn SiriIndex> = match kind {
+                SiriKind::PosTree => Box::new(PosTree::new(Arc::clone(&store))),
+                SiriKind::MerklePatriciaTrie => {
+                    Box::new(MerklePatriciaTrie::new(Arc::clone(&store)))
+                }
+                SiriKind::MerkleBucketTree => Box::new(MerkleBucketTree::new(Arc::clone(&store))),
+            };
+            for i in 0..100u32 {
+                index.insert(
+                    format!("key-{i:04}").into_bytes(),
+                    format!("value-{i}").into_bytes(),
+                );
+            }
+            let old_root = index.root();
+            let mut old_live = HashSet::new();
+            collect_reachable(&store, kind, old_root, &mut old_live).unwrap();
+            assert!(!old_live.is_empty(), "{kind:?}");
+
+            // A newer version shares unchanged subtrees with the old one.
+            index.insert(b"key-0000".to_vec(), b"changed".to_vec());
+            let mut both = HashSet::new();
+            collect_reachable(&store, kind, index.root(), &mut both).unwrap();
+            collect_reachable(&store, kind, old_root, &mut both).unwrap();
+            assert!(both.len() < 2 * old_live.len(), "{kind:?}: no sharing?");
+
+            // Every marked node must actually exist as an IndexNode chunk.
+            for address in &both {
+                assert!(
+                    store.get_kind(address, ChunkKind::IndexNode).is_ok(),
+                    "{kind:?}"
+                );
+            }
+
+            // A root the store does not hold is an error, not an empty set.
+            let missing = spitz_crypto::sha256(b"missing root");
+            let mut scratch = HashSet::new();
+            assert!(collect_reachable(&store, kind, missing, &mut scratch).is_err());
+
+            // The empty root marks nothing.
+            let mut empty = HashSet::new();
+            collect_reachable(&store, kind, Hash::ZERO, &mut empty).unwrap();
+            assert!(empty.is_empty());
+        }
+    }
 
     #[test]
     fn kind_names() {

@@ -18,11 +18,12 @@
 //! current [`Digest`]. Clients verify locally by recomputing the digest from
 //! the proof (Section 5.3).
 
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use spitz_crypto::Hash;
-use spitz_index::siri::{verify_proof, verify_range_proof, SiriIndex, SiriKind};
+use spitz_index::siri::{collect_reachable, verify_proof, verify_range_proof, SiriIndex, SiriKind};
 use spitz_index::{IndexProof, MerkleBucketTree, MerklePatriciaTrie, PosTree};
 use spitz_storage::{Chunk, ChunkKind, ChunkStore, StorageError};
 
@@ -184,11 +185,37 @@ struct LedgerInner {
     head_chunk: Hash,
 }
 
+/// Refcounts of index roots pinned by live [`LedgerSnapshot`]s. The GC mark
+/// phase ([`Ledger::collect_live`]) treats every pinned root as reachable,
+/// so a reader holding a snapshot keeps its index version's nodes alive
+/// across compactions; dropping the snapshot unpins the root.
+type PinRegistry = Arc<Mutex<HashMap<Hash, usize>>>;
+
+/// Drop guard held by a [`LedgerSnapshot`]: unregisters the snapshot's
+/// index root from the pin registry when the snapshot is dropped.
+struct SnapshotPin {
+    registry: PinRegistry,
+    root: Hash,
+}
+
+impl Drop for SnapshotPin {
+    fn drop(&mut self) {
+        let mut pins = self.registry.lock();
+        if let Some(count) = pins.get_mut(&self.root) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&self.root);
+            }
+        }
+    }
+}
+
 /// The unified, tamper-evident Spitz ledger.
 pub struct Ledger {
     store: Arc<dyn ChunkStore>,
     kind: SiriKind,
     inner: RwLock<LedgerInner>,
+    pins: PinRegistry,
 }
 
 impl Ledger {
@@ -216,6 +243,7 @@ impl Ledger {
                 timestamp: 0,
                 head_chunk: Hash::ZERO,
             }),
+            pins: PinRegistry::default(),
         }
     }
 
@@ -299,6 +327,7 @@ impl Ledger {
                 timestamp,
                 head_chunk,
             }),
+            pins: PinRegistry::default(),
         })
     }
 
@@ -465,11 +494,59 @@ impl Ledger {
             .index
             .checkout(digest.index_root)
             .ok_or(StorageError::ChunkNotFound(digest.index_root))?;
+        // Pin the root *before* releasing the ledger lock so a compaction
+        // mark pass that starts after this snapshot exists always sees it.
+        *self.pins.lock().entry(digest.index_root).or_insert(0) += 1;
+        let pin = SnapshotPin {
+            registry: Arc::clone(&self.pins),
+            root: digest.index_root,
+        };
         Ok(LedgerSnapshot {
             digest,
             index,
             journal_proof,
+            _pin: pin,
         })
+    }
+
+    /// The GC mark phase for this ledger: insert into `live` the chunk
+    /// address of everything a reopened ledger (or a reader holding a
+    /// pinned snapshot) can still reach:
+    ///
+    /// * every block chunk, by walking the chain head → genesis (the chain
+    ///   is what [`Ledger::open`] replays, so all of it stays live);
+    /// * every index node reachable from the **head** block's index root;
+    /// * every index node reachable from a root pinned by a live
+    ///   [`LedgerSnapshot`].
+    ///
+    /// Index instances of *historical* blocks are deliberately **not**
+    /// marked — reclaiming them is the point of compaction — so
+    /// [`Ledger::checkout`] of an old height may return `None` after the
+    /// sweep. Pin a snapshot before compacting to keep a version readable.
+    ///
+    /// A missing or undecodable chunk is an error: compacting with an
+    /// incomplete live set would delete reachable data, so callers must
+    /// abort the pass on `Err`.
+    pub fn collect_live(&self, live: &mut HashSet<Hash>) -> Result<(), StorageError> {
+        let (head_chunk, index_root) = {
+            let inner = self.inner.read();
+            (inner.head_chunk, inner.index.root())
+        };
+
+        let mut address = head_chunk;
+        while !address.is_zero() && live.insert(address) {
+            let chunk = self.store.get_kind(&address, ChunkKind::Block)?;
+            let (prev, _) =
+                decode_block_chunk(chunk.data()).ok_or(StorageError::CorruptChunk(address))?;
+            address = prev;
+        }
+
+        collect_reachable(&self.store, self.kind, index_root, live)?;
+        let pinned: Vec<Hash> = self.pins.lock().keys().copied().collect();
+        for root in pinned {
+            collect_reachable(&self.store, self.kind, root, live)?;
+        }
+        Ok(())
     }
 
     /// Unverified point read (the fast path when verification is disabled).
@@ -532,6 +609,12 @@ impl Ledger {
 
     /// Open a historical index instance (a previous block's version of the
     /// ledger) for point-in-time queries.
+    ///
+    /// Returns `None` when the version's index nodes are no longer in the
+    /// store: segment compaction only keeps the head version and roots
+    /// pinned by live [`LedgerSnapshot`]s (see [`Ledger::collect_live`]),
+    /// so checkouts of unpinned historical heights are best-effort on a
+    /// compacted store.
     pub fn checkout(&self, height: u64) -> Option<Box<dyn SiriIndex>> {
         let inner = self.inner.read();
         let root = inner.blocks.get(height as usize)?.header.index_root;
@@ -585,6 +668,9 @@ pub struct LedgerSnapshot {
     digest: Digest,
     index: Box<dyn SiriIndex>,
     journal_proof: Option<JournalProof>,
+    /// Keeps the snapshot's index root registered as a GC root for as long
+    /// as the snapshot lives (see [`Ledger::collect_live`]).
+    _pin: SnapshotPin,
 }
 
 impl LedgerSnapshot {
@@ -712,6 +798,40 @@ mod tests {
             assert_eq!(ledger.get(&k), Some(v));
         }
         assert_eq!(ledger.audit_chain(), None);
+    }
+
+    #[test]
+    fn collect_live_marks_head_version_and_pinned_snapshots() {
+        let ledger = ledger();
+        ledger.append_block((0..50).map(kv).collect(), "load");
+        let snapshot = ledger.snapshot().unwrap();
+        let old_root = snapshot.digest().index_root;
+        ledger.append_block((50..100).map(kv).collect(), "more");
+        assert_ne!(old_root, ledger.digest().index_root);
+
+        // While the snapshot is alive, its root is a GC root.
+        let mut live = HashSet::new();
+        ledger.collect_live(&mut live).unwrap();
+        assert!(live.contains(&old_root));
+        assert!(live.contains(&ledger.digest().index_root));
+
+        // Dropping the snapshot unpins it: a fresh mark shrinks, and reads
+        // through live snapshots taken before the drop were never affected.
+        drop(snapshot);
+        let mut after = HashSet::new();
+        ledger.collect_live(&mut after).unwrap();
+        assert!(after.contains(&ledger.digest().index_root));
+        assert!(
+            after.len() < live.len(),
+            "unpinning should shrink the live set: {} vs {}",
+            after.len(),
+            live.len()
+        );
+
+        // Every marked address is a chunk the store actually holds.
+        for address in &after {
+            assert!(ledger.store().contains(address));
+        }
     }
 
     #[test]

@@ -95,6 +95,16 @@ impl ChunkCache {
         );
     }
 
+    /// Drop one chunk from the cache, if resident. Compaction uses this to
+    /// invalidate swept (unreachable) chunks so a stale cache entry can
+    /// never serve a chunk the store no longer holds. The queue may keep a
+    /// stale hash; the eviction loop already skips hashes with no entry.
+    pub fn remove(&mut self, address: &Hash) {
+        if let Some(entry) = self.entries.remove(address) {
+            self.used_bytes -= entry.chunk.storage_size();
+        }
+    }
+
     /// Bytes currently cached.
     pub fn used_bytes(&self) -> usize {
         self.used_bytes
@@ -163,6 +173,32 @@ mod tests {
         let (hits, misses) = cache.hit_stats();
         assert_eq!(hits, 49);
         assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn remove_frees_budget_and_tolerates_stale_queue_hashes() {
+        let mut cache = ChunkCache::new(1000);
+        let (addr_a, a) = chunk(1, 67);
+        let (addr_b, b) = chunk(2, 67);
+        cache.insert(addr_a, a);
+        cache.insert(addr_b, b);
+        assert_eq!(cache.len(), 2);
+
+        cache.remove(&addr_a);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.used_bytes(), 100);
+        // Removing twice (or a hash never cached) is a no-op.
+        cache.remove(&addr_a);
+        assert_eq!(cache.used_bytes(), 100);
+
+        // The queue still holds addr_a; eviction pressure must skip the
+        // stale hash without panicking and still make room.
+        for i in 3..30 {
+            let (addr, c) = chunk(i, 67);
+            cache.insert(addr, c);
+        }
+        assert!(cache.used_bytes() <= 1000);
+        assert!(cache.get(&addr_a).is_none());
     }
 
     #[test]

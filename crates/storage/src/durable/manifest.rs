@@ -42,6 +42,11 @@ pub struct Manifest {
     pub stats: StoreStats,
     /// Named root pointers (sorted map so rewrites are deterministic).
     pub roots: BTreeMap<String, Hash>,
+    /// Segment ids that a compaction has superseded: their live chunks were
+    /// rewritten elsewhere and this manifest no longer references them, but
+    /// their files may still exist if the process died before deleting them.
+    /// The open path deletes these files and never adopts them as segments.
+    pub condemned: Vec<u64>,
 }
 
 impl Manifest {
@@ -54,13 +59,18 @@ impl Manifest {
         out.push_str(&format!("segments {}\n", ids.join(" ")));
         out.push_str(&format!("next-segment {}\n", self.next_segment));
         out.push_str(&format!(
-            "stats chunks={} physical={} logical={} dedup={} reads={}\n",
+            "stats chunks={} physical={} logical={} dedup={} reads={} live={}\n",
             self.stats.chunk_count,
             self.stats.physical_bytes,
             self.stats.logical_bytes,
             self.stats.dedup_hits,
             self.stats.reads,
+            self.stats.live_bytes,
         ));
+        if !self.condemned.is_empty() {
+            let ids: Vec<String> = self.condemned.iter().map(|id| id.to_string()).collect();
+            out.push_str(&format!("condemned {}\n", ids.join(" ")));
+        }
         for (name, hash) in &self.roots {
             out.push_str(&format!("root {name} {}\n", hash.to_hex()));
         }
@@ -101,9 +111,17 @@ impl Manifest {
                             "logical" => manifest.stats.logical_bytes = value,
                             "dedup" => manifest.stats.dedup_hits = value,
                             "reads" => manifest.stats.reads = value,
+                            // Absent in pre-compaction manifests; defaults
+                            // to zero (= "no mark pass has run").
+                            "live" => manifest.stats.live_bytes = value,
                             _ => return Err(corrupt("unknown stats field")),
                         }
                     }
+                }
+                Some("condemned") => {
+                    manifest.condemned = parts
+                        .map(|id| id.parse().map_err(|_| corrupt("bad condemned id")))
+                        .collect::<Result<_>>()?;
                 }
                 Some("root") => {
                     let name = parts.next().ok_or_else(|| corrupt("root without name"))?;
@@ -128,13 +146,28 @@ impl Manifest {
         }
     }
 
-    /// Atomically replace the manifest in `dir`: write a temporary file and
-    /// rename it over [`MANIFEST_FILE`].
+    /// Atomically and *durably* replace the manifest in `dir`: write a
+    /// temporary file, fsync it, rename it over [`MANIFEST_FILE`], and fsync
+    /// the directory so the rename itself survives a crash. Compaction
+    /// deletes superseded segments only after this returns, so the rename
+    /// must actually be on stable storage, not just in the page cache.
     pub fn store(&self, dir: &Path) -> Result<()> {
         let tmp: PathBuf = dir.join(format!("{MANIFEST_FILE}.tmp"));
-        fs::write(&tmp, self.encode()).map_err(|e| StorageError::io(&tmp, e))?;
+        {
+            let mut file = fs::File::create(&tmp).map_err(|e| StorageError::io(&tmp, e))?;
+            use std::io::Write as _;
+            file.write_all(self.encode().as_bytes())
+                .map_err(|e| StorageError::io(&tmp, e))?;
+            file.sync_all().map_err(|e| StorageError::io(&tmp, e))?;
+        }
         let path = dir.join(MANIFEST_FILE);
-        fs::rename(&tmp, &path).map_err(|e| StorageError::io(&path, e))
+        fs::rename(&tmp, &path).map_err(|e| StorageError::io(&path, e))?;
+        if let Ok(dir_handle) = fs::File::open(dir) {
+            dir_handle
+                .sync_all()
+                .map_err(|e| StorageError::io(dir, e))?;
+        }
+        Ok(())
     }
 }
 
@@ -154,6 +187,10 @@ mod tests {
                 logical_bytes: 9000,
                 dedup_hits: 88,
                 reads: 512,
+                // disk_bytes is derived from the segment files at runtime
+                // and never persisted; live_bytes is.
+                disk_bytes: 0,
+                live_bytes: 2100,
             },
             roots: [
                 ("ledger/head".to_string(), sha256(b"head")),
@@ -161,6 +198,7 @@ mod tests {
             ]
             .into_iter()
             .collect(),
+            condemned: vec![2, 3],
         }
     }
 
@@ -188,6 +226,22 @@ mod tests {
     }
 
     #[test]
+    fn pre_compaction_manifests_still_decode() {
+        // A manifest written before the compaction fields existed: no
+        // `live=` key, no `condemned` line. It must decode with both
+        // defaulting to "nothing known".
+        let text = "spitz-durable-manifest v1\n\
+                    segments 0 1\n\
+                    next-segment 2\n\
+                    stats chunks=3 physical=100 logical=100 dedup=0 reads=7\n\
+                    root ledger/head 0000000000000000000000000000000000000000000000000000000000000000\n";
+        let manifest = Manifest::decode(text).unwrap();
+        assert_eq!(manifest.stats.live_bytes, 0);
+        assert!(manifest.condemned.is_empty());
+        assert_eq!(manifest.segments, vec![0, 1]);
+    }
+
+    #[test]
     fn garbage_manifests_are_rejected() {
         for text in [
             "",
@@ -197,6 +251,7 @@ mod tests {
             "spitz-durable-manifest v1\nstats bogus\n",
             "spitz-durable-manifest v1\nroot name nothex\n",
             "spitz-durable-manifest v1\nnonsense 1\n",
+            "spitz-durable-manifest v1\ncondemned x\n",
         ] {
             assert!(
                 matches!(

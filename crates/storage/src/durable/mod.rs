@@ -106,13 +106,44 @@
 //! created, because nothing may be appended after a sealed segment until
 //! that segment is durable (a crash must only ever tear the *last*
 //! segment). Rotation happens once per [`DurableConfig::segment_target_bytes`].
+//!
+//! # Compaction
+//!
+//! The log is append-only, so superseded index nodes, rolled-back blocks
+//! and aborted staging chunks accumulate until
+//! [`DurableChunkStore::compact_with`] sweeps them. The pass is mark-sweep
+//! over *sealed* segments:
+//!
+//! 1. Every sealed segment becomes a **victim**; re-appends of
+//!    victim-resident chunks start diverting to the active segment (see
+//!    `DurableInner::compacting`) *before* the caller-supplied mark closure
+//!    computes the live set, so a chunk resurrected mid-pass can never be
+//!    lost.
+//! 2. Live victim chunks are rewritten into fresh, fsynced output segments
+//!    staged in a subdirectory (`compact-tmp/`), keeping the store
+//!    directory's "only the last segment may be torn" invariant intact at
+//!    every crash point.
+//! 3. Under the writer lock: the active segment is sealed and fsynced like
+//!    a rotation, the outputs are renamed into the store directory, a new
+//!    active segment with the highest id is created, and the index is
+//!    repointed (entries whose only copy was unreachable are dropped).
+//!    Readers that already resolved a victim location keep their
+//!    `Arc<Segment>` and its open file descriptor, so they are never
+//!    blocked or broken.
+//! 4. The manifest — now listing the outputs and carrying the victims as
+//!    `condemned` — is made durable (fsync + rename + directory fsync);
+//!    **only then** are the victim files deleted. A crash anywhere earlier
+//!    reopens from the old manifest with the victims intact (outputs are
+//!    redundant copies, adopted harmlessly or discarded); a crash after the
+//!    manifest but before deletion has the open path delete the condemned
+//!    files itself.
 
 pub mod cache;
 pub mod format;
 pub mod manifest;
 pub mod segment;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -127,7 +158,10 @@ use crate::Result;
 
 use cache::ChunkCache;
 use manifest::Manifest;
-use segment::{parse_segment_file_name, ChunkLocation, Segment};
+use segment::{parse_segment_file_name, segment_file_name, ChunkLocation, Segment};
+
+/// Subdirectory where compaction stages its output segments until the swap.
+const COMPACT_STAGING_DIR: &str = "compact-tmp";
 
 /// Tuning knobs of a [`DurableChunkStore`].
 #[derive(Debug, Clone, Copy)]
@@ -163,6 +197,8 @@ struct AtomicStats {
     logical_bytes: AtomicU64,
     dedup_hits: AtomicU64,
     reads: AtomicU64,
+    /// Reachable bytes as of the last mark pass; 0 before the first one.
+    live_bytes: AtomicU64,
 }
 
 impl AtomicStats {
@@ -173,6 +209,9 @@ impl AtomicStats {
             logical_bytes: self.logical_bytes.load(Ordering::Relaxed),
             dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
             reads: self.reads.load(Ordering::Relaxed),
+            // Derived from the segment files at query time, never stored.
+            disk_bytes: 0,
+            live_bytes: self.live_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -184,7 +223,14 @@ impl AtomicStats {
             .store(stats.logical_bytes, Ordering::Relaxed);
         self.dedup_hits.store(stats.dedup_hits, Ordering::Relaxed);
         self.reads.store(stats.reads, Ordering::Relaxed);
+        self.live_bytes.store(stats.live_bytes, Ordering::Relaxed);
     }
+}
+
+/// Bytes a chunk accounts for in `physical_bytes`, recovered from its
+/// record length (`Chunk::storage_size` = payload + kind byte + address).
+fn location_storage_size(location: &ChunkLocation) -> u64 {
+    location.len as u64 - format::RECORD_OVERHEAD as u64 + 1 + spitz_crypto::hash::HASH_LEN as u64
 }
 
 struct DurableInner {
@@ -196,6 +242,16 @@ struct DurableInner {
     roots: std::collections::BTreeMap<String, Hash>,
     /// Bytes dropped as torn tail records during the last open.
     torn_bytes_recovered: u64,
+    /// Victims of a completed compaction whose files may still exist: the
+    /// durable manifest no longer lists them as segments, but the process
+    /// may die between that manifest landing and the files being deleted.
+    /// The open path deletes them and never adopts them.
+    condemned: Vec<u64>,
+    /// While a compaction pass runs: the ids of its victim segments.
+    /// `try_put` consults this so a dedup hit on a chunk whose only copy
+    /// sits in a victim re-appends the chunk to the active segment instead
+    /// of reviving a location the sweep may be about to delete.
+    compacting: Option<HashSet<u64>>,
 }
 
 /// A crash-recoverable [`ChunkStore`] over append-only segment files.
@@ -213,6 +269,44 @@ pub struct DurableChunkStore {
     /// the mark only advances past a segment once an fsync of it has
     /// completed. Monotone non-decreasing.
     first_unsynced: AtomicU64,
+    /// Serializes compaction passes: at most one runs at a time.
+    compaction: Mutex<()>,
+    /// Serializes manifest rewrites. The state snapshot is taken *inside*
+    /// this lock, so a slow rewrite can never clobber the file with an
+    /// older view than one that already landed (rotation racing compaction,
+    /// two rotations racing each other).
+    manifest_lock: Mutex<()>,
+}
+
+/// Outcome of a completed [`DurableChunkStore::compact_with`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Sealed segments that were rewritten and deleted.
+    pub victim_segments: Vec<u64>,
+    /// Fresh segments the surviving chunks were rewritten into.
+    pub output_segments: Vec<u64>,
+    /// Live chunks copied out of the victims.
+    pub live_chunks_rewritten: u64,
+    /// Unreachable chunks dropped with the victims.
+    pub chunks_dropped: u64,
+    /// Segment-file bytes written while rewriting live chunks.
+    pub bytes_rewritten: u64,
+    /// Net segment-file bytes returned to the filesystem (victim files
+    /// minus output files).
+    pub bytes_reclaimed: u64,
+}
+
+/// Crash points the crash-consistency tests inject into a compaction pass.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionFault {
+    /// No fault: run to completion.
+    None,
+    /// Fail after rewriting live chunks but before the manifest swap.
+    BeforeSwap,
+    /// Fail after the swapped manifest is durable but before the victim
+    /// segment files are deleted.
+    BeforeDelete,
 }
 
 impl DurableChunkStore {
@@ -237,6 +331,27 @@ impl DurableChunkStore {
         std::fs::create_dir_all(&dir).map_err(|e| StorageError::io(&dir, e))?;
 
         let manifest = Manifest::load(&dir)?.unwrap_or_default();
+
+        // Clean up after a compaction the previous process did not finish.
+        // Staged outputs never made it into the manifest, so they hold
+        // nothing the surviving segments do not; condemned files are the
+        // opposite — the manifest already dropped them, only their deletion
+        // was interrupted. Ids that still cannot be deleted stay condemned
+        // so a later open retries.
+        let staging = dir.join(COMPACT_STAGING_DIR);
+        if staging.exists() {
+            std::fs::remove_dir_all(&staging).map_err(|e| StorageError::io(&staging, e))?;
+        }
+        let mut condemned = manifest.condemned.clone();
+        condemned.retain(|&id| {
+            let path = dir.join(segment_file_name(id));
+            match std::fs::remove_file(&path) {
+                Ok(()) => false,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+                Err(_) => true,
+            }
+        });
+
         let segment_ids = discover_segments(&dir, &manifest)?;
 
         let mut inner = DurableInner {
@@ -245,6 +360,8 @@ impl DurableChunkStore {
             next_segment: 0,
             roots: manifest.roots.clone(),
             torn_bytes_recovered: 0,
+            condemned,
+            compacting: None,
         };
         let mut stats = manifest.stats;
 
@@ -262,9 +379,8 @@ impl DurableChunkStore {
                 // Later duplicates of an address are re-appends of identical
                 // content; keep the first location.
                 if inner.index.try_insert_location(address, location) {
-                    let chunk_bytes = location.len as u64 - format::RECORD_OVERHEAD as u64;
                     stats.chunk_count += 1;
-                    stats.physical_bytes += chunk_bytes + 1 + spitz_crypto::hash::HASH_LEN as u64;
+                    stats.physical_bytes += location_storage_size(&location);
                 }
             }
             // The log is the truth for roots: every publication since the
@@ -293,6 +409,8 @@ impl DurableChunkStore {
             stats: AtomicStats::default(),
             inner: RwLock::new(inner),
             first_unsynced: AtomicU64::new(first_unsynced),
+            compaction: Mutex::new(()),
+            manifest_lock: Mutex::new(()),
         };
         store.stats.store(stats);
         store
@@ -340,8 +458,18 @@ impl DurableChunkStore {
     /// Force segment contents and the manifest to stable storage.
     pub fn flush(&self) -> Result<()> {
         self.sync()?;
-        let manifest = self.manifest_snapshot(&self.inner.read());
-        manifest.store(&self.dir)
+        self.write_manifest()
+    }
+
+    /// Snapshot of every named root pointer (name → hash). The sweep's
+    /// mark phase enumerates these to find the GC roots.
+    pub fn roots(&self) -> Vec<(String, Hash)> {
+        self.inner
+            .read()
+            .roots
+            .iter()
+            .map(|(name, hash)| (name.clone(), *hash))
+            .collect()
     }
 
     fn manifest_snapshot(&self, inner: &DurableInner) -> Manifest {
@@ -350,7 +478,16 @@ impl DurableChunkStore {
             next_segment: inner.next_segment,
             stats: self.stats.load(),
             roots: inner.roots.clone(),
+            condemned: inner.condemned.clone(),
         }
+    }
+
+    /// Rewrite the manifest from current state, serialized so a rewrite
+    /// carrying an older snapshot can never land over a newer one.
+    fn write_manifest(&self) -> Result<()> {
+        let _serialize = self.manifest_lock.lock();
+        let manifest = self.manifest_snapshot(&self.inner.read());
+        manifest.store(&self.dir)
     }
 
     /// Resolve an address to its segment and location without holding the
@@ -366,6 +503,278 @@ impl DurableChunkStore {
             .binary_search_by_key(&location.segment, |s| s.id)
             .map_err(|_| StorageError::ChunkNotFound(*address))?;
         Ok((Arc::clone(&inner.segments[position]), location))
+    }
+
+    /// Mark-sweep compaction: rewrite the chunks `mark` reports as
+    /// reachable out of every *sealed* segment into fresh segments, swap
+    /// them in atomically, and delete the old files.
+    ///
+    /// `mark` runs after the pass has fixed its victims and begun diverting
+    /// re-appends of victim-resident chunks, so the live set it returns
+    /// cannot be invalidated by concurrent writers: chunks written (or
+    /// re-written) during the pass land in the active segment, which is
+    /// never a victim. The closure must return the address of **every**
+    /// chunk that must survive — anything else in a sealed segment is
+    /// dropped. An error from `mark` aborts the pass with the store
+    /// untouched.
+    ///
+    /// Readers are never blocked: a reader that already resolved a chunk
+    /// into a victim segment keeps reading through its `Arc<Segment>` (the
+    /// open descriptor outlives the unlink). Crash safety: victim files are
+    /// deleted only after the post-swap manifest — which records them as
+    /// [`Manifest::condemned`] — is on stable storage; every earlier crash
+    /// point reopens from the previous manifest with the victims intact.
+    ///
+    /// Returns `Ok(None)` when there is nothing to compact (at most one
+    /// segment), otherwise a [`CompactionReport`].
+    pub fn compact_with<F>(&self, mark: F) -> Result<Option<CompactionReport>>
+    where
+        F: FnOnce() -> Result<HashSet<Hash>>,
+    {
+        self.compact_with_fault(mark, CompactionFault::None)
+    }
+
+    /// [`Self::compact_with`] with an injected crash point (test hook).
+    #[doc(hidden)]
+    pub fn compact_with_fault<F>(
+        &self,
+        mark: F,
+        fault: CompactionFault,
+    ) -> Result<Option<CompactionReport>>
+    where
+        F: FnOnce() -> Result<HashSet<Hash>>,
+    {
+        let _serialize = self.compaction.lock();
+
+        // Fix the victim set — every sealed segment — and install the
+        // revive guard *before* `mark` runs, closing the window where a
+        // dedup hit could resurrect a chunk the sweep is about to drop.
+        let victims: Vec<Arc<Segment>> = {
+            let mut inner = self.inner.write();
+            if inner.segments.len() <= 1 {
+                return Ok(None);
+            }
+            let victims = inner.segments[..inner.segments.len() - 1].to_vec();
+            inner.compacting = Some(victims.iter().map(|s| s.id).collect());
+            victims
+        };
+        let result = self.compact_victims(&victims, mark, fault);
+        if result.is_err() {
+            // Leave the store writable: stop diverting re-appends. After a
+            // successful swap this is already `None`; on a pre-swap error
+            // nothing was swapped and the victims stay live.
+            self.inner.write().compacting = None;
+        }
+        result
+    }
+
+    fn compact_victims<F>(
+        &self,
+        victims: &[Arc<Segment>],
+        mark: F,
+        fault: CompactionFault,
+    ) -> Result<Option<CompactionReport>>
+    where
+        F: FnOnce() -> Result<HashSet<Hash>>,
+    {
+        let victim_ids: HashSet<u64> = victims.iter().map(|s| s.id).collect();
+        let victim_bytes: u64 = victims.iter().map(|s| s.len()).sum();
+
+        // Mark: compute reachability, then plan which victim records must
+        // move. The store-wide live-byte count falls out of the same walk.
+        let live = mark()?;
+        let (plan, live_bytes) = {
+            let inner = self.inner.read();
+            let mut plan: Vec<(Hash, ChunkLocation)> = Vec::new();
+            let mut live_bytes = 0u64;
+            for (address, location) in &inner.index {
+                if !live.contains(address) {
+                    continue;
+                }
+                live_bytes += location_storage_size(location);
+                if victim_ids.contains(&location.segment) {
+                    plan.push((*address, *location));
+                }
+            }
+            // Sequential read order within each victim file.
+            plan.sort_unstable_by_key(|(_, location)| (location.segment, location.offset));
+            (plan, live_bytes)
+        };
+        self.stats.live_bytes.store(live_bytes, Ordering::Relaxed);
+
+        // Sweep, step 1 — rewrite live victim chunks into fsynced output
+        // segments staged in a subdirectory: until the swap they are
+        // invisible to segment discovery, so the store directory keeps its
+        // "only the last segment may be torn" invariant at every crash
+        // point. Output ids come from `next_segment` so they are unique,
+        // but a rotation can interleave — ids stay globally ordered either
+        // way.
+        let staging = self.dir.join(COMPACT_STAGING_DIR);
+        let _ = std::fs::remove_dir_all(&staging);
+        std::fs::create_dir_all(&staging).map_err(|e| StorageError::io(&staging, e))?;
+        let mut outputs: Vec<Segment> = Vec::new();
+        let mut moved: HashMap<Hash, ChunkLocation> = HashMap::new();
+        let mut bytes_rewritten = 0u64;
+        for (address, location) in &plan {
+            let position = victims
+                .binary_search_by_key(&location.segment, |s| s.id)
+                .expect("plan entries point into victim segments");
+            let chunk = victims[position].read(location)?;
+            let needs_new_output = match outputs.last() {
+                Some(out) => out.len() >= self.config.segment_target_bytes,
+                None => true,
+            };
+            if needs_new_output {
+                let id = {
+                    let mut inner = self.inner.write();
+                    let id = inner.next_segment;
+                    inner.next_segment += 1;
+                    id
+                };
+                outputs.push(Segment::create(&staging, id)?);
+            }
+            let out = outputs.last().expect("an output segment was just ensured");
+            let new_location = out.append(address, &chunk)?;
+            bytes_rewritten += new_location.len as u64;
+            moved.insert(*address, new_location);
+        }
+        for out in &outputs {
+            out.sync()?;
+        }
+        let output_bytes: u64 = outputs.iter().map(|s| s.len()).sum();
+        if fault == CompactionFault::BeforeSwap {
+            return Err(StorageError::Io(
+                "injected compaction fault before manifest swap".into(),
+            ));
+        }
+
+        // Sweep, step 2 — the swap, under the writer lock. The active
+        // segment is sealed and fsynced exactly like a rotation (nothing
+        // may be appended above a non-durable segment), the outputs are
+        // renamed into the store directory, a fresh active segment with
+        // the highest id is created, and the index is repointed. A crash
+        // anywhere in here reopens from the *old* manifest: victims are
+        // still listed, outputs are adopted as redundant copies that the
+        // first-wins scan ignores, and only the highest-numbered segment
+        // can carry a torn tail.
+        let mut report = CompactionReport {
+            victim_segments: victims.iter().map(|s| s.id).collect(),
+            output_segments: outputs.iter().map(|s| s.id).collect(),
+            live_chunks_rewritten: plan.len() as u64,
+            bytes_rewritten,
+            bytes_reclaimed: victim_bytes.saturating_sub(output_bytes),
+            ..CompactionReport::default()
+        };
+        let mut dropped: Vec<Hash> = Vec::new();
+        let mut dropped_bytes = 0u64;
+        {
+            let mut inner = self.inner.write();
+            let active = Arc::clone(inner.segments.last().expect("active segment exists"));
+            active.sync()?;
+            let _ = self.first_unsynced.compare_exchange(
+                active.id,
+                active.id + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+
+            let mut published: Vec<Arc<Segment>> = Vec::new();
+            for out in &outputs {
+                let from = staging.join(segment_file_name(out.id));
+                let to = self.dir.join(segment_file_name(out.id));
+                std::fs::rename(&from, &to).map_err(|e| StorageError::io(&to, e))?;
+                published.push(Arc::new(Segment::open(&self.dir, out.id)?));
+            }
+            let _ = std::fs::remove_dir_all(&staging);
+
+            let new_active_id = inner.next_segment;
+            inner.next_segment += 1;
+            let new_active = Arc::new(Segment::create(&self.dir, new_active_id)?);
+
+            // Repoint surviving entries into the outputs. Entries that
+            // left their victim during the pass (revived by `try_put`)
+            // already point elsewhere and pass through untouched; entries
+            // still in a victim with no moved copy are unreachable.
+            inner.index.retain(|address, location| {
+                if !victim_ids.contains(&location.segment) {
+                    return true;
+                }
+                match moved.get(address) {
+                    Some(new_location) => {
+                        *location = *new_location;
+                        true
+                    }
+                    None => {
+                        dropped.push(*address);
+                        dropped_bytes += location_storage_size(location);
+                        false
+                    }
+                }
+            });
+
+            let mut segments: Vec<Arc<Segment>> = inner
+                .segments
+                .iter()
+                .filter(|s| !victim_ids.contains(&s.id))
+                .cloned()
+                .collect();
+            segments.extend(published);
+            segments.push(new_active);
+            segments.sort_unstable_by_key(|s| s.id);
+            inner.segments = segments;
+            inner.condemned.extend(victim_ids.iter().copied());
+            inner.condemned.sort_unstable();
+            inner.condemned.dedup();
+            inner.compacting = None;
+            self.first_unsynced
+                .fetch_max(new_active_id, Ordering::AcqRel);
+        }
+        report.chunks_dropped = dropped.len() as u64;
+        self.stats
+            .chunk_count
+            .fetch_sub(dropped.len() as u64, Ordering::Relaxed);
+        self.stats
+            .physical_bytes
+            .fetch_sub(dropped_bytes, Ordering::Relaxed);
+        {
+            // Stale cache entries for swept chunks must go: the store no
+            // longer holds them, so the cache must not serve them either.
+            let mut cache = self.cache.lock();
+            for address in &dropped {
+                cache.remove(address);
+            }
+        }
+
+        // Sweep, step 3 — make the swap durable, then delete the victims.
+        // The new manifest no longer lists the victims as segments and
+        // records them as condemned; their files may only disappear once
+        // that manifest (and the renamed output files' directory entries)
+        // are on stable storage.
+        std::fs::File::open(&self.dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| StorageError::io(&self.dir, e))?;
+        self.write_manifest()?;
+        if fault == CompactionFault::BeforeDelete {
+            return Err(StorageError::Io(
+                "injected compaction fault before victim deletion".into(),
+            ));
+        }
+        let mut deleted: Vec<u64> = Vec::new();
+        for &id in &report.victim_segments {
+            let path = self.dir.join(segment_file_name(id));
+            match std::fs::remove_file(&path) {
+                Ok(()) => deleted.push(id),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => deleted.push(id),
+                // Keep it condemned; the next pass or open retries.
+                Err(_) => {}
+            }
+        }
+        {
+            let mut inner = self.inner.write();
+            inner.condemned.retain(|id| !deleted.contains(id));
+        }
+        self.write_manifest()?;
+        Ok(Some(report))
     }
 }
 
@@ -385,24 +794,43 @@ impl ChunkStore for DurableChunkStore {
             .logical_bytes
             .fetch_add(chunk.storage_size() as u64, Ordering::Relaxed);
 
-        // Manifest snapshot of a rotation, and the segment to fsync under
-        // `fsync_each_put` — handled after the lock is dropped so the
-        // steady-state put path never fsyncs under a lock readers need.
-        let mut rotated_manifest: Option<Manifest> = None;
+        // Whether a rotation happened (its manifest rewrite), and the
+        // segment to fsync under `fsync_each_put` — handled after the lock
+        // is dropped so the steady-state put path never fsyncs under a
+        // lock readers need.
+        let mut rotated = false;
         let mut fsync_target: Option<Arc<Segment>> = None;
         {
             let mut inner = self.inner.write();
-            if inner.index.contains_key(&address) {
-                self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(address);
+            let mut revived = false;
+            if let Some(existing) = inner.index.get(&address) {
+                let doomed = matches!(
+                    &inner.compacting,
+                    Some(victims) if victims.contains(&existing.segment)
+                );
+                if !doomed {
+                    self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(address);
+                }
+                // The only copy sits in a segment an in-flight compaction
+                // may delete, and its mark phase can no longer observe
+                // this chunk becoming reachable again. Re-append it to the
+                // active segment (never a victim) and repoint the index:
+                // the swap leaves non-victim locations alone, so the new
+                // copy survives however the pass ends. The counters don't
+                // move — one referenced copy before, one after (the extra
+                // on-disk copy is garbage for the *next* pass).
+                revived = true;
             }
 
             let active = Arc::clone(inner.segments.last().expect("active segment exists"));
             let location = active.append(&address, &chunk)?;
-            self.stats.chunk_count.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .physical_bytes
-                .fetch_add(chunk.storage_size() as u64, Ordering::Relaxed);
+            if !revived {
+                self.stats.chunk_count.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .physical_bytes
+                    .fetch_add(chunk.storage_size() as u64, Ordering::Relaxed);
+            }
             inner.index.insert(address, location);
 
             if active.len() >= self.config.segment_target_bytes {
@@ -427,15 +855,15 @@ impl ChunkStore for DurableChunkStore {
                 inner
                     .segments
                     .push(Arc::new(Segment::create(&self.dir, id)?));
-                rotated_manifest = Some(self.manifest_snapshot(&inner));
+                rotated = true;
             } else if self.config.fsync_each_put {
                 fsync_target = Some(active);
             }
         }
         self.cache.lock().insert(address, Arc::new(chunk));
 
-        if let Some(manifest) = rotated_manifest {
-            manifest.store(&self.dir)?;
+        if rotated {
+            self.write_manifest()?;
         }
         if let Some(active) = fsync_target {
             active.sync()?;
@@ -461,24 +889,25 @@ impl ChunkStore for DurableChunkStore {
     }
 
     fn stats(&self) -> StoreStats {
-        self.stats.load()
+        let mut stats = self.stats.load();
+        // What the filesystem is actually charged: every live segment
+        // file, including garbage records a compaction has not swept yet.
+        stats.disk_bytes = self.inner.read().segments.iter().map(|s| s.len()).sum();
+        stats
     }
 
     fn audit(&self) -> Vec<Hash> {
-        // Snapshot the index, then read every chunk without the lock and
-        // without polluting the cache (a bulk scan would flush the hot set).
-        let entries: Vec<(Hash, ChunkLocation)> = self
-            .inner
-            .read()
-            .index
-            .iter()
-            .map(|(a, l)| (*a, *l))
-            .collect();
+        // Snapshot the addresses, then read every chunk without the lock
+        // and without polluting the cache (a bulk scan would flush the hot
+        // set). Each address is re-resolved at read time — a compaction
+        // may move chunks mid-audit, and a location captured here could
+        // point into a deleted victim file.
+        let addresses: Vec<Hash> = self.inner.read().index.keys().copied().collect();
         let mut failures = Vec::new();
-        for (address, location) in entries {
+        for address in addresses {
             let ok = self
                 .locate(&address)
-                .and_then(|(segment, _)| segment.read(&location))
+                .and_then(|(segment, location)| segment.read(&location))
                 .map(|chunk| chunk.address() == address)
                 .unwrap_or(false);
             if !ok {
@@ -572,6 +1001,9 @@ fn discover_segments(dir: &Path, manifest: &Manifest) -> Result<Vec<u64>> {
     }
     ids.sort_unstable();
     ids.dedup();
+    // Condemned files are superseded by a durable manifest swap — never
+    // adopt one, even when its deletion keeps failing.
+    ids.retain(|id| !manifest.condemned.contains(id));
     Ok(ids)
 }
 
@@ -793,6 +1225,256 @@ mod tests {
         }
         assert_eq!(store.stats().chunk_count, 200);
         assert!(store.audit().is_empty());
+    }
+
+    /// Write `count` distinct chunks, forcing rotations with the small
+    /// config, and return their addresses.
+    fn populate(store: &DurableChunkStore, count: u32) -> Vec<Hash> {
+        (0..count)
+            .map(|i| store.put(blob(&i.to_be_bytes().repeat(8))))
+            .collect()
+    }
+
+    #[test]
+    fn compaction_sweeps_unreachable_chunks_and_keeps_live_ones() {
+        let dir = TempDir::new("durable-compact");
+        let store = DurableChunkStore::open_with_config(dir.path(), small_config()).unwrap();
+        let addresses = populate(&store, 200);
+        let head = spitz_crypto::sha256(b"head");
+        store.set_root("head", head);
+        assert!(store.segment_count() > 1, "need sealed segments");
+        let before = store.stats();
+
+        // Keep every third chunk. A single pass only sweeps *sealed*
+        // segments — garbage in the active segment survives it — so run a
+        // second pass (which seals the previous active) to sweep everything.
+        let live: HashSet<Hash> = addresses.iter().step_by(3).copied().collect();
+        let keep = live.clone();
+        let report = store
+            .compact_with(move || Ok(keep))
+            .unwrap()
+            .expect("sealed segments exist");
+        assert!(report.chunks_dropped > 0);
+        assert!(report.live_chunks_rewritten > 0);
+        assert!(!report.victim_segments.is_empty());
+        let keep = live.clone();
+        store
+            .compact_with(move || Ok(keep))
+            .unwrap()
+            .expect("second pass still has sealed segments");
+
+        let stats = store.stats();
+        assert!(stats.chunk_count < before.chunk_count);
+        assert!(stats.physical_bytes < before.physical_bytes);
+        assert!(stats.live_bytes > 0);
+        assert!(stats.disk_bytes > 0);
+
+        // Victim files are gone from disk.
+        for id in &report.victim_segments {
+            assert!(!dir.path().join(segment_file_name(*id)).exists());
+        }
+        assert!(!dir.path().join(COMPACT_STAGING_DIR).exists());
+
+        for (i, address) in addresses.iter().enumerate() {
+            if live.contains(address) {
+                let chunk = store.get(address).unwrap();
+                assert_eq!(chunk.data(), (i as u32).to_be_bytes().repeat(8));
+            } else {
+                assert!(matches!(
+                    store.get(address),
+                    Err(StorageError::ChunkNotFound(_))
+                ));
+            }
+        }
+        assert_eq!(store.root("head"), Some(head));
+        assert!(store.audit().is_empty());
+
+        // Reopen: the swapped state is what recovery sees.
+        drop(store);
+        let store = DurableChunkStore::open_with_config(dir.path(), small_config()).unwrap();
+        for (i, address) in addresses.iter().enumerate() {
+            if live.contains(address) {
+                assert_eq!(
+                    store.get(address).unwrap().data(),
+                    (i as u32).to_be_bytes().repeat(8)
+                );
+            } else {
+                assert!(!store.contains(address));
+            }
+        }
+        assert_eq!(store.root("head"), Some(head));
+        assert!(store.audit().is_empty());
+    }
+
+    #[test]
+    fn compaction_with_single_segment_is_a_noop() {
+        let dir = TempDir::new("durable-compact-noop");
+        let store = DurableChunkStore::open(dir.path()).unwrap();
+        store.put(blob(b"only"));
+        assert_eq!(store.compact_with(|| Ok(HashSet::new())).unwrap(), None);
+        assert!(store.contains(&blob(b"only").address()));
+    }
+
+    #[test]
+    fn mark_error_aborts_the_pass_with_the_store_untouched() {
+        let dir = TempDir::new("durable-compact-markerr");
+        let store = DurableChunkStore::open_with_config(dir.path(), small_config()).unwrap();
+        let addresses = populate(&store, 100);
+        assert!(store.segment_count() > 1);
+        let before = store.stats();
+
+        let err = store
+            .compact_with(|| Err(StorageError::ChunkNotFound(spitz_crypto::sha256(b"x"))))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::ChunkNotFound(_)));
+        assert_eq!(store.stats().chunk_count, before.chunk_count);
+        for address in &addresses {
+            assert!(store.contains(address));
+        }
+        // The revive guard was released: plain dedup works again.
+        store.put(blob(&0u32.to_be_bytes().repeat(8)));
+        assert!(store.stats().dedup_hits > before.dedup_hits);
+    }
+
+    #[test]
+    fn dedup_during_compaction_revives_the_doomed_chunk() {
+        let dir = TempDir::new("durable-compact-revive");
+        let store =
+            Arc::new(DurableChunkStore::open_with_config(dir.path(), small_config()).unwrap());
+        let addresses = populate(&store, 100);
+        assert!(store.segment_count() > 1);
+        let target = addresses[0];
+
+        // The mark closure plays a concurrent writer: it re-puts a chunk
+        // whose only copy sits in a victim, then declares *nothing* live.
+        // The re-put must not count as a dedup hit on the doomed copy —
+        // the chunk is re-appended to the active segment and survives.
+        let writer = Arc::clone(&store);
+        let report = store
+            .compact_with(move || {
+                writer.put(blob(&0u32.to_be_bytes().repeat(8)));
+                Ok(HashSet::new())
+            })
+            .unwrap()
+            .expect("sealed segments exist");
+        assert!(report.chunks_dropped > 0);
+        assert_eq!(report.live_chunks_rewritten, 0);
+
+        assert_eq!(
+            store.get(&target).unwrap().data(),
+            0u32.to_be_bytes().repeat(8)
+        );
+        assert!(store.audit().is_empty());
+    }
+
+    #[test]
+    fn compaction_crash_points_recover_cleanly() {
+        for fault in [CompactionFault::BeforeSwap, CompactionFault::BeforeDelete] {
+            let dir = TempDir::new("durable-compact-crash");
+            let addresses;
+            let live: HashSet<Hash>;
+            let head = spitz_crypto::sha256(b"crash head");
+            {
+                let store =
+                    DurableChunkStore::open_with_config(dir.path(), small_config()).unwrap();
+                addresses = populate(&store, 150);
+                store.set_root("head", head);
+                assert!(store.segment_count() > 1);
+                store.flush().unwrap();
+
+                live = addresses.iter().step_by(2).copied().collect();
+                let keep = live.clone();
+                let err = store
+                    .compact_with_fault(move || Ok(keep), fault)
+                    .unwrap_err();
+                assert!(err.to_string().contains("injected"), "{fault:?}: {err}");
+                // The process dies here: no Drop, no flush.
+                std::mem::forget(store);
+            }
+
+            let store = DurableChunkStore::open_with_config(dir.path(), small_config()).unwrap();
+            assert_eq!(store.root("head"), Some(head), "{fault:?}");
+            let mut swept = 0u32;
+            for (i, address) in addresses.iter().enumerate() {
+                let reachable = live.contains(address);
+                match (fault, reachable) {
+                    // Before the swap nothing was deleted: everything is
+                    // still readable after recovery.
+                    (CompactionFault::BeforeSwap, _) | (_, true) => {
+                        assert_eq!(
+                            store.get(address).unwrap().data(),
+                            (i as u32).to_be_bytes().repeat(8),
+                            "{fault:?}"
+                        );
+                    }
+                    // After the durable swap, dropped victim chunks are
+                    // gone for good even though the victim files outlived
+                    // the crash (the open path deletes condemned files);
+                    // garbage that sat in the still-active segment is
+                    // untouched and must read back intact.
+                    (CompactionFault::BeforeDelete, false) => {
+                        if store.contains(address) {
+                            assert_eq!(
+                                store.get(address).unwrap().data(),
+                                (i as u32).to_be_bytes().repeat(8),
+                                "{fault:?}"
+                            );
+                        } else {
+                            swept += 1;
+                        }
+                    }
+                    (CompactionFault::None, _) => unreachable!(),
+                }
+            }
+            if fault == CompactionFault::BeforeDelete {
+                assert!(swept > 0, "the durable swap must have swept garbage");
+            }
+            assert!(store.audit().is_empty(), "{fault:?}");
+            assert!(!dir.path().join(COMPACT_STAGING_DIR).exists());
+            // No condemned leftovers: a fresh open deleted them.
+            for path in std::fs::read_dir(dir.path()).unwrap() {
+                let name = path.unwrap().file_name();
+                let name = name.to_str().unwrap();
+                if let Some(id) = parse_segment_file_name(name) {
+                    assert!(
+                        store.inner.read().segments.iter().any(|s| s.id == id),
+                        "{fault:?}: stray segment file {name}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_compaction_bounds_disk_usage() {
+        let dir = TempDir::new("durable-compact-bound");
+        let store = DurableChunkStore::open_with_config(dir.path(), small_config()).unwrap();
+        // Overwrite churn: each round writes fresh chunks, only the newest
+        // round is live. Compacting every round must keep the disk bounded
+        // near one round's worth of data.
+        let mut round_addresses: Vec<Hash> = Vec::new();
+        for round in 0..20u32 {
+            round_addresses = (0..40u32)
+                .map(|i| {
+                    store.put(blob(
+                        &[round.to_be_bytes(), i.to_be_bytes()].concat().repeat(8),
+                    ))
+                })
+                .collect();
+            let keep: HashSet<Hash> = round_addresses.iter().copied().collect();
+            store.compact_with(move || Ok(keep)).unwrap();
+        }
+        let stats = store.stats();
+        assert!(stats.live_bytes > 0);
+        assert!(
+            stats.disk_bytes <= 2 * stats.live_bytes + 2 * small_config().segment_target_bytes,
+            "disk {} vs live {}",
+            stats.disk_bytes,
+            stats.live_bytes
+        );
+        for address in &round_addresses {
+            assert!(store.get(address).is_ok());
+        }
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod version;
 
 pub use chunk::{Chunk, ChunkKind};
 pub use chunker::{Chunker, ChunkerConfig};
-pub use durable::{DurableChunkStore, DurableConfig};
+pub use durable::{CompactionFault, CompactionReport, DurableChunkStore, DurableConfig};
 pub use error::StorageError;
 pub use object::{VBlob, VMap};
 pub use store::{ChunkStore, InMemoryChunkStore, StoreStats};

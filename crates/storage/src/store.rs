@@ -32,6 +32,13 @@ pub struct StoreStats {
     pub dedup_hits: u64,
     /// Number of `get` calls served.
     pub reads: u64,
+    /// Bytes occupied on the backing device (segment files for a durable
+    /// store). For an in-memory store this equals `physical_bytes`.
+    pub disk_bytes: u64,
+    /// Bytes reachable from the named roots, as measured by the most recent
+    /// mark-sweep pass. Zero until a compaction has run; an in-memory store
+    /// reports `physical_bytes` (it never retains garbage it could drop).
+    pub live_bytes: u64,
 }
 
 impl StoreStats {
@@ -41,6 +48,26 @@ impl StoreStats {
             0.0
         } else {
             1.0 - (self.physical_bytes as f64 / self.logical_bytes as f64)
+        }
+    }
+
+    /// Bytes on the device that no root can reach: the compactor's fodder.
+    /// Zero until a mark pass has established `live_bytes`.
+    pub fn dead_bytes(&self) -> u64 {
+        if self.live_bytes == 0 {
+            0
+        } else {
+            self.disk_bytes.saturating_sub(self.live_bytes)
+        }
+    }
+
+    /// Ratio of device bytes to live bytes (≥ 1.0 in steady state); `1.0`
+    /// when no mark pass has run yet.
+    pub fn space_amplification(&self) -> f64 {
+        if self.live_bytes == 0 {
+            1.0
+        } else {
+            self.disk_bytes as f64 / self.live_bytes as f64
         }
     }
 }
@@ -189,7 +216,12 @@ impl ChunkStore for InMemoryChunkStore {
     }
 
     fn stats(&self) -> StoreStats {
-        self.inner.read().stats
+        let mut stats = self.inner.read().stats;
+        // Memory is the device, and nothing unreachable is ever retained
+        // past a process lifetime — physical bytes are both quantities.
+        stats.disk_bytes = stats.physical_bytes;
+        stats.live_bytes = stats.physical_bytes;
+        stats
     }
 
     fn audit(&self) -> Vec<Hash> {
@@ -423,6 +455,29 @@ mod tests {
         assert_eq!(stats.chunk_count, 100);
         assert_eq!(stats.dedup_hits, 0);
         assert_eq!(stats.dedup_ratio(), 0.0);
+    }
+
+    #[test]
+    fn space_accounting_fields_and_ratios() {
+        let store = InMemoryChunkStore::new();
+        let empty = store.stats();
+        assert_eq!(empty.space_amplification(), 1.0);
+        assert_eq!(empty.dead_bytes(), 0);
+
+        store.put(blob(b"hello"));
+        let stats = store.stats();
+        assert_eq!(stats.disk_bytes, stats.physical_bytes);
+        assert_eq!(stats.live_bytes, stats.physical_bytes);
+        assert_eq!(stats.space_amplification(), 1.0);
+        assert_eq!(stats.dead_bytes(), 0);
+
+        let skewed = StoreStats {
+            disk_bytes: 300,
+            live_bytes: 100,
+            ..StoreStats::default()
+        };
+        assert_eq!(skewed.dead_bytes(), 200);
+        assert!((skewed.space_amplification() - 3.0).abs() < 1e-9);
     }
 
     #[test]

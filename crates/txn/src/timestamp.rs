@@ -33,6 +33,17 @@ impl TimestampOracle {
     pub fn current(&self) -> u64 {
         self.next.load(Ordering::SeqCst).saturating_sub(1)
     }
+
+    /// Make every future [`TimestampOracle::allocate`] return a value
+    /// strictly greater than `seen`. Used on reopen: durable logs may
+    /// record transaction ids issued by a previous process incarnation,
+    /// and recycling one would let a new transaction collide with a stale
+    /// staged entry. Monotone — a `seen` at or below the current position
+    /// is a no-op.
+    pub fn advance_past(&self, seen: u64) {
+        self.next
+            .fetch_max(seen.saturating_add(1), Ordering::SeqCst);
+    }
 }
 
 /// A hybrid logical clock timestamp: a physical component and a logical
@@ -125,6 +136,18 @@ mod tests {
             last = ts;
         }
         assert_eq!(oracle.current(), last);
+    }
+
+    #[test]
+    fn advance_past_skips_stale_ids_and_never_rewinds() {
+        let oracle = TimestampOracle::new();
+        oracle.advance_past(100);
+        assert_eq!(oracle.allocate(), 101);
+        // Advancing to an already-passed position must not rewind.
+        oracle.advance_past(5);
+        assert_eq!(oracle.allocate(), 102);
+        oracle.advance_past(u64::MAX);
+        assert_eq!(oracle.current(), u64::MAX.saturating_sub(1));
     }
 
     #[test]
