@@ -101,7 +101,7 @@ fn run_cell(epochs: u32) -> Cell {
 
     Cell {
         amp_before: disk_before as f64 / stats.live_bytes as f64,
-        amp_after: stats.space_amplification(),
+        amp_after: stats.space_amplification().unwrap_or(1.0),
         reclaimed_kb: report.bytes_reclaimed as f64 / 1024.0,
         reads_kops: (reads as f64 / read_secs.max(1e-9)) / 1_000.0,
     }

@@ -92,10 +92,11 @@ fn run_sharded(shards: usize, writers: u32, puts_per_writer: u32) -> f64 {
     ((writers * puts_per_writer) as f64 / elapsed) / 1_000.0
 }
 
-/// Range-read throughput (×10³ entries/s) over a loaded sharded db:
+/// Range-read throughput (×10³ entries/s) over a loaded sharded db —
 /// unverified merge vs the verified snapshot path with client-side proof
-/// verification.
-fn run_ranges(shards: usize, keys: u32, scans: u32, width: u32) -> (f64, f64) {
+/// verification — plus the mean verified-proof wire size per scan in KB
+/// (the cost a client pays to download the completeness guarantee).
+fn run_ranges(shards: usize, keys: u32, scans: u32, width: u32) -> (f64, f64, f64) {
     let db = ShardedDb::in_memory(shards);
     let writes: Vec<(Vec<u8>, Vec<u8>)> = (0..keys)
         .map(|i| {
@@ -127,6 +128,7 @@ fn run_ranges(shards: usize, keys: u32, scans: u32, width: u32) -> (f64, f64) {
     let mut client = Verifier::new();
     let start = Instant::now();
     let mut returned = 0usize;
+    let mut proof_bytes = 0usize;
     let snapshot = db.snapshot().unwrap();
     assert!(client.observe_sharded(snapshot.digest()));
     for (lo, hi) in &bounds {
@@ -136,9 +138,11 @@ fn run_ranges(shards: usize, keys: u32, scans: u32, width: u32) -> (f64, f64) {
             "proof must verify"
         );
         returned += entries.len();
+        proof_bytes += proof.encoded_len();
     }
     let verified = (returned as f64 / start.elapsed().as_secs_f64()) / 1_000.0;
-    (unverified, verified)
+    let proof_kb = proof_bytes as f64 / bounds.len() as f64 / 1024.0;
+    (unverified, verified, proof_kb)
 }
 
 /// Durable sharded smoke: a small write load through per-shard commit
@@ -227,11 +231,12 @@ fn main() {
              {range_scans} scans x {range_width} entries, in-memory"
         ),
         "#Shards",
-        vec!["unverified merge", "verified snapshot"],
+        vec!["unverified merge", "verified snapshot", "proof KB/scan"],
     );
     for &shards in shard_axis {
-        let (unverified, verified) = run_ranges(shards, range_keys, range_scans, range_width);
-        range_table.add_row(shards.to_string(), vec![unverified, verified]);
+        let (unverified, verified, proof_kb) =
+            run_ranges(shards, range_keys, range_scans, range_width);
+        range_table.add_row(shards.to_string(), vec![unverified, verified, proof_kb]);
     }
     range_table.print();
 

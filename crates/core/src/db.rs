@@ -8,13 +8,15 @@
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
 
 use parking_lot::RwLock;
 use spitz_crypto::Hash;
 use spitz_index::inverted::{IndexValue, InvertedIndex};
 use spitz_index::BPlusTree;
 use spitz_ledger::{CommitPipeline, Digest, DurabilityPolicy, Ledger, LedgerProof, VerifiedRange};
+use spitz_obs::{Histogram, TelemetryHandle, TelemetrySnapshot};
 use spitz_storage::{
     Chunk, ChunkKind, ChunkStore, CompactionReport, DurableChunkStore, DurableConfig,
     InMemoryChunkStore, StorageError, StoreStats,
@@ -74,10 +76,19 @@ pub struct SpitzConfig {
     /// Purely in-memory instances ([`SpitzDb::in_memory`] /
     /// [`SpitzDb::with_config`]) commit inline and ignore this field.
     pub durability: DurabilityPolicy,
-    /// Automatic segment-compaction trigger, checked inline on the write
-    /// paths of durable instances. `None` (the default) disables automatic
-    /// compaction; [`SpitzDb::compact`] always works explicitly.
+    /// Automatic segment-compaction trigger for durable instances. `None`
+    /// (the default) disables automatic compaction; [`SpitzDb::compact`]
+    /// always works explicitly. When set, the write paths only perform a
+    /// cheap watermark check and hand the actual trigger decision (and any
+    /// resulting mark-sweep pass) to a background compactor thread, so a
+    /// committing writer never pays for a compaction inline.
     pub compaction: Option<CompactionTrigger>,
+    /// Record telemetry (counters, latency histograms, event ring) for this
+    /// instance. Enabled by default: every instrument is a relaxed atomic
+    /// update, cheap enough for the hot paths the paper's figures measure.
+    /// Disable to freeze all instruments to no-ops (a single predictable
+    /// branch per call site).
+    pub telemetry: bool,
 }
 
 impl Default for SpitzConfig {
@@ -87,6 +98,7 @@ impl Default for SpitzConfig {
             cc_scheme: CcScheme::Occ,
             durability: DurabilityPolicy::Strict,
             compaction: None,
+            telemetry: true,
         }
     }
 }
@@ -102,6 +114,22 @@ impl SpitzConfig {
     pub fn with_compaction(mut self, trigger: CompactionTrigger) -> Self {
         self.compaction = Some(trigger);
         self
+    }
+
+    /// This configuration with telemetry recording switched on or off.
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// A fresh [`TelemetryHandle`] honouring this configuration's
+    /// `telemetry` flag.
+    pub(crate) fn telemetry_handle(&self) -> TelemetryHandle {
+        if self.telemetry {
+            TelemetryHandle::new()
+        } else {
+            TelemetryHandle::disabled()
+        }
     }
 }
 
@@ -207,6 +235,230 @@ fn decode_catalog(bytes: &[u8]) -> Option<Vec<(Schema, u32)>> {
     r.is_exhausted().then_some(tables)
 }
 
+/// Proof-layer instruments, resolved once at construction so the verified
+/// read paths never touch the registry maps.
+struct ProofObs {
+    /// Mirror of [`TelemetryHandle::is_enabled`]: lets the hot paths skip
+    /// computing `encoded_len` when nothing records it.
+    enabled: bool,
+    point_build_nanos: Arc<Histogram>,
+    point_bytes: Arc<Histogram>,
+    range_build_nanos: Arc<Histogram>,
+    range_bytes: Arc<Histogram>,
+}
+
+impl ProofObs {
+    fn new(telemetry: &TelemetryHandle) -> Self {
+        ProofObs {
+            enabled: telemetry.is_enabled(),
+            point_build_nanos: telemetry.histogram("proof.point_build_nanos"),
+            point_bytes: telemetry.histogram("proof.point_bytes"),
+            range_build_nanos: telemetry.histogram("proof.range_build_nanos"),
+            range_bytes: telemetry.histogram("proof.range_bytes"),
+        }
+    }
+}
+
+/// Everything the background compactor needs to evaluate the trigger and
+/// run a pass without borrowing the owning [`SpitzDb`].
+struct CompactionCtx {
+    store: Arc<dyn ChunkStore>,
+    ledger: Arc<Ledger>,
+    durable: Arc<DurableChunkStore>,
+    trigger: CompactionTrigger,
+    /// Shared with [`SpitzDb::compact_floor`]; see that field's docs.
+    floor: Arc<AtomicU64>,
+}
+
+impl CompactionCtx {
+    /// The cheap inline check a committing writer performs: has the disk
+    /// footprint crossed the re-armed watermark? One atomic load plus a
+    /// stats read — everything heavier happens on the compactor thread.
+    fn should_wake(&self) -> bool {
+        let stored = self.floor.load(Ordering::Relaxed);
+        if stored == u64::MAX {
+            // A pass claimed the trigger and is still running.
+            return false;
+        }
+        self.durable.stats().disk_bytes >= stored.max(self.trigger.min_disk_bytes)
+    }
+
+    /// Full trigger decision, run on the compactor thread. Compaction
+    /// failures are swallowed (the next explicit [`SpitzDb::compact`]
+    /// surfaces them) so a GC hiccup never fails a commit.
+    fn run_trigger(&self) {
+        let stored = self.floor.load(Ordering::Relaxed);
+        if stored == u64::MAX {
+            return;
+        }
+        let stats = self.durable.stats();
+        if stats.disk_bytes < stored.max(self.trigger.min_disk_bytes) {
+            return;
+        }
+        if let Some(amp) = stats.space_amplification() {
+            if amp < self.trigger.max_space_amp {
+                // Mostly-live growth: push the next check out instead of
+                // re-evaluating the trigger on every subsequent commit.
+                self.floor.store(
+                    stats
+                        .disk_bytes
+                        .saturating_add(self.trigger.min_disk_bytes / 2),
+                    Ordering::Relaxed,
+                );
+                return;
+            }
+        }
+        // Claim the trigger for the duration of the (long) pass; `compact`
+        // re-arms the floor whether the pass succeeds or fails.
+        if self
+            .floor
+            .compare_exchange(stored, u64::MAX, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let _ = self.compact();
+    }
+
+    /// Mark, sweep, and re-arm the watermark above the post-pass footprint
+    /// (also on error, so a failed pass cannot wedge the trigger into
+    /// re-running the mark after every commit).
+    fn compact(&self) -> std::result::Result<Option<CompactionReport>, StorageError> {
+        let result = self.durable.compact_with(|| self.collect_live());
+        self.floor.store(
+            self.durable
+                .stats()
+                .disk_bytes
+                .saturating_add(self.trigger.min_disk_bytes / 2),
+            Ordering::Relaxed,
+        );
+        result
+    }
+
+    /// The same mark phase as [`SpitzDb::collect_live`], reachable from the
+    /// compactor thread.
+    fn collect_live(&self) -> std::result::Result<HashSet<Hash>, StorageError> {
+        let mut live = HashSet::new();
+        self.ledger.collect_live(&mut live)?;
+        for (name, address) in self.durable.roots() {
+            live.insert(address);
+            crate::staged::collect_staged_references(&self.store, &name, address, &mut live)?;
+        }
+        Ok(live)
+    }
+}
+
+/// Wake/idle handshake between committing writers and the compactor thread.
+#[derive(Default)]
+struct CompactorState {
+    /// A writer crossed the watermark since the last trigger evaluation.
+    pending: bool,
+    /// The compactor thread is currently evaluating the trigger or running
+    /// a pass.
+    busy: bool,
+    /// Drop requested the thread exit.
+    shutdown: bool,
+}
+
+struct CompactorShared {
+    state: Mutex<CompactorState>,
+    /// Signalled by writers when `pending` is set and by Drop on shutdown.
+    wake: Condvar,
+    /// Signalled by the compactor thread whenever it finishes a trigger
+    /// evaluation; [`Compactor::quiesce`] waits on it.
+    idle: Condvar,
+}
+
+/// The background compaction worker: owns the thread that evaluates the
+/// automatic [`CompactionTrigger`] off the committing writers' critical
+/// path.
+struct Compactor {
+    ctx: Arc<CompactionCtx>,
+    shared: Arc<CompactorShared>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Compactor {
+    fn spawn(ctx: CompactionCtx) -> Compactor {
+        let ctx = Arc::new(ctx);
+        let shared = Arc::new(CompactorShared {
+            state: Mutex::new(CompactorState::default()),
+            wake: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let thread_ctx = Arc::clone(&ctx);
+        let thread_shared = Arc::clone(&shared);
+        let thread = thread::Builder::new()
+            .name("spitz-compactor".into())
+            .spawn(move || Self::worker(thread_ctx, thread_shared))
+            .expect("spawn compactor thread");
+        Compactor {
+            ctx,
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    fn worker(ctx: Arc<CompactionCtx>, shared: Arc<CompactorShared>) {
+        loop {
+            let mut state = shared.state.lock().expect("compactor state poisoned");
+            while !state.pending && !state.shutdown {
+                state = shared.wake.wait(state).expect("compactor state poisoned");
+            }
+            if state.shutdown {
+                // Skip any still-pending evaluation: the database is being
+                // dropped, so reclaiming space no longer matters.
+                return;
+            }
+            state.pending = false;
+            state.busy = true;
+            drop(state);
+            ctx.run_trigger();
+            let mut state = shared.state.lock().expect("compactor state poisoned");
+            state.busy = false;
+            shared.idle.notify_all();
+        }
+    }
+
+    /// Called by writers after publishing a commit: if the watermark is
+    /// crossed, hand the trigger decision to the compactor thread.
+    fn maybe_nudge(&self) {
+        if !self.ctx.should_wake() {
+            return;
+        }
+        let mut state = self.shared.state.lock().expect("compactor state poisoned");
+        if !state.pending {
+            state.pending = true;
+            self.shared.wake.notify_one();
+        }
+    }
+
+    /// Block until the compactor has no queued nudge and no pass in flight,
+    /// so callers observe the effects of every compaction their own writes
+    /// triggered.
+    fn quiesce(&self) {
+        let mut state = self.shared.state.lock().expect("compactor state poisoned");
+        while state.pending || state.busy {
+            state = self
+                .shared
+                .idle
+                .wait(state)
+                .expect("compactor state poisoned");
+        }
+    }
+
+    fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("compactor state poisoned");
+            state.shutdown = true;
+            self.shared.wake.notify_one();
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
 /// The Spitz verifiable database.
 pub struct SpitzDb {
     store: Arc<dyn ChunkStore>,
@@ -222,11 +474,20 @@ pub struct SpitzDb {
     durable: Option<Arc<DurableChunkStore>>,
     /// Automatic-compaction trigger, `None` when disabled.
     compaction: Option<CompactionTrigger>,
-    /// Disk-byte watermark below which [`SpitzDb::maybe_compact`] skips
-    /// even the stats check. Re-armed after every compaction (and after a
-    /// pass is judged unnecessary) so a hot write path does not re-evaluate
-    /// the trigger on every commit.
-    compact_floor: AtomicU64,
+    /// Disk-byte watermark below which the automatic trigger skips even the
+    /// stats check. Re-armed after every compaction (and after a pass is
+    /// judged unnecessary) so a hot write path does not re-evaluate the
+    /// trigger on every commit. Shared with the background compactor.
+    compact_floor: Arc<AtomicU64>,
+    /// Background compaction worker, present when automatic compaction is
+    /// configured on a durable instance. Joined (after a best-effort
+    /// shutdown signal) before the pipeline drains on drop.
+    compactor: Option<Compactor>,
+    /// Telemetry registry shared by every layer of this instance (storage,
+    /// pipeline, proofs; the sharded wrapper adds 2PC).
+    telemetry: TelemetryHandle,
+    /// Proof-layer instruments (build latency and proof bytes).
+    proof_obs: ProofObs,
 }
 
 impl SpitzDb {
@@ -238,13 +499,23 @@ impl SpitzDb {
 
     /// Create an instance with an explicit configuration.
     pub fn with_config(config: SpitzConfig) -> Self {
+        let telemetry = config.telemetry_handle();
+        Self::with_config_and_telemetry(config, telemetry)
+    }
+
+    /// In-memory construction over a caller-supplied telemetry handle (the
+    /// sharded wrapper shares one registry across all shards).
+    pub(crate) fn with_config_and_telemetry(
+        config: SpitzConfig,
+        telemetry: TelemetryHandle,
+    ) -> Self {
         let raw = InMemoryChunkStore::shared();
         let store: Arc<dyn ChunkStore> = raw;
         let ledger = Arc::new(Ledger::with_kind(Arc::clone(&store), config.siri));
         // Purely in-memory instances commit inline: there is no fsync to
         // amortize, so the pipeline's thread hop would be pure overhead on
         // the hot path the paper's figures measure.
-        Self::assemble(store, ledger, config, false)
+        Self::assemble(store, ledger, config, false, telemetry)
     }
 
     /// Open (or create) a durable instance persisted under `path` with the
@@ -279,12 +550,37 @@ impl SpitzDb {
         config: SpitzConfig,
         durable: DurableConfig,
     ) -> Result<Self> {
-        let concrete = Arc::new(DurableChunkStore::open_with_config(path, durable)?);
+        let telemetry = config.telemetry_handle();
+        Self::open_with_telemetry(path, config, durable, telemetry)
+    }
+
+    /// Durable construction over a caller-supplied telemetry handle (the
+    /// sharded wrapper shares one registry across all shards).
+    pub(crate) fn open_with_telemetry(
+        path: impl AsRef<Path>,
+        config: SpitzConfig,
+        durable: DurableConfig,
+        telemetry: TelemetryHandle,
+    ) -> Result<Self> {
+        let concrete = Arc::new(DurableChunkStore::open_with_telemetry(
+            path,
+            durable,
+            telemetry.clone(),
+        )?);
         let store: Arc<dyn ChunkStore> = Arc::clone(&concrete) as Arc<dyn ChunkStore>;
-        let mut db = Self::with_store(store, config)?;
+        let mut db = Self::with_store_and_telemetry(store, config, telemetry)?;
         // Keep the concrete handle: compaction needs the segment-level API
         // the `ChunkStore` trait object does not expose.
-        db.durable = Some(concrete);
+        db.durable = Some(Arc::clone(&concrete));
+        if let Some(trigger) = config.compaction {
+            db.compactor = Some(Compactor::spawn(CompactionCtx {
+                store: Arc::clone(&db.store),
+                ledger: Arc::clone(&db.ledger),
+                durable: concrete,
+                trigger,
+                floor: Arc::clone(&db.compact_floor),
+            }));
+        }
         Ok(db)
     }
 
@@ -293,8 +589,17 @@ impl SpitzDb {
     /// Writes go through a group-commit pipeline governed by
     /// `config.durability`.
     pub fn with_store(store: Arc<dyn ChunkStore>, config: SpitzConfig) -> Result<Self> {
+        let telemetry = config.telemetry_handle();
+        Self::with_store_and_telemetry(store, config, telemetry)
+    }
+
+    pub(crate) fn with_store_and_telemetry(
+        store: Arc<dyn ChunkStore>,
+        config: SpitzConfig,
+        telemetry: TelemetryHandle,
+    ) -> Result<Self> {
         let ledger = Arc::new(Ledger::open_with_kind(Arc::clone(&store), config.siri)?);
-        let db = Self::assemble(store, ledger, config, true);
+        let db = Self::assemble(store, ledger, config, true, telemetry);
         db.reload_catalog()?;
         Ok(db)
     }
@@ -304,15 +609,22 @@ impl SpitzDb {
         ledger: Arc<Ledger>,
         config: SpitzConfig,
         group_commit: bool,
+        telemetry: TelemetryHandle,
     ) -> Self {
-        let pipeline =
-            group_commit.then(|| CommitPipeline::new(Arc::clone(&ledger), config.durability));
+        let pipeline = group_commit.then(|| {
+            CommitPipeline::with_telemetry(
+                Arc::clone(&ledger),
+                config.durability,
+                telemetry.clone(),
+            )
+        });
         let node = Arc::new(ProcessorNode::with_pipeline(
             Arc::clone(&store),
             Arc::clone(&ledger),
             config.cc_scheme,
             pipeline.clone(),
         ));
+        let proof_obs = ProofObs::new(&telemetry);
         SpitzDb {
             store,
             ledger,
@@ -321,7 +633,10 @@ impl SpitzDb {
             pipeline,
             durable: None,
             compaction: config.compaction,
-            compact_floor: AtomicU64::new(0),
+            compact_floor: Arc::new(AtomicU64::new(0)),
+            compactor: None,
+            telemetry,
+            proof_obs,
         }
     }
 
@@ -336,13 +651,32 @@ impl SpitzDb {
     }
 
     /// Drain the commit pipeline (if any) and force everything written so
-    /// far onto stable storage, regardless of the durability policy.
+    /// far onto stable storage, regardless of the durability policy. Also
+    /// waits out any automatic compaction the flushed writes triggered, so
+    /// storage statistics read after a flush reflect every pass those
+    /// writes caused.
     pub fn flush(&self) -> Result<()> {
         match &self.pipeline {
             Some(pipeline) => pipeline.flush()?,
             None => self.store.sync()?,
         }
+        if let Some(compactor) = &self.compactor {
+            compactor.quiesce();
+        }
         Ok(())
+    }
+
+    /// A point-in-time snapshot of every telemetry instrument this
+    /// instance has touched, across the storage, commit-pipeline and proof
+    /// layers (plus 2PC on sharded deployments, which share the registry).
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// The live telemetry handle backing [`SpitzDb::telemetry`] (for
+    /// resolving instruments or recording application-level events).
+    pub fn telemetry_handle(&self) -> &TelemetryHandle {
+        &self.telemetry
     }
 
     /// The unified ledger.
@@ -418,45 +752,14 @@ impl SpitzDb {
         Ok(result?)
     }
 
-    /// Inline automatic-compaction check, called on the write paths. Cheap
-    /// unless the disk footprint crossed the re-armed watermark; compaction
-    /// failures here are swallowed (the next explicit [`SpitzDb::compact`]
-    /// surfaces them) so a GC hiccup never fails a commit.
-    fn maybe_compact(&self) {
-        let Some(trigger) = self.compaction else {
-            return;
-        };
-        let Some(durable) = self.durable.as_ref() else {
-            return;
-        };
-        let stored = self.compact_floor.load(Ordering::Relaxed);
-        if stored == u64::MAX {
-            // A pass claimed the trigger and is still running.
-            return;
+    /// Post-commit hook on the write paths: when automatic compaction is
+    /// configured, perform the cheap watermark check and (only if crossed)
+    /// wake the background compactor. The trigger decision itself — and
+    /// any resulting mark-sweep pass — runs entirely off this thread.
+    fn nudge_compactor(&self) {
+        if let Some(compactor) = &self.compactor {
+            compactor.maybe_nudge();
         }
-        let stats = durable.stats();
-        if stats.disk_bytes < stored.max(trigger.min_disk_bytes) {
-            return;
-        }
-        if stats.live_bytes != 0 && stats.space_amplification() < trigger.max_space_amp {
-            // Mostly-live growth: push the next check out instead of
-            // re-reading stats on every subsequent commit.
-            self.compact_floor.store(
-                stats.disk_bytes.saturating_add(trigger.min_disk_bytes / 2),
-                Ordering::Relaxed,
-            );
-            return;
-        }
-        // Claim the trigger before the (long) pass so concurrent writers
-        // do not pile up behind the compaction lock; `compact` re-arms.
-        if self
-            .compact_floor
-            .compare_exchange(stored, u64::MAX, Ordering::Relaxed, Ordering::Relaxed)
-            .is_err()
-        {
-            return;
-        }
-        let _ = self.compact();
     }
 
     /// The current database digest (what clients pin).
@@ -487,7 +790,7 @@ impl SpitzDb {
             value: value.to_vec(),
         })? {
             Response::Committed(digest) => {
-                self.maybe_compact();
+                self.nudge_compactor();
                 Ok(digest)
             }
             _ => Err(DbError::BadRequest("unexpected response".into())),
@@ -498,7 +801,7 @@ impl SpitzDb {
     pub fn put_batch(&self, writes: Vec<(Vec<u8>, Vec<u8>)>) -> Result<Digest> {
         match self.node.handle(Request::PutBatch { writes })? {
             Response::Committed(digest) => {
-                self.maybe_compact();
+                self.nudge_compactor();
                 Ok(digest)
             }
             _ => Err(DbError::BadRequest("unexpected response".into())),
@@ -512,7 +815,15 @@ impl SpitzDb {
 
     /// Verified point read: value plus ledger proof.
     pub fn get_verified(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, LedgerProof)> {
-        Ok(self.ledger.get_with_proof(key))
+        let timer = self.proof_obs.point_build_nanos.start();
+        let (value, proof) = self.ledger.get_with_proof(key);
+        if self.proof_obs.enabled {
+            self.proof_obs.point_build_nanos.finish(timer);
+            self.proof_obs
+                .point_bytes
+                .record(proof.encoded_len() as u64);
+        }
+        Ok((value, proof))
     }
 
     /// Unverified range read over `start <= key < end`.
@@ -523,7 +834,15 @@ impl SpitzDb {
     /// Verified range read: entries plus a combined proof from the unified
     /// index traversal.
     pub fn range_verified(&self, start: &[u8], end: &[u8]) -> Result<VerifiedRange> {
-        Ok(self.ledger.range_with_proof(start, end))
+        let timer = self.proof_obs.range_build_nanos.start();
+        let (entries, proof) = self.ledger.range_with_proof(start, end);
+        if self.proof_obs.enabled {
+            self.proof_obs.range_build_nanos.finish(timer);
+            self.proof_obs
+                .range_bytes
+                .record(proof.encoded_len() as u64);
+        }
+        Ok((entries, proof))
     }
 
     // ------------------------------------------------------------------
@@ -718,9 +1037,13 @@ impl SpitzDb {
 
 impl Drop for SpitzDb {
     fn drop(&mut self) {
-        // Graceful shutdown: drain queued commits, fsync outstanding work
-        // and join the committer thread before the store closes, so a clean
-        // exit never loses acknowledged writes under any durability policy.
+        // Stop the background compactor first so no pass races the pipeline
+        // drain below; then drain queued commits, fsync outstanding work and
+        // join the committer thread before the store closes, so a clean exit
+        // never loses acknowledged writes under any durability policy.
+        if let Some(compactor) = &mut self.compactor {
+            compactor.shutdown();
+        }
         if let Some(pipeline) = &self.pipeline {
             pipeline.shutdown();
         }

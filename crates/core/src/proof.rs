@@ -48,6 +48,13 @@ pub struct ShardedProof {
 }
 
 impl ShardedProof {
+    /// Bytes a canonical wire encoding of this proof would occupy: shard
+    /// index ‖ shard count ‖ ledger proof ‖ audit path ‖ root. The
+    /// telemetry layer reports this as the sharded point-proof size.
+    pub fn encoded_len(&self) -> usize {
+        4 + 4 + self.ledger_proof.encoded_len() + self.membership.encoded_len() + 32
+    }
+
     /// Client-side verification: the key routes to the claimed shard, the
     /// shard's ledger proof verifies the value, and the shard digest is a
     /// leaf of the cross-shard root at the claimed position.
@@ -83,6 +90,20 @@ pub struct ShardedRangeProof {
 }
 
 impl ShardedRangeProof {
+    /// Bytes a canonical wire encoding of this proof would occupy: shard
+    /// count ‖ epoch ‖ root ‖ per-shard range proofs. The telemetry layer
+    /// reports this as the sharded range-proof size.
+    pub fn encoded_len(&self) -> usize {
+        4 + 8
+            + 32
+            + 4
+            + self
+                .shards
+                .iter()
+                .map(|proof| proof.encoded_len())
+                .sum::<usize>()
+    }
+
     /// Client-side verification of a merged cross-shard range result.
     ///
     /// Checks, in order: every shard contributed a proof over the same

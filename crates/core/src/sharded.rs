@@ -50,6 +50,7 @@ use std::sync::Arc;
 use spitz_crypto::merkle::{AuditProof, MerkleTree};
 use spitz_crypto::Hash;
 use spitz_ledger::{CommitPipeline, Digest, Ledger};
+use spitz_obs::{Counter, Histogram, TelemetryHandle, TelemetrySnapshot};
 use spitz_storage::{Chunk, ChunkKind, ChunkStore, CompactionReport, DurableConfig};
 use spitz_txn::TwoPhaseCoordinator;
 use spitz_txn::{CcScheme, Participant, PreparedApply, PreparedGlobal, TimestampOracle};
@@ -201,7 +202,7 @@ impl ShardedDigest {
 }
 
 /// Byte width of [`Digest::encode`].
-const DIGEST_ENCODED_LEN: usize = 8 + 32 * 3 + 1;
+const DIGEST_ENCODED_LEN: usize = Digest::ENCODED_LEN;
 
 /// Number of sealed blocks a digest stands for.
 fn block_count(digest: &Digest) -> u64 {
@@ -353,6 +354,34 @@ fn encode_member(shard: usize, shards: usize, kind_tag: u8) -> Vec<u8> {
     out
 }
 
+/// Sharded-layer instruments: cross-shard proof sizes/latencies and
+/// decision-log truncations, resolved once at construction.
+struct ShardedObs {
+    /// Mirror of [`TelemetryHandle::is_enabled`]: lets the proof paths skip
+    /// computing `encoded_len` when nothing records it.
+    enabled: bool,
+    point_build_nanos: Arc<Histogram>,
+    point_bytes: Arc<Histogram>,
+    range_build_nanos: Arc<Histogram>,
+    range_bytes: Arc<Histogram>,
+    /// Commit-decision log entries removed after their batch fully settled
+    /// (the decision no longer protects anything).
+    decision_truncations: Arc<Counter>,
+}
+
+impl ShardedObs {
+    fn new(telemetry: &TelemetryHandle) -> Self {
+        ShardedObs {
+            enabled: telemetry.is_enabled(),
+            point_build_nanos: telemetry.histogram("proof.sharded_point_build_nanos"),
+            point_bytes: telemetry.histogram("proof.sharded_point_bytes"),
+            range_build_nanos: telemetry.histogram("proof.sharded_range_build_nanos"),
+            range_bytes: telemetry.histogram("proof.sharded_range_bytes"),
+            decision_truncations: telemetry.counter("twopc.decision_truncations"),
+        }
+    }
+}
+
 /// The multi-shard Spitz database.
 pub struct ShardedDb {
     shards: Vec<Arc<SpitzDb>>,
@@ -372,6 +401,10 @@ pub struct ShardedDb {
     /// Serializes publications and keeps a slower concurrent publisher
     /// from rolling the head back to a staler digest.
     published_epoch: parking_lot::Mutex<u64>,
+    /// Telemetry registry shared by every shard (and the 2PC coordinator).
+    telemetry: TelemetryHandle,
+    /// Sharded-layer instruments.
+    obs: ShardedObs,
 }
 
 impl ShardedDb {
@@ -384,15 +417,23 @@ impl ShardedDb {
     /// Create an in-memory sharded instance with an explicit configuration.
     pub fn with_config(config: ShardedConfig) -> Self {
         assert!(config.shards >= 1, "need at least one shard");
+        // One telemetry registry spans all shards: per-shard instruments
+        // aggregate into a single deployment-wide snapshot.
+        let telemetry = config.spitz.telemetry_handle();
         let dbs: Vec<Arc<SpitzDb>> = (0..config.shards)
-            .map(|_| Arc::new(SpitzDb::with_config(config.spitz)))
+            .map(|_| {
+                Arc::new(SpitzDb::with_config_and_telemetry(
+                    config.spitz,
+                    telemetry.clone(),
+                ))
+            })
             .collect();
         // In-memory membership records keep the invariants uniform across
         // backends (and are exercised by `with_stores` round-trips).
         for (i, db) in dbs.iter().enumerate() {
             let _ = ensure_member(db.store(), i, config.shards, config.spitz);
         }
-        Self::assemble(dbs)
+        Self::assemble(dbs, telemetry)
     }
 
     /// Open (or create) a durable sharded instance under `path`: shard `i`
@@ -404,18 +445,20 @@ impl ShardedDb {
     pub fn open(path: impl AsRef<Path>, config: ShardedConfig) -> Result<Self> {
         assert!(config.shards >= 1, "need at least one shard");
         let path = path.as_ref();
+        let telemetry = config.spitz.telemetry_handle();
         let mut dbs = Vec::with_capacity(config.shards);
         for i in 0..config.shards {
             let dir = path.join(format!("shard-{i:03}"));
-            let db = Arc::new(SpitzDb::open_with_configs(
+            let db = Arc::new(SpitzDb::open_with_telemetry(
                 &dir,
                 config.spitz,
                 config.durable,
+                telemetry.clone(),
             )?);
             ensure_member(db.store(), i, config.shards, config.spitz)?;
             dbs.push(db);
         }
-        let db = Self::assemble(dbs);
+        let db = Self::assemble(dbs, telemetry);
         // Batches whose commit was durably decided before the previous
         // process died are redone eagerly — their effects were promised, so
         // a reopened database must show them without waiting for an
@@ -433,13 +476,18 @@ impl ShardedDb {
     /// [`SpitzDb::with_store`].
     pub fn with_stores(stores: Vec<Arc<dyn ChunkStore>>, spitz: SpitzConfig) -> Result<Self> {
         assert!(!stores.is_empty(), "need at least one shard store");
+        let telemetry = spitz.telemetry_handle();
         let shards = stores.len();
         let mut dbs = Vec::with_capacity(shards);
         for (i, store) in stores.into_iter().enumerate() {
             ensure_member(&store, i, shards, spitz)?;
-            dbs.push(Arc::new(SpitzDb::with_store(store, spitz)?));
+            dbs.push(Arc::new(SpitzDb::with_store_and_telemetry(
+                store,
+                spitz,
+                telemetry.clone(),
+            )?));
         }
-        Ok(Self::assemble(dbs))
+        Ok(Self::assemble(dbs, telemetry))
     }
 
     /// Wire the 2PC layer over already-opened shards. Participants use
@@ -449,7 +497,7 @@ impl ShardedDb {
     /// 2PC requires of its participants. No-wait locks also mean two
     /// batches that collide on a key never block each other, so
     /// distributed deadlock is impossible; the loser aborts and retries.
-    fn assemble(dbs: Vec<Arc<SpitzDb>>) -> Self {
+    fn assemble(dbs: Vec<Arc<SpitzDb>>, telemetry: TelemetryHandle) -> Self {
         let oracle = Arc::new(TimestampOracle::new());
         let staged_logs: Vec<Arc<StagedLog>> = dbs
             .iter()
@@ -492,7 +540,9 @@ impl ShardedDb {
                 ))
             })
             .collect();
-        let coordinator = TwoPhaseCoordinator::new(participants, oracle);
+        let coordinator =
+            TwoPhaseCoordinator::with_telemetry(participants, oracle, telemetry.clone());
+        let obs = ShardedObs::new(&telemetry);
         let db = ShardedDb {
             shards: dbs,
             coordinator,
@@ -500,6 +550,8 @@ impl ShardedDb {
             staged_logs,
             decisions,
             published_epoch: parking_lot::Mutex::new(0),
+            telemetry,
+            obs,
         };
         if let Ok(Some(head)) = db.published_head() {
             *db.published_epoch.lock() = head.epoch;
@@ -520,6 +572,25 @@ impl ShardedDb {
     /// The 2PC coordinator driving cross-shard batches.
     pub fn coordinator(&self) -> &TwoPhaseCoordinator {
         &self.coordinator
+    }
+
+    /// A point-in-time snapshot of every telemetry instrument across the
+    /// whole deployment: all shards' storage/pipeline/proof instruments
+    /// plus the 2PC coordinator's, in one registry.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// The live telemetry handle backing [`ShardedDb::telemetry`].
+    pub fn telemetry_handle(&self) -> &TelemetryHandle {
+        &self.telemetry
+    }
+
+    /// Drop a settled commit decision and count the truncation.
+    fn truncate_decision(&self, global_txn_id: u64) {
+        if self.decisions.remove(global_txn_id).is_ok() {
+            self.obs.decision_truncations.inc();
+        }
     }
 
     /// Which shard owns `key`.
@@ -598,7 +669,7 @@ impl ShardedDb {
         self.coordinator.commit_prepared(prepared)?;
         // Every shard applied: the decision record has served its purpose.
         // (On failure it is retained so recovery can redo the apply.)
-        let _ = self.decisions.remove(global_txn_id);
+        self.truncate_decision(global_txn_id);
         Ok(())
     }
 
@@ -686,7 +757,7 @@ impl ShardedDb {
                 }
             }
             if decided && self.all_staged_cleared(global_txn_id) {
-                let _ = self.decisions.remove(global_txn_id);
+                self.truncate_decision(global_txn_id);
             }
             resolved += 1;
         }
@@ -707,7 +778,7 @@ impl ShardedDb {
                     .iter()
                     .any(|p| p.prepared_ids().contains(&entry.global_txn_id))
             {
-                let _ = self.decisions.remove(entry.global_txn_id);
+                self.truncate_decision(entry.global_txn_id);
             }
         }
     }
@@ -733,6 +804,7 @@ impl ShardedDb {
     /// [`ShardedDb::snapshot`] once and serve many `get_verified` calls
     /// from it instead — one fence, repeatable reads, same proofs.
     pub fn get_verified(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, ShardedProof)> {
+        let timer = self.obs.point_build_nanos.start();
         let _cut = self.fence.write();
         let shard = self.route(key);
         let (value, ledger_proof) = self.shards[shard].get_verified(key)?;
@@ -755,16 +827,18 @@ impl ShardedDb {
         let membership = combined
             .membership_proof(shard)
             .expect("shard index is in range");
-        Ok((
-            value,
-            ShardedProof {
-                shard,
-                shard_count: self.shards.len(),
-                ledger_proof,
-                membership,
-                root: combined.root,
-            },
-        ))
+        let proof = ShardedProof {
+            shard,
+            shard_count: self.shards.len(),
+            ledger_proof,
+            membership,
+            root: combined.root,
+        };
+        if self.obs.enabled {
+            self.obs.point_build_nanos.finish(timer);
+            self.obs.point_bytes.record(proof.encoded_len() as u64);
+        }
+        Ok((value, proof))
     }
 
     /// **Unverified** range read over `start <= key < end`, merged across
@@ -792,6 +866,7 @@ impl ShardedDb {
         start: &[u8],
         end: &[u8],
     ) -> Result<crate::proof::ShardedVerifiedRange> {
+        let timer = self.obs.range_build_nanos.start();
         let _cut = self.fence.write();
         let mut merged = Vec::new();
         let mut parts = Vec::with_capacity(self.shards.len());
@@ -802,15 +877,17 @@ impl ShardedDb {
         }
         merged.sort_by(|a, b| a.0.cmp(&b.0));
         let combined = ShardedDigest::over(parts.iter().map(|p| p.digest).collect());
-        Ok((
-            merged,
-            ShardedRangeProof {
-                shard_count: self.shards.len(),
-                epoch: combined.epoch,
-                root: combined.root,
-                shards: parts,
-            },
-        ))
+        let proof = ShardedRangeProof {
+            shard_count: self.shards.len(),
+            epoch: combined.epoch,
+            root: combined.root,
+            shards: parts,
+        };
+        if self.obs.enabled {
+            self.obs.range_build_nanos.finish(timer);
+            self.obs.range_bytes.record(proof.encoded_len() as u64);
+        }
+        Ok((merged, proof))
     }
 
     /// Pin a fenced consistent cut as a [`ShardedSnapshot`]: all shard

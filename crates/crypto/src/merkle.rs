@@ -208,6 +208,12 @@ pub struct AuditProof {
 }
 
 impl AuditProof {
+    /// Bytes a canonical wire encoding of this proof would occupy:
+    /// leaf index ‖ tree size ‖ path length ‖ path hashes.
+    pub fn encoded_len(&self) -> usize {
+        8 + 8 + 4 + self.path.len() * crate::hash::HASH_LEN
+    }
+
     /// Recompute the root implied by this proof for raw leaf `data`.
     pub fn expected_root(&self, data: &[u8]) -> Hash {
         self.expected_root_from_leaf_hash(leaf_hash(data))

@@ -24,6 +24,14 @@ impl IndexProof {
         IndexProof { nodes: Vec::new() }
     }
 
+    /// Bytes a canonical wire encoding of this proof would occupy: a node
+    /// count plus a length-prefixed payload per node. The telemetry layer
+    /// reports this as "proof bytes" so proof-shrinking work has a number
+    /// to move.
+    pub fn encoded_len(&self) -> usize {
+        4 + self.nodes.iter().map(|node| 4 + node.len()).sum::<usize>()
+    }
+
     /// Append a node payload to the proof path.
     pub fn push_node(&mut self, payload: Vec<u8>) {
         self.nodes.push(payload);

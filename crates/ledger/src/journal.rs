@@ -27,6 +27,19 @@ pub struct JournalProof {
 }
 
 impl JournalProof {
+    /// Bytes a canonical wire encoding of this proof would occupy:
+    /// index ‖ size ‖ sibling count ‖ per-sibling tag (+ side byte and
+    /// hash when present).
+    pub fn encoded_len(&self) -> usize {
+        8 + 8
+            + 4
+            + self
+                .siblings
+                .iter()
+                .map(|s| if s.is_some() { 1 + 1 + 32 } else { 1 })
+                .sum::<usize>()
+    }
+
     /// Recompute the root implied by this proof for the given block hash.
     pub fn expected_root(&self, block_hash: Hash) -> Hash {
         let mut current = block_hash;

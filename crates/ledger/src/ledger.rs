@@ -51,12 +51,15 @@ pub struct Digest {
 }
 
 impl Digest {
+    /// Width of [`Digest::encode`]'s output.
+    pub const ENCODED_LEN: usize = 8 + 32 * 3 + 1;
+
     /// Canonical byte encoding of a digest, used as the Merkle leaf of the
     /// cross-shard digest (`spitz_core`'s `ShardedDigest`) and for durable
     /// digest records. Fixed width: height ‖ block hash ‖ index root ‖
     /// journal root ‖ SIRI kind tag.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 + 32 * 3 + 1);
+        let mut out = Vec::with_capacity(Self::ENCODED_LEN);
         out.extend_from_slice(&self.block_height.to_be_bytes());
         out.extend_from_slice(self.block_hash.as_bytes());
         out.extend_from_slice(self.index_root.as_bytes());
@@ -136,6 +139,20 @@ pub struct LedgerRangeProof {
 }
 
 impl LedgerProof {
+    /// Bytes a canonical wire encoding of this proof would occupy
+    /// (index proof ‖ digest ‖ optional journal proof). The telemetry
+    /// layer reports this per proof kind.
+    pub fn encoded_len(&self) -> usize {
+        self.index_proof.encoded_len()
+            + Digest::ENCODED_LEN
+            + 1
+            + self
+                .journal_proof
+                .as_ref()
+                .map(|p| p.encoded_len())
+                .unwrap_or(0)
+    }
+
     /// Client-side verification: recompute the index root from the proof and
     /// compare against the digest, then check the digest's internal
     /// consistency (journal inclusion of the block).
@@ -159,6 +176,16 @@ impl LedgerProof {
 }
 
 impl LedgerRangeProof {
+    /// Bytes a canonical wire encoding of this proof would occupy
+    /// (bounds ‖ index proof ‖ digest).
+    pub fn encoded_len(&self) -> usize {
+        4 + self.start.len()
+            + 4
+            + self.end.len()
+            + self.index_proof.encoded_len()
+            + Digest::ENCODED_LEN
+    }
+
     /// Client-side verification of a verified range read: the entries must
     /// be exactly the contiguous `start <= key < end` contents under the
     /// proof's digest (completeness included).

@@ -34,6 +34,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use spitz_obs::TelemetryHandle;
 use spitz_storage::{ChunkStore, StorageError};
 
 use crate::ledger::{CommitGroup, Digest, Ledger};
@@ -149,11 +150,41 @@ struct AtomicPipelineStats {
     syncs: std::sync::atomic::AtomicU64,
 }
 
+/// Pipeline instruments, resolved once at construction. All inert when the
+/// pipeline was built without telemetry.
+struct PipelineObs {
+    commits: Arc<spitz_obs::Counter>,
+    flushes: Arc<spitz_obs::Counter>,
+    syncs: Arc<spitz_obs::Counter>,
+    /// `pipeline.policy.<name>.flushes`: attributes flushes to the policy
+    /// the pipeline runs, so mixed-policy deployments can tell them apart.
+    policy_flushes: Arc<spitz_obs::Counter>,
+    group_size: Arc<spitz_obs::Histogram>,
+    flush_nanos: Arc<spitz_obs::Histogram>,
+    queue_depth: Arc<spitz_obs::Gauge>,
+}
+
+impl PipelineObs {
+    fn new(telemetry: &TelemetryHandle, policy: DurabilityPolicy) -> PipelineObs {
+        PipelineObs {
+            commits: telemetry.counter("pipeline.commits"),
+            flushes: telemetry.counter("pipeline.flushes"),
+            syncs: telemetry.counter("pipeline.syncs"),
+            policy_flushes: telemetry
+                .counter(&format!("pipeline.policy.{}.flushes", policy.name())),
+            group_size: telemetry.histogram("pipeline.group_size"),
+            flush_nanos: telemetry.histogram("pipeline.flush_nanos"),
+            queue_depth: telemetry.gauge("pipeline.queue_depth"),
+        }
+    }
+}
+
 struct Shared {
     state: Mutex<PipelineState>,
     /// Signals the committer that work (or shutdown) is pending.
     work: Condvar,
     stats: AtomicPipelineStats,
+    obs: PipelineObs,
 }
 
 /// Background group-commit pipeline over a [`Ledger`].
@@ -179,10 +210,22 @@ fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T>
 impl CommitPipeline {
     /// Spawn the committer thread over `ledger` with the given policy.
     pub fn new(ledger: Arc<Ledger>, policy: DurabilityPolicy) -> Arc<CommitPipeline> {
+        Self::with_telemetry(ledger, policy, TelemetryHandle::disabled())
+    }
+
+    /// [`Self::new`], recording into `telemetry`: commit/flush/sync
+    /// counters (attributed to the policy), group-size and flush-latency
+    /// histograms, and a queue-depth gauge.
+    pub fn with_telemetry(
+        ledger: Arc<Ledger>,
+        policy: DurabilityPolicy,
+        telemetry: TelemetryHandle,
+    ) -> Arc<CommitPipeline> {
         let shared = Arc::new(Shared {
             state: Mutex::new(PipelineState::default()),
             work: Condvar::new(),
             stats: AtomicPipelineStats::default(),
+            obs: PipelineObs::new(&telemetry, policy),
         });
         let committer = {
             let shared = Arc::clone(&shared);
@@ -274,6 +317,7 @@ impl CommitPipeline {
                     .stats
                     .commits
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.shared.obs.commits.inc();
             }
             state.queue.push(Pending {
                 writes,
@@ -281,6 +325,7 @@ impl CommitPipeline {
                 ticket: Arc::clone(&ticket),
                 sync,
             });
+            self.shared.obs.queue_depth.set(state.queue.len() as i64);
             self.shared.work.notify_one();
         }
         drop(state);
@@ -373,11 +418,15 @@ fn committer_loop(ledger: Arc<Ledger>, shared: Arc<Shared>, policy: DurabilityPo
 
         // Deadline-only wakeup, or shutdown (which always takes a final
         // sync, so even Os-policy work is on disk after a clean exit).
+        if !batch.is_empty() {
+            shared.obs.queue_depth.set(0);
+        }
         if batch.is_empty() {
             if unsynced > 0 || shutting_down {
                 match store.sync() {
                     Ok(()) => {
                         shared.stats.syncs.fetch_add(1, Relaxed);
+                        shared.obs.syncs.inc();
                         unsynced = 0;
                         sync_deadline = None;
                     }
@@ -420,13 +469,17 @@ fn committer_loop(ledger: Arc<Ledger>, shared: Arc<Shared>, policy: DurabilityPo
             Ok(ledger.digest())
         } else {
             shared.stats.flushes.fetch_add(1, Relaxed);
+            shared.obs.flushes.inc();
+            shared.obs.policy_flushes.inc();
+            shared.obs.group_size.record(commits as u64);
+            let flush_start = shared.obs.flush_nanos.start();
             // Contain panics that escape the append (index writes route
             // through `try_put` now, but a corrupt node read or a bug in an
             // index implementation can still unwind): a poisoned commit
             // must surface as an error on every ticket, never as a dead
             // committer thread that would leave all present and future
             // callers parked forever.
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 ledger.try_append_groups(groups)
             }))
             .unwrap_or_else(|panic| {
@@ -436,7 +489,9 @@ fn committer_loop(ledger: Arc<Ledger>, shared: Arc<Shared>, policy: DurabilityPo
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "commit panicked".to_string());
                 Err(StorageError::Io(format!("commit aborted: {reason}")))
-            })
+            });
+            shared.obs.flush_nanos.finish(flush_start);
+            result
         };
 
         // Apply the durability policy before acknowledging.
@@ -461,6 +516,7 @@ fn committer_loop(ledger: Arc<Ledger>, shared: Arc<Shared>, policy: DurabilityPo
             if need_sync {
                 store.sync()?;
                 shared.stats.syncs.fetch_add(1, Relaxed);
+                shared.obs.syncs.inc();
                 unsynced = 0;
                 sync_deadline = None;
             }

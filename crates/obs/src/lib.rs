@@ -1,0 +1,117 @@
+//! `spitz-obs`: dependency-free telemetry for the Spitz stack.
+//!
+//! The observability substrate every runtime layer reports through:
+//!
+//! * [`Counter`] / [`Gauge`] / [`FloatGauge`] — lock-free atomics;
+//! * [`Histogram`] — log2-bucketed latency/size distributions with
+//!   guaranteed-within-2× quantile estimates (p50/p95/p99) and RAII
+//!   [`Span`] timers;
+//! * [`EventRing`] — a bounded ring buffer for rare events (compaction
+//!   passes, 2PC aborts, torn-tail recoveries, slow fsyncs);
+//! * [`Registry`] — named get-or-create instrument directory;
+//! * [`TelemetryHandle`] — the cloneable handle threaded through
+//!   configuration into storage, the commit pipeline, the 2PC coordinator
+//!   and the proof layer;
+//! * [`TelemetrySnapshot`] — a coherent point-in-time view with stable
+//!   text and hand-rolled JSON renderings.
+//!
+//! Instruments freeze their enabled flag at creation: a component built
+//! from [`TelemetryHandle::disabled`] pays one predictable branch per
+//! operation and never reads the clock.
+//!
+//! ```
+//! use spitz_obs::TelemetryHandle;
+//!
+//! let telemetry = TelemetryHandle::new();
+//! let hits = telemetry.counter("cache.hits");
+//! let latency = telemetry.histogram("read.nanos");
+//! hits.inc();
+//! {
+//!     let _span = latency.span(); // records elapsed nanos on drop
+//! }
+//! let snapshot = telemetry.snapshot();
+//! assert_eq!(snapshot.counter("cache.hits"), Some(1));
+//! assert_eq!(snapshot.histogram("read.nanos").unwrap().count, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+mod ring;
+
+use std::sync::Arc;
+
+pub use metrics::{Counter, FloatGauge, Gauge, Histogram, Span, BUCKETS};
+pub use registry::{HistogramSnapshot, Registry, TelemetrySnapshot};
+pub use ring::{Event, EventRing, DEFAULT_EVENT_CAPACITY};
+
+/// The cloneable handle components thread through their constructors.
+///
+/// A handle is a shared [`Registry`]; cloning it is an `Arc` bump, so one
+/// registry can aggregate every layer of a database (or every shard of a
+/// [`ShardedDb`](../spitz_core/sharded/struct.ShardedDb.html)).
+#[derive(Debug, Clone)]
+pub struct TelemetryHandle {
+    registry: Arc<Registry>,
+}
+
+impl TelemetryHandle {
+    /// A live handle with a fresh enabled registry.
+    pub fn new() -> TelemetryHandle {
+        TelemetryHandle {
+            registry: Arc::new(Registry::new()),
+        }
+    }
+
+    /// A disabled handle: all instruments it resolves are inert. This is
+    /// what constructors that never received telemetry use — the cost on
+    /// their hot paths is one predictable branch per instrument call.
+    pub fn disabled() -> TelemetryHandle {
+        TelemetryHandle {
+            registry: Arc::new(Registry::disabled()),
+        }
+    }
+
+    /// Whether instruments from this handle record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.registry.counter(name)
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.registry.gauge(name)
+    }
+
+    /// Get or create the float gauge `name`.
+    pub fn float_gauge(&self, name: &str) -> Arc<FloatGauge> {
+        self.registry.float_gauge(name)
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.registry.histogram(name)
+    }
+
+    /// Record a rare event in the bounded ring.
+    pub fn event(&self, kind: &'static str, message: String) {
+        self.registry.event(kind, message);
+    }
+
+    /// A coherent point-in-time snapshot of every instrument.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.registry.snapshot()
+    }
+}
+
+impl Default for TelemetryHandle {
+    fn default() -> TelemetryHandle {
+        TelemetryHandle::new()
+    }
+}

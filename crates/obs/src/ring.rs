@@ -1,0 +1,106 @@
+//! Bounded event ring buffer for rare, high-signal occurrences.
+//!
+//! Events are things that happen a handful of times per run — compaction
+//! passes, 2PC aborts, torn-tail recoveries, slow fsyncs — so a `Mutex`
+//! around a `VecDeque` is fine here: the hot paths never touch it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default ring capacity: old events are dropped (and counted) past this.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number (never reused, survives wraparound).
+    pub seq: u64,
+    /// Milliseconds since the owning registry was created.
+    pub elapsed_ms: u64,
+    /// Stable machine-readable kind, e.g. `"compaction"`.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// A bounded FIFO of [`Event`]s; the oldest events are evicted when full.
+#[derive(Debug)]
+pub struct EventRing {
+    inner: Mutex<VecDeque<Event>>,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    capacity: usize,
+    start: Instant,
+    enabled: bool,
+}
+
+impl EventRing {
+    pub(crate) fn new(enabled: bool, capacity: usize) -> EventRing {
+        EventRing {
+            inner: Mutex::new(VecDeque::with_capacity(if enabled { capacity } else { 0 })),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            capacity,
+            start: Instant::now(),
+            enabled,
+        }
+    }
+
+    /// Append an event, evicting the oldest one if the ring is full.
+    pub fn emit(&self, kind: &'static str, message: String) {
+        if !self.enabled {
+            return;
+        }
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            elapsed_ms: self.start.elapsed().as_millis().min(u64::MAX as u128) as u64,
+            kind,
+            message,
+        };
+        let mut ring = self.inner.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// All events currently retained, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of events evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraparound_keeps_newest_and_counts_drops() {
+        let ring = EventRing::new(true, 3);
+        for i in 0..5u64 {
+            ring.emit("t", format!("e{i}"));
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(events[0].message, "e2");
+        assert_eq!(events[2].message, "e4");
+        // Sequence numbers keep counting across evictions.
+        assert_eq!(events[2].seq, 4);
+    }
+
+    #[test]
+    fn disabled_ring_is_inert() {
+        let ring = EventRing::new(false, 3);
+        ring.emit("t", "x".to_string());
+        assert!(ring.events().is_empty());
+    }
+}

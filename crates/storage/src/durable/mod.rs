@@ -150,6 +150,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use spitz_crypto::Hash;
+use spitz_obs::TelemetryHandle;
 
 use crate::chunk::{Chunk, ChunkKind};
 use crate::error::StorageError;
@@ -254,10 +255,44 @@ struct DurableInner {
     compacting: Option<HashSet<u64>>,
 }
 
+/// An fsync slower than this is rare enough — and operationally important
+/// enough — to land in the telemetry event ring.
+const SLOW_FSYNC_NANOS: u64 = 50_000_000;
+
+/// Storage instruments, resolved once at open so the hot paths touch
+/// pre-bound `Arc`s instead of the registry maps. Every instrument is
+/// inert when the store was opened without telemetry.
+struct StoreObs {
+    append_nanos: Arc<spitz_obs::Histogram>,
+    read_nanos: Arc<spitz_obs::Histogram>,
+    fsync_nanos: Arc<spitz_obs::Histogram>,
+    cache_hits: Arc<spitz_obs::Counter>,
+    cache_misses: Arc<spitz_obs::Counter>,
+    compactions: Arc<spitz_obs::Counter>,
+    space_amp: Arc<spitz_obs::FloatGauge>,
+    telemetry: TelemetryHandle,
+}
+
+impl StoreObs {
+    fn new(telemetry: TelemetryHandle) -> StoreObs {
+        StoreObs {
+            append_nanos: telemetry.histogram("storage.append_nanos"),
+            read_nanos: telemetry.histogram("storage.read_nanos"),
+            fsync_nanos: telemetry.histogram("storage.fsync_nanos"),
+            cache_hits: telemetry.counter("storage.cache.hits"),
+            cache_misses: telemetry.counter("storage.cache.misses"),
+            compactions: telemetry.counter("storage.compactions"),
+            space_amp: telemetry.float_gauge("storage.space_amplification"),
+            telemetry,
+        }
+    }
+}
+
 /// A crash-recoverable [`ChunkStore`] over append-only segment files.
 pub struct DurableChunkStore {
     dir: PathBuf,
     config: DurableConfig,
+    obs: StoreObs,
     inner: RwLock<DurableInner>,
     /// The read cache behind its own lock, so hot reads contend only here.
     cache: Mutex<ChunkCache>,
@@ -322,6 +357,17 @@ impl DurableChunkStore {
 
     /// Open (or create) a store in `dir` with explicit tuning.
     pub fn open_with_config(dir: impl AsRef<Path>, config: DurableConfig) -> Result<Self> {
+        Self::open_with_telemetry(dir, config, TelemetryHandle::disabled())
+    }
+
+    /// [`Self::open_with_config`], recording into `telemetry`: append/read
+    /// latency, cache hit/miss, fsync latency, space amplification, and
+    /// rare events (torn-tail recoveries, compaction passes, slow fsyncs).
+    pub fn open_with_telemetry(
+        dir: impl AsRef<Path>,
+        config: DurableConfig,
+        telemetry: TelemetryHandle,
+    ) -> Result<Self> {
         if config.segment_target_bytes == 0 {
             return Err(StorageError::InvalidConfig(
                 "segment_target_bytes must be positive".into(),
@@ -405,6 +451,7 @@ impl DurableChunkStore {
         let store = DurableChunkStore {
             dir,
             config,
+            obs: StoreObs::new(telemetry),
             cache: Mutex::new(ChunkCache::new(config.cache_capacity_bytes)),
             stats: AtomicStats::default(),
             inner: RwLock::new(inner),
@@ -413,10 +460,35 @@ impl DurableChunkStore {
             manifest_lock: Mutex::new(()),
         };
         store.stats.store(stats);
+        if stats.live_bytes > 0 {
+            // A previous process ran a mark pass; carry its measurement
+            // into the gauge so the ratio is meaningful from reopen.
+            let disk: u64 = store.inner.read().segments.iter().map(|s| s.len()).sum();
+            store
+                .obs
+                .space_amp
+                .set(disk as f64 / stats.live_bytes as f64);
+        }
+        let torn = store.inner.read().torn_bytes_recovered;
+        if torn > 0 {
+            store.obs.telemetry.event(
+                "torn_tail_recovery",
+                format!(
+                    "dropped {torn} torn tail bytes while opening {:?}",
+                    store.dir
+                ),
+            );
+        }
         store
             .manifest_snapshot(&store.inner.read())
             .store(&store.dir)?;
         Ok(store)
+    }
+
+    /// The telemetry handle the store records into (inert unless the store
+    /// was opened via [`Self::open_with_telemetry`]).
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.obs.telemetry
     }
 
     /// The store directory.
@@ -601,6 +673,10 @@ impl DurableChunkStore {
             (plan, live_bytes)
         };
         self.stats.live_bytes.store(live_bytes, Ordering::Relaxed);
+        if live_bytes > 0 {
+            let disk: u64 = self.inner.read().segments.iter().map(|s| s.len()).sum();
+            self.obs.space_amp.set(disk as f64 / live_bytes as f64);
+        }
 
         // Sweep, step 1 — rewrite live victim chunks into fsynced output
         // segments staged in a subdirectory: until the swap they are
@@ -774,6 +850,24 @@ impl DurableChunkStore {
             inner.condemned.retain(|id| !deleted.contains(id));
         }
         self.write_manifest()?;
+
+        self.obs.compactions.inc();
+        let live_bytes = self.stats.live_bytes.load(Ordering::Relaxed);
+        if live_bytes > 0 {
+            let disk: u64 = self.inner.read().segments.iter().map(|s| s.len()).sum();
+            self.obs.space_amp.set(disk as f64 / live_bytes as f64);
+        }
+        self.obs.telemetry.event(
+            "compaction",
+            format!(
+                "victims={:?} outputs={:?} rewrote {} live chunks, dropped {}, reclaimed {} bytes",
+                report.victim_segments,
+                report.output_segments,
+                report.live_chunks_rewritten,
+                report.chunks_dropped,
+                report.bytes_reclaimed
+            ),
+        );
         Ok(Some(report))
     }
 }
@@ -789,6 +883,7 @@ impl ChunkStore for DurableChunkStore {
     /// Store a chunk, surfacing I/O failures (disk full, EIO) as
     /// [`StorageError`] instead of panicking.
     fn try_put(&self, chunk: Chunk) -> Result<Hash> {
+        let _append_span = self.obs.append_nanos.span();
         let address = chunk.address();
         self.stats
             .logical_bytes
@@ -875,9 +970,14 @@ impl ChunkStore for DurableChunkStore {
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
         if self.config.cache_capacity_bytes > 0 {
             if let Some(chunk) = self.cache.lock().get(address) {
+                // Counter only — a clock read would be a large fraction of
+                // a cache hit's total cost.
+                self.obs.cache_hits.inc();
                 return Ok(chunk);
             }
         }
+        self.obs.cache_misses.inc();
+        let _read_span = self.obs.read_nanos.span();
         let (segment, location) = self.locate(address)?;
         let chunk = Arc::new(segment.read(&location)?);
         self.cache.lock().insert(*address, Arc::clone(&chunk));
@@ -945,6 +1045,7 @@ impl ChunkStore for DurableChunkStore {
     /// one plus any sealed segment whose rotation fsync has not been
     /// observed to complete. Runs outside every lock readers use.
     fn sync(&self) -> Result<()> {
+        let fsync_start = self.obs.fsync_nanos.start();
         let (targets, active_id) = {
             let inner = self.inner.read();
             let from = self.first_unsynced.load(Ordering::Acquire);
@@ -965,6 +1066,17 @@ impl ChunkStore for DurableChunkStore {
         // syncs.
         if let Some(active_id) = active_id {
             self.first_unsynced.fetch_max(active_id, Ordering::AcqRel);
+        }
+        let nanos = self.obs.fsync_nanos.finish(fsync_start);
+        if nanos > SLOW_FSYNC_NANOS {
+            self.obs.telemetry.event(
+                "slow_fsync",
+                format!(
+                    "sync of {} segment(s) took {} ms",
+                    targets.len(),
+                    nanos / 1_000_000
+                ),
+            );
         }
         Ok(())
     }

@@ -61,13 +61,16 @@ impl StoreStats {
         }
     }
 
-    /// Ratio of device bytes to live bytes (≥ 1.0 in steady state); `1.0`
-    /// when no mark pass has run yet.
-    pub fn space_amplification(&self) -> f64 {
+    /// Ratio of device bytes to live bytes (≥ 1.0 in steady state).
+    ///
+    /// `None` until a mark pass has measured `live_bytes`: before that the
+    /// ratio has no denominator, and returning a made-up `1.0` (as this
+    /// used to) hid real amplification from dashboards and triggers.
+    pub fn space_amplification(&self) -> Option<f64> {
         if self.live_bytes == 0 {
-            1.0
+            None
         } else {
-            self.disk_bytes as f64 / self.live_bytes as f64
+            Some(self.disk_bytes as f64 / self.live_bytes as f64)
         }
     }
 }
@@ -461,14 +464,15 @@ mod tests {
     fn space_accounting_fields_and_ratios() {
         let store = InMemoryChunkStore::new();
         let empty = store.stats();
-        assert_eq!(empty.space_amplification(), 1.0);
+        // No live-byte measurement yet: the ratio must say so, not fake 1.0.
+        assert_eq!(empty.space_amplification(), None);
         assert_eq!(empty.dead_bytes(), 0);
 
         store.put(blob(b"hello"));
         let stats = store.stats();
         assert_eq!(stats.disk_bytes, stats.physical_bytes);
         assert_eq!(stats.live_bytes, stats.physical_bytes);
-        assert_eq!(stats.space_amplification(), 1.0);
+        assert_eq!(stats.space_amplification(), Some(1.0));
         assert_eq!(stats.dead_bytes(), 0);
 
         let skewed = StoreStats {
@@ -477,7 +481,7 @@ mod tests {
             ..StoreStats::default()
         };
         assert_eq!(skewed.dead_bytes(), 200);
-        assert!((skewed.space_amplification() - 3.0).abs() < 1e-9);
+        assert!((skewed.space_amplification().unwrap() - 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -258,6 +258,30 @@ pub struct PreparedGlobal {
     pub involved: Vec<usize>,
 }
 
+/// 2PC instruments, resolved once at construction; inert when the
+/// coordinator was built without telemetry.
+struct TwoPcObs {
+    prepares: Arc<spitz_obs::Counter>,
+    commits: Arc<spitz_obs::Counter>,
+    aborts: Arc<spitz_obs::Counter>,
+    recovered: Arc<spitz_obs::Counter>,
+    in_doubt: Arc<spitz_obs::Gauge>,
+    telemetry: spitz_obs::TelemetryHandle,
+}
+
+impl TwoPcObs {
+    fn new(telemetry: spitz_obs::TelemetryHandle) -> TwoPcObs {
+        TwoPcObs {
+            prepares: telemetry.counter("twopc.prepares"),
+            commits: telemetry.counter("twopc.commits"),
+            aborts: telemetry.counter("twopc.aborts"),
+            recovered: telemetry.counter("twopc.recovered"),
+            in_doubt: telemetry.gauge("twopc.in_doubt"),
+            telemetry,
+        }
+    }
+}
+
 /// Coordinates distributed transactions over a fixed set of participants.
 /// Keys are routed to participants by hash.
 pub struct TwoPhaseCoordinator {
@@ -268,17 +292,42 @@ pub struct TwoPhaseCoordinator {
     /// in-flight commit round could presume-abort a part whose sibling
     /// was just committed, partial-committing the batch.
     fence: parking_lot::RwLock<()>,
+    obs: TwoPcObs,
 }
 
 impl TwoPhaseCoordinator {
     /// Create a coordinator over the given participants.
     pub fn new(participants: Vec<Arc<Participant>>, oracle: Arc<TimestampOracle>) -> Self {
+        Self::with_telemetry(participants, oracle, spitz_obs::TelemetryHandle::disabled())
+    }
+
+    /// [`Self::new`], recording into `telemetry`: prepare/commit/abort/
+    /// recovery counters, an in-doubt gauge, and `2pc_abort` ring events.
+    pub fn with_telemetry(
+        participants: Vec<Arc<Participant>>,
+        oracle: Arc<TimestampOracle>,
+        telemetry: spitz_obs::TelemetryHandle,
+    ) -> Self {
         assert!(!participants.is_empty(), "need at least one participant");
         TwoPhaseCoordinator {
             participants,
             oracle,
             fence: parking_lot::RwLock::new(()),
+            obs: TwoPcObs::new(telemetry),
         }
+    }
+
+    /// Refresh the `twopc.in_doubt` gauge from the participants' prepared
+    /// sets (the set a recovery pass would have to resolve right now).
+    fn refresh_in_doubt(&self) {
+        if !self.obs.telemetry.is_enabled() {
+            return;
+        }
+        let mut ids = std::collections::HashSet::new();
+        for participant in &self.participants {
+            ids.extend(participant.prepared_ids());
+        }
+        self.obs.in_doubt.set(ids.len() as i64);
     }
 
     /// The participants, in routing order.
@@ -316,6 +365,7 @@ impl TwoPhaseCoordinator {
     ) -> Result<PreparedGlobal, TxnError> {
         let _fence = self.fence.read();
         let global_txn_id = self.oracle.allocate();
+        self.obs.prepares.inc();
 
         // Partition writes by participant.
         type Partitions = HashMap<usize, Vec<(Vec<u8>, Vec<u8>)>>;
@@ -343,8 +393,15 @@ impl TwoPhaseCoordinator {
             for node in prepared {
                 self.participants[node].abort(global_txn_id);
             }
+            self.obs.aborts.inc();
+            self.obs.telemetry.event(
+                "2pc_abort",
+                format!("gtid {global_txn_id} aborted at prepare: {error}"),
+            );
+            self.refresh_in_doubt();
             return Err(error);
         }
+        self.refresh_in_doubt();
         Ok(PreparedGlobal {
             global_txn_id,
             involved,
@@ -362,6 +419,8 @@ impl TwoPhaseCoordinator {
                 first_error.get_or_insert(e);
             }
         }
+        self.obs.commits.inc();
+        self.refresh_in_doubt();
         match first_error {
             Some(e) => Err(e),
             None => Ok(prepared.global_txn_id),
@@ -371,9 +430,19 @@ impl TwoPhaseCoordinator {
     /// Phase 2 (abort): abort every prepared part.
     pub fn abort_prepared(&self, prepared: PreparedGlobal) {
         let _fence = self.fence.read();
-        for node in prepared.involved {
-            self.participants[node].abort(prepared.global_txn_id);
+        for node in &prepared.involved {
+            self.participants[*node].abort(prepared.global_txn_id);
         }
+        self.obs.aborts.inc();
+        self.obs.telemetry.event(
+            "2pc_abort",
+            format!(
+                "gtid {} aborted by decision across {} participant(s)",
+                prepared.global_txn_id,
+                prepared.involved.len()
+            ),
+        );
+        self.refresh_in_doubt();
     }
 
     /// Execute a distributed write transaction: partition the writes by
@@ -417,6 +486,8 @@ impl TwoPhaseCoordinator {
                 participant.resolve(*global_txn_id);
             }
         }
+        self.obs.recovered.add(in_doubt.len() as u64);
+        self.refresh_in_doubt();
         in_doubt.len()
     }
 

@@ -8,6 +8,8 @@
 //! * [`index`] — SIRI indexes, B+-tree, inverted indexes ([`spitz_index`]).
 //! * [`ledger`] — the tamper-evident unified ledger ([`spitz_ledger`]).
 //! * [`txn`] — timestamps, MVCC and concurrency control ([`spitz_txn`]).
+//! * [`obs`] — the telemetry layer: metrics registry, latency histograms
+//!   and text/JSON exposition ([`spitz_obs`]).
 //! * [`core`] — the Spitz database itself ([`spitz_core`]).
 //! * [`baseline`] — the systems Spitz is compared against
 //!   ([`spitz_baseline`]).
@@ -41,6 +43,7 @@ pub use spitz_core as core;
 pub use spitz_crypto as crypto;
 pub use spitz_index as index;
 pub use spitz_ledger as ledger;
+pub use spitz_obs as obs;
 pub use spitz_storage as storage;
 pub use spitz_txn as txn;
 
@@ -52,6 +55,7 @@ pub use spitz_core::snapshot::{ShardedSnapshot, Snapshot};
 pub use spitz_core::ClientVerifier;
 pub use spitz_crypto::Hash;
 pub use spitz_ledger::{CommitPipeline, Digest, DurabilityPolicy, Ledger};
+pub use spitz_obs::{TelemetryHandle, TelemetrySnapshot};
 pub use spitz_storage::{ChunkStore, DurableChunkStore, DurableConfig};
 
 #[cfg(test)]
