@@ -1,0 +1,630 @@
+//! Seeded chaos schedules for the fault-hardened storage stack.
+//!
+//! Each schedule is a deterministic function of one `u64` seed: the fault
+//! plan (via [`spitz_faults::FaultInjector`] or
+//! [`spitz_faults::FailpointStore`]), the workload shape, and every
+//! randomized choice derive from it, so a failing schedule replays from the
+//! printed seed alone. Three schedule families cover the fault surface:
+//!
+//! * [`run_kv_schedule`] — a full durable [`SpitzDb`] under seeded torn
+//!   writes, `ENOSPC`, transient I/O and fsync failures, with put /
+//!   batch / compact / flush cycles, a simulated crash
+//!   (`std::mem::forget`) and a reopen *without* the injector. Invariants:
+//!   no acknowledged write is lost, recovery is deterministic (two
+//!   reopens agree byte-for-byte on the digest), every surviving key
+//!   serves a verifying proof, a pre-fault pinned proof still verifies
+//!   offline, and once the store flips read-only, writes fail fast with
+//!   the typed error while verified reads keep serving.
+//! * [`run_scrub_schedule`] — storage-level silent corruption: a seeded
+//!   bit flip lands in a record that later seals, a scrub pass must
+//!   detect it, quarantine the segment, salvage every intact chunk, drop
+//!   the damaged one, flip the store read-only, and leave a directory
+//!   that reopens clean.
+//! * [`run_2pc_schedule`] — cross-shard batches over failpoint-wrapped
+//!   shards with a seeded mid-stream failure (error burst or permanent
+//!   shard death). Invariants: after recovery every batch is atomic —
+//!   fully applied (a decided commit is finished by redo) or fully absent
+//!   (an undecided one is presumed aborted), never partial — and a dead
+//!   shard degrades only its own key range.
+//!
+//! On a *failed* commit the stack promises the write is either fully
+//! rolled back (append failure) or fully published but possibly
+//! non-durable (fsync-only failure — see `spitz_ledger::CommitPipeline`).
+//! The KV schedule therefore holds every key to "last acknowledged value,
+//! or the one value a failed commit may have published" — never a torn
+//! mixture, never a value nobody wrote.
+//!
+//! The `fig_faults` binary runs all three families over a seed range;
+//! `tests/faults.rs` reuses them for CI smoke and the long soak.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use spitz_core::db::{SpitzConfig, SpitzDb};
+use spitz_core::proof::Verifier;
+use spitz_core::sharded::ShardedDb;
+use spitz_core::{DbError, HealthState};
+use spitz_faults::{FailMode, FailpointStore, FaultInjector, FaultRates};
+use spitz_ledger::{Digest, DurabilityPolicy, LedgerProof};
+use spitz_obs::TelemetryHandle;
+use spitz_storage::chunk::{Chunk, ChunkKind};
+use spitz_storage::{
+    ChunkStore, DurableChunkStore, DurableConfig, InMemoryChunkStore, IoErrorKind, StorageError,
+    WriteOutcome,
+};
+
+use crate::util::TempDir;
+
+/// What one schedule did, for the harness tables.
+#[derive(Debug, Clone)]
+pub struct ScheduleReport {
+    /// The seed the schedule derived everything from.
+    pub seed: u64,
+    /// Driver operations issued.
+    pub ops: u64,
+    /// Faults the injector / failpoint actually fired.
+    pub faults_injected: u64,
+    /// Writes the model holds the database accountable for.
+    pub acknowledged: u64,
+    /// Health of the store when the schedule ended (pre-crash).
+    pub final_health: HealthState,
+}
+
+impl Default for ScheduleReport {
+    fn default() -> Self {
+        ScheduleReport {
+            seed: 0,
+            ops: 0,
+            faults_injected: 0,
+            acknowledged: 0,
+            final_health: HealthState::Healthy,
+        }
+    }
+}
+
+/// The standard splitmix64 finalizer; the schedules' only RNG.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A tiny deterministic stream over `splitmix64` (the schedules must be a
+/// pure function of the seed, so no `rand` here).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64, stream: u64) -> Rng {
+        Rng(splitmix64(
+            seed ^ stream.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        ))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = splitmix64(self.0);
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn key(i: u64) -> Vec<u8> {
+    format!("chaos/{i:06}").into_bytes()
+}
+
+fn value(seed: u64, tick: u64) -> Vec<u8> {
+    format!("value-{seed:x}-{tick}-{}", "pad".repeat(4)).into_bytes()
+}
+
+/// The four fault profiles a KV schedule's seed selects among.
+fn kv_rates(seed: u64) -> FaultRates {
+    match seed % 4 {
+        // Transient-heavy: the retry loop should absorb almost everything.
+        0 => FaultRates {
+            transient_per_1024: 48,
+            fsync_transient_per_1024: 24,
+            ..FaultRates::default()
+        },
+        // Torn writes: the first one flips the store read-only.
+        1 => FaultRates {
+            torn_per_1024: 6,
+            ..FaultRates::default()
+        },
+        // Exact-op ENOSPC (registered separately in the schedule).
+        2 => FaultRates::default(),
+        // Failing fsyncs: a per-put / group / rotation fsync goes read-only.
+        _ => FaultRates {
+            fsync_fail_per_1024: 8,
+            ..FaultRates::default()
+        },
+    }
+}
+
+/// `got` is acceptable for a key iff it matches the last acknowledged
+/// value, or the single value a *failed* commit may still have published
+/// (fsync-only failures publish; append failures roll back).
+fn acceptable(got: Option<&[u8]>, acked: Option<&Vec<u8>>, maybe: Option<&Vec<u8>>) -> bool {
+    match got {
+        None => acked.is_none(),
+        Some(bytes) => {
+            acked.map(|v| v.as_slice() == bytes).unwrap_or(false)
+                || maybe.map(|v| v.as_slice() == bytes).unwrap_or(false)
+        }
+    }
+}
+
+/// One seeded KV chaos schedule over a full durable [`SpitzDb`]. Panics
+/// (with the seed in the message) on any invariant violation.
+pub fn run_kv_schedule(seed: u64) -> ScheduleReport {
+    let dir = TempDir::new(&format!("chaos-kv-{seed:x}"));
+    let injector = Arc::new(FaultInjector::random(seed, kv_rates(seed)));
+    if seed % 4 == 2 {
+        // Deterministic mid-schedule disk-full.
+        injector.fail_append_at(40 + seed % 80, WriteOutcome::Fail(IoErrorKind::NoSpace));
+    }
+    let durability = if (seed >> 8) & 1 == 0 {
+        DurabilityPolicy::Strict
+    } else {
+        DurabilityPolicy::Grouped {
+            max_delay: std::time::Duration::from_millis(2),
+            max_writes: 8,
+        }
+    };
+    let config = SpitzConfig::default().with_durability(durability);
+    let durable_config = DurableConfig {
+        segment_target_bytes: 8 * 1024,
+        ..DurableConfig::default()
+    };
+    let mut report = ScheduleReport {
+        seed,
+        ..ScheduleReport::default()
+    };
+    let db = match SpitzDb::open_with_io(dir.path(), config, durable_config, injector.handle()) {
+        Ok(db) => db,
+        Err(_) => {
+            // A fault landed inside genesis. That aborts the schedule, but
+            // the recovery invariant still holds: the directory must
+            // reopen clean without the injector.
+            report.faults_injected = injector.injected_faults();
+            SpitzDb::open(dir.path()).unwrap_or_else(|e| {
+                panic!("[seed={seed:#x}] dir unrecoverable after faulted genesis: {e}")
+            });
+            return report;
+        }
+    };
+
+    let mut rng = Rng::new(seed, 1);
+    // key index -> last *acknowledged* value (the database answers for
+    // these), and -> the value of the latest *failed* write, which a
+    // fsync-only commit failure may legitimately have published.
+    let mut acked: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut maybe: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut any_write_failed = false;
+    let mut last_acked_digest: Option<Digest> = None;
+    // (pinned digest, key, value at pin time, proof) — verified offline at
+    // the end against the pre-fault pin.
+    type Pin = (Digest, Vec<u8>, Option<Vec<u8>>, LedgerProof);
+    let mut pin: Option<Pin> = None;
+    let mut went_read_only = false;
+
+    for op in 0..160u64 {
+        report.ops += 1;
+        let roll = rng.below(100);
+        let result = if roll < 60 {
+            let i = rng.below(48);
+            let v = value(seed, op);
+            match db.put(&key(i), &v) {
+                Ok(digest) => {
+                    acked.insert(i, v);
+                    maybe.remove(&i);
+                    last_acked_digest = Some(digest);
+                    Ok(())
+                }
+                Err(e) => {
+                    maybe.insert(i, v);
+                    Err(e)
+                }
+            }
+        } else if roll < 75 {
+            let base = rng.below(40);
+            let writes: Vec<(u64, Vec<u8>)> = (base..base + 4)
+                .map(|i| (i, value(seed, op * 1000 + i)))
+                .collect();
+            let batch: Vec<(Vec<u8>, Vec<u8>)> =
+                writes.iter().map(|(i, v)| (key(*i), v.clone())).collect();
+            match db.put_batch(batch) {
+                Ok(digest) => {
+                    for (i, v) in writes {
+                        acked.insert(i, v);
+                        maybe.remove(&i);
+                    }
+                    last_acked_digest = Some(digest);
+                    Ok(())
+                }
+                Err(e) => {
+                    for (i, v) in writes {
+                        maybe.insert(i, v);
+                    }
+                    Err(e)
+                }
+            }
+        } else if roll < 85 {
+            db.flush()
+        } else if roll < 92 {
+            // GC races the fault plan; a pass aborted by an injected
+            // fault leaves the store untouched.
+            db.compact().map(|_| ())
+        } else {
+            let i = rng.below(48);
+            let (got, proof) = db
+                .get_verified(&key(i))
+                .unwrap_or_else(|e| panic!("[seed={seed:#x}] verified read failed: {e}"));
+            assert!(
+                acceptable(got.as_deref(), acked.get(&i), maybe.get(&i)),
+                "[seed={seed:#x}] key {i} lost or invented mid-schedule: {got:?}"
+            );
+            let mut client = Verifier::new();
+            assert!(client.observe_digest(db.digest()));
+            assert!(
+                client.verify_read(&key(i), got.as_deref(), &proof),
+                "[seed={seed:#x}] live proof failed verification"
+            );
+            Ok(())
+        };
+
+        if pin.is_none() && op >= 10 && !acked.is_empty() {
+            // Pin a digest + proof mid-schedule to re-verify offline at
+            // the very end, after faults and recovery.
+            let i = *acked.keys().next().unwrap();
+            let (v, proof) = db
+                .get_verified(&key(i))
+                .unwrap_or_else(|e| panic!("[seed={seed:#x}] pin read failed: {e}"));
+            pin = Some((db.digest(), key(i), v, proof));
+        }
+
+        if let Err(err) = result {
+            any_write_failed = true;
+            if matches!(err, DbError::ReadOnly(_)) || db.health() == HealthState::ReadOnly {
+                went_read_only = true;
+                break;
+            }
+            // Any other injected failure just means the op was not
+            // acknowledged; the schedule keeps going.
+        }
+    }
+
+    if went_read_only {
+        // Degraded-mode contract: writes fail fast with the typed error,
+        // verified reads keep serving out of the read-only store.
+        let err = db
+            .put(b"post-readonly", b"x")
+            .expect_err("store is read-only");
+        assert!(
+            matches!(err, DbError::ReadOnly(_)),
+            "[seed={seed:#x}] read-only store must fail writes with the typed error, got {err}"
+        );
+        if let Some(i) = acked.keys().next().copied() {
+            let (got, proof) = db
+                .get_verified(&key(i))
+                .unwrap_or_else(|e| panic!("[seed={seed:#x}] read-only store must read: {e}"));
+            assert!(acceptable(got.as_deref(), acked.get(&i), maybe.get(&i)));
+            let mut client = Verifier::new();
+            assert!(client.observe_digest(db.digest()));
+            assert!(client.verify_read(&key(i), got.as_deref(), &proof));
+        }
+    }
+
+    report.acknowledged = acked.len() as u64;
+    report.faults_injected = injector.injected_faults();
+    report.final_health = db.health();
+
+    // Crash: the process dies with whatever has reached the files.
+    std::mem::forget(db);
+
+    // Recover WITHOUT the injector — twice; recovery must be deterministic.
+    let mut digests = Vec::new();
+    for round in 0..2 {
+        let reopened = SpitzDb::open(dir.path())
+            .unwrap_or_else(|e| panic!("[seed={seed:#x}] reopen round {round} failed: {e}"));
+        digests.push(reopened.digest());
+        for (i, expected) in &acked {
+            let (got, proof) = reopened
+                .get_verified(&key(*i))
+                .unwrap_or_else(|e| panic!("[seed={seed:#x}] post-recovery read failed: {e}"));
+            assert!(
+                got.is_some(),
+                "[seed={seed:#x}] acknowledged write lost across recovery (key {i})"
+            );
+            assert!(
+                acceptable(got.as_deref(), Some(expected), maybe.get(i)),
+                "[seed={seed:#x}] key {i} recovered to a value nobody acknowledged"
+            );
+            let mut client = Verifier::new();
+            assert!(client.observe_digest(reopened.digest()));
+            assert!(
+                client.verify_read(&key(*i), got.as_deref(), &proof),
+                "[seed={seed:#x}] post-recovery proof failed verification"
+            );
+        }
+    }
+    assert_eq!(
+        digests[0], digests[1],
+        "[seed={seed:#x}] recovery must be deterministic"
+    );
+    if !any_write_failed {
+        // With no failed commit there is no published-but-unacknowledged
+        // block, so the recovered digest must be exactly the last
+        // acknowledged one.
+        if let Some(expected) = last_acked_digest {
+            assert_eq!(
+                digests[0], expected,
+                "[seed={seed:#x}] clean schedule recovered to a different digest"
+            );
+        }
+    }
+    if let Some((digest, k, v, proof)) = pin {
+        // The mid-schedule pin verifies offline, against the pinned digest
+        // alone — faults and recovery cannot retroactively break it.
+        let mut client = Verifier::new();
+        assert!(client.observe_digest(digest));
+        assert!(
+            client.verify_read(&k, v.as_deref(), &proof),
+            "[seed={seed:#x}] pre-fault pinned proof no longer verifies"
+        );
+    }
+    report
+}
+
+/// One seeded silent-corruption schedule at the storage layer: a bit flip
+/// lands in a record that seals, scrub must quarantine + salvage + go
+/// read-only. Panics (with the seed in the message) on violation.
+pub fn run_scrub_schedule(seed: u64) -> ScheduleReport {
+    let dir = TempDir::new(&format!("chaos-scrub-{seed:x}"));
+    let injector = Arc::new(FaultInjector::new(seed));
+    let mut rng = Rng::new(seed, 2);
+    let total = 40 + rng.below(24);
+    let corrupt_at = 2 + rng.below(total - 14);
+    injector.fail_append_at(
+        corrupt_at,
+        WriteOutcome::Corrupt {
+            offset: rng.below(160) as usize,
+            mask: (rng.next() >> 16) as u8,
+        },
+    );
+    let config = DurableConfig {
+        segment_target_bytes: 2 * 1024,
+        ..DurableConfig::default()
+    };
+    let store = DurableChunkStore::open_with_io(
+        dir.path(),
+        config,
+        TelemetryHandle::disabled(),
+        injector.handle(),
+    )
+    .unwrap_or_else(|e| panic!("[seed={seed:#x}] open failed: {e}"));
+
+    // Distinct ~220 byte records against a 2 KiB segment target: at least
+    // twelve records always follow the damaged one, so its segment is
+    // guaranteed sealed before the scrub runs.
+    let mut addresses = Vec::new();
+    for i in 0..total {
+        let payload = format!("chaos-chunk-{seed:x}-{i}-{}", "x".repeat(160)).into_bytes();
+        let address = store
+            .try_put(Chunk::new(ChunkKind::Blob, payload))
+            .unwrap_or_else(|e| panic!("[seed={seed:#x}] put {i} failed: {e}"));
+        addresses.push(address);
+    }
+    store.sync().expect("sync");
+    let damaged = addresses[corrupt_at as usize];
+
+    let chunks_before = store.stats().chunk_count;
+    let scrub = store
+        .scrub()
+        .unwrap_or_else(|e| panic!("[seed={seed:#x}] scrub failed: {e}"));
+    assert!(
+        !scrub.quarantined_segments.is_empty(),
+        "[seed={seed:#x}] scrub must quarantine the corrupt segment"
+    );
+    assert!(
+        scrub.chunks_lost >= 1,
+        "[seed={seed:#x}] the damaged record cannot be salvaged"
+    );
+    assert_eq!(
+        store.health(),
+        HealthState::ReadOnly,
+        "[seed={seed:#x}] losing data must flip the store read-only"
+    );
+    assert_eq!(
+        store.stats().chunk_count,
+        chunks_before - scrub.chunks_lost,
+        "[seed={seed:#x}] space accounting must drop exactly the lost chunks"
+    );
+    // The damaged chunk reads as missing (never as wrong bytes); every
+    // other chunk was salvaged and still reads back verified.
+    assert!(
+        matches!(store.get(&damaged), Err(StorageError::ChunkNotFound(_))),
+        "[seed={seed:#x}] damaged chunk must read as lost"
+    );
+    for (i, address) in addresses.iter().enumerate() {
+        if i as u64 == corrupt_at {
+            continue;
+        }
+        let chunk = store
+            .get(address)
+            .unwrap_or_else(|e| panic!("[seed={seed:#x}] salvaged chunk {i} lost: {e}"));
+        assert_eq!(chunk.address(), *address);
+    }
+    // Writes fail fast with the typed error.
+    let err = store
+        .try_put(Chunk::new(ChunkKind::Blob, b"post-quarantine".to_vec()))
+        .expect_err("read-only store");
+    assert!(matches!(err, StorageError::ReadOnly(_)));
+    // The evidence is preserved in quarantine/.
+    let quarantine = dir.path().join("quarantine");
+    assert!(
+        std::fs::read_dir(&quarantine)
+            .map(|d| d.count())
+            .unwrap_or(0)
+            > 0,
+        "[seed={seed:#x}] quarantined segment file must be preserved"
+    );
+
+    let report = ScheduleReport {
+        seed,
+        ops: total + 1,
+        faults_injected: injector.injected_faults(),
+        acknowledged: addresses.len() as u64 - 1,
+        final_health: store.health(),
+    };
+
+    // Reopen without the injector: the directory is clean (the corrupt
+    // segment lives in quarantine/), every salvaged chunk is still there,
+    // the lost one is still missing — deterministically.
+    drop(store);
+    let reopened = DurableChunkStore::open_with_config(dir.path(), config)
+        .unwrap_or_else(|e| panic!("[seed={seed:#x}] reopen after quarantine failed: {e}"));
+    for (i, address) in addresses.iter().enumerate() {
+        if i as u64 == corrupt_at {
+            assert!(reopened.get(address).is_err());
+        } else {
+            assert!(
+                reopened.get(address).is_ok(),
+                "[seed={seed:#x}] salvaged chunk {i} lost across reopen"
+            );
+        }
+    }
+    report
+}
+
+/// One seeded 2PC chaos schedule: cross-shard batches over failpoint
+/// shards, a seeded mid-stream failure, atomicity and degraded-mode
+/// checks. Panics (with the seed in the message) on violation.
+pub fn run_2pc_schedule(seed: u64) -> ScheduleReport {
+    const SHARDS: usize = 3;
+    let failpoints: Vec<Arc<FailpointStore>> = (0..SHARDS)
+        .map(|_| FailpointStore::new(Arc::new(InMemoryChunkStore::new())))
+        .collect();
+    let stores: Vec<Arc<dyn ChunkStore>> = failpoints
+        .iter()
+        .map(|f| Arc::clone(f) as Arc<dyn ChunkStore>)
+        .collect();
+    let db = ShardedDb::with_stores(stores, SpitzConfig::default())
+        .unwrap_or_else(|e| panic!("[seed={seed:#x}] sharded open failed: {e}"));
+
+    let mut rng = Rng::new(seed, 3);
+    let batches = 16u64;
+    let fail_batch = rng.below(batches);
+    let victim = rng.below(SHARDS as u64) as usize;
+    let kill = rng.below(4) == 0;
+    let countdown = rng.below(3);
+    let mut report = ScheduleReport {
+        seed,
+        ..ScheduleReport::default()
+    };
+    let mut committed: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::new();
+
+    for b in 0..batches {
+        report.ops += 1;
+        if b == fail_batch {
+            failpoints[victim].arm(
+                countdown,
+                if kill {
+                    FailMode::Kill
+                } else {
+                    FailMode::Error
+                },
+            );
+        }
+        let writes: Vec<(Vec<u8>, Vec<u8>)> = (0..4u64)
+            .map(|i| {
+                (
+                    format!("2pc/{seed:x}/{b:03}/{i}").into_bytes(),
+                    format!("batch-{b}-{i}").into_bytes(),
+                )
+            })
+            .collect();
+        match db.put_batch(writes.clone()) {
+            Ok(_) => committed.push(writes),
+            Err(_) => {
+                // A failed cross-shard batch is in one of two legitimate
+                // states: *undecided* (recovery presumes abort, nothing
+                // visible) or *decided but incomplete* (the commit
+                // decision landed before the fault; recovery finishes the
+                // apply). Either way the post-recovery outcome must be
+                // all-or-nothing on the shards that can still answer — a
+                // partial batch is the invariant violation.
+                if !kill {
+                    failpoints[victim].disarm();
+                }
+                db.recover();
+                let probe: Vec<bool> = writes
+                    .iter()
+                    .filter(|(k, _)| !(kill && db.route(k) == victim))
+                    .map(|(k, _)| db.get(k).unwrap_or(None).is_some())
+                    .collect();
+                let all = !probe.is_empty() && probe.iter().all(|v| *v);
+                let none = probe.iter().all(|v| !*v);
+                assert!(
+                    all || none,
+                    "[seed={seed:#x}] batch {b} partially applied after recovery"
+                );
+                if all {
+                    committed.push(writes);
+                } else if !kill {
+                    // Presumed abort: the same batch commits on retry.
+                    db.put_batch(writes.clone())
+                        .unwrap_or_else(|e| panic!("[seed={seed:#x}] retry failed: {e}"));
+                    committed.push(writes);
+                }
+                if kill {
+                    break;
+                }
+            }
+        }
+    }
+
+    if kill && failpoints[victim].is_dead() {
+        // Degraded-mode contract: the deployment degrades, the dead shard
+        // reports read-only, and keys owned by live shards keep writing.
+        assert_eq!(db.health(), HealthState::Degraded);
+        assert_eq!(db.shard_health(victim), HealthState::ReadOnly);
+        let mut i = 0u64;
+        let live_key = loop {
+            let k = format!("2pc/{seed:x}/live/{i}").into_bytes();
+            if db.route(&k) != victim {
+                break k;
+            }
+            i += 1;
+        };
+        db.put(&live_key, b"still-writable")
+            .unwrap_or_else(|e| panic!("[seed={seed:#x}] live shard must keep writing: {e}"));
+        assert_eq!(
+            db.get(&live_key).unwrap().as_deref(),
+            Some(b"still-writable".as_ref())
+        );
+    } else {
+        assert_eq!(db.health(), HealthState::Healthy);
+    }
+
+    // Every committed batch is fully present on its shards.
+    for (b, writes) in committed.iter().enumerate() {
+        for (k, v) in writes {
+            if kill && db.route(k) == victim {
+                continue;
+            }
+            assert_eq!(
+                db.get(k).unwrap().as_deref(),
+                Some(v.as_slice()),
+                "[seed={seed:#x}] committed batch {b} lost a write"
+            );
+        }
+    }
+
+    report.acknowledged = committed.len() as u64;
+    report.faults_injected = failpoints.iter().map(|f| f.injected_failures()).sum();
+    report.final_health = db.health();
+    report
+}

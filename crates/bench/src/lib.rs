@@ -19,10 +19,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod harness;
 pub mod systems;
 pub mod util;
 pub mod workload;
 
+pub use chaos::{run_2pc_schedule, run_kv_schedule, run_scrub_schedule, ScheduleReport};
 pub use harness::{measure_throughput, FigureTable};
 pub use workload::{KeyValueWorkload, WikiWorkload, WorkloadConfig};

@@ -18,8 +18,8 @@ use spitz_index::BPlusTree;
 use spitz_ledger::{CommitPipeline, Digest, DurabilityPolicy, Ledger, LedgerProof, VerifiedRange};
 use spitz_obs::{Histogram, TelemetryHandle, TelemetrySnapshot};
 use spitz_storage::{
-    Chunk, ChunkKind, ChunkStore, CompactionReport, DurableChunkStore, DurableConfig,
-    InMemoryChunkStore, StorageError, StoreStats,
+    real_io, Chunk, ChunkKind, ChunkStore, CompactionReport, DurableChunkStore, DurableConfig,
+    HealthState, InMemoryChunkStore, ScrubReport, SegmentIoHandle, StorageError, StoreStats,
 };
 use spitz_txn::CcScheme;
 
@@ -83,6 +83,13 @@ pub struct SpitzConfig {
     /// resulting mark-sweep pass) to a background compactor thread, so a
     /// committing writer never pays for a compaction inline.
     pub compaction: Option<CompactionTrigger>,
+    /// Background-scrub interval for durable instances. `None` (the
+    /// default) disables the scrubber thread; [`SpitzDb::scrub`] always
+    /// works explicitly. When set, a dedicated thread walks the sealed
+    /// segments every interval verifying every record CRC off the hot
+    /// path, and quarantines any corrupt segment it finds (salvaging the
+    /// intact chunks — see [`DurableChunkStore::scrub`]).
+    pub scrub_interval: Option<std::time::Duration>,
     /// Record telemetry (counters, latency histograms, event ring) for this
     /// instance. Enabled by default: every instrument is a relaxed atomic
     /// update, cheap enough for the hot paths the paper's figures measure.
@@ -98,6 +105,7 @@ impl Default for SpitzConfig {
             cc_scheme: CcScheme::Occ,
             durability: DurabilityPolicy::Strict,
             compaction: None,
+            scrub_interval: None,
             telemetry: true,
         }
     }
@@ -113,6 +121,12 @@ impl SpitzConfig {
     /// This configuration with automatic compaction governed by `trigger`.
     pub fn with_compaction(mut self, trigger: CompactionTrigger) -> Self {
         self.compaction = Some(trigger);
+        self
+    }
+
+    /// This configuration with a background scrub pass every `interval`.
+    pub fn with_scrub_interval(mut self, interval: std::time::Duration) -> Self {
+        self.scrub_interval = Some(interval);
         self
     }
 
@@ -459,6 +473,110 @@ impl Compactor {
     }
 }
 
+/// Wake/idle handshake between callers and the scrubber thread.
+#[derive(Default)]
+struct ScrubberState {
+    /// The scrubber thread is currently running a pass.
+    busy: bool,
+    /// Drop requested the thread exit.
+    shutdown: bool,
+}
+
+struct ScrubberShared {
+    state: Mutex<ScrubberState>,
+    /// Signalled by Drop on shutdown (the periodic wake-ups come from the
+    /// wait timeout).
+    wake: Condvar,
+    /// Signalled by the scrubber thread whenever a pass finishes;
+    /// [`Scrubber::quiesce`] waits on it.
+    idle: Condvar,
+}
+
+/// The background integrity scrubber: a thread that CRC-walks the sealed
+/// segments every interval, entirely off the commit path. Corruption it
+/// finds is quarantined by [`DurableChunkStore::scrub`]; errors never
+/// propagate to writers (the store's health state and telemetry carry the
+/// outcome).
+struct Scrubber {
+    shared: Arc<ScrubberShared>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Scrubber {
+    fn spawn(durable: Arc<DurableChunkStore>, interval: std::time::Duration) -> Scrubber {
+        let shared = Arc::new(ScrubberShared {
+            state: Mutex::new(ScrubberState::default()),
+            wake: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = thread::Builder::new()
+            .name("spitz-scrubber".into())
+            .spawn(move || Self::worker(durable, thread_shared, interval))
+            .expect("spawn scrubber thread");
+        Scrubber {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    fn worker(
+        durable: Arc<DurableChunkStore>,
+        shared: Arc<ScrubberShared>,
+        interval: std::time::Duration,
+    ) {
+        loop {
+            {
+                let state = shared.state.lock().expect("scrubber state poisoned");
+                if state.shutdown {
+                    return;
+                }
+                let (state, _timeout) = shared
+                    .wake
+                    .wait_timeout(state, interval)
+                    .expect("scrubber state poisoned");
+                if state.shutdown {
+                    return;
+                }
+            }
+            {
+                let mut state = shared.state.lock().expect("scrubber state poisoned");
+                state.busy = true;
+            }
+            // A pass that errors mid-swap has already raised the store's
+            // health and emitted events; the next interval retries.
+            let _ = durable.scrub();
+            let mut state = shared.state.lock().expect("scrubber state poisoned");
+            state.busy = false;
+            shared.idle.notify_all();
+        }
+    }
+
+    /// Block until no pass is in flight (a newly started interval wait is
+    /// fine — callers only need the effects of passes that already began).
+    fn quiesce(&self) {
+        let mut state = self.shared.state.lock().expect("scrubber state poisoned");
+        while state.busy {
+            state = self
+                .shared
+                .idle
+                .wait(state)
+                .expect("scrubber state poisoned");
+        }
+    }
+
+    fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("scrubber state poisoned");
+            state.shutdown = true;
+            self.shared.wake.notify_one();
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
 /// The Spitz verifiable database.
 pub struct SpitzDb {
     store: Arc<dyn ChunkStore>,
@@ -483,6 +601,9 @@ pub struct SpitzDb {
     /// configured on a durable instance. Joined (after a best-effort
     /// shutdown signal) before the pipeline drains on drop.
     compactor: Option<Compactor>,
+    /// Background integrity scrubber, present when a scrub interval is
+    /// configured on a durable instance. Joined on drop.
+    scrubber: Option<Scrubber>,
     /// Telemetry registry shared by every layer of this instance (storage,
     /// pipeline, proofs; the sharded wrapper adds 2PC).
     telemetry: TelemetryHandle,
@@ -554,6 +675,22 @@ impl SpitzDb {
         Self::open_with_telemetry(path, config, durable, telemetry)
     }
 
+    /// Open (or create) a durable instance with a caller-supplied
+    /// [`SegmentIoHandle`] installed beneath the store's file I/O. The
+    /// production handle is [`real_io`]; fault-injection harnesses install
+    /// a seeded injector here to drive torn writes, bit flips, `ENOSPC`,
+    /// and fsync failures through the *real* recovery, retry and health
+    /// machinery.
+    pub fn open_with_io(
+        path: impl AsRef<Path>,
+        config: SpitzConfig,
+        durable: DurableConfig,
+        io: SegmentIoHandle,
+    ) -> Result<Self> {
+        let telemetry = config.telemetry_handle();
+        Self::open_full(path, config, durable, telemetry, io)
+    }
+
     /// Durable construction over a caller-supplied telemetry handle (the
     /// sharded wrapper shares one registry across all shards).
     pub(crate) fn open_with_telemetry(
@@ -562,10 +699,21 @@ impl SpitzDb {
         durable: DurableConfig,
         telemetry: TelemetryHandle,
     ) -> Result<Self> {
-        let concrete = Arc::new(DurableChunkStore::open_with_telemetry(
+        Self::open_full(path, config, durable, telemetry, real_io())
+    }
+
+    fn open_full(
+        path: impl AsRef<Path>,
+        config: SpitzConfig,
+        durable: DurableConfig,
+        telemetry: TelemetryHandle,
+        io: SegmentIoHandle,
+    ) -> Result<Self> {
+        let concrete = Arc::new(DurableChunkStore::open_with_io(
             path,
             durable,
             telemetry.clone(),
+            io,
         )?);
         let store: Arc<dyn ChunkStore> = Arc::clone(&concrete) as Arc<dyn ChunkStore>;
         let mut db = Self::with_store_and_telemetry(store, config, telemetry)?;
@@ -576,10 +724,13 @@ impl SpitzDb {
             db.compactor = Some(Compactor::spawn(CompactionCtx {
                 store: Arc::clone(&db.store),
                 ledger: Arc::clone(&db.ledger),
-                durable: concrete,
+                durable: Arc::clone(&concrete),
                 trigger,
                 floor: Arc::clone(&db.compact_floor),
             }));
+        }
+        if let Some(interval) = config.scrub_interval {
+            db.scrubber = Some(Scrubber::spawn(concrete, interval));
         }
         Ok(db)
     }
@@ -635,6 +786,7 @@ impl SpitzDb {
             compaction: config.compaction,
             compact_floor: Arc::new(AtomicU64::new(0)),
             compactor: None,
+            scrubber: None,
             telemetry,
             proof_obs,
         }
@@ -662,6 +814,9 @@ impl SpitzDb {
         }
         if let Some(compactor) = &self.compactor {
             compactor.quiesce();
+        }
+        if let Some(scrubber) = &self.scrubber {
+            scrubber.quiesce();
         }
         Ok(())
     }
@@ -750,6 +905,35 @@ impl SpitzDb {
             Ordering::Relaxed,
         );
         Ok(result?)
+    }
+
+    /// The health of the backing store. [`HealthState::Healthy`] in normal
+    /// operation; [`HealthState::Degraded`] after exhausted transient-I/O
+    /// retries or a fully salvaged quarantine; [`HealthState::ReadOnly`]
+    /// once the device is out of space, a write path failed unrecoverably,
+    /// or a scrub lost data — verified reads keep serving while every write
+    /// fails fast with [`DbError::ReadOnly`]. In-memory instances are
+    /// always healthy.
+    pub fn health(&self) -> HealthState {
+        self.store.health()
+    }
+
+    /// Why the store is degraded or read-only. `None` on non-durable
+    /// instances, `Some("")` while healthy.
+    pub fn health_reason(&self) -> Option<String> {
+        self.durable.as_ref().map(|d| d.health_reason())
+    }
+
+    /// Run one synchronous scrub pass over the durable store's sealed
+    /// segments: verify every record CRC and quarantine (with salvage) any
+    /// corrupt segment found. Returns `Ok(None)` on in-memory instances.
+    /// The background scrubber (see [`SpitzConfig::scrub_interval`]) runs
+    /// the same pass periodically.
+    pub fn scrub(&self) -> Result<Option<ScrubReport>> {
+        let Some(durable) = self.durable.as_ref() else {
+            return Ok(None);
+        };
+        Ok(Some(durable.scrub()?))
     }
 
     /// Post-commit hook on the write paths: when automatic compaction is
@@ -1043,6 +1227,9 @@ impl Drop for SpitzDb {
         // never loses acknowledged writes under any durability policy.
         if let Some(compactor) = &mut self.compactor {
             compactor.shutdown();
+        }
+        if let Some(scrubber) = &mut self.scrubber {
+            scrubber.shutdown();
         }
         if let Some(pipeline) = &self.pipeline {
             pipeline.shutdown();

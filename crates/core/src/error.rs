@@ -7,6 +7,10 @@ use std::fmt;
 pub enum DbError {
     /// A storage-layer failure (missing or corrupt chunk).
     Storage(String),
+    /// The backing store has flipped read-only (device out of space or
+    /// unrecoverable corruption): reads keep serving, writes fail fast.
+    /// The payload is the store's reason.
+    ReadOnly(String),
     /// A transaction conflict that the caller should retry.
     TxnConflict(String),
     /// The request referenced a column or table not present in the schema.
@@ -28,6 +32,7 @@ impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DbError::Storage(msg) => write!(f, "storage error: {msg}"),
+            DbError::ReadOnly(reason) => write!(f, "store is read-only: {reason}"),
             DbError::TxnConflict(msg) => write!(f, "transaction conflict: {msg}"),
             DbError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
             DbError::TypeMismatch { column, expected } => {
@@ -43,7 +48,10 @@ impl std::error::Error for DbError {}
 
 impl From<spitz_storage::StorageError> for DbError {
     fn from(e: spitz_storage::StorageError) -> Self {
-        DbError::Storage(e.to_string())
+        match e {
+            spitz_storage::StorageError::ReadOnly(reason) => DbError::ReadOnly(reason),
+            other => DbError::Storage(other.to_string()),
+        }
     }
 }
 
@@ -68,6 +76,10 @@ mod tests {
 
         let e: DbError = spitz_txn::TxnError::Conflict("busy".into()).into();
         assert!(matches!(e, DbError::TxnConflict(_)));
+
+        let e: DbError = spitz_storage::StorageError::ReadOnly("disk full".into()).into();
+        assert!(matches!(e, DbError::ReadOnly(_)));
+        assert!(e.to_string().contains("read-only"));
 
         let e = DbError::TypeMismatch {
             column: "age".into(),

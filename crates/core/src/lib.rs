@@ -69,6 +69,7 @@ pub use sharded::{
     SHARD_MEMBER_ROOT,
 };
 pub use snapshot::{ShardedSnapshot, Snapshot};
+pub use spitz_storage::HealthState;
 
 /// Compatibility alias: the consolidated [`proof::Verifier`] replaces the
 /// old `verify::ClientVerifier`.

@@ -574,6 +574,28 @@ impl ShardedDb {
         &self.coordinator
     }
 
+    /// The health of one shard's backing store (see [`SpitzDb::health`]).
+    pub fn shard_health(&self, index: usize) -> spitz_storage::HealthState {
+        self.shards[index].health()
+    }
+
+    /// Aggregate deployment health: healthy only when every shard is. A
+    /// single dead or full shard degrades the whole deployment but never
+    /// makes it read-only — the other shards' key ranges stay writable,
+    /// and cross-shard batches touching the sick shard abort cleanly (its
+    /// prepare vote is No).
+    pub fn health(&self) -> spitz_storage::HealthState {
+        let sick = (0..self.shards.len())
+            .map(|i| self.shard_health(i))
+            .filter(|h| *h != spitz_storage::HealthState::Healthy)
+            .count();
+        if sick == 0 {
+            spitz_storage::HealthState::Healthy
+        } else {
+            spitz_storage::HealthState::Degraded
+        }
+    }
+
     /// A point-in-time snapshot of every telemetry instrument across the
     /// whole deployment: all shards' storage/pipeline/proof instruments
     /// plus the 2PC coordinator's, in one registry.

@@ -1,4 +1,4 @@
-//! Deterministic crash-point injection for storage-backed tests.
+//! Deterministic crash-point injection above the [`ChunkStore`] API.
 //!
 //! [`FailpointStore`] wraps any [`ChunkStore`] and, once armed, makes write
 //! operations fail after a configured countdown — either as a one-shot
@@ -13,9 +13,9 @@
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 
-use spitz::crypto::Hash;
-use spitz::storage::chunk::{Chunk, ChunkKind};
-use spitz::storage::{ChunkStore, StorageError, StoreStats};
+use spitz_crypto::Hash;
+use spitz_storage::chunk::{Chunk, ChunkKind};
+use spitz_storage::{ChunkStore, HealthState, IoErrorKind, StorageError, StoreStats};
 
 /// What happens when the countdown reaches zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,14 +88,22 @@ impl FailpointStore {
             self.dead.store(true, Ordering::SeqCst);
         }
         self.injected.fetch_add(1, Ordering::SeqCst);
-        Err(StorageError::Io("injected failpoint".into()))
+        Err(StorageError::io_synthetic(
+            IoErrorKind::NoSpace,
+            "append",
+            "injected failpoint",
+        ))
     }
 
     /// Fail reads only once the store has been killed.
     fn read_gate(&self) -> Result<(), StorageError> {
         if self.dead.load(Ordering::SeqCst) {
             self.injected.fetch_add(1, Ordering::SeqCst);
-            return Err(StorageError::Io("store killed by failpoint".into()));
+            return Err(StorageError::io_synthetic(
+                IoErrorKind::Other,
+                "read",
+                "store killed by failpoint",
+            ));
         }
         Ok(())
     }
@@ -151,5 +159,53 @@ impl ChunkStore for FailpointStore {
     fn get_kind(&self, address: &Hash, expected: ChunkKind) -> Result<Arc<Chunk>, StorageError> {
         self.read_gate()?;
         self.inner.get_kind(address, expected)
+    }
+
+    /// A killed store is read-only (it will never accept a write again);
+    /// otherwise health is whatever the wrapped store reports.
+    fn health(&self) -> HealthState {
+        if self.is_dead() {
+            HealthState::ReadOnly
+        } else {
+            self.inner.health()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spitz_storage::InMemoryChunkStore;
+
+    fn chunk(n: u8) -> Chunk {
+        Chunk::new(ChunkKind::Blob, vec![n; 8])
+    }
+
+    #[test]
+    fn countdown_fires_then_disarm_revives_error_mode() {
+        let store = FailpointStore::new(Arc::new(InMemoryChunkStore::new()));
+        store.arm(2, FailMode::Error);
+        store.try_put(chunk(1)).unwrap();
+        store.try_put(chunk(2)).unwrap();
+        let err = store.try_put(chunk(3)).unwrap_err();
+        assert!(err.to_string().contains("failpoint"));
+        assert_eq!(err.io_kind(), Some(IoErrorKind::NoSpace));
+        assert_eq!(store.health(), HealthState::Healthy);
+        store.disarm();
+        store.try_put(chunk(3)).unwrap();
+        assert_eq!(store.injected_failures(), 1);
+    }
+
+    #[test]
+    fn killed_store_stays_dead_and_reports_read_only() {
+        let store = FailpointStore::new(Arc::new(InMemoryChunkStore::new()));
+        let address = store.try_put(chunk(1)).unwrap();
+        store.arm(0, FailMode::Kill);
+        assert!(store.try_put(chunk(2)).is_err());
+        assert!(store.is_dead());
+        assert_eq!(store.health(), HealthState::ReadOnly);
+        assert!(store.get(&address).is_err(), "reads fail after kill");
+        store.disarm();
+        assert!(store.try_put(chunk(2)).is_err(), "kill is permanent");
     }
 }

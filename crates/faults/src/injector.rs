@@ -1,0 +1,261 @@
+//! The seeded segment-I/O fault injector.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use spitz_storage::{FsyncOutcome, SegmentIo, SegmentIoHandle, WriteOutcome};
+
+/// Per-operation fault probabilities, in parts per 1024. The categories are
+/// tried in declaration order against a single roll, so their sum must stay
+/// at or below 1024 (the remainder is the no-fault probability).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultRates {
+    /// Record appends torn at a random prefix (crash-mid-write model).
+    pub torn_per_1024: u32,
+    /// Record appends that succeed with one byte silently damaged.
+    pub corrupt_per_1024: u32,
+    /// Record appends failing with `ENOSPC`.
+    pub enospc_per_1024: u32,
+    /// Record appends failing with a transient error (retryable).
+    pub transient_per_1024: u32,
+    /// Fsyncs failing hard (non-retryable).
+    pub fsync_fail_per_1024: u32,
+    /// Fsyncs failing transiently (retryable).
+    pub fsync_transient_per_1024: u32,
+}
+
+/// A deterministic, seeded [`SegmentIo`]: every fault decision is a pure
+/// function of `(seed, operation kind, operation index)`, so a schedule
+/// reproduces exactly from its seed. Exact-operation faults (registered
+/// with [`FaultInjector::fail_append_at`] / [`FaultInjector::fail_fsync_at`])
+/// override the seeded roll and fire once.
+///
+/// Appends and fsyncs are counted on separate indexes; a retried operation
+/// consumes a *new* index, which is what makes injected transient faults
+/// naturally transient under the store's retry loop.
+#[derive(Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    rates: FaultRates,
+    appends: AtomicU64,
+    fsyncs: AtomicU64,
+    injected: AtomicU64,
+    exact_appends: Mutex<HashMap<u64, WriteOutcome>>,
+    exact_fsyncs: Mutex<HashMap<u64, FsyncOutcome>>,
+}
+
+/// Domain-separation tags for the two operation streams.
+const APPEND_TAG: u64 = 0xA11E_17D5_0C0F_FEE5;
+const FSYNC_TAG: u64 = 0xF517_C001_D15C_F111;
+
+/// The standard splitmix64 finalizer — a tiny, dependency-free mixer with
+/// good avalanche, plenty for fault scheduling.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn mix(seed: u64, tag: u64, index: u64) -> u64 {
+    splitmix64(seed ^ tag ^ splitmix64(index.wrapping_mul(0x2545_F491_4F6C_DD1D)))
+}
+
+impl FaultInjector {
+    /// An injector that only fires faults registered at exact operation
+    /// counts (no seeded randomness beyond fault *parameters* like the torn
+    /// prefix).
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector::random(seed, FaultRates::default())
+    }
+
+    /// An injector rolling each operation against `rates`, seeded.
+    pub fn random(seed: u64, rates: FaultRates) -> FaultInjector {
+        let total = rates.torn_per_1024
+            + rates.corrupt_per_1024
+            + rates.enospc_per_1024
+            + rates.transient_per_1024;
+        assert!(total <= 1024, "append fault rates sum past 1024");
+        assert!(
+            rates.fsync_fail_per_1024 + rates.fsync_transient_per_1024 <= 1024,
+            "fsync fault rates sum past 1024"
+        );
+        FaultInjector {
+            seed,
+            rates,
+            appends: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            exact_appends: Mutex::new(HashMap::new()),
+            exact_fsyncs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Register `outcome` for the `index`-th append (0-based, counted
+    /// across all segments). Fires once, overriding the seeded roll.
+    pub fn fail_append_at(&self, index: u64, outcome: WriteOutcome) {
+        self.exact_appends.lock().unwrap().insert(index, outcome);
+    }
+
+    /// Register `outcome` for the `index`-th fsync (0-based, counted
+    /// across all segments). Fires once, overriding the seeded roll.
+    pub fn fail_fsync_at(&self, index: u64, outcome: FsyncOutcome) {
+        self.exact_fsyncs.lock().unwrap().insert(index, outcome);
+    }
+
+    /// The seed this injector's schedule derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Operations observed so far: `(appends, fsyncs)`.
+    pub fn ops(&self) -> (u64, u64) {
+        (
+            self.appends.load(Ordering::SeqCst),
+            self.fsyncs.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Number of faults injected so far (both streams).
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// This injector as the handle a durable store's open path accepts.
+    pub fn handle(self: &Arc<Self>) -> SegmentIoHandle {
+        Arc::clone(self) as SegmentIoHandle
+    }
+
+    fn record(&self, faulted: bool) {
+        if faulted {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl SegmentIo for FaultInjector {
+    fn on_append(&self, _segment: u64, len: usize) -> WriteOutcome {
+        let index = self.appends.fetch_add(1, Ordering::SeqCst);
+        if let Some(outcome) = self.exact_appends.lock().unwrap().remove(&index) {
+            self.record(outcome != WriteOutcome::Full);
+            return outcome;
+        }
+        let r = mix(self.seed, APPEND_TAG, index);
+        let roll = (r % 1024) as u32;
+        let param = r >> 10;
+        let len = len.max(1);
+        let rates = &self.rates;
+        let mut threshold = rates.torn_per_1024;
+        if roll < threshold {
+            self.record(true);
+            return WriteOutcome::Torn {
+                prefix: (param as usize) % len,
+            };
+        }
+        threshold += rates.corrupt_per_1024;
+        if roll < threshold {
+            self.record(true);
+            return WriteOutcome::Corrupt {
+                offset: (param as usize) % len,
+                mask: (param >> 32) as u8,
+            };
+        }
+        threshold += rates.enospc_per_1024;
+        if roll < threshold {
+            self.record(true);
+            return WriteOutcome::Fail(spitz_storage::IoErrorKind::NoSpace);
+        }
+        threshold += rates.transient_per_1024;
+        if roll < threshold {
+            self.record(true);
+            return WriteOutcome::Fail(spitz_storage::IoErrorKind::Transient);
+        }
+        WriteOutcome::Full
+    }
+
+    fn on_fsync(&self, _segment: u64) -> FsyncOutcome {
+        let index = self.fsyncs.fetch_add(1, Ordering::SeqCst);
+        if let Some(outcome) = self.exact_fsyncs.lock().unwrap().remove(&index) {
+            self.record(outcome != FsyncOutcome::Ok);
+            return outcome;
+        }
+        let roll = (mix(self.seed, FSYNC_TAG, index) % 1024) as u32;
+        if roll < self.rates.fsync_fail_per_1024 {
+            self.record(true);
+            return FsyncOutcome::Fail(spitz_storage::IoErrorKind::Other);
+        }
+        if roll < self.rates.fsync_fail_per_1024 + self.rates.fsync_transient_per_1024 {
+            self.record(true);
+            return FsyncOutcome::Fail(spitz_storage::IoErrorKind::Transient);
+        }
+        FsyncOutcome::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spitz_storage::IoErrorKind;
+
+    fn drain(injector: &FaultInjector, ops: u64) -> Vec<WriteOutcome> {
+        (0..ops).map(|_| injector.on_append(0, 100)).collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let rates = FaultRates {
+            torn_per_1024: 100,
+            corrupt_per_1024: 100,
+            enospc_per_1024: 100,
+            transient_per_1024: 100,
+            ..FaultRates::default()
+        };
+        let a = drain(&FaultInjector::random(42, rates), 512);
+        let b = drain(&FaultInjector::random(42, rates), 512);
+        assert_eq!(a, b);
+        let c = drain(&FaultInjector::random(43, rates), 512);
+        assert_ne!(a, c, "different seeds should differ somewhere in 512 ops");
+        // With ~40% fault rate, 512 ops must inject a healthy mix.
+        assert!(a.iter().any(|o| matches!(o, WriteOutcome::Torn { .. })));
+        assert!(a.iter().any(|o| matches!(o, WriteOutcome::Corrupt { .. })));
+        assert!(a.contains(&WriteOutcome::Fail(IoErrorKind::NoSpace)));
+        assert!(a.contains(&WriteOutcome::Fail(IoErrorKind::Transient)));
+    }
+
+    #[test]
+    fn exact_op_faults_fire_once_at_their_index() {
+        let injector = FaultInjector::new(7);
+        injector.fail_append_at(2, WriteOutcome::Torn { prefix: 5 });
+        injector.fail_fsync_at(1, FsyncOutcome::Fail(IoErrorKind::NoSpace));
+        assert_eq!(injector.on_append(0, 50), WriteOutcome::Full);
+        assert_eq!(injector.on_append(0, 50), WriteOutcome::Full);
+        assert_eq!(injector.on_append(0, 50), WriteOutcome::Torn { prefix: 5 });
+        assert_eq!(injector.on_append(0, 50), WriteOutcome::Full);
+        assert_eq!(injector.on_fsync(0), FsyncOutcome::Ok);
+        assert_eq!(
+            injector.on_fsync(0),
+            FsyncOutcome::Fail(IoErrorKind::NoSpace)
+        );
+        assert_eq!(injector.on_fsync(0), FsyncOutcome::Ok);
+        assert_eq!(injector.injected_faults(), 2);
+        assert_eq!(injector.ops(), (4, 3));
+    }
+
+    #[test]
+    fn fault_parameters_stay_inside_the_record() {
+        let rates = FaultRates {
+            torn_per_1024: 512,
+            corrupt_per_1024: 512,
+            ..FaultRates::default()
+        };
+        let injector = FaultInjector::random(99, rates);
+        for len in [1usize, 41, 4096] {
+            match injector.on_append(3, len) {
+                WriteOutcome::Torn { prefix } => assert!(prefix < len),
+                WriteOutcome::Corrupt { offset, .. } => assert!(offset < len),
+                other => panic!("rates sum to 1024, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Deterministic fault injection for storage-backed tests and chaos
+//! harnesses.
+//!
+//! Two complementary tools live here:
+//!
+//! * [`FaultInjector`] — a seeded [`SegmentIo`](spitz_storage::SegmentIo)
+//!   implementation installed *beneath* a durable store's file I/O. It can
+//!   tear a write at an arbitrary prefix, flip a bit, report `ENOSPC`, fail
+//!   transiently, or fail an fsync — either at exact operation counts or at
+//!   seeded random rates. Every decision is a pure function of the seed and
+//!   the operation index, so a failing schedule replays from its printed
+//!   seed alone.
+//! * [`FailpointStore`] — a [`ChunkStore`](spitz_storage::ChunkStore)
+//!   wrapper that injects failures
+//!   *above* the store API after a configured countdown of write
+//!   operations. This is the right layer for simulating whole-shard death
+//!   and vote-abort behavior in the sharded 2PC tests, where the in-memory
+//!   stores have no segment I/O to hook.
+//!
+//! Both are deterministic and dependency-free; this crate is a
+//! dev-dependency of the workspace test suites and a normal dependency of
+//! the chaos harness in `spitz-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod failpoint;
+pub mod injector;
+
+pub use failpoint::{FailMode, FailpointStore};
+pub use injector::{FaultInjector, FaultRates};

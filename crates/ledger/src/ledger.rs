@@ -1032,7 +1032,11 @@ mod tests {
             }
             fn try_put(&self, chunk: spitz_storage::Chunk) -> Result<Hash, StorageError> {
                 if chunk.kind() == ChunkKind::Block && self.fail.load(Ordering::Relaxed) {
-                    return Err(StorageError::Io("simulated disk full".into()));
+                    return Err(StorageError::io_synthetic(
+                        spitz_storage::IoErrorKind::NoSpace,
+                        "append",
+                        "simulated disk full",
+                    ));
                 }
                 Ok(self.inner.put(chunk))
             }

@@ -488,7 +488,11 @@ fn committer_loop(ledger: Arc<Ledger>, shared: Arc<Shared>, policy: DurabilityPo
                     .map(|s| (*s).to_string())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "commit panicked".to_string());
-                Err(StorageError::Io(format!("commit aborted: {reason}")))
+                Err(StorageError::io_synthetic(
+                    spitz_storage::IoErrorKind::Other,
+                    "commit",
+                    format!("commit aborted: {reason}"),
+                ))
             });
             shared.obs.flush_nanos.finish(flush_start);
             result

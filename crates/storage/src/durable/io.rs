@@ -1,0 +1,103 @@
+//! The `SegmentIo` seam: a deterministic fault-injection hook under the
+//! segment file I/O.
+//!
+//! Every record append and every segment fsync consults the store's
+//! [`SegmentIo`] before touching the file. The production implementation
+//! ([`RealIo`]) says "proceed" unconditionally and costs two predictable
+//! branches; a test harness installs an injector (see the `spitz-faults`
+//! crate) that can tear a write at an arbitrary prefix, flip a bit, report
+//! `ENOSPC`, or fail an fsync at an exact operation count — reproducibly
+//! from a seed. Faults injected here exercise the *same* recovery code real
+//! disks would: torn-tail truncation on reopen, CRC detection on read and
+//! scrub, retry/backoff, and the read-only health transition.
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use crate::error::IoErrorKind;
+
+/// What happens to a single segment record append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// Write the full record — the normal case.
+    Full,
+    /// Write only the first `prefix` bytes of the record, then report
+    /// failure *without* restoring the previous file length: models the
+    /// process (or kernel) dying mid-`write`, leaving a torn tail for the
+    /// reopen scan to truncate.
+    Torn {
+        /// Bytes of the record that reach the file (may be zero).
+        prefix: usize,
+    },
+    /// Write the full record with one byte damaged, and report success —
+    /// silent media corruption, caught later by the CRC on the read path or
+    /// by a scrub pass.
+    Corrupt {
+        /// Byte offset within the record to damage (clamped to the record).
+        offset: usize,
+        /// XOR mask applied to that byte; zero masks are promoted to `0x01`
+        /// so the fault always actually corrupts.
+        mask: u8,
+    },
+    /// Fail without writing anything, classified as `kind`.
+    Fail(IoErrorKind),
+}
+
+/// What happens to a segment fsync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncOutcome {
+    /// Flush normally.
+    Ok,
+    /// Report failure without flushing, classified as `kind`. Note that
+    /// after a failed fsync the kernel page cache state is unknowable, which
+    /// is why the store treats a non-transient fsync failure as fatal for
+    /// writability rather than retrying it.
+    Fail(IoErrorKind),
+}
+
+/// Hook consulted by [`Segment`](super::segment::Segment) file operations.
+///
+/// Implementations must be cheap and non-blocking: the hooks run inside the
+/// store's write path, under the segment file mutex.
+pub trait SegmentIo: Send + Sync + Debug {
+    /// Decide the fate of the next record append to segment `segment`; the
+    /// full record is `len` bytes.
+    fn on_append(&self, segment: u64, len: usize) -> WriteOutcome {
+        let _ = (segment, len);
+        WriteOutcome::Full
+    }
+
+    /// Decide the fate of the next fsync of segment `segment`.
+    fn on_fsync(&self, segment: u64) -> FsyncOutcome {
+        let _ = segment;
+        FsyncOutcome::Ok
+    }
+}
+
+/// The production implementation: never injects anything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl SegmentIo for RealIo {}
+
+/// Shared handle to a [`SegmentIo`], the form the store threads it in.
+pub type SegmentIoHandle = Arc<dyn SegmentIo>;
+
+/// A fresh handle to the no-fault production I/O.
+pub fn real_io() -> SegmentIoHandle {
+    Arc::new(RealIo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_io_never_injects() {
+        let io = real_io();
+        for op in 0..64 {
+            assert_eq!(io.on_append(op % 3, 100), WriteOutcome::Full);
+            assert_eq!(io.on_fsync(op % 3), FsyncOutcome::Ok);
+        }
+    }
+}

@@ -47,6 +47,14 @@ pub struct Manifest {
     /// their files may still exist if the process died before deleting them.
     /// The open path deletes these files and never adopts them as segments.
     pub condemned: Vec<u64>,
+    /// Segment ids that a scrub pass found corrupt and excised: salvageable
+    /// live chunks were rewritten into fresh segments and this manifest no
+    /// longer references them, but the damaged files may still be in the
+    /// store directory if the process died before moving them into the
+    /// `quarantine/` subdirectory. The open path finishes the move (the
+    /// evidence is preserved, unlike condemned segments, which are deleted)
+    /// and never adopts them as segments.
+    pub quarantined: Vec<u64>,
 }
 
 impl Manifest {
@@ -70,6 +78,10 @@ impl Manifest {
         if !self.condemned.is_empty() {
             let ids: Vec<String> = self.condemned.iter().map(|id| id.to_string()).collect();
             out.push_str(&format!("condemned {}\n", ids.join(" ")));
+        }
+        if !self.quarantined.is_empty() {
+            let ids: Vec<String> = self.quarantined.iter().map(|id| id.to_string()).collect();
+            out.push_str(&format!("quarantined {}\n", ids.join(" ")));
         }
         for (name, hash) in &self.roots {
             out.push_str(&format!("root {name} {}\n", hash.to_hex()));
@@ -123,6 +135,12 @@ impl Manifest {
                         .map(|id| id.parse().map_err(|_| corrupt("bad condemned id")))
                         .collect::<Result<_>>()?;
                 }
+                // Absent in pre-scrub manifests; defaults to empty.
+                Some("quarantined") => {
+                    manifest.quarantined = parts
+                        .map(|id| id.parse().map_err(|_| corrupt("bad quarantined id")))
+                        .collect::<Result<_>>()?;
+                }
                 Some("root") => {
                     let name = parts.next().ok_or_else(|| corrupt("root without name"))?;
                     let hex = parts.next().ok_or_else(|| corrupt("root without hash"))?;
@@ -142,7 +160,7 @@ impl Manifest {
         match fs::read_to_string(&path) {
             Ok(text) => Manifest::decode(&text).map(Some),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(StorageError::io(&path, e)),
+            Err(e) => Err(StorageError::io("manifest-load", &path, e)),
         }
     }
 
@@ -154,18 +172,20 @@ impl Manifest {
     pub fn store(&self, dir: &Path) -> Result<()> {
         let tmp: PathBuf = dir.join(format!("{MANIFEST_FILE}.tmp"));
         {
-            let mut file = fs::File::create(&tmp).map_err(|e| StorageError::io(&tmp, e))?;
+            let mut file =
+                fs::File::create(&tmp).map_err(|e| StorageError::io("manifest-store", &tmp, e))?;
             use std::io::Write as _;
             file.write_all(self.encode().as_bytes())
-                .map_err(|e| StorageError::io(&tmp, e))?;
-            file.sync_all().map_err(|e| StorageError::io(&tmp, e))?;
+                .map_err(|e| StorageError::io("manifest-store", &tmp, e))?;
+            file.sync_all()
+                .map_err(|e| StorageError::io("manifest-store", &tmp, e))?;
         }
         let path = dir.join(MANIFEST_FILE);
-        fs::rename(&tmp, &path).map_err(|e| StorageError::io(&path, e))?;
+        fs::rename(&tmp, &path).map_err(|e| StorageError::io("manifest-store", &path, e))?;
         if let Ok(dir_handle) = fs::File::open(dir) {
             dir_handle
                 .sync_all()
-                .map_err(|e| StorageError::io(dir, e))?;
+                .map_err(|e| StorageError::io("manifest-store", dir, e))?;
         }
         Ok(())
     }
@@ -199,6 +219,7 @@ mod tests {
             .into_iter()
             .collect(),
             condemned: vec![2, 3],
+            quarantined: vec![4],
         }
     }
 
@@ -238,6 +259,7 @@ mod tests {
         let manifest = Manifest::decode(text).unwrap();
         assert_eq!(manifest.stats.live_bytes, 0);
         assert!(manifest.condemned.is_empty());
+        assert!(manifest.quarantined.is_empty());
         assert_eq!(manifest.segments, vec![0, 1]);
     }
 
@@ -252,6 +274,7 @@ mod tests {
             "spitz-durable-manifest v1\nroot name nothex\n",
             "spitz-durable-manifest v1\nnonsense 1\n",
             "spitz-durable-manifest v1\ncondemned x\n",
+            "spitz-durable-manifest v1\nquarantined x\n",
         ] {
             assert!(
                 matches!(

@@ -140,12 +140,13 @@
 
 pub mod cache;
 pub mod format;
+pub mod io;
 pub mod manifest;
 pub mod segment;
 
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -153,16 +154,26 @@ use spitz_crypto::Hash;
 use spitz_obs::TelemetryHandle;
 
 use crate::chunk::{Chunk, ChunkKind};
-use crate::error::StorageError;
-use crate::store::{ChunkStore, StoreStats};
+use crate::error::{IoErrorKind, StorageError};
+use crate::store::{ChunkStore, HealthState, StoreStats};
 use crate::Result;
 
 use cache::ChunkCache;
+use io::{real_io, SegmentIoHandle};
 use manifest::Manifest;
 use segment::{parse_segment_file_name, segment_file_name, ChunkLocation, Segment};
 
 /// Subdirectory where compaction stages its output segments until the swap.
 const COMPACT_STAGING_DIR: &str = "compact-tmp";
+
+/// Subdirectory where scrub moves corrupt segment files. Unlike condemned
+/// segments (deleted — their contents live on elsewhere), quarantined files
+/// are *evidence* of corruption and are preserved for offline forensics.
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// Maximum retries of a transiently-failing append or fsync (on top of the
+/// initial attempt), with 1/2/4 ms exponential backoff between them.
+const MAX_IO_RETRIES: u32 = 3;
 
 /// Tuning knobs of a [`DurableChunkStore`].
 #[derive(Debug, Clone, Copy)]
@@ -253,6 +264,11 @@ struct DurableInner {
     /// sits in a victim re-appends the chunk to the active segment instead
     /// of reviving a location the sweep may be about to delete.
     compacting: Option<HashSet<u64>>,
+    /// Segments a scrub excised whose files have not yet been moved into
+    /// the quarantine directory. Mirrors `condemned`: the durable manifest
+    /// no longer lists them as segments, and the open path finishes the
+    /// move if this process dies first.
+    quarantined: Vec<u64>,
 }
 
 /// An fsync slower than this is rare enough — and operationally important
@@ -270,6 +286,14 @@ struct StoreObs {
     cache_misses: Arc<spitz_obs::Counter>,
     compactions: Arc<spitz_obs::Counter>,
     space_amp: Arc<spitz_obs::FloatGauge>,
+    /// Current [`HealthState`] as 0/1/2 (healthy/degraded/read-only).
+    health: Arc<spitz_obs::Gauge>,
+    io_retries: Arc<spitz_obs::Counter>,
+    io_retries_exhausted: Arc<spitz_obs::Counter>,
+    scrub_passes: Arc<spitz_obs::Counter>,
+    scrub_corrupt_segments: Arc<spitz_obs::Counter>,
+    scrub_salvaged_chunks: Arc<spitz_obs::Counter>,
+    scrub_lost_chunks: Arc<spitz_obs::Counter>,
     telemetry: TelemetryHandle,
 }
 
@@ -283,6 +307,13 @@ impl StoreObs {
             cache_misses: telemetry.counter("storage.cache.misses"),
             compactions: telemetry.counter("storage.compactions"),
             space_amp: telemetry.float_gauge("storage.space_amplification"),
+            health: telemetry.gauge("storage.health"),
+            io_retries: telemetry.counter("storage.io_retries"),
+            io_retries_exhausted: telemetry.counter("storage.io_retries_exhausted"),
+            scrub_passes: telemetry.counter("storage.scrub.passes"),
+            scrub_corrupt_segments: telemetry.counter("storage.scrub.corrupt_segments"),
+            scrub_salvaged_chunks: telemetry.counter("storage.scrub.salvaged_chunks"),
+            scrub_lost_chunks: telemetry.counter("storage.scrub.lost_chunks"),
             telemetry,
         }
     }
@@ -304,13 +335,39 @@ pub struct DurableChunkStore {
     /// the mark only advances past a segment once an fsync of it has
     /// completed. Monotone non-decreasing.
     first_unsynced: AtomicU64,
-    /// Serializes compaction passes: at most one runs at a time.
+    /// Serializes compaction *and scrub* passes: at most one of either runs
+    /// at a time (both rewrite the segment set and share the staging
+    /// directory).
     compaction: Mutex<()>,
     /// Serializes manifest rewrites. The state snapshot is taken *inside*
     /// this lock, so a slow rewrite can never clobber the file with an
     /// older view than one that already landed (rotation racing compaction,
     /// two rotations racing each other).
     manifest_lock: Mutex<()>,
+    /// Fault-injection seam threaded into every segment this store opens or
+    /// creates; [`io::RealIo`] in production.
+    io: SegmentIoHandle,
+    /// Current [`HealthState`] as 0/1/2. Transitions are monotone
+    /// (`fetch_max`) within a process lifetime; reopening resets.
+    health: AtomicU8,
+    /// Why the store degraded (empty while healthy) — carried into the
+    /// [`StorageError::ReadOnly`] writes fail with.
+    health_reason: Mutex<String>,
+}
+
+/// Outcome of a completed [`DurableChunkStore::scrub`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Sealed segments whose CRCs were verified.
+    pub segments_scanned: u64,
+    /// Segments found corrupt and moved into the quarantine directory.
+    pub quarantined_segments: Vec<u64>,
+    /// Indexed chunks rewritten intact out of corrupt segments.
+    pub chunks_salvaged: u64,
+    /// Indexed chunks whose records were damaged beyond salvage; their
+    /// addresses now resolve to [`StorageError::ChunkNotFound`] and the
+    /// store is read-only.
+    pub chunks_lost: u64,
 }
 
 /// Outcome of a completed [`DurableChunkStore::compact_with`] pass.
@@ -368,13 +425,26 @@ impl DurableChunkStore {
         config: DurableConfig,
         telemetry: TelemetryHandle,
     ) -> Result<Self> {
+        Self::open_with_io(dir, config, telemetry, real_io())
+    }
+
+    /// [`Self::open_with_telemetry`] with an explicit [`io::SegmentIo`]
+    /// seam installed under every segment file — the entry point fault
+    /// schedules use to exercise torn writes, bit flips, `ENOSPC`,
+    /// transient `EIO` and fsync failures against the real recovery code.
+    pub fn open_with_io(
+        dir: impl AsRef<Path>,
+        config: DurableConfig,
+        telemetry: TelemetryHandle,
+        io: SegmentIoHandle,
+    ) -> Result<Self> {
         if config.segment_target_bytes == 0 {
             return Err(StorageError::InvalidConfig(
                 "segment_target_bytes must be positive".into(),
             ));
         }
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).map_err(|e| StorageError::io(&dir, e))?;
+        std::fs::create_dir_all(&dir).map_err(|e| StorageError::io("open", &dir, e))?;
 
         let manifest = Manifest::load(&dir)?.unwrap_or_default();
 
@@ -386,7 +456,7 @@ impl DurableChunkStore {
         // so a later open retries.
         let staging = dir.join(COMPACT_STAGING_DIR);
         if staging.exists() {
-            std::fs::remove_dir_all(&staging).map_err(|e| StorageError::io(&staging, e))?;
+            std::fs::remove_dir_all(&staging).map_err(|e| StorageError::io("open", &staging, e))?;
         }
         let mut condemned = manifest.condemned.clone();
         condemned.retain(|&id| {
@@ -396,6 +466,21 @@ impl DurableChunkStore {
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
                 Err(_) => true,
             }
+        });
+        // Finish an interrupted quarantine the same way: the manifest
+        // already dropped these segments, only the move into `quarantine/`
+        // was cut short. Ids whose move still fails stay listed for retry.
+        let mut quarantined = manifest.quarantined.clone();
+        quarantined.retain(|&id| {
+            let from = dir.join(segment_file_name(id));
+            if !from.exists() {
+                return false;
+            }
+            let quarantine = dir.join(QUARANTINE_DIR);
+            if std::fs::create_dir_all(&quarantine).is_err() {
+                return true;
+            }
+            std::fs::rename(&from, quarantine.join(segment_file_name(id))).is_err()
         });
 
         let segment_ids = discover_segments(&dir, &manifest)?;
@@ -408,6 +493,7 @@ impl DurableChunkStore {
             torn_bytes_recovered: 0,
             condemned,
             compacting: None,
+            quarantined,
         };
         let mut stats = manifest.stats;
 
@@ -417,7 +503,7 @@ impl DurableChunkStore {
         stats.chunk_count = 0;
         stats.physical_bytes = 0;
         for (position, &id) in segment_ids.iter().enumerate() {
-            let segment = Segment::open(&dir, id)?;
+            let segment = Segment::open_with_io(&dir, id, Arc::clone(&io))?;
             let is_last = position + 1 == segment_ids.len();
             let outcome = segment.scan(is_last)?;
             inner.torn_bytes_recovered += outcome.torn_bytes;
@@ -437,7 +523,9 @@ impl DurableChunkStore {
             inner.segments.push(Arc::new(segment));
         }
         if inner.segments.is_empty() {
-            inner.segments.push(Arc::new(Segment::create(&dir, 0)?));
+            inner
+                .segments
+                .push(Arc::new(Segment::create_with_io(&dir, 0, Arc::clone(&io))?));
         }
         inner.next_segment = inner.segments.last().map(|s| s.id + 1).unwrap_or(1);
         // A stale manifest can under-count logical writes after a crash;
@@ -458,8 +546,12 @@ impl DurableChunkStore {
             first_unsynced: AtomicU64::new(first_unsynced),
             compaction: Mutex::new(()),
             manifest_lock: Mutex::new(()),
+            io,
+            health: AtomicU8::new(HealthState::Healthy as u8),
+            health_reason: Mutex::new(String::new()),
         };
         store.stats.store(stats);
+        store.obs.health.set(HealthState::Healthy as i64);
         if stats.live_bytes > 0 {
             // A previous process ran a mark pass; carry its measurement
             // into the gauge so the ratio is meaningful from reopen.
@@ -544,6 +636,94 @@ impl DurableChunkStore {
             .collect()
     }
 
+    /// Why the store is degraded or read-only (empty while healthy).
+    pub fn health_reason(&self) -> String {
+        self.health_reason.lock().clone()
+    }
+
+    /// Raise the health state to *at least* `target` (transitions are
+    /// monotone: a read-only store never goes back to degraded). Records
+    /// the reason and emits a telemetry event on an actual transition.
+    fn raise_health(&self, target: HealthState, reason: &str) {
+        let previous = self.health.fetch_max(target as u8, Ordering::AcqRel);
+        if previous >= target as u8 {
+            return;
+        }
+        *self.health_reason.lock() = reason.to_string();
+        self.obs.health.set(target as i64);
+        let kind = match target {
+            HealthState::ReadOnly => "store_readonly",
+            _ => "store_degraded",
+        };
+        self.obs
+            .telemetry
+            .event(kind, format!("{reason} ({:?})", self.dir));
+    }
+
+    /// Fail fast when the store no longer accepts writes.
+    fn ensure_writable(&self) -> Result<()> {
+        if self.health.load(Ordering::Acquire) == HealthState::ReadOnly as u8 {
+            return Err(StorageError::ReadOnly(self.health_reason()));
+        }
+        Ok(())
+    }
+
+    /// Run a write-path operation, retrying transient I/O failures with
+    /// capped exponential backoff (1/2/4 ms, [`MAX_IO_RETRIES`] retries).
+    fn retry_transient<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut delay_ms = 1u64;
+        for attempt in 0..=MAX_IO_RETRIES {
+            match op() {
+                Err(StorageError::Io(e)) if e.kind == IoErrorKind::Transient => {
+                    if attempt == MAX_IO_RETRIES {
+                        self.obs.io_retries_exhausted.inc();
+                        return Err(StorageError::Io(e));
+                    }
+                    self.obs.io_retries.inc();
+                    std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                    delay_ms *= 2;
+                }
+                other => return other,
+            }
+        }
+        unreachable!("retry loop always returns")
+    }
+
+    /// Translate a write-path failure that survived the retry loop into a
+    /// health transition:
+    ///
+    /// * `NoSpace` — the device is full; no retry can help. Read-only.
+    /// * `Transient` (retries exhausted) — the append itself rolled the
+    ///   file back, so the store stays writable but is flagged degraded.
+    /// * `Other` — a failed append may have left a torn tail (the rollback
+    ///   itself can fail, and an injected torn write models exactly that),
+    ///   after which the in-memory length and the file disagree; a failed
+    ///   fsync leaves the page-cache state unknowable. Fail stop: read-only,
+    ///   reads keep serving, reopening re-establishes the tail invariant.
+    fn note_write_failure(&self, err: &StorageError, context: &str) {
+        let StorageError::Io(e) = err else { return };
+        match e.kind {
+            IoErrorKind::NoSpace => {
+                self.raise_health(
+                    HealthState::ReadOnly,
+                    &format!("device out of space during {context}"),
+                );
+            }
+            IoErrorKind::Transient => {
+                self.raise_health(
+                    HealthState::Degraded,
+                    &format!("transient I/O retries exhausted during {context}"),
+                );
+            }
+            IoErrorKind::Other => {
+                self.raise_health(
+                    HealthState::ReadOnly,
+                    &format!("{context} failed ({e}); refusing further writes"),
+                );
+            }
+        }
+    }
+
     fn manifest_snapshot(&self, inner: &DurableInner) -> Manifest {
         Manifest {
             segments: inner.segments.iter().map(|s| s.id).collect(),
@@ -551,6 +731,7 @@ impl DurableChunkStore {
             stats: self.stats.load(),
             roots: inner.roots.clone(),
             condemned: inner.condemned.clone(),
+            quarantined: inner.quarantined.clone(),
         }
     }
 
@@ -616,6 +797,11 @@ impl DurableChunkStore {
     where
         F: FnOnce() -> Result<HashSet<Hash>>,
     {
+        // A read-only store is frozen: rewriting the segment set is a
+        // write, and sealing the current active segment (whose tail may be
+        // desynced by the very failure that flipped the store read-only)
+        // could turn a recoverable torn tail into unopenable corruption.
+        self.ensure_writable()?;
         let _serialize = self.compaction.lock();
 
         // Fix the victim set — every sealed segment — and install the
@@ -687,7 +873,7 @@ impl DurableChunkStore {
         // way.
         let staging = self.dir.join(COMPACT_STAGING_DIR);
         let _ = std::fs::remove_dir_all(&staging);
-        std::fs::create_dir_all(&staging).map_err(|e| StorageError::io(&staging, e))?;
+        std::fs::create_dir_all(&staging).map_err(|e| StorageError::io("compact", &staging, e))?;
         let mut outputs: Vec<Segment> = Vec::new();
         let mut moved: HashMap<Hash, ChunkLocation> = HashMap::new();
         let mut bytes_rewritten = 0u64;
@@ -707,7 +893,9 @@ impl DurableChunkStore {
                     inner.next_segment += 1;
                     id
                 };
-                outputs.push(Segment::create(&staging, id)?);
+                outputs.push(Segment::create_with_io(&staging, id, {
+                    Arc::clone(&self.io)
+                })?);
             }
             let out = outputs.last().expect("an output segment was just ensured");
             let new_location = out.append(address, &chunk)?;
@@ -719,8 +907,10 @@ impl DurableChunkStore {
         }
         let output_bytes: u64 = outputs.iter().map(|s| s.len()).sum();
         if fault == CompactionFault::BeforeSwap {
-            return Err(StorageError::Io(
-                "injected compaction fault before manifest swap".into(),
+            return Err(StorageError::io_synthetic(
+                IoErrorKind::Other,
+                "compact",
+                "injected compaction fault before manifest swap",
             ));
         }
 
@@ -758,14 +948,18 @@ impl DurableChunkStore {
             for out in &outputs {
                 let from = staging.join(segment_file_name(out.id));
                 let to = self.dir.join(segment_file_name(out.id));
-                std::fs::rename(&from, &to).map_err(|e| StorageError::io(&to, e))?;
-                published.push(Arc::new(Segment::open(&self.dir, out.id)?));
+                std::fs::rename(&from, &to).map_err(|e| StorageError::io("compact", &to, e))?;
+                published.push(Arc::new(Segment::open_with_io(&self.dir, out.id, {
+                    Arc::clone(&self.io)
+                })?));
             }
             let _ = std::fs::remove_dir_all(&staging);
 
             let new_active_id = inner.next_segment;
             inner.next_segment += 1;
-            let new_active = Arc::new(Segment::create(&self.dir, new_active_id)?);
+            let new_active = Arc::new(Segment::create_with_io(&self.dir, new_active_id, {
+                Arc::clone(&self.io)
+            })?);
 
             // Repoint surviving entries into the outputs. Entries that
             // left their victim during the pass (revived by `try_put`)
@@ -828,11 +1022,13 @@ impl DurableChunkStore {
         // are on stable storage.
         std::fs::File::open(&self.dir)
             .and_then(|d| d.sync_all())
-            .map_err(|e| StorageError::io(&self.dir, e))?;
+            .map_err(|e| StorageError::io("compact", &self.dir, e))?;
         self.write_manifest()?;
         if fault == CompactionFault::BeforeDelete {
-            return Err(StorageError::Io(
-                "injected compaction fault before victim deletion".into(),
+            return Err(StorageError::io_synthetic(
+                IoErrorKind::Other,
+                "compact",
+                "injected compaction fault before victim deletion",
             ));
         }
         let mut deleted: Vec<u64> = Vec::new();
@@ -870,6 +1066,286 @@ impl DurableChunkStore {
         );
         Ok(Some(report))
     }
+
+    /// Verify the CRC of every record in every *sealed* segment — the
+    /// integrity pass the background scrubber runs off the hot path — and
+    /// excise any segment found corrupt.
+    ///
+    /// A corrupt segment is **quarantined**, not abandoned: every indexed
+    /// chunk still living in it is re-read record by record (the per-record
+    /// CRC decides salvageable vs lost), intact chunks are rewritten into
+    /// fresh fsynced segments through the same staged-swap path compaction
+    /// uses, and the damaged file is then moved into `quarantine/` for
+    /// forensics. The swap follows the condemned-manifest protocol — the
+    /// manifest drops the segment and records it as quarantined *before*
+    /// the file moves, so a crash at any point either reopens with the
+    /// segment intact or finishes the move on open, never both copies.
+    ///
+    /// Chunks whose records are damaged are dropped from the index (reads
+    /// return [`StorageError::ChunkNotFound`] instead of a misleading
+    /// `SegmentCorrupt` from a file that no longer exists) and the store
+    /// flips to [`HealthState::ReadOnly`]: data was lost, so it stops
+    /// accepting writes while verified reads keep serving what survives.
+    /// A fully salvaged quarantine only degrades health.
+    ///
+    /// Serialized with compaction (both rewrite the segment set); readers
+    /// are never blocked for longer than one segment's CRC walk.
+    pub fn scrub(&self) -> Result<ScrubReport> {
+        // Same gate as compaction: quarantine rewrites the segment set and
+        // seals the active segment, neither of which a read-only store may
+        // do (and a desynced active tail must stay *last* so reopen can
+        // truncate it).
+        self.ensure_writable()?;
+        let _serialize = self.compaction.lock();
+
+        let sealed: Vec<Arc<Segment>> = {
+            let inner = self.inner.read();
+            match inner.segments.split_last() {
+                Some((_active, sealed)) => sealed.to_vec(),
+                None => Vec::new(),
+            }
+        };
+        let mut report = ScrubReport {
+            segments_scanned: sealed.len() as u64,
+            ..ScrubReport::default()
+        };
+        let mut corrupt: Vec<Arc<Segment>> = Vec::new();
+        for segment in &sealed {
+            if let Err(err) = segment.scan(false) {
+                self.obs.scrub_corrupt_segments.inc();
+                self.obs.telemetry.event(
+                    "scrub_corruption",
+                    format!("segment {} failed verification: {err}", segment.id),
+                );
+                corrupt.push(Arc::clone(segment));
+            }
+        }
+        self.obs.scrub_passes.inc();
+        if corrupt.is_empty() {
+            return Ok(report);
+        }
+
+        // Divert dedup hits away from the corrupt segments for the length
+        // of the salvage, exactly like compaction's revive guard: a put
+        // whose only existing copy sits in a segment about to be excised
+        // must re-append, not trust a location that may be lost.
+        let corrupt_ids: HashSet<u64> = corrupt.iter().map(|s| s.id).collect();
+        {
+            let mut inner = self.inner.write();
+            inner.compacting = Some(corrupt_ids.clone());
+        }
+        let result = self.salvage(&corrupt, &mut report);
+        if result.is_err() {
+            self.inner.write().compacting = None;
+        }
+        result?;
+
+        if report.chunks_lost > 0 {
+            self.raise_health(
+                HealthState::ReadOnly,
+                &format!(
+                    "unsalvageable corruption: {} chunk(s) lost from quarantined segment(s) {:?}",
+                    report.chunks_lost, report.quarantined_segments
+                ),
+            );
+        } else {
+            self.raise_health(
+                HealthState::Degraded,
+                &format!(
+                    "segment(s) {:?} quarantined; all {} live chunk(s) salvaged",
+                    report.quarantined_segments, report.chunks_salvaged
+                ),
+            );
+        }
+        Ok(report)
+    }
+
+    /// The excision half of [`Self::scrub`]: rewrite what survives out of
+    /// `corrupt` segments, swap them out of the store, and move their files
+    /// into the quarantine directory. Caller holds the compaction mutex and
+    /// has installed the revive guard.
+    fn salvage(&self, corrupt: &[Arc<Segment>], report: &mut ScrubReport) -> Result<()> {
+        let corrupt_ids: HashSet<u64> = corrupt.iter().map(|s| s.id).collect();
+
+        // Every indexed chunk still located in a corrupt segment, in file
+        // order. Chunks that already moved (revived by a racing put) point
+        // elsewhere and are not the scrub's business.
+        let plan: Vec<(Hash, ChunkLocation)> = {
+            let inner = self.inner.read();
+            let mut plan: Vec<(Hash, ChunkLocation)> = inner
+                .index
+                .iter()
+                .filter(|(_, location)| corrupt_ids.contains(&location.segment))
+                .map(|(address, location)| (*address, *location))
+                .collect();
+            plan.sort_unstable_by_key(|(_, location)| (location.segment, location.offset));
+            plan
+        };
+
+        // Re-read record by record: the CRC decides what is salvageable.
+        // Intact chunks are rewritten into staged output segments (fsynced
+        // before the swap, like compaction outputs).
+        let staging = self.dir.join(COMPACT_STAGING_DIR);
+        let _ = std::fs::remove_dir_all(&staging);
+        std::fs::create_dir_all(&staging).map_err(|e| StorageError::io("scrub", &staging, e))?;
+        let mut outputs: Vec<Segment> = Vec::new();
+        let mut moved: HashMap<Hash, ChunkLocation> = HashMap::new();
+        for (address, location) in &plan {
+            let position = corrupt
+                .binary_search_by_key(&location.segment, |s| s.id)
+                .expect("plan entries point into corrupt segments");
+            let chunk = match corrupt[position].read(location) {
+                Ok(chunk) => chunk,
+                Err(_) => continue, // lost; dropped from the index below
+            };
+            let needs_new_output = match outputs.last() {
+                Some(out) => out.len() >= self.config.segment_target_bytes,
+                None => true,
+            };
+            if needs_new_output {
+                let id = {
+                    let mut inner = self.inner.write();
+                    let id = inner.next_segment;
+                    inner.next_segment += 1;
+                    id
+                };
+                outputs.push(Segment::create_with_io(&staging, id, {
+                    Arc::clone(&self.io)
+                })?);
+            }
+            let out = outputs.last().expect("an output segment was just ensured");
+            moved.insert(*address, out.append(address, &chunk)?);
+        }
+        for out in &outputs {
+            out.sync()?;
+        }
+
+        // The swap, mirroring compaction: seal + fsync the active segment,
+        // rename the outputs in, excise the corrupt segments, fresh active
+        // on top so only the highest-numbered segment can ever be torn.
+        let mut lost: Vec<Hash> = Vec::new();
+        let mut lost_bytes = 0u64;
+        {
+            let mut inner = self.inner.write();
+            let active = Arc::clone(inner.segments.last().expect("active segment exists"));
+            active.sync()?;
+            let _ = self.first_unsynced.compare_exchange(
+                active.id,
+                active.id + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+
+            let mut published: Vec<Arc<Segment>> = Vec::new();
+            for out in &outputs {
+                let from = staging.join(segment_file_name(out.id));
+                let to = self.dir.join(segment_file_name(out.id));
+                std::fs::rename(&from, &to).map_err(|e| StorageError::io("scrub", &to, e))?;
+                published.push(Arc::new(Segment::open_with_io(&self.dir, out.id, {
+                    Arc::clone(&self.io)
+                })?));
+            }
+            let _ = std::fs::remove_dir_all(&staging);
+
+            let new_active_id = inner.next_segment;
+            inner.next_segment += 1;
+            let new_active = Arc::new(Segment::create_with_io(&self.dir, new_active_id, {
+                Arc::clone(&self.io)
+            })?);
+
+            inner.index.retain(|address, location| {
+                if !corrupt_ids.contains(&location.segment) {
+                    return true;
+                }
+                match moved.get(address) {
+                    Some(new_location) => {
+                        *location = *new_location;
+                        true
+                    }
+                    None => {
+                        lost.push(*address);
+                        lost_bytes += location_storage_size(location);
+                        false
+                    }
+                }
+            });
+
+            let mut segments: Vec<Arc<Segment>> = inner
+                .segments
+                .iter()
+                .filter(|s| !corrupt_ids.contains(&s.id))
+                .cloned()
+                .collect();
+            segments.extend(published);
+            segments.push(new_active);
+            segments.sort_unstable_by_key(|s| s.id);
+            inner.segments = segments;
+            inner.quarantined.extend(corrupt_ids.iter().copied());
+            inner.quarantined.sort_unstable();
+            inner.quarantined.dedup();
+            inner.compacting = None;
+            self.first_unsynced
+                .fetch_max(new_active_id, Ordering::AcqRel);
+        }
+        self.stats
+            .chunk_count
+            .fetch_sub(lost.len() as u64, Ordering::Relaxed);
+        self.stats
+            .physical_bytes
+            .fetch_sub(lost_bytes, Ordering::Relaxed);
+        {
+            // The store no longer holds the lost chunks; the cache must not
+            // keep serving them either.
+            let mut cache = self.cache.lock();
+            for address in &lost {
+                cache.remove(address);
+            }
+        }
+
+        // Make the excision durable, then move the damaged files aside.
+        // The manifest lists the segments as quarantined before the rename,
+        // so a crash in between has the open path finish the move.
+        std::fs::File::open(&self.dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| StorageError::io("scrub", &self.dir, e))?;
+        self.write_manifest()?;
+        let quarantine = self.dir.join(QUARANTINE_DIR);
+        std::fs::create_dir_all(&quarantine)
+            .map_err(|e| StorageError::io("scrub", &quarantine, e))?;
+        let mut quarantined_now: Vec<u64> = Vec::new();
+        for segment in corrupt {
+            let to = quarantine.join(segment_file_name(segment.id));
+            // On rename failure keep it listed; the next open retries the move.
+            if std::fs::rename(segment.path(), &to).is_ok() {
+                quarantined_now.push(segment.id);
+            }
+        }
+        {
+            let mut inner = self.inner.write();
+            inner.quarantined.retain(|id| !quarantined_now.contains(id));
+        }
+        self.write_manifest()?;
+
+        report.quarantined_segments = {
+            let mut ids: Vec<u64> = corrupt_ids.iter().copied().collect();
+            ids.sort_unstable();
+            ids
+        };
+        report.chunks_salvaged = moved.len() as u64;
+        report.chunks_lost = lost.len() as u64;
+        self.obs.scrub_salvaged_chunks.add(moved.len() as u64);
+        self.obs.scrub_lost_chunks.add(lost.len() as u64);
+        for &id in &report.quarantined_segments {
+            self.obs.telemetry.event(
+                "segment_quarantined",
+                format!(
+                    "segment {id} excised to quarantine ({} salvaged, {} lost store-wide)",
+                    report.chunks_salvaged, report.chunks_lost
+                ),
+            );
+        }
+        Ok(())
+    }
 }
 
 impl ChunkStore for DurableChunkStore {
@@ -883,6 +1359,7 @@ impl ChunkStore for DurableChunkStore {
     /// Store a chunk, surfacing I/O failures (disk full, EIO) as
     /// [`StorageError`] instead of panicking.
     fn try_put(&self, chunk: Chunk) -> Result<Hash> {
+        self.ensure_writable()?;
         let _append_span = self.obs.append_nanos.span();
         let address = chunk.address();
         self.stats
@@ -919,7 +1396,9 @@ impl ChunkStore for DurableChunkStore {
             }
 
             let active = Arc::clone(inner.segments.last().expect("active segment exists"));
-            let location = active.append(&address, &chunk)?;
+            let location = self
+                .retry_transient(|| active.append(&address, &chunk))
+                .inspect_err(|e| self.note_write_failure(e, "segment append"))?;
             if !revived {
                 self.stats.chunk_count.fetch_add(1, Ordering::Relaxed);
                 self.stats
@@ -938,7 +1417,8 @@ impl ChunkStore for DurableChunkStore {
                 // recovery rightly refuses to open. Rotation is rare (once
                 // per `segment_target_bytes`) and cache hits don't take
                 // this lock.
-                active.sync()?;
+                self.retry_transient(|| active.sync())
+                    .inspect_err(|e| self.note_write_failure(e, "rotation fsync"))?;
                 let _ = self.first_unsynced.compare_exchange(
                     active.id,
                     active.id + 1,
@@ -947,9 +1427,11 @@ impl ChunkStore for DurableChunkStore {
                 );
                 let id = inner.next_segment;
                 inner.next_segment += 1;
-                inner
-                    .segments
-                    .push(Arc::new(Segment::create(&self.dir, id)?));
+                inner.segments.push(Arc::new(Segment::create_with_io(
+                    &self.dir,
+                    id,
+                    Arc::clone(&self.io),
+                )?));
                 rotated = true;
             } else if self.config.fsync_each_put {
                 fsync_target = Some(active);
@@ -961,7 +1443,8 @@ impl ChunkStore for DurableChunkStore {
             self.write_manifest()?;
         }
         if let Some(active) = fsync_target {
-            active.sync()?;
+            self.retry_transient(|| active.sync())
+                .inspect_err(|e| self.note_write_failure(e, "per-put fsync"))?;
         }
         Ok(address)
     }
@@ -1030,15 +1513,28 @@ impl ChunkStore for DurableChunkStore {
     /// the publication must reach stable storage is the caller's policy
     /// (see [`ChunkStore::sync`]).
     fn try_set_root(&self, name: &str, hash: Hash) -> Result<()> {
+        self.ensure_writable()?;
         let mut inner = self.inner.write();
-        let active = inner.segments.last().expect("active segment exists");
-        active.append_root(name, &hash)?;
+        let active = Arc::clone(inner.segments.last().expect("active segment exists"));
+        self.retry_transient(|| active.append_root(name, &hash))
+            .inspect_err(|e| self.note_write_failure(e, "root append"))?;
         inner.roots.insert(name.to_string(), hash);
         Ok(())
     }
 
     fn root(&self, name: &str) -> Option<Hash> {
         self.inner.read().roots.get(name).copied()
+    }
+
+    /// The store's current writability, raised (never lowered — recovery is
+    /// a reopen) by write-path failures and scrub findings. See
+    /// [`DurableChunkStore::health_reason`] for the human-readable cause.
+    fn health(&self) -> HealthState {
+        match self.health.load(Ordering::Acquire) {
+            0 => HealthState::Healthy,
+            1 => HealthState::Degraded,
+            _ => HealthState::ReadOnly,
+        }
     }
 
     /// `fsync` every segment that may hold non-durable data — the active
@@ -1058,7 +1554,8 @@ impl ChunkStore for DurableChunkStore {
             (targets, inner.segments.last().map(|s| s.id))
         };
         for segment in &targets {
-            segment.sync()?;
+            self.retry_transient(|| segment.sync())
+                .inspect_err(|e| self.note_write_failure(e, "group fsync"))?;
         }
         // Everything below the active segment is sealed and now durable;
         // the active segment may keep receiving appends, so the mark stays
@@ -1104,9 +1601,9 @@ impl std::fmt::Debug for DurableChunkStore {
 /// disk (adopting rotations the manifest missed), in id order.
 fn discover_segments(dir: &Path, manifest: &Manifest) -> Result<Vec<u64>> {
     let mut ids: Vec<u64> = manifest.segments.clone();
-    let entries = std::fs::read_dir(dir).map_err(|e| StorageError::io(dir, e))?;
+    let entries = std::fs::read_dir(dir).map_err(|e| StorageError::io("open", dir, e))?;
     for entry in entries {
-        let entry = entry.map_err(|e| StorageError::io(dir, e))?;
+        let entry = entry.map_err(|e| StorageError::io("open", dir, e))?;
         if let Some(id) = entry.file_name().to_str().and_then(parse_segment_file_name) {
             ids.push(id);
         }
@@ -1114,8 +1611,11 @@ fn discover_segments(dir: &Path, manifest: &Manifest) -> Result<Vec<u64>> {
     ids.sort_unstable();
     ids.dedup();
     // Condemned files are superseded by a durable manifest swap — never
-    // adopt one, even when its deletion keeps failing.
+    // adopt one, even when its deletion keeps failing. Quarantined files
+    // are likewise excised by a durable swap — never adopt one, even when
+    // the move into `quarantine/` keeps failing.
     ids.retain(|id| !manifest.condemned.contains(id));
+    ids.retain(|id| !manifest.quarantined.contains(id));
     Ok(ids)
 }
 

@@ -20,13 +20,14 @@ use parking_lot::Mutex;
 use spitz_crypto::Hash;
 
 use crate::chunk::{Chunk, ChunkKind};
-use crate::error::StorageError;
+use crate::error::{IoErrorKind, StorageError};
 use crate::Result;
 
 use super::format::{
     decode_record, decode_segment_header, encode_record, encode_root_record, encode_segment_header,
     RecordBody, SEGMENT_HEADER_LEN,
 };
+use super::io::{real_io, FsyncOutcome, SegmentIoHandle, WriteOutcome};
 
 /// Location of one chunk record inside the segment set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +71,9 @@ pub struct Segment {
     sync_file: File,
     /// Current file length; the append offset for the active segment.
     len: AtomicU64,
+    /// Fault-injection seam consulted before every append and fsync; the
+    /// production handle ([`real_io`]) never injects.
+    io: SegmentIoHandle,
 }
 
 /// Outcome of scanning a segment at open time.
@@ -88,38 +92,49 @@ pub struct ScanOutcome {
 impl Segment {
     /// Create a fresh segment file (fails if it already exists).
     pub fn create(dir: &Path, id: u64) -> Result<Segment> {
+        Segment::create_with_io(dir, id, real_io())
+    }
+
+    /// [`Segment::create`] with an explicit fault-injection seam.
+    pub fn create_with_io(dir: &Path, id: u64, io: SegmentIoHandle) -> Result<Segment> {
         let path = dir.join(segment_file_name(id));
         let mut file = OpenOptions::new()
             .create_new(true)
             .read(true)
             .append(true)
             .open(&path)
-            .map_err(|e| StorageError::io(&path, e))?;
+            .map_err(|e| StorageError::io("create", &path, e))?;
         let header = encode_segment_header(id);
         file.write_all(&header)
-            .map_err(|e| StorageError::io(&path, e))?;
-        let sync_file = File::open(&path).map_err(|e| StorageError::io(&path, e))?;
+            .map_err(|e| StorageError::io("create", &path, e))?;
+        let sync_file = File::open(&path).map_err(|e| StorageError::io("create", &path, e))?;
         Ok(Segment {
             id,
             path,
             file: Mutex::new(file),
             sync_file,
             len: AtomicU64::new(SEGMENT_HEADER_LEN),
+            io,
         })
     }
 
     /// Open an existing segment file and validate its header.
     pub fn open(dir: &Path, id: u64) -> Result<Segment> {
+        Segment::open_with_io(dir, id, real_io())
+    }
+
+    /// [`Segment::open`] with an explicit fault-injection seam.
+    pub fn open_with_io(dir: &Path, id: u64, io: SegmentIoHandle) -> Result<Segment> {
         let path = dir.join(segment_file_name(id));
         let mut file = OpenOptions::new()
             .read(true)
             .append(true)
             .open(&path)
-            .map_err(|e| StorageError::io(&path, e))?;
+            .map_err(|e| StorageError::io("open", &path, e))?;
         let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
         file.seek(SeekFrom::Start(0))
             .and_then(|_| file.read_exact(&mut header))
-            .map_err(|e| StorageError::io(&path, e))?;
+            .map_err(|e| StorageError::io("open", &path, e))?;
         match decode_segment_header(&header) {
             Some(found) if found == id => {}
             _ => {
@@ -132,16 +147,22 @@ impl Segment {
         }
         let len = file
             .metadata()
-            .map_err(|e| StorageError::io(&path, e))?
+            .map_err(|e| StorageError::io("open", &path, e))?
             .len();
-        let sync_file = File::open(&path).map_err(|e| StorageError::io(&path, e))?;
+        let sync_file = File::open(&path).map_err(|e| StorageError::io("open", &path, e))?;
         Ok(Segment {
             id,
             path,
             file: Mutex::new(file),
             sync_file,
             len: AtomicU64::new(len),
+            io,
         })
+    }
+
+    /// Path of the backing file (used by quarantine to move it aside).
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 
     /// Current file length (the append offset for the active segment).
@@ -156,13 +177,45 @@ impl Segment {
 
     /// Append pre-encoded record bytes; returns the offset they start at.
     /// On a failed write the file is cut back to its previous length so a
-    /// partial record never sits in the middle of later appends.
+    /// partial record never sits in the middle of later appends — except for
+    /// an injected *torn* write, which deliberately leaves the partial tail
+    /// in place (that is the fault being modelled; the store responds by
+    /// refusing further appends, and the reopen scan truncates the tail).
     fn append_bytes(&self, record: &[u8]) -> Result<u64> {
         let offset = self.len.load(Ordering::Acquire);
         let mut file = self.file.lock();
-        if let Err(e) = file.write_all(record) {
-            let _ = file.set_len(offset);
-            return Err(StorageError::io(&self.path, e));
+        match self.io.on_append(self.id, record.len()) {
+            WriteOutcome::Full => {
+                if let Err(e) = file.write_all(record) {
+                    let _ = file.set_len(offset);
+                    return Err(StorageError::io("append", &self.path, e));
+                }
+            }
+            WriteOutcome::Torn { prefix } => {
+                let prefix = prefix.min(record.len());
+                let _ = file.write_all(&record[..prefix]);
+                return Err(StorageError::io_synthetic(
+                    IoErrorKind::Other,
+                    "append",
+                    format!("injected torn write ({prefix}/{} bytes)", record.len()),
+                ));
+            }
+            WriteOutcome::Corrupt { offset: at, mask } => {
+                let mut damaged = record.to_vec();
+                let at = at.min(damaged.len().saturating_sub(1));
+                damaged[at] ^= if mask == 0 { 0x01 } else { mask };
+                if let Err(e) = file.write_all(&damaged) {
+                    let _ = file.set_len(offset);
+                    return Err(StorageError::io("append", &self.path, e));
+                }
+            }
+            WriteOutcome::Fail(kind) => {
+                return Err(StorageError::io_synthetic(
+                    kind,
+                    "append",
+                    format!("injected append fault ({kind})"),
+                ));
+            }
         }
         self.len
             .store(offset + record.len() as u64, Ordering::Release);
@@ -194,7 +247,7 @@ impl Segment {
             let mut file = self.file.lock();
             file.seek(SeekFrom::Start(location.offset))
                 .and_then(|_| file.read_exact(&mut buf))
-                .map_err(|e| StorageError::io(&self.path, e))?;
+                .map_err(|e| StorageError::io("read", &self.path, e))?;
         }
         let corrupt = |reason: String| StorageError::SegmentCorrupt {
             segment: self.id,
@@ -213,9 +266,17 @@ impl Segment {
     /// Flush file contents to stable storage (`fsync`). Uses the dedicated
     /// sync handle, so concurrent readers of this segment are not blocked.
     pub fn sync(&self) -> Result<()> {
-        self.sync_file
-            .sync_all()
-            .map_err(|e| StorageError::io(&self.path, e))
+        match self.io.on_fsync(self.id) {
+            FsyncOutcome::Ok => self
+                .sync_file
+                .sync_all()
+                .map_err(|e| StorageError::io("fsync", &self.path, e)),
+            FsyncOutcome::Fail(kind) => Err(StorageError::io_synthetic(
+                kind,
+                "fsync",
+                format!("injected fsync fault ({kind})"),
+            )),
+        }
     }
 
     /// Scan every record in the segment, rebuilding index entries and
@@ -233,7 +294,7 @@ impl Segment {
             let mut file = self.file.lock();
             file.seek(SeekFrom::Start(0))
                 .and_then(|_| file.read_to_end(&mut bytes))
-                .map_err(|e| StorageError::io(&self.path, e))?;
+                .map_err(|e| StorageError::io("scan", &self.path, e))?;
         }
         if decode_segment_header(&bytes).is_none() {
             return Err(StorageError::SegmentCorrupt {
@@ -297,7 +358,7 @@ impl Segment {
     fn truncate_to(&self, len: u64) -> Result<()> {
         let file = self.file.lock();
         file.set_len(len)
-            .map_err(|e| StorageError::io(&self.path, e))?;
+            .map_err(|e| StorageError::io("truncate", &self.path, e))?;
         self.len.store(len, Ordering::Release);
         Ok(())
     }

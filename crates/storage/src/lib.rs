@@ -54,10 +54,13 @@ pub mod version;
 
 pub use chunk::{Chunk, ChunkKind};
 pub use chunker::{Chunker, ChunkerConfig};
-pub use durable::{CompactionFault, CompactionReport, DurableChunkStore, DurableConfig};
-pub use error::StorageError;
+pub use durable::io::{real_io, FsyncOutcome, RealIo, SegmentIo, SegmentIoHandle, WriteOutcome};
+pub use durable::{
+    CompactionFault, CompactionReport, DurableChunkStore, DurableConfig, ScrubReport,
+};
+pub use error::{IoError, IoErrorKind, StorageError};
 pub use object::{VBlob, VMap};
-pub use store::{ChunkStore, InMemoryChunkStore, StoreStats};
+pub use store::{ChunkStore, HealthState, InMemoryChunkStore, StoreStats};
 pub use version::{Commit, VersionManager};
 
 /// Crate-wide result alias.

@@ -18,6 +18,39 @@ use crate::chunk::{Chunk, ChunkKind};
 use crate::error::StorageError;
 use crate::Result;
 
+/// The operational health of a chunk store, surfaced so serving layers can
+/// route around sick storage instead of discovering failures one write at a
+/// time.
+///
+/// Transitions are one-way within a process lifetime (`Healthy → Degraded →
+/// ReadOnly`); reopening the store after the underlying condition is fixed
+/// resets it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Fully operational.
+    #[default]
+    Healthy,
+    /// Still writable, but something needs attention: transient I/O retries
+    /// were exhausted, or a scrub quarantined a corrupt segment (with all
+    /// live chunks salvaged).
+    Degraded,
+    /// Writes are rejected with [`StorageError::ReadOnly`]; verified reads
+    /// keep serving. Entered on `ENOSPC`, fsync failure, torn appends whose
+    /// tail could not be restored, or corruption that salvage could not
+    /// fully repair.
+    ReadOnly,
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthState::Healthy => write!(f, "healthy"),
+            HealthState::Degraded => write!(f, "degraded"),
+            HealthState::ReadOnly => write!(f, "read-only"),
+        }
+    }
+}
+
 /// Aggregate statistics maintained by a chunk store.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -150,6 +183,13 @@ pub trait ChunkStore: Send + Sync {
             });
         }
         Ok(chunk)
+    }
+
+    /// Current operational health. Stores without failure modes (the
+    /// in-memory default) are always [`HealthState::Healthy`]; a durable
+    /// backend reports degraded/read-only states here.
+    fn health(&self) -> HealthState {
+        HealthState::Healthy
     }
 }
 
@@ -314,6 +354,10 @@ impl<S: ChunkStore> ChunkStore for VerifyingStore<S> {
     fn sync(&self) -> Result<()> {
         self.inner.sync()
     }
+
+    fn health(&self) -> HealthState {
+        self.inner.health()
+    }
 }
 
 impl<S: ChunkStore + ?Sized> ChunkStore for &S {
@@ -360,6 +404,10 @@ impl<S: ChunkStore + ?Sized> ChunkStore for &S {
     fn get_kind(&self, address: &Hash, expected: ChunkKind) -> Result<Arc<Chunk>> {
         (**self).get_kind(address, expected)
     }
+
+    fn health(&self) -> HealthState {
+        (**self).health()
+    }
 }
 
 impl<S: ChunkStore + ?Sized> ChunkStore for Arc<S> {
@@ -405,6 +453,10 @@ impl<S: ChunkStore + ?Sized> ChunkStore for Arc<S> {
 
     fn get_kind(&self, address: &Hash, expected: ChunkKind) -> Result<Arc<Chunk>> {
         (**self).get_kind(address, expected)
+    }
+
+    fn health(&self) -> HealthState {
+        (**self).health()
     }
 }
 

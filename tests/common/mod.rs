@@ -7,8 +7,6 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-pub mod failpoint;
-
 /// A uniquely named temp directory removed on drop (the offline workspace
 /// has no `tempfile` dependency).
 pub struct TempDir(PathBuf);

@@ -1,0 +1,250 @@
+//! Fault-hardening integration tests: injected `ENOSPC` and torn writes
+//! flip a live database read-only (verified reads keep serving, writes
+//! fail fast with the typed error), in-doubt 2PC staged batches survive
+//! scrub and compaction passes until their decision resolves, and
+//! [`ShardedDb::recover`] races the background scrubber/compactor safely.
+//!
+//! The long seeded chaos soak at the bottom is `#[ignore]`d; CI's soak
+//! step runs it explicitly with `--ignored`.
+
+use std::sync::Arc;
+
+use spitz::core::db::{SpitzConfig, SpitzDb};
+use spitz::core::proof::Verifier;
+use spitz::core::sharded::{ShardedConfig, ShardedDb};
+use spitz::core::{DbError, HealthState};
+use spitz::storage::{DurableConfig, IoErrorKind, WriteOutcome};
+use spitz_faults::FaultInjector;
+
+mod common;
+use common::TempDir;
+
+fn key(i: u32) -> Vec<u8> {
+    format!("fault/{i:05}").into_bytes()
+}
+
+fn value(i: u32) -> Vec<u8> {
+    format!("value-{i}").into_bytes()
+}
+
+/// A database under a seeded injector with `count` acknowledged writes.
+fn db_with_writes(dir: &TempDir, seed: u64, count: u32) -> (SpitzDb, Arc<FaultInjector>) {
+    let injector = Arc::new(FaultInjector::new(seed));
+    let db = SpitzDb::open_with_io(
+        dir.path(),
+        SpitzConfig::default(),
+        DurableConfig::default(),
+        injector.handle(),
+    )
+    .expect("open with injector");
+    for i in 0..count {
+        db.put(&key(i), &value(i)).expect("pre-fault put");
+    }
+    (db, injector)
+}
+
+/// Every key in `0..count` reads back verified out of `db`.
+fn assert_all_verified(db: &SpitzDb, count: u32) {
+    let mut client = Verifier::new();
+    assert!(client.observe_digest(db.digest()));
+    for i in 0..count {
+        let (got, proof) = db.get_verified(&key(i)).expect("verified read");
+        assert_eq!(got.as_deref(), Some(value(i).as_ref()));
+        assert!(client.verify_read(&key(i), got.as_deref(), &proof));
+    }
+}
+
+/// The acceptance scenario: an injected `ENOSPC` flips the store to
+/// `ReadOnly`, where verified reads still succeed and writes return the
+/// typed [`DbError::ReadOnly`].
+#[test]
+fn enospc_flips_store_read_only_reads_keep_serving() {
+    let dir = TempDir::new("faults-enospc");
+    let (db, injector) = db_with_writes(&dir, 0xE05, 20);
+    assert_eq!(db.health(), HealthState::Healthy);
+
+    let (appends, _) = injector.ops();
+    injector.fail_append_at(appends, WriteOutcome::Fail(IoErrorKind::NoSpace));
+    db.put(b"fault/over", b"x").expect_err("device is full");
+
+    assert_eq!(db.health(), HealthState::ReadOnly);
+    let reason = db.health_reason().expect("durable store has a reason");
+    assert!(reason.contains("space"), "unexpected reason: {reason}");
+
+    // Writes fail fast with the typed error from now on.
+    let err = db.put(b"fault/after", b"x").expect_err("read-only");
+    assert!(matches!(err, DbError::ReadOnly(_)), "got {err}");
+    let err = db
+        .put_batch(vec![(b"fault/batch".to_vec(), b"x".to_vec())])
+        .expect_err("read-only");
+    assert!(matches!(err, DbError::ReadOnly(_)), "got {err}");
+
+    // Verified reads keep serving out of the degraded store.
+    assert_all_verified(&db, 20);
+
+    // The un-acknowledged write is not visible.
+    assert_eq!(db.get(b"fault/over").unwrap(), None);
+}
+
+/// A torn append flips the store read-only (its in-memory tail is no
+/// longer trustworthy); reopening without the injector truncates the torn
+/// tail and recovers every acknowledged write.
+#[test]
+fn torn_write_goes_read_only_and_reopen_recovers() {
+    let dir = TempDir::new("faults-torn");
+    let (db, injector) = db_with_writes(&dir, 0x7032, 20);
+
+    let (appends, _) = injector.ops();
+    injector.fail_append_at(appends, WriteOutcome::Torn { prefix: 11 });
+    db.put(b"fault/torn", b"x").expect_err("torn write");
+
+    assert_eq!(db.health(), HealthState::ReadOnly);
+    assert_all_verified(&db, 20);
+
+    // Crash with the torn tail in place; the reopen scan truncates it.
+    std::mem::forget(db);
+    let reopened = SpitzDb::open(dir.path()).expect("reopen after torn tail");
+    assert_eq!(reopened.health(), HealthState::Healthy);
+    assert_all_verified(&reopened, 20);
+    assert_eq!(reopened.get(b"fault/torn").unwrap(), None);
+
+    // The recovered database accepts writes again.
+    reopened
+        .put(b"fault/resumed", b"y")
+        .expect("writable again");
+}
+
+/// A cross-shard batch of `n` keys from `start` guaranteed to span at
+/// least two shards.
+fn cross_shard_batch(db: &ShardedDb, start: u32, n: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let writes: Vec<(Vec<u8>, Vec<u8>)> = (start..start + n)
+        .map(|i| (format!("2pc/{i:05}").into_bytes(), value(i)))
+        .collect();
+    let shards: std::collections::HashSet<usize> =
+        writes.iter().map(|(k, _)| db.route(k)).collect();
+    assert!(shards.len() >= 2, "batch must span shards");
+    writes
+}
+
+/// Small segments so churn actually creates garbage for compaction.
+fn small_sharded_config() -> ShardedConfig {
+    ShardedConfig::default()
+        .with_shards(2)
+        .with_durable(DurableConfig {
+            segment_target_bytes: 4 * 1024,
+            ..DurableConfig::default()
+        })
+}
+
+/// An in-doubt staged batch stays live through scrub and compaction
+/// passes on every shard: the GC must treat staged chunks as reachable,
+/// so the decision can still commit afterwards.
+#[test]
+fn in_doubt_batch_survives_scrub_and_compact_until_decision() {
+    let dir = TempDir::new("faults-indoubt");
+    let db = ShardedDb::open(dir.path(), small_sharded_config()).expect("open");
+    for i in 0..40 {
+        db.put(&key(i), &value(i)).unwrap();
+    }
+
+    let writes = cross_shard_batch(&db, 0, 8);
+    let prepared = db.prepare_batch(writes.clone()).expect("phase 1");
+
+    // Churn the shards to create garbage, then GC them while the batch is
+    // still in doubt.
+    for i in 0..40 {
+        db.put(&key(i), &value(i + 1000)).unwrap();
+    }
+    for s in 0..db.shard_count() {
+        db.shard(s).scrub().expect("scrub with staged batch");
+        db.shard(s).compact().expect("compact with staged batch");
+    }
+
+    // The decision still lands: staged state survived both passes.
+    db.commit_prepared(prepared).expect("phase 2 after GC");
+    for (k, v) in &writes {
+        assert_eq!(db.get(k).unwrap().as_deref(), Some(v.as_slice()));
+    }
+    // Nothing left in doubt.
+    assert_eq!(db.recover(), 0);
+}
+
+/// `recover()` racing concurrent scrubber/compactor passes after a
+/// coordinator crash: the undecided batch is presumed aborted exactly
+/// once, no committed data is disturbed, and the deployment keeps
+/// serving verified reads and fresh batches.
+#[test]
+fn recover_races_scrub_and_compact_after_coordinator_crash() {
+    let dir = TempDir::new("faults-recover-race");
+    let config = small_sharded_config();
+    let db = ShardedDb::open(dir.path(), config).expect("open");
+    for i in 0..40 {
+        db.put(&key(i), &value(i)).unwrap();
+    }
+    let committed_digest = db.digest();
+
+    let writes = cross_shard_batch(&db, 100, 8);
+    let prepared = db.prepare_batch(writes.clone()).expect("phase 1");
+    // Coordinator crash between the phases: the handle is gone, the
+    // staged parts are durable on the shards.
+    drop(prepared);
+    std::mem::forget(db);
+
+    let db = ShardedDb::open(dir.path(), config).expect("reopen");
+    // The eager pass at open leaves undecided entries for an explicit
+    // recover(); the staged batch is still in doubt here.
+    let gc: Vec<std::thread::JoinHandle<()>> = (0..db.shard_count())
+        .map(|s| {
+            let shard = Arc::clone(db.shard(s));
+            std::thread::spawn(move || {
+                for _ in 0..5 {
+                    shard.scrub().expect("scrub during recovery");
+                    shard.compact().expect("compact during recovery");
+                }
+            })
+        })
+        .collect();
+    let resolved = db.recover();
+    for handle in gc {
+        handle.join().expect("gc thread");
+    }
+    assert!(resolved >= 1, "the staged batch must be resolved");
+
+    // Presumed abort: none of the in-doubt writes became visible.
+    for (k, _) in &writes {
+        assert_eq!(db.get(k).unwrap(), None);
+    }
+    // Every committed write survived the race, with proofs.
+    assert_eq!(db.digest(), committed_digest);
+    let mut client = Verifier::new();
+    assert!(client.observe_sharded(&db.digest()));
+    for i in 0..40 {
+        let (got, proof) = db.get_verified(&key(i)).expect("verified read");
+        assert_eq!(got.as_deref(), Some(value(i).as_ref()));
+        assert!(client.verify_sharded_read(&key(i), got.as_deref(), &proof));
+    }
+    // And the deployment accepts the batch cleanly now.
+    db.put_batch(writes.clone()).expect("fresh batch");
+    for (k, v) in &writes {
+        assert_eq!(db.get(k).unwrap().as_deref(), Some(v.as_slice()));
+    }
+}
+
+/// Long seeded chaos soak over all three schedule families. Excluded from
+/// the default test run; CI's soak step runs it with `--ignored`.
+#[test]
+#[ignore = "long chaos soak; run explicitly with --ignored"]
+fn chaos_soak() {
+    let mut injected = 0;
+    for i in 0..240u64 {
+        let seed = 0x50AC_0000 + i;
+        println!("soak schedule {i}: seed={seed:#x}");
+        let report = match i % 3 {
+            0 => spitz_bench::chaos::run_kv_schedule(seed),
+            1 => spitz_bench::chaos::run_scrub_schedule(seed),
+            _ => spitz_bench::chaos::run_2pc_schedule(seed),
+        };
+        injected += report.faults_injected;
+    }
+    assert!(injected > 0, "the soak must actually inject faults");
+}

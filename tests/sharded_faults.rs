@@ -10,8 +10,8 @@ use spitz::core::SpitzConfig;
 use spitz::storage::{ChunkStore, InMemoryChunkStore};
 
 mod common;
-use common::failpoint::{FailMode, FailpointStore};
 use common::TempDir;
+use spitz_faults::{FailMode, FailpointStore};
 
 fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
     (
