@@ -1,8 +1,9 @@
 //! Seeded chaos harness over the fault-hardened storage stack.
 //!
-//! Runs three families of deterministic fault schedules (full-stack KV
+//! Runs four families of deterministic fault schedules (full-stack KV
 //! faults, storage-level silent corruption + scrub, cross-shard 2PC
-//! failures — see `spitz_bench::chaos`) over a contiguous seed range and
+//! failures, served-stack client storms — see `spitz_bench::chaos`) over
+//! a contiguous seed range and
 //! asserts every invariant inside the schedules themselves. Each
 //! schedule's seed is printed *before* it runs, so any panic message plus
 //! the last printed line reproduce the failure exactly:
@@ -13,7 +14,9 @@
 //! cargo run --release --bin fig_faults -- --seeds 96
 //! ```
 
-use spitz_bench::chaos::{run_2pc_schedule, run_kv_schedule, run_scrub_schedule, ScheduleReport};
+use spitz_bench::chaos::{
+    run_2pc_schedule, run_kv_schedule, run_scrub_schedule, run_server_schedule, ScheduleReport,
+};
 use spitz_bench::FigureTable;
 
 /// Base of the seed range; schedule `i` uses `BASE_SEED + i`.
@@ -40,15 +43,16 @@ fn main() {
 
     // (name, runner, accumulated reports)
     type Pool = (&'static str, fn(u64) -> ScheduleReport, Vec<ScheduleReport>);
-    let mut pools: [Pool; 3] = [
+    let mut pools: [Pool; 4] = [
         ("kv", run_kv_schedule, Vec::new()),
         ("scrub", run_scrub_schedule, Vec::new()),
         ("2pc", run_2pc_schedule, Vec::new()),
+        ("serve", run_server_schedule, Vec::new()),
     ];
 
     for i in 0..schedules {
         let seed = BASE_SEED + i;
-        let pool = (i % 3) as usize;
+        let pool = (i % 4) as usize;
         // Printed before the run: a panicking schedule leaves its seed on
         // the last line of output.
         println!("schedule {i:>3}: pool={:<5} seed={seed:#x}", pools[pool].0);

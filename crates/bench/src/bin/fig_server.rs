@@ -1,0 +1,170 @@
+//! Served front-end latency figure: wire-protocol round-trip percentiles
+//! by client count and operation mix.
+//!
+//! Spawns a `spitz_server::SpitzServer` over an in-memory sharded store
+//! and measures client-observed round-trip latency (p50 / p95 / p99, in
+//! microseconds) for each operation class at increasing client counts.
+//! Verified reads are checked through the light-client acceptance rule
+//! while being timed, so the numbers include proof decode + verification
+//! on the client side — the latency a *distrusting* client actually pays.
+//!
+//! ```text
+//! cargo run --release --bin fig_server            # full sweep
+//! cargo run --release --bin fig_server -- --smoke # CI subset
+//! ```
+//!
+//! `--smoke` shrinks the sweep and doubles as the served-stack CI check:
+//! it fails loudly if any proof is refused, any request errors, or the
+//! telemetry endpoint stops exposing the server instruments.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use spitz_bench::FigureTable;
+use spitz_core::proof::Verifier;
+use spitz_core::sharded::ShardedDb;
+use spitz_server::{ServerConfig, SpitzClient, SpitzServer};
+
+/// Operation classes measured, in column order.
+const OPS: [&str; 5] = ["put", "get", "get_verified", "range_verified", "digest"];
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank] as f64 / 1_000.0 // nanos -> micros
+}
+
+fn key(i: u64) -> Vec<u8> {
+    format!("bench/{:06}", i).into_bytes()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (client_counts, ops_per_client, keyspace): (&[usize], u64, u64) = if smoke {
+        (&[4], 200, 256)
+    } else {
+        (&[1, 4, 8, 16], 2_000, 4_096)
+    };
+
+    let db = Arc::new(ShardedDb::in_memory(4));
+    for i in 0..keyspace {
+        db.put(&key(i), format!("value-{i:06}").as_bytes())
+            .expect("preload");
+    }
+    let server = SpitzServer::start(
+        Arc::clone(&db),
+        ServerConfig::default().with_max_connections(32),
+    )
+    .expect("server start");
+    let addr = server.local_addr();
+    println!(
+        "served latency sweep: clients={client_counts:?}, {ops_per_client} ops/client/class{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut table = FigureTable::new(
+        "Served round-trip latency, microseconds (p50 / p95 / p99)",
+        "clients x op",
+        vec!["p50", "p95", "p99"],
+    );
+
+    for &clients in client_counts {
+        // lat[op class] = merged per-op round-trip nanos across clients.
+        let merged: Vec<std::thread::JoinHandle<[Vec<u64>; 5]>> = (0..clients)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let mut client = SpitzClient::connect(addr).expect("client connect");
+                    let digest = client.digest().expect("pin digest");
+                    let mut verifier = Verifier::new();
+                    assert!(verifier.observe_sharded(&digest), "initial pin refused");
+                    let mut lat: [Vec<u64>; 5] = Default::default();
+                    for op in 0..ops_per_client {
+                        let i = (c as u64 * 7 + op * 13) % keyspace;
+                        // Writers stay in a per-client slice of the keyspace
+                        // so verified reads of the shared slice pin cleanly.
+                        let wkey = format!("w/{c}/{:04}", op % 64).into_bytes();
+
+                        let t = Instant::now();
+                        client.put(&wkey, b"payload-payload-1234").expect("put");
+                        lat[0].push(t.elapsed().as_nanos() as u64);
+
+                        let t = Instant::now();
+                        let got = client.get(&key(i)).expect("get");
+                        lat[1].push(t.elapsed().as_nanos() as u64);
+                        assert!(got.is_some(), "preloaded key missing");
+
+                        // Point proofs anchor at the server's current cut,
+                        // which races other writers; timing covers transport
+                        // + proof decode, the range below covers acceptance.
+                        let t = Instant::now();
+                        let (value, proof) = client.get_verified(&key(i)).expect("get_verified");
+                        lat[2].push(t.elapsed().as_nanos() as u64);
+                        assert!(value.is_some(), "verified read lost a key");
+                        drop(proof);
+
+                        // Self-anchoring one-key range: proves its own cut,
+                        // so it verifies even while other clients write.
+                        let mut end = key(i);
+                        end.push(0);
+                        let t = Instant::now();
+                        let (entries, proof) = client
+                            .range_verified(&key(i), &end)
+                            .expect("range_verified");
+                        assert!(
+                            verifier.verify_sharded_range(&entries, &proof),
+                            "served range proof refused"
+                        );
+                        lat[3].push(t.elapsed().as_nanos() as u64);
+
+                        let t = Instant::now();
+                        let digest = client.digest().expect("digest");
+                        lat[4].push(t.elapsed().as_nanos() as u64);
+                        assert!(digest.verify(), "served digest inconsistent");
+                    }
+                    lat
+                })
+            })
+            .collect();
+
+        let mut lat: [Vec<u64>; 5] = Default::default();
+        for handle in merged {
+            let part = handle.join().expect("bench client panicked");
+            for (dst, src) in lat.iter_mut().zip(part) {
+                dst.extend(src);
+            }
+        }
+        for (name, series) in OPS.iter().zip(lat.iter_mut()) {
+            series.sort_unstable();
+            table.add_row(
+                format!("{clients} x {name}"),
+                vec![
+                    percentile(series, 0.50),
+                    percentile(series, 0.95),
+                    percentile(series, 0.99),
+                ],
+            );
+        }
+    }
+    table.print();
+
+    // The telemetry endpoint must expose the front-end instruments.
+    let mut client = SpitzClient::connect(addr).expect("telemetry connect");
+    let json = client.telemetry_json().expect("telemetry endpoint");
+    for instrument in [
+        "server.requests",
+        "server.connections",
+        "server.bytes_written",
+    ] {
+        assert!(
+            json.contains(instrument),
+            "telemetry JSON lost {instrument}"
+        );
+    }
+    let total: u64 = client
+        .health()
+        .map(|h| h.shards.len() as u64)
+        .expect("health endpoint");
+    println!("telemetry + health OK ({total} shards); every proof verified client-side");
+}

@@ -4,7 +4,7 @@
 //! plan (via [`spitz_faults::FaultInjector`] or
 //! [`spitz_faults::FailpointStore`]), the workload shape, and every
 //! randomized choice derive from it, so a failing schedule replays from the
-//! printed seed alone. Three schedule families cover the fault surface:
+//! printed seed alone. Four schedule families cover the fault surface:
 //!
 //! * [`run_kv_schedule`] — a full durable [`SpitzDb`] under seeded torn
 //!   writes, `ENOSPC`, transient I/O and fsync failures, with put /
@@ -26,6 +26,14 @@
 //!   fully applied (a decided commit is finished by redo) or fully absent
 //!   (an undecided one is presumed aborted), never partial — and a dead
 //!   shard degrades only its own key range.
+//! * [`run_server_schedule`] — the served stack: a `spitz_server` TCP
+//!   front-end over a fault-injected sharded store, hammered by
+//!   concurrent remote clients. Invariants: clients only ever see typed
+//!   protocol errors (never a framing break or a hang), each sole-writer
+//!   client's keys always read back an acceptable value, and after the
+//!   storm every acknowledged key serves a proof that verifies against a
+//!   freshly pinned digest — remotely, through the light-client
+//!   acceptance rule.
 //!
 //! On a *failed* commit the stack promises the write is either fully
 //! rolled back (append failure) or fully published but possibly
@@ -34,7 +42,7 @@
 //! or the one value a failed commit may have published" — never a torn
 //! mixture, never a value nobody wrote.
 //!
-//! The `fig_faults` binary runs all three families over a seed range;
+//! The `fig_faults` binary runs all four families over a seed range;
 //! `tests/faults.rs` reuses them for CI smoke and the long soak.
 
 use std::collections::HashMap;
@@ -626,5 +634,209 @@ pub fn run_2pc_schedule(seed: u64) -> ScheduleReport {
     report.acknowledged = committed.len() as u64;
     report.faults_injected = failpoints.iter().map(|f| f.injected_failures()).sum();
     report.final_health = db.health();
+    report
+}
+
+/// One seeded chaos schedule over the **served** stack: a
+/// [`SpitzServer`](spitz_server::SpitzServer) fronting a fault-injected
+/// sharded store while remote clients hammer the socket concurrently.
+///
+/// Invariants (panics with the seed on violation): clients only ever see
+/// typed protocol errors (`ReadOnly` / `Busy` / `Conflict` / `Internal`)
+/// — never a framing break, never a hang; each client's sole-writer keys
+/// always read back an acceptable value; and once writes quiesce, every
+/// acknowledged key serves a proof the light-client acceptance rule
+/// verifies against a fresh pin.
+pub fn run_server_schedule(seed: u64) -> ScheduleReport {
+    use spitz_server::protocol::ErrorCode;
+    use spitz_server::{ClientError, ServerConfig, SpitzClient, SpitzServer};
+
+    const CLIENTS: u64 = 3;
+    const OPS_PER_CLIENT: u64 = 80;
+
+    let dir = TempDir::new(&format!("chaos-server-{seed:x}"));
+    let rates = match seed % 3 {
+        0 => FaultRates {
+            transient_per_1024: 24,
+            fsync_transient_per_1024: 12,
+            ..FaultRates::default()
+        },
+        1 => FaultRates::default(), // exact-op ENOSPC below
+        _ => FaultRates {
+            fsync_fail_per_1024: 4,
+            ..FaultRates::default()
+        },
+    };
+    let injector = Arc::new(FaultInjector::random(seed, rates));
+    if seed % 3 == 1 {
+        injector.fail_append_at(60 + seed % 120, WriteOutcome::Fail(IoErrorKind::NoSpace));
+    }
+    let config = spitz_core::sharded::ShardedConfig::default()
+        .with_shards(2)
+        .with_durable(DurableConfig {
+            segment_target_bytes: 8 * 1024,
+            ..DurableConfig::default()
+        });
+    let mut report = ScheduleReport {
+        seed,
+        ..ScheduleReport::default()
+    };
+    let db = match ShardedDb::open_with_io(dir.path(), config, injector.handle()) {
+        Ok(db) => Arc::new(db),
+        Err(_) => {
+            // Faulted genesis: the schedule aborts, the directory must
+            // still reopen clean without the injector.
+            report.faults_injected = injector.injected_faults();
+            ShardedDb::open(dir.path(), config).unwrap_or_else(|e| {
+                panic!("[seed={seed:#x}] dir unrecoverable after faulted genesis: {e}")
+            });
+            return report;
+        }
+    };
+    let server = SpitzServer::start(
+        Arc::clone(&db),
+        ServerConfig::default().with_max_connections(CLIENTS as usize + 2),
+    )
+    .unwrap_or_else(|e| panic!("[seed={seed:#x}] server failed to start: {e}"));
+    let addr = server.local_addr();
+
+    // Each client is the sole writer of its own key prefix, so it can
+    // hold the server to an exact acknowledged-value model.
+    type ClientOutcome = (u64, u64, HashMap<Vec<u8>, Vec<u8>>);
+    let workers: Vec<std::thread::JoinHandle<ClientOutcome>> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let own_key = move |i: u64| format!("srv/{c}/{i:04}").into_bytes();
+                let mut client = SpitzClient::connect(addr)
+                    .unwrap_or_else(|e| panic!("[seed={seed:#x}] client {c} connect: {e}"));
+                let mut rng = Rng::new(seed, 100 + c);
+                let mut acked: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+                let mut maybe: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+                let mut ops = 0u64;
+                let mut typed_failures = 0u64;
+                for op in 0..OPS_PER_CLIENT {
+                    ops += 1;
+                    let i = rng.below(24);
+                    let roll = rng.below(100);
+                    let outcome: Result<(), ClientError> = if roll < 45 {
+                        let v = value(seed, c * 10_000 + op);
+                        match client.put(&own_key(i), &v) {
+                            Ok(_) => {
+                                acked.insert(own_key(i), v);
+                                Ok(())
+                            }
+                            Err(e) => {
+                                maybe.insert(own_key(i), v);
+                                Err(e)
+                            }
+                        }
+                    } else if roll < 60 {
+                        let writes: Vec<(Vec<u8>, Vec<u8>)> = (0..4)
+                            .map(|j| (own_key(200 + i + j), value(seed, c * 20_000 + op + j)))
+                            .collect();
+                        match client.put_batch(&writes) {
+                            Ok(_) => {
+                                acked.extend(writes);
+                                Ok(())
+                            }
+                            Err(e) => {
+                                maybe.extend(writes);
+                                Err(e)
+                            }
+                        }
+                    } else if roll < 80 {
+                        match client.get(&own_key(i)) {
+                            Ok(got) => {
+                                assert!(
+                                    acceptable(
+                                        got.as_deref(),
+                                        acked.get(&own_key(i)),
+                                        maybe.get(&own_key(i))
+                                    ),
+                                    "[seed={seed:#x}] client {c} read a value nobody wrote"
+                                );
+                                Ok(())
+                            }
+                            Err(e) => Err(e),
+                        }
+                    } else if roll < 90 {
+                        // Transport-level exercise of the proof path; the
+                        // quiesced verification pass below checks crypto.
+                        client.get_verified(&own_key(i)).map(|_| ())
+                    } else if roll < 96 {
+                        client.digest().map(|digest| {
+                            assert!(
+                                digest.verify(),
+                                "[seed={seed:#x}] served digest inconsistent"
+                            );
+                        })
+                    } else {
+                        client.health().map(|_| ())
+                    };
+                    match outcome {
+                        Ok(()) => {}
+                        Err(ClientError::Server { code, .. }) => {
+                            assert!(
+                                matches!(
+                                    code,
+                                    ErrorCode::ReadOnly
+                                        | ErrorCode::Busy
+                                        | ErrorCode::Conflict
+                                        | ErrorCode::Internal
+                                ),
+                                "[seed={seed:#x}] client {c} got unexpected code {code:?}"
+                            );
+                            typed_failures += 1;
+                        }
+                        Err(other) => {
+                            panic!("[seed={seed:#x}] client {c} protocol/transport broke: {other}")
+                        }
+                    }
+                }
+                (ops, typed_failures, acked)
+            })
+        })
+        .collect();
+
+    let mut all_acked: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    for worker in workers {
+        let (ops, _typed, acked) = worker
+            .join()
+            .unwrap_or_else(|_| panic!("[seed={seed:#x}] a client thread died"));
+        report.ops += ops;
+        all_acked.extend(acked);
+    }
+
+    // Writes have quiesced: every acknowledged key must now serve a
+    // proof that verifies against a fresh pin, remotely.
+    let mut client = SpitzClient::connect(addr)
+        .unwrap_or_else(|e| panic!("[seed={seed:#x}] post-storm connect: {e}"));
+    let digest = client
+        .digest()
+        .unwrap_or_else(|e| panic!("[seed={seed:#x}] post-storm digest: {e}"));
+    let mut verifier = Verifier::new();
+    assert!(
+        verifier.observe_sharded(&digest),
+        "[seed={seed:#x}] post-storm digest refused by a fresh verifier"
+    );
+    for (k, v) in &all_acked {
+        let (got, proof) = client
+            .get_verified(k)
+            .unwrap_or_else(|e| panic!("[seed={seed:#x}] post-storm read of {k:?}: {e}"));
+        assert_eq!(
+            got.as_deref(),
+            Some(v.as_slice()),
+            "[seed={seed:#x}] acknowledged write lost"
+        );
+        assert!(
+            verifier.verify_sharded_read(k, got.as_deref(), &proof),
+            "[seed={seed:#x}] served proof failed light-client verification"
+        );
+    }
+
+    report.acknowledged = all_acked.len() as u64;
+    report.faults_injected = injector.injected_faults();
+    report.final_health = db.health();
+    drop(server);
     report
 }

@@ -25,6 +25,8 @@ pub mod systems;
 pub mod util;
 pub mod workload;
 
-pub use chaos::{run_2pc_schedule, run_kv_schedule, run_scrub_schedule, ScheduleReport};
+pub use chaos::{
+    run_2pc_schedule, run_kv_schedule, run_scrub_schedule, run_server_schedule, ScheduleReport,
+};
 pub use harness::{measure_throughput, FigureTable};
 pub use workload::{KeyValueWorkload, WikiWorkload, WorkloadConfig};

@@ -702,7 +702,7 @@ impl SpitzDb {
         Self::open_full(path, config, durable, telemetry, real_io())
     }
 
-    fn open_full(
+    pub(crate) fn open_full(
         path: impl AsRef<Path>,
         config: SpitzConfig,
         durable: DurableConfig,

@@ -24,6 +24,7 @@
 
 use spitz_crypto::merkle::AuditProof;
 use spitz_crypto::Hash;
+use spitz_index::codec;
 use spitz_ledger::{DeferredVerifier, Digest, LedgerProof, LedgerRangeProof, VerificationReport};
 
 use crate::sharded::{shard_for, ShardedDigest};
@@ -53,6 +54,55 @@ impl ShardedProof {
     /// telemetry layer reports this as the sharded point-proof size.
     pub fn encoded_len(&self) -> usize {
         4 + 4 + self.ledger_proof.encoded_len() + self.membership.encoded_len() + 32
+    }
+
+    /// Append the canonical wire encoding (exactly
+    /// [`ShardedProof::encoded_len`] bytes): shard index ‖ shard count ‖
+    /// ledger proof ‖ audit path ‖ cross-shard root.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_u32(out, self.shard as u32);
+        codec::put_u32(out, self.shard_count as u32);
+        self.ledger_proof.encode_into(out);
+        self.membership.encode_into(out);
+        codec::put_hash(out, &self.root);
+    }
+
+    /// The canonical wire encoding as a fresh buffer — what a served
+    /// front-end puts on the wire with a verified point read.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a proof previously written by [`ShardedProof::encode`].
+    /// Returns `None` on truncated, malformed or trailing-garbage input;
+    /// hostile declared lengths are bounds-checked before any allocation.
+    pub fn decode(bytes: &[u8]) -> Option<ShardedProof> {
+        let mut r = codec::Reader::new(bytes);
+        let proof = Self::decode_from(&mut r)?;
+        if !r.is_exhausted() {
+            return None;
+        }
+        Some(proof)
+    }
+
+    /// Decode a proof from a reader positioned at its first byte, leaving
+    /// the reader just past it.
+    pub fn decode_from(r: &mut codec::Reader<'_>) -> Option<ShardedProof> {
+        let shard = r.u32()? as usize;
+        let shard_count = r.u32()? as usize;
+        let ledger_proof = LedgerProof::decode(r)?;
+        let (membership, consumed) = AuditProof::decode_prefix(r.rest())?;
+        r.take(consumed)?;
+        let root = r.hash()?;
+        Some(ShardedProof {
+            shard,
+            shard_count,
+            ledger_proof,
+            membership,
+            root,
+        })
     }
 
     /// Client-side verification: the key routes to the claimed shard, the
@@ -102,6 +152,56 @@ impl ShardedRangeProof {
                 .iter()
                 .map(|proof| proof.encoded_len())
                 .sum::<usize>()
+    }
+
+    /// Append the canonical wire encoding (exactly
+    /// [`ShardedRangeProof::encoded_len`] bytes): shard count ‖ epoch ‖
+    /// root ‖ per-shard proof count ‖ per-shard range proofs.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_u32(out, self.shard_count as u32);
+        codec::put_u64(out, self.epoch);
+        codec::put_hash(out, &self.root);
+        codec::put_u32(out, self.shards.len() as u32);
+        for proof in &self.shards {
+            proof.encode_into(out);
+        }
+    }
+
+    /// The canonical wire encoding as a fresh buffer — what a served
+    /// front-end puts on the wire with a verified range read.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a proof previously written by [`ShardedRangeProof::encode`].
+    /// Returns `None` on truncated, malformed or trailing-garbage input.
+    /// The per-shard vector grows by pushing as bytes are actually
+    /// consumed, so a hostile declared count cannot force an allocation
+    /// larger than the input itself.
+    pub fn decode(bytes: &[u8]) -> Option<ShardedRangeProof> {
+        let mut r = codec::Reader::new(bytes);
+        let shard_count = r.u32()? as usize;
+        let epoch = r.u64()?;
+        let root = r.hash()?;
+        let count = r.u32()? as usize;
+        if count > r.remaining() {
+            return None;
+        }
+        let mut shards = Vec::new();
+        for _ in 0..count {
+            shards.push(LedgerRangeProof::decode(&mut r)?);
+        }
+        if !r.is_exhausted() {
+            return None;
+        }
+        Some(ShardedRangeProof {
+            shard_count,
+            epoch,
+            root,
+            shards,
+        })
     }
 
     /// Client-side verification of a merged cross-shard range result.
@@ -387,6 +487,40 @@ mod tests {
         let mut forged = new.clone();
         forged.root = spitz_crypto::sha256(b"fork");
         assert!(!client.observe_sharded(&forged));
+    }
+
+    #[test]
+    fn wire_roundtrip_is_byte_identical_and_accepts_identically() {
+        let db = ShardedDb::in_memory(3);
+        for i in 0..20u32 {
+            db.put(format!("k{i:02}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        let mut client = Verifier::new();
+        assert!(client.observe_sharded(&db.digest()));
+
+        let (value, proof) = db.get_verified(b"k05").unwrap();
+        let bytes = proof.encode();
+        assert_eq!(bytes.len(), proof.encoded_len());
+        let decoded = ShardedProof::decode(&bytes).expect("decode point proof");
+        assert_eq!(decoded.encode(), bytes, "re-encode must be byte-identical");
+        assert!(client.verify_sharded_read(b"k05", value.as_deref(), &decoded));
+        assert!(!client.verify_sharded_read(b"k05", Some(b"forged"), &decoded));
+
+        // Truncation and trailing garbage are both rejected outright.
+        assert!(ShardedProof::decode(&bytes[..bytes.len() - 1]).is_none());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(ShardedProof::decode(&extended).is_none());
+
+        let (entries, range_proof) = db.range_verified(b"k00", b"k99").unwrap();
+        assert_eq!(entries.len(), 20);
+        let range_bytes = range_proof.encode();
+        assert_eq!(range_bytes.len(), range_proof.encoded_len());
+        let range_decoded = ShardedRangeProof::decode(&range_bytes).expect("decode range proof");
+        assert_eq!(range_decoded.encode(), range_bytes);
+        assert!(client.verify_sharded_range(&entries, &range_decoded));
+        assert!(ShardedRangeProof::decode(&range_bytes[..range_bytes.len() - 1]).is_none());
     }
 
     #[test]

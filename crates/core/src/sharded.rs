@@ -470,6 +470,39 @@ impl ShardedDb {
         Ok(db)
     }
 
+    /// [`ShardedDb::open`] with a caller-supplied segment-I/O seam threaded
+    /// into every shard's durable store. The production seam is
+    /// [`spitz_storage::real_io`]; chaos harnesses install one seeded
+    /// fault-injector handle shared by all shards so I/O faults land
+    /// anywhere in the deployment while the recovery, retry, scrub and
+    /// health machinery runs for real.
+    pub fn open_with_io(
+        path: impl AsRef<Path>,
+        config: ShardedConfig,
+        io: spitz_storage::SegmentIoHandle,
+    ) -> Result<Self> {
+        assert!(config.shards >= 1, "need at least one shard");
+        let path = path.as_ref();
+        let telemetry = config.spitz.telemetry_handle();
+        let mut dbs = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            let dir = path.join(format!("shard-{i:03}"));
+            let db = Arc::new(SpitzDb::open_full(
+                &dir,
+                config.spitz,
+                config.durable,
+                telemetry.clone(),
+                Arc::clone(&io),
+            )?);
+            ensure_member(db.store(), i, config.shards, config.spitz)?;
+            dbs.push(db);
+        }
+        let db = Self::assemble(dbs, telemetry);
+        db.resolve_staged(false);
+        db.clear_settled_decisions();
+        Ok(db)
+    }
+
     /// Build a sharded instance over caller-provided chunk stores, one per
     /// shard (the hook fault-injection tests use to wrap stores with
     /// failpoints). Each store gets a full `SpitzDb` via
@@ -577,6 +610,13 @@ impl ShardedDb {
     /// The health of one shard's backing store (see [`SpitzDb::health`]).
     pub fn shard_health(&self, index: usize) -> spitz_storage::HealthState {
         self.shards[index].health()
+    }
+
+    /// Why one shard's store is degraded or read-only (`None` while
+    /// healthy) — what a served front-end reports per shard in its health
+    /// endpoint (see [`SpitzDb::health_reason`]).
+    pub fn shard_health_reason(&self, index: usize) -> Option<String> {
+        self.shards[index].health_reason()
     }
 
     /// Aggregate deployment health: healthy only when every shard is. A
@@ -959,6 +999,15 @@ impl ShardedDb {
             .ok_or(DbError::Storage(format!(
                 "corrupt cross-shard digest chunk {address}"
             )))
+    }
+
+    /// Commit epoch of the last digest this instance published to
+    /// [`SHARDED_HEAD_ROOT`] (0 before any publication). A cheap
+    /// monotone read — no epoch fence, no store access — that a served
+    /// front-end can poll for its digest-subscription fast path; the
+    /// authoritative consistent cut is still [`ShardedDb::digest`].
+    pub fn published_epoch(&self) -> u64 {
+        *self.published_epoch.lock()
     }
 
     /// Compact every durable shard's store (see [`SpitzDb::compact`]):

@@ -214,6 +214,59 @@ impl AuditProof {
         8 + 8 + 4 + self.path.len() * crate::hash::HASH_LEN
     }
 
+    /// Append the canonical wire encoding (exactly
+    /// [`AuditProof::encoded_len`] bytes): leaf index ‖ tree size ‖ path
+    /// length ‖ path hashes, all integers big-endian.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.leaf_index as u64).to_be_bytes());
+        out.extend_from_slice(&(self.tree_size as u64).to_be_bytes());
+        out.extend_from_slice(&(self.path.len() as u32).to_be_bytes());
+        for hash in &self.path {
+            out.extend_from_slice(hash.as_bytes());
+        }
+    }
+
+    /// The canonical wire encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a proof from the front of `bytes`, returning it together with
+    /// the number of bytes consumed (so composite decoders can resume after
+    /// it). Returns `None` on truncated or malformed input; the declared
+    /// path length is validated against the available bytes *before* any
+    /// allocation, so hostile lengths cannot force large allocations.
+    pub fn decode_prefix(bytes: &[u8]) -> Option<(AuditProof, usize)> {
+        const HEADER: usize = 8 + 8 + 4;
+        if bytes.len() < HEADER {
+            return None;
+        }
+        let leaf_index = usize::try_from(u64::from_be_bytes(bytes[..8].try_into().ok()?)).ok()?;
+        let tree_size = usize::try_from(u64::from_be_bytes(bytes[8..16].try_into().ok()?)).ok()?;
+        let count = u32::from_be_bytes(bytes[16..20].try_into().ok()?) as usize;
+        let need = HEADER.checked_add(count.checked_mul(crate::hash::HASH_LEN)?)?;
+        if bytes.len() < need {
+            return None;
+        }
+        let mut path = Vec::with_capacity(count);
+        for i in 0..count {
+            let offset = HEADER + i * crate::hash::HASH_LEN;
+            let mut raw = [0u8; crate::hash::HASH_LEN];
+            raw.copy_from_slice(&bytes[offset..offset + crate::hash::HASH_LEN]);
+            path.push(Hash::from_bytes(raw));
+        }
+        Some((
+            AuditProof {
+                leaf_index,
+                tree_size,
+                path,
+            },
+            need,
+        ))
+    }
+
     /// Recompute the root implied by this proof for raw leaf `data`.
     pub fn expected_root(&self, data: &[u8]) -> Hash {
         self.expected_root_from_leaf_hash(leaf_hash(data))

@@ -1,7 +1,7 @@
 //! Deterministic fault injection for storage-backed tests and chaos
 //! harnesses.
 //!
-//! Two complementary tools live here:
+//! Three complementary tools live here:
 //!
 //! * [`FaultInjector`] — a seeded [`SegmentIo`](spitz_storage::SegmentIo)
 //!   implementation installed *beneath* a durable store's file I/O. It can
@@ -16,6 +16,9 @@
 //!   operations. This is the right layer for simulating whole-shard death
 //!   and vote-abort behavior in the sharded 2PC tests, where the in-memory
 //!   stores have no segment I/O to hook.
+//! * [`SeededRng`] — a counter-mode splitmix64 stream for shaping fuzz
+//!   cases and chaos op mixes. Same replay-from-seed discipline as the
+//!   injector, shared by the wire-protocol torture tests.
 //!
 //! Both are deterministic and dependency-free; this crate is a
 //! dev-dependency of the workspace test suites and a normal dependency of
@@ -26,6 +29,8 @@
 
 pub mod failpoint;
 pub mod injector;
+pub mod rng;
 
 pub use failpoint::{FailMode, FailpointStore};
 pub use injector::{FaultInjector, FaultRates};
+pub use rng::SeededRng;

@@ -92,6 +92,26 @@ impl<'a> Reader<'a> {
         Some(out)
     }
 
+    /// Read `n` raw bytes (no length prefix).
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.data.len() {
+            return None;
+        }
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    /// The unread remainder of the input, without consuming it. Lets a
+    /// decoder hand the tail to a nested prefix-decoder and then [`take`]
+    /// the bytes it reports consumed.
+    ///
+    /// [`take`]: Reader::take
+    pub fn rest(&self) -> &'a [u8] {
+        &self.data[self.pos..]
+    }
+
     /// Read a 32-byte hash.
     pub fn hash(&mut self) -> Option<Hash> {
         let end = self.pos.checked_add(32)?;

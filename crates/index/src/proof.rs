@@ -11,6 +11,8 @@
 
 use spitz_crypto::{sha256, Hash};
 
+use crate::codec;
+
 /// A path proof: the serialized node payloads from the root down.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct IndexProof {
@@ -30,6 +32,41 @@ impl IndexProof {
     /// to move.
     pub fn encoded_len(&self) -> usize {
         4 + self.nodes.iter().map(|node| 4 + node.len()).sum::<usize>()
+    }
+
+    /// Append the canonical wire encoding (exactly
+    /// [`IndexProof::encoded_len`] bytes): node count, then each node as a
+    /// length-prefixed payload.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_u32(out, self.nodes.len() as u32);
+        for node in &self.nodes {
+            codec::put_bytes(out, node);
+        }
+    }
+
+    /// The canonical wire encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a proof previously written by [`IndexProof::encode_into`].
+    /// Returns `None` on truncated or malformed input. The declared node
+    /// count is checked against the bytes actually available before any
+    /// allocation happens, so a hostile count cannot force a large
+    /// allocation.
+    pub fn decode(r: &mut codec::Reader<'_>) -> Option<IndexProof> {
+        let count = r.u32()? as usize;
+        // Every node costs at least its 4-byte length prefix.
+        if count > r.remaining() / 4 {
+            return None;
+        }
+        let mut nodes = Vec::with_capacity(count);
+        for _ in 0..count {
+            nodes.push(r.bytes()?.to_vec());
+        }
+        Some(IndexProof { nodes })
     }
 
     /// Append a node payload to the proof path.

@@ -13,6 +13,7 @@
 //! from `spitz_crypto::MerkleTree`, which implements the RFC 6962 split).
 
 use spitz_crypto::{node_hash, Hash};
+use spitz_index::codec;
 
 /// Inclusion proof for a block hash within the journal tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +39,66 @@ impl JournalProof {
                 .iter()
                 .map(|s| if s.is_some() { 1 + 1 + 32 } else { 1 })
                 .sum::<usize>()
+    }
+
+    /// Append the canonical wire encoding (exactly
+    /// [`JournalProof::encoded_len`] bytes): index ‖ size ‖ sibling count,
+    /// then per sibling a presence tag (0/1) followed — when present — by a
+    /// side byte and the sibling hash.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_u64(out, self.index);
+        codec::put_u64(out, self.size);
+        codec::put_u32(out, self.siblings.len() as u32);
+        for sibling in &self.siblings {
+            match sibling {
+                Some((is_left, hash)) => {
+                    out.push(1);
+                    out.push(u8::from(*is_left));
+                    codec::put_hash(out, hash);
+                }
+                None => out.push(0),
+            }
+        }
+    }
+
+    /// The canonical wire encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a proof previously written by [`JournalProof::encode_into`].
+    /// Returns `None` on truncated or malformed input; the declared sibling
+    /// count is bounded by the remaining bytes before any allocation.
+    pub fn decode(r: &mut codec::Reader<'_>) -> Option<JournalProof> {
+        let index = r.u64()?;
+        let size = r.u64()?;
+        let count = r.u32()? as usize;
+        // Every sibling costs at least its 1-byte presence tag.
+        if count > r.remaining() {
+            return None;
+        }
+        let mut siblings = Vec::with_capacity(count);
+        for _ in 0..count {
+            match r.u8()? {
+                0 => siblings.push(None),
+                1 => {
+                    let is_left = match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return None,
+                    };
+                    siblings.push(Some((is_left, r.hash()?)));
+                }
+                _ => return None,
+            }
+        }
+        Some(JournalProof {
+            index,
+            size,
+            siblings,
+        })
     }
 
     /// Recompute the root implied by this proof for the given block hash.

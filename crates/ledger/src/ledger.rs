@@ -23,6 +23,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use spitz_crypto::Hash;
+use spitz_index::codec;
 use spitz_index::siri::{collect_reachable, verify_proof, verify_range_proof, SiriIndex, SiriKind};
 use spitz_index::{IndexProof, MerkleBucketTree, MerklePatriciaTrie, PosTree};
 use spitz_storage::{Chunk, ChunkKind, ChunkStore, StorageError};
@@ -153,6 +154,45 @@ impl LedgerProof {
                 .unwrap_or(0)
     }
 
+    /// Append the canonical wire encoding (exactly
+    /// [`LedgerProof::encoded_len`] bytes): index proof ‖ digest ‖ journal
+    /// presence tag (0/1) ‖ optional journal proof.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.index_proof.encode_into(out);
+        out.extend_from_slice(&self.digest.encode());
+        match &self.journal_proof {
+            Some(proof) => {
+                out.push(1);
+                proof.encode_into(out);
+            }
+            None => out.push(0),
+        }
+    }
+
+    /// The canonical wire encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a proof previously written by [`LedgerProof::encode_into`].
+    /// Returns `None` on truncated or malformed input.
+    pub fn decode(r: &mut codec::Reader<'_>) -> Option<LedgerProof> {
+        let index_proof = IndexProof::decode(r)?;
+        let digest = Digest::decode(r.take(Digest::ENCODED_LEN)?)?;
+        let journal_proof = match r.u8()? {
+            0 => None,
+            1 => Some(JournalProof::decode(r)?),
+            _ => return None,
+        };
+        Some(LedgerProof {
+            index_proof,
+            digest,
+            journal_proof,
+        })
+    }
+
     /// Client-side verification: recompute the index root from the proof and
     /// compare against the digest, then check the digest's internal
     /// consistency (journal inclusion of the block).
@@ -184,6 +224,39 @@ impl LedgerRangeProof {
             + self.end.len()
             + self.index_proof.encoded_len()
             + Digest::ENCODED_LEN
+    }
+
+    /// Append the canonical wire encoding (exactly
+    /// [`LedgerRangeProof::encoded_len`] bytes): length-prefixed bounds ‖
+    /// combined index proof ‖ digest.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_bytes(out, &self.start);
+        codec::put_bytes(out, &self.end);
+        self.index_proof.encode_into(out);
+        out.extend_from_slice(&self.digest.encode());
+    }
+
+    /// The canonical wire encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a proof previously written by
+    /// [`LedgerRangeProof::encode_into`]. Returns `None` on truncated or
+    /// malformed input.
+    pub fn decode(r: &mut codec::Reader<'_>) -> Option<LedgerRangeProof> {
+        let start = r.bytes()?.to_vec();
+        let end = r.bytes()?.to_vec();
+        let index_proof = IndexProof::decode(r)?;
+        let digest = Digest::decode(r.take(Digest::ENCODED_LEN)?)?;
+        Some(LedgerRangeProof {
+            start,
+            end,
+            index_proof,
+            digest,
+        })
     }
 
     /// Client-side verification of a verified range read: the entries must

@@ -1,0 +1,31 @@
+//! Served front-end for the Spitz verifiable database.
+//!
+//! Everything the embedded engine proves, served over a socket without
+//! weakening the trust story: the server ships the same proof bytes an
+//! in-process caller gets, and the [`LightClient`] applies the same
+//! acceptance rule as the in-process
+//! [`Verifier`](spitz_core::proof::Verifier) — pin a cross-shard digest,
+//! refuse any read that does not verify against it, refuse any digest
+//! that rewinds it.
+//!
+//! * [`protocol`] — the versioned, length-prefixed binary frame layout,
+//!   opcodes, and typed error codes. Decoding is allocation-capped and
+//!   total: arbitrary bytes produce typed errors, never panics.
+//! * [`server`] — the threaded TCP front-end over a
+//!   [`ShardedDb`](spitz_core::sharded::ShardedDb): pipelined out-of-order
+//!   execution, bounded queues with typed `Busy` backpressure, idle
+//!   timeouts, digest long-polling, admin/telemetry endpoints, and
+//!   graceful drain.
+//! * [`client`] — the pipelining wire client and the proof-checking light
+//!   client.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientError, CompactTotals, HealthReport, LightClient, ScrubTotals, SpitzClient};
+pub use protocol::{ErrorCode, ProtocolError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use server::{ServerConfig, SpitzServer};

@@ -175,6 +175,13 @@ const QUARANTINE_DIR: &str = "quarantine";
 /// initial attempt), with 1/2/4 ms exponential backoff between them.
 const MAX_IO_RETRIES: u32 = 3;
 
+/// Consecutive clean write-path operations after which a `Degraded` store
+/// recovers to `Healthy` — the transient-error burst that degraded it has
+/// demonstrably subsided. `ReadOnly` never auto-recovers (the causes —
+/// ENOSPC, possible torn tails, lost chunks — are not transient); a reopen
+/// is the only way back.
+pub const DEGRADED_RECOVERY_OPS: u64 = 64;
+
 /// Tuning knobs of a [`DurableChunkStore`].
 #[derive(Debug, Clone, Copy)]
 pub struct DurableConfig {
@@ -347,12 +354,21 @@ pub struct DurableChunkStore {
     /// Fault-injection seam threaded into every segment this store opens or
     /// creates; [`io::RealIo`] in production.
     io: SegmentIoHandle,
-    /// Current [`HealthState`] as 0/1/2. Transitions are monotone
-    /// (`fetch_max`) within a process lifetime; reopening resets.
+    /// Current [`HealthState`] as 0/1/2. Raised monotonically
+    /// (`fetch_max`) by write-path failures; the one sanctioned reverse
+    /// transition is Degraded → Healthy after
+    /// [`DEGRADED_RECOVERY_OPS`] consecutive clean write-path operations
+    /// (see [`DurableChunkStore::note_write_success`]). ReadOnly is final
+    /// within a process lifetime; reopening resets.
     health: AtomicU8,
     /// Why the store degraded (empty while healthy) — carried into the
     /// [`StorageError::ReadOnly`] writes fail with.
     health_reason: Mutex<String>,
+    /// Consecutive write-path operations that completed without any I/O
+    /// failure. Zeroed by every write-path failure; when it reaches
+    /// [`DEGRADED_RECOVERY_OPS`] while the store is `Degraded`, health
+    /// recovers to `Healthy` (transient-error rates have subsided).
+    clean_ops: AtomicU64,
 }
 
 /// Outcome of a completed [`DurableChunkStore::scrub`] pass.
@@ -549,6 +565,7 @@ impl DurableChunkStore {
             io,
             health: AtomicU8::new(HealthState::Healthy as u8),
             health_reason: Mutex::new(String::new()),
+            clean_ops: AtomicU64::new(0),
         };
         store.stats.store(stats);
         store.obs.health.set(HealthState::Healthy as i64);
@@ -683,10 +700,53 @@ impl DurableChunkStore {
                     std::thread::sleep(std::time::Duration::from_millis(delay_ms));
                     delay_ms *= 2;
                 }
-                other => return other,
+                other => {
+                    if other.is_ok() {
+                        self.note_write_success();
+                    }
+                    return other;
+                }
             }
         }
         unreachable!("retry loop always returns")
+    }
+
+    /// Count a clean write-path operation toward automatic recovery from
+    /// `Degraded`. Once [`DEGRADED_RECOVERY_OPS`] consecutive operations
+    /// complete without an I/O failure, the store transitions back to
+    /// `Healthy` (reason cleared, telemetry event emitted). The CAS only
+    /// ever moves Degraded → Healthy: a `ReadOnly` store never recovers in
+    /// place, and a concurrent failure racing the recovery wins.
+    fn note_write_success(&self) {
+        if self.health.load(Ordering::Acquire) != HealthState::Degraded as u8 {
+            return;
+        }
+        let clean = self.clean_ops.fetch_add(1, Ordering::AcqRel) + 1;
+        if clean < DEGRADED_RECOVERY_OPS {
+            return;
+        }
+        if self
+            .health
+            .compare_exchange(
+                HealthState::Degraded as u8,
+                HealthState::Healthy as u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            self.clean_ops.store(0, Ordering::Release);
+            *self.health_reason.lock() = String::new();
+            self.obs.health.set(HealthState::Healthy as i64);
+            self.obs.telemetry.event(
+                "store_recovered",
+                format!(
+                    "degraded store recovered after {DEGRADED_RECOVERY_OPS} clean write \
+                     operations ({:?})",
+                    self.dir
+                ),
+            );
+        }
     }
 
     /// Translate a write-path failure that survived the retry loop into a
@@ -702,6 +762,9 @@ impl DurableChunkStore {
     ///   reads keep serving, reopening re-establishes the tail invariant.
     fn note_write_failure(&self, err: &StorageError, context: &str) {
         let StorageError::Io(e) = err else { return };
+        // Any write-path I/O failure restarts the clean-streak a degraded
+        // store needs for automatic recovery.
+        self.clean_ops.store(0, Ordering::Release);
         match e.kind {
             IoErrorKind::NoSpace => {
                 self.raise_health(
@@ -1683,6 +1746,87 @@ mod tests {
             cache_capacity_bytes: 0,
             fsync_each_put: false,
         }
+    }
+
+    #[test]
+    fn degraded_store_recovers_after_clean_ops() {
+        /// Fails `count` consecutive appends starting at global op `from`.
+        #[derive(Debug)]
+        struct TransientBurst {
+            from: u64,
+            count: u64,
+            kind: IoErrorKind,
+            ops: AtomicU64,
+        }
+        impl crate::SegmentIo for TransientBurst {
+            fn on_append(&self, _segment: u64, _len: usize) -> crate::WriteOutcome {
+                let i = self.ops.fetch_add(1, Ordering::Relaxed);
+                if i >= self.from && i < self.from + self.count {
+                    crate::WriteOutcome::Fail(self.kind)
+                } else {
+                    crate::WriteOutcome::Full
+                }
+            }
+        }
+
+        let dir = TempDir::new("durable-degraded-recovery");
+        // One burst long enough to exhaust every retry of a single append.
+        let io: SegmentIoHandle = Arc::new(TransientBurst {
+            from: 1,
+            count: (MAX_IO_RETRIES + 1) as u64,
+            kind: IoErrorKind::Transient,
+            ops: AtomicU64::new(0),
+        });
+        let store = DurableChunkStore::open_with_io(
+            dir.path(),
+            small_config(),
+            spitz_obs::TelemetryHandle::new(),
+            io,
+        )
+        .unwrap();
+
+        store.put(blob(b"pre-burst"));
+        assert_eq!(store.health(), HealthState::Healthy);
+        assert!(store.try_put(blob(b"hits the burst")).is_err());
+        assert_eq!(store.health(), HealthState::Degraded);
+        assert!(store.health_reason().contains("transient"));
+
+        // One clean op short of the threshold: still degraded.
+        for i in 0..DEGRADED_RECOVERY_OPS - 1 {
+            store.put(blob(&(1000 + i).to_be_bytes()));
+        }
+        assert_eq!(store.health(), HealthState::Degraded);
+
+        // The threshold-crossing op flips the store back to healthy.
+        store.put(blob(b"the recovering op"));
+        assert_eq!(store.health(), HealthState::Healthy);
+        assert_eq!(store.health_reason(), "");
+        // And the store keeps accepting writes afterwards.
+        store.put(blob(b"after recovery"));
+        assert_eq!(store.health(), HealthState::Healthy);
+
+        // ReadOnly is final: no volume of clean ops recovers it in place.
+        let dir = TempDir::new("durable-readonly-no-recovery");
+        let io: SegmentIoHandle = Arc::new(TransientBurst {
+            from: 1,
+            count: 1,
+            kind: IoErrorKind::NoSpace,
+            ops: AtomicU64::new(0),
+        });
+        let store = DurableChunkStore::open_with_io(
+            dir.path(),
+            small_config(),
+            spitz_obs::TelemetryHandle::new(),
+            io,
+        )
+        .unwrap();
+        store.put(blob(b"pre-enospc"));
+        assert!(store.try_put(blob(b"hits enospc")).is_err());
+        assert_eq!(store.health(), HealthState::ReadOnly);
+        for _ in 0..2 * DEGRADED_RECOVERY_OPS {
+            assert!(store.try_put(blob(b"refused")).is_err());
+        }
+        assert_eq!(store.health(), HealthState::ReadOnly);
     }
 
     #[test]

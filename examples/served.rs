@@ -1,0 +1,114 @@
+//! Served front-end walkthrough: the database behind a socket, with a
+//! light client that trusts nothing but a pinned digest.
+//!
+//! Run with `cargo run --release --example served`.
+//!
+//! Starts a `SpitzServer` over a four-shard in-memory database, then
+//! talks to it purely over TCP: a raw `SpitzClient` for the wire-level
+//! view (pipelined requests, typed errors, admin endpoints) and a
+//! `LightClient` for the trust story — every read is verified against a
+//! pinned cross-shard digest with the exact acceptance rule an
+//! in-process `Verifier` applies, so a lying server is caught, not
+//! believed.
+
+use std::sync::Arc;
+
+use spitz::server::protocol::ErrorCode;
+use spitz::server::ClientError;
+use spitz::{LightClient, ServerConfig, ShardedDb, SpitzClient, SpitzServer};
+
+fn main() {
+    let db = Arc::new(ShardedDb::in_memory(4));
+    let server = SpitzServer::start(Arc::clone(&db), ServerConfig::default()).expect("start");
+    let addr = server.local_addr();
+    println!("serving {} shards on {addr}", db.shard_count());
+
+    // --- The light client: pin once, verify everything. -----------------
+    let mut client = LightClient::connect(addr).expect("connect");
+    client
+        .put_batch(&[
+            (
+                b"invoice/2026-001".to_vec(),
+                b"amount=1250;status=paid".to_vec(),
+            ),
+            (
+                b"invoice/2026-002".to_vec(),
+                b"amount=480;status=open".to_vec(),
+            ),
+            (
+                b"invoice/2026-003".to_vec(),
+                b"amount=90;status=open".to_vec(),
+            ),
+        ])
+        .expect("cross-shard batch");
+    client.pin().expect("pin the post-write digest");
+    println!("pinned root {}", client.pinned_root().expect("pinned"));
+
+    let value = client.get(b"invoice/2026-001").expect("verified get");
+    println!(
+        "verified read: invoice/2026-001 = {:?}",
+        String::from_utf8_lossy(&value.expect("present"))
+    );
+
+    // Verified range over every shard, merged under one proof.
+    let entries = client
+        .range(b"invoice/", b"invoice/~")
+        .expect("verified range");
+    println!("verified range: {} invoices", entries.len());
+    for (k, v) in &entries {
+        println!(
+            "  {} = {}",
+            String::from_utf8_lossy(k),
+            String::from_utf8_lossy(v)
+        );
+    }
+
+    // Absence is proved too: a missing key comes back None only if the
+    // server can prove the hole against the pinned root.
+    assert!(client
+        .get(b"invoice/2026-999")
+        .expect("absence proof")
+        .is_none());
+    println!("verified absence: invoice/2026-999 is provably unwritten");
+
+    // follow() long-polls the digest feed and advances the pin — this is
+    // how a light client tracks a live database without re-reading it.
+    let next_epoch = client.inner().digest().expect("digest").epoch + 1;
+    let feeder = std::thread::spawn({
+        let db = Arc::clone(&db);
+        move || {
+            db.put(b"invoice/2026-004", b"amount=7700;status=open")
+                .expect("put")
+        }
+    });
+    let digest = client.follow(next_epoch).expect("digest feed");
+    feeder.join().expect("feeder");
+    println!("followed digest feed to epoch {}", digest.epoch);
+
+    // --- The raw wire client: admin endpoints and typed errors. ----------
+    let mut wire = SpitzClient::connect(addr).expect("wire connect");
+    let health = wire.health().expect("health");
+    println!(
+        "health: {:?} across {} shards",
+        health.overall,
+        health.shards.len()
+    );
+
+    let json = wire.telemetry_json().expect("telemetry");
+    println!("telemetry endpoint served {} bytes of JSON", json.len());
+
+    // Errors are typed and scoped to their request: an unknown opcode gets
+    // a structured refusal and the connection keeps serving.
+    let err = wire
+        .call(0x5A, b"???")
+        .expect_err("unknown opcode must be refused");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::UnknownOpcode),
+        other => panic!("expected a typed server error, got {other}"),
+    }
+    assert_eq!(wire.ping(b"still-alive").expect("ping"), b"still-alive");
+    println!("typed refusal for an unknown opcode; connection still serving");
+
+    drop(server); // graceful drain: accepted work finishes, threads join
+    println!("server drained cleanly");
+}

@@ -11,6 +11,8 @@
 //! * [`obs`] — the telemetry layer: metrics registry, latency histograms
 //!   and text/JSON exposition ([`spitz_obs`]).
 //! * [`core`] — the Spitz database itself ([`spitz_core`]).
+//! * [`server`] — the served front-end: wire protocol, threaded TCP
+//!   server, and the proof-checking light client ([`spitz_server`]).
 //! * [`baseline`] — the systems Spitz is compared against
 //!   ([`spitz_baseline`]).
 //!
@@ -44,6 +46,7 @@ pub use spitz_crypto as crypto;
 pub use spitz_index as index;
 pub use spitz_ledger as ledger;
 pub use spitz_obs as obs;
+pub use spitz_server as server;
 pub use spitz_storage as storage;
 pub use spitz_txn as txn;
 
@@ -56,6 +59,7 @@ pub use spitz_core::ClientVerifier;
 pub use spitz_crypto::Hash;
 pub use spitz_ledger::{CommitPipeline, Digest, DurabilityPolicy, Ledger};
 pub use spitz_obs::{TelemetryHandle, TelemetrySnapshot};
+pub use spitz_server::{LightClient, ServerConfig, SpitzClient, SpitzServer};
 pub use spitz_storage::{ChunkStore, DurableChunkStore, DurableConfig};
 
 #[cfg(test)]

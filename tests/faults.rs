@@ -114,6 +114,69 @@ fn torn_write_goes_read_only_and_reopen_recovers() {
         .expect("writable again");
 }
 
+/// PR-8 follow-up: with `scrub_interval` configured, the background
+/// scrubber thread must find a silently bit-flipped sealed segment and
+/// quarantine it on its own cadence — the test never calls `scrub()`.
+#[test]
+fn periodic_scrub_quarantines_bitflip_without_explicit_scrub() {
+    use std::time::{Duration, Instant};
+
+    let dir = TempDir::new("faults-periodic-scrub");
+    let injector = Arc::new(FaultInjector::new(0x5C12B));
+    // A silent bit flip in an early record: the write reports success, and
+    // nothing on the hot path notices (the fresh chunk is served from
+    // cache). Only a CRC walk over the sealed segment can catch it.
+    injector.fail_append_at(
+        5,
+        WriteOutcome::Corrupt {
+            offset: 21,
+            mask: 0x40,
+        },
+    );
+    let db = SpitzDb::open_with_io(
+        dir.path(),
+        SpitzConfig::default().with_scrub_interval(Duration::from_millis(25)),
+        DurableConfig {
+            segment_target_bytes: 2 * 1024,
+            ..DurableConfig::default()
+        },
+        injector.handle(),
+    )
+    .expect("open with scrubber");
+
+    // Enough writes that the damaged record's segment seals and rotates
+    // out of the active position (scrub only walks sealed segments). A
+    // fast scrub tick may quarantine the segment while this loop is still
+    // running, flipping the store read-only mid-loop — that is the
+    // behavior under test, not a failure.
+    for i in 0..60 {
+        match db.put(&key(i), &value(i)) {
+            Ok(_) => {}
+            Err(DbError::ReadOnly(_)) => break,
+            Err(other) => panic!("unexpected write error: {other}"),
+        }
+    }
+
+    // No explicit scrub() anywhere: wait for the background cadence.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while db.health() == HealthState::Healthy {
+        assert!(
+            Instant::now() < deadline,
+            "background scrubber never flagged the corrupt segment"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let quarantined = std::fs::read_dir(dir.path().join("quarantine"))
+        .map(|entries| entries.count())
+        .unwrap_or(0);
+    assert!(
+        quarantined > 0,
+        "corrupt segment file must be preserved under quarantine/"
+    );
+    assert!(db.health_reason().is_some());
+}
+
 /// A cross-shard batch of `n` keys from `start` guaranteed to span at
 /// least two shards.
 fn cross_shard_batch(db: &ShardedDb, start: u32, n: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
