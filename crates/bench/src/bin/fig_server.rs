@@ -26,7 +26,14 @@ use spitz_core::sharded::ShardedDb;
 use spitz_server::{ServerConfig, SpitzClient, SpitzServer};
 
 /// Operation classes measured, in column order.
-const OPS: [&str; 5] = ["put", "get", "get_verified", "range_verified", "digest"];
+const OPS: [&str; 6] = [
+    "put",
+    "get",
+    "get_verified",
+    "batch16_verified",
+    "range_verified",
+    "digest",
+];
 
 fn percentile(sorted: &[u64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -65,84 +72,117 @@ fn main() {
     );
 
     let mut table = FigureTable::new(
-        "Served round-trip latency, microseconds (p50 / p95 / p99)",
+        "Served round-trip latency, microseconds (p50 / p95 / p99) and response bytes",
         "clients x op",
-        vec!["p50", "p95", "p99"],
+        vec!["p50", "p95", "p99", "B/op"],
     );
 
     for &clients in client_counts {
-        // lat[op class] = merged per-op round-trip nanos across clients.
-        let merged: Vec<std::thread::JoinHandle<[Vec<u64>; 5]>> = (0..clients)
+        // lat[op class] = merged per-op round-trip nanos across clients;
+        // bytes[op class] = total response bytes on the wire (length
+        // prefix + frame header + payload, as counted by the client).
+        #[allow(clippy::type_complexity)]
+        let merged: Vec<std::thread::JoinHandle<([Vec<u64>; 6], [u64; 6])>> = (0..clients)
             .map(|c| {
                 std::thread::spawn(move || {
                     let mut client = SpitzClient::connect(addr).expect("client connect");
                     let digest = client.digest().expect("pin digest");
                     let mut verifier = Verifier::new();
                     assert!(verifier.observe_sharded(&digest), "initial pin refused");
-                    let mut lat: [Vec<u64>; 5] = Default::default();
+                    let mut lat: [Vec<u64>; 6] = Default::default();
+                    let mut bytes = [0u64; 6];
+                    let timed =
+                        |class: usize,
+                         lat: &mut [Vec<u64>; 6],
+                         bytes: &mut [u64; 6],
+                         client: &mut SpitzClient,
+                         f: &mut dyn FnMut(&mut SpitzClient)| {
+                            let b0 = client.bytes_received();
+                            let t = Instant::now();
+                            f(client);
+                            lat[class].push(t.elapsed().as_nanos() as u64);
+                            bytes[class] += client.bytes_received() - b0;
+                        };
                     for op in 0..ops_per_client {
                         let i = (c as u64 * 7 + op * 13) % keyspace;
                         // Writers stay in a per-client slice of the keyspace
                         // so verified reads of the shared slice pin cleanly.
                         let wkey = format!("w/{c}/{:04}", op % 64).into_bytes();
 
-                        let t = Instant::now();
-                        client.put(&wkey, b"payload-payload-1234").expect("put");
-                        lat[0].push(t.elapsed().as_nanos() as u64);
+                        timed(0, &mut lat, &mut bytes, &mut client, &mut |cl| {
+                            cl.put(&wkey, b"payload-payload-1234").expect("put");
+                        });
 
-                        let t = Instant::now();
-                        let got = client.get(&key(i)).expect("get");
-                        lat[1].push(t.elapsed().as_nanos() as u64);
-                        assert!(got.is_some(), "preloaded key missing");
+                        timed(1, &mut lat, &mut bytes, &mut client, &mut |cl| {
+                            let got = cl.get(&key(i)).expect("get");
+                            assert!(got.is_some(), "preloaded key missing");
+                        });
 
                         // Point proofs anchor at the server's current cut,
                         // which races other writers; timing covers transport
                         // + proof decode, the range below covers acceptance.
-                        let t = Instant::now();
-                        let (value, proof) = client.get_verified(&key(i)).expect("get_verified");
-                        lat[2].push(t.elapsed().as_nanos() as u64);
-                        assert!(value.is_some(), "verified read lost a key");
-                        drop(proof);
+                        timed(2, &mut lat, &mut bytes, &mut client, &mut |cl| {
+                            let (value, _proof) = cl.get_verified(&key(i)).expect("get_verified");
+                            assert!(value.is_some(), "verified read lost a key");
+                        });
+
+                        // Batched verified read: 16 adjacent preloaded keys
+                        // through one frame and one shared multi proof.
+                        let batch: Vec<Vec<u8>> =
+                            (0..16).map(|j| key((i + j) % keyspace)).collect();
+                        timed(3, &mut lat, &mut bytes, &mut client, &mut |cl| {
+                            let (values, _proof) =
+                                cl.get_verified_batch(&batch).expect("batch verified get");
+                            assert!(
+                                values.iter().all(|v| v.is_some()),
+                                "batched verified read lost a key"
+                            );
+                        });
 
                         // Self-anchoring one-key range: proves its own cut,
                         // so it verifies even while other clients write.
                         let mut end = key(i);
                         end.push(0);
-                        let t = Instant::now();
-                        let (entries, proof) = client
-                            .range_verified(&key(i), &end)
-                            .expect("range_verified");
-                        assert!(
-                            verifier.verify_sharded_range(&entries, &proof),
-                            "served range proof refused"
-                        );
-                        lat[3].push(t.elapsed().as_nanos() as u64);
+                        timed(4, &mut lat, &mut bytes, &mut client, &mut |cl| {
+                            let (entries, proof) =
+                                cl.range_verified(&key(i), &end).expect("range_verified");
+                            assert!(
+                                verifier.verify_sharded_range(&entries, &proof),
+                                "served range proof refused"
+                            );
+                        });
 
-                        let t = Instant::now();
-                        let digest = client.digest().expect("digest");
-                        lat[4].push(t.elapsed().as_nanos() as u64);
-                        assert!(digest.verify(), "served digest inconsistent");
+                        timed(5, &mut lat, &mut bytes, &mut client, &mut |cl| {
+                            let digest = cl.digest().expect("digest");
+                            assert!(digest.verify(), "served digest inconsistent");
+                        });
                     }
-                    lat
+                    (lat, bytes)
                 })
             })
             .collect();
 
-        let mut lat: [Vec<u64>; 5] = Default::default();
+        let mut lat: [Vec<u64>; 6] = Default::default();
+        let mut bytes = [0u64; 6];
         for handle in merged {
-            let part = handle.join().expect("bench client panicked");
-            for (dst, src) in lat.iter_mut().zip(part) {
+            let (part_lat, part_bytes) = handle.join().expect("bench client panicked");
+            for (dst, src) in lat.iter_mut().zip(part_lat) {
                 dst.extend(src);
             }
+            for (dst, src) in bytes.iter_mut().zip(part_bytes) {
+                *dst += src;
+            }
         }
-        for (name, series) in OPS.iter().zip(lat.iter_mut()) {
+        for (class, (name, series)) in OPS.iter().zip(lat.iter_mut()).enumerate() {
             series.sort_unstable();
+            let per_op = bytes[class] as f64 / series.len().max(1) as f64;
             table.add_row(
                 format!("{clients} x {name}"),
                 vec![
                     percentile(series, 0.50),
                     percentile(series, 0.95),
                     percentile(series, 0.99),
+                    per_op,
                 ],
             );
         }

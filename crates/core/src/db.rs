@@ -15,7 +15,9 @@ use parking_lot::RwLock;
 use spitz_crypto::Hash;
 use spitz_index::inverted::{IndexValue, InvertedIndex};
 use spitz_index::BPlusTree;
-use spitz_ledger::{CommitPipeline, Digest, DurabilityPolicy, Ledger, LedgerProof, VerifiedRange};
+use spitz_ledger::{
+    CommitPipeline, Digest, DurabilityPolicy, Ledger, LedgerMultiProof, LedgerProof, VerifiedRange,
+};
 use spitz_obs::{Histogram, TelemetryHandle, TelemetrySnapshot};
 use spitz_storage::{
     real_io, Chunk, ChunkKind, ChunkStore, CompactionReport, DurableChunkStore, DurableConfig,
@@ -259,6 +261,8 @@ struct ProofObs {
     point_bytes: Arc<Histogram>,
     range_build_nanos: Arc<Histogram>,
     range_bytes: Arc<Histogram>,
+    multi_build_nanos: Arc<Histogram>,
+    multi_bytes: Arc<Histogram>,
 }
 
 impl ProofObs {
@@ -269,6 +273,8 @@ impl ProofObs {
             point_bytes: telemetry.histogram("proof.point_bytes"),
             range_build_nanos: telemetry.histogram("proof.range_build_nanos"),
             range_bytes: telemetry.histogram("proof.range_bytes"),
+            multi_build_nanos: telemetry.histogram("proof.multi_build_nanos"),
+            multi_bytes: telemetry.histogram("proof.multi_bytes"),
         }
     }
 }
@@ -1008,6 +1014,26 @@ impl SpitzDb {
                 .record(proof.encoded_len() as u64);
         }
         Ok((value, proof))
+    }
+
+    /// Batched verified point read: all keys are resolved against one
+    /// consistent ledger state and covered by a single
+    /// [`LedgerMultiProof`] that shares the keys' common upper-tree nodes,
+    /// so a k-key batch costs less on the wire than k independent
+    /// [`SpitzDb::get_verified`] calls.
+    pub fn get_multi_verified(
+        &self,
+        keys: &[Vec<u8>],
+    ) -> Result<(Vec<Option<Vec<u8>>>, LedgerMultiProof)> {
+        let timer = self.proof_obs.multi_build_nanos.start();
+        let (values, proof) = self.ledger.get_multi_with_proof(keys);
+        if self.proof_obs.enabled {
+            self.proof_obs.multi_build_nanos.finish(timer);
+            self.proof_obs
+                .multi_bytes
+                .record(proof.encoded_len() as u64);
+        }
+        Ok((values, proof))
     }
 
     /// Unverified range read over `start <= key < end`.

@@ -62,7 +62,7 @@ pub use cell::{Cell, CellStore, UniversalKey};
 pub use control::{Auditor, ProcessorNode, Request, RequestHandler, Response};
 pub use db::{CompactionTrigger, SpitzConfig, SpitzDb, CATALOG_ROOT};
 pub use error::DbError;
-pub use proof::{ShardedProof, ShardedRangeProof, Verifier};
+pub use proof::{ShardMultiGroup, ShardedMultiProof, ShardedProof, ShardedRangeProof, Verifier};
 pub use schema::{ColumnType, Record, Schema, Value};
 pub use sharded::{
     shard_for, PreparedBatch, ShardedConfig, ShardedDb, ShardedDigest, SHARDED_HEAD_ROOT,

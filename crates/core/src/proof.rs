@@ -25,7 +25,9 @@
 use spitz_crypto::merkle::AuditProof;
 use spitz_crypto::Hash;
 use spitz_index::codec;
-use spitz_ledger::{DeferredVerifier, Digest, LedgerProof, LedgerRangeProof, VerificationReport};
+use spitz_ledger::{
+    DeferredVerifier, Digest, LedgerMultiProof, LedgerProof, LedgerRangeProof, VerificationReport,
+};
 
 use crate::sharded::{shard_for, ShardedDigest};
 
@@ -117,6 +119,149 @@ impl ShardedProof {
             && self
                 .membership
                 .verify(self.root, &self.ledger_proof.digest.encode())
+    }
+}
+
+/// One shard's contribution to a [`ShardedMultiProof`]: the batched ledger
+/// proof covering every queried key that routes to this shard, plus the
+/// audit path chaining the shard's digest to the cross-shard root.
+#[derive(Debug, Clone)]
+pub struct ShardMultiGroup {
+    /// Index of the shard this group proves against.
+    pub shard: usize,
+    /// The shard's batched ledger proof; its embedded digest is the leaf.
+    pub ledger_proof: LedgerMultiProof,
+    /// Audit path from the shard digest leaf to the cross-shard root.
+    pub membership: AuditProof,
+}
+
+/// Proof returned with a batched verified sharded point read: one
+/// [`ShardMultiGroup`] per shard that owns at least one queried key, in
+/// ascending shard order. Unlike [`ShardedRangeProof`], shards owning none
+/// of the keys contribute nothing — the proof only reveals the digests of
+/// the shards actually read, each chained to the single cross-shard root by
+/// its audit path. Keys sharing a shard share that shard's upper-tree
+/// nodes through the group's [`LedgerMultiProof`].
+#[derive(Debug, Clone)]
+pub struct ShardedMultiProof {
+    /// Total shard count (needed to recompute the routing).
+    pub shard_count: usize,
+    /// The cross-shard root this proof verifies against (compare with the
+    /// pinned [`ShardedDigest::root`]).
+    pub root: Hash,
+    /// Per-shard groups, strictly ascending by shard index; exactly the
+    /// shards owning at least one queried key.
+    pub groups: Vec<ShardMultiGroup>,
+}
+
+impl ShardedMultiProof {
+    /// Bytes a canonical wire encoding of this proof would occupy: shard
+    /// count ‖ root ‖ group count ‖ per-group (shard ‖ ledger multi proof ‖
+    /// audit path). The telemetry layer reports this as the sharded
+    /// multi-proof size.
+    pub fn encoded_len(&self) -> usize {
+        4 + 32
+            + 4
+            + self
+                .groups
+                .iter()
+                .map(|g| 4 + g.ledger_proof.encoded_len() + g.membership.encoded_len())
+                .sum::<usize>()
+    }
+
+    /// Append the canonical wire encoding (exactly
+    /// [`ShardedMultiProof::encoded_len`] bytes).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_u32(out, self.shard_count as u32);
+        codec::put_hash(out, &self.root);
+        codec::put_u32(out, self.groups.len() as u32);
+        for group in &self.groups {
+            codec::put_u32(out, group.shard as u32);
+            group.ledger_proof.encode_into(out);
+            group.membership.encode_into(out);
+        }
+    }
+
+    /// The canonical wire encoding as a fresh buffer — what a served
+    /// front-end puts on the wire with a batched verified read.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a proof previously written by [`ShardedMultiProof::encode`].
+    /// Returns `None` on truncated, malformed or trailing-garbage input;
+    /// hostile declared counts are bounds-checked before any allocation.
+    pub fn decode(bytes: &[u8]) -> Option<ShardedMultiProof> {
+        let mut r = codec::Reader::new(bytes);
+        let proof = Self::decode_from(&mut r)?;
+        if !r.is_exhausted() {
+            return None;
+        }
+        Some(proof)
+    }
+
+    /// Decode a proof from a reader positioned at its first byte, leaving
+    /// the reader just past it.
+    pub fn decode_from(r: &mut codec::Reader<'_>) -> Option<ShardedMultiProof> {
+        let shard_count = r.u32()? as usize;
+        let root = r.hash()?;
+        let count = r.u32()? as usize;
+        if count > r.remaining() {
+            return None;
+        }
+        let mut groups = Vec::new();
+        for _ in 0..count {
+            let shard = r.u32()? as usize;
+            let ledger_proof = LedgerMultiProof::decode(r)?;
+            let (membership, consumed) = AuditProof::decode_prefix(r.rest())?;
+            r.take(consumed)?;
+            groups.push(ShardMultiGroup {
+                shard,
+                ledger_proof,
+                membership,
+            });
+        }
+        Some(ShardedMultiProof {
+            shard_count,
+            root,
+            groups,
+        })
+    }
+
+    /// Client-side verification of the whole batch: every key routes to a
+    /// revealed group, every group's batched ledger proof verifies its
+    /// shard's partition of the (key, claimed value) pairs, every shard
+    /// digest is a leaf of the cross-shard root at the claimed position —
+    /// and no extra group is smuggled in (each revealed group must own at
+    /// least one queried key, in strictly ascending shard order).
+    pub fn verify(&self, items: &[(Vec<u8>, Option<Vec<u8>>)]) -> bool {
+        if self.shard_count == 0 {
+            return false;
+        }
+        // Partition the claimed items onto their shards in input order.
+        #[allow(clippy::type_complexity)]
+        let mut parts: Vec<Vec<(Vec<u8>, Option<Vec<u8>>)>> = vec![Vec::new(); self.shard_count];
+        for (key, value) in items {
+            parts[shard_for(key, self.shard_count)].push((key.clone(), value.clone()));
+        }
+        // The groups must be exactly the non-empty shards, ascending.
+        let expected: Vec<usize> = (0..self.shard_count)
+            .filter(|&s| !parts[s].is_empty())
+            .collect();
+        if self.groups.len() != expected.len() {
+            return false;
+        }
+        self.groups.iter().zip(expected).all(|(group, shard)| {
+            group.shard == shard
+                && group.membership.leaf_index == shard
+                && group.membership.tree_size == self.shard_count
+                && group.ledger_proof.verify(&parts[shard])
+                && group
+                    .membership
+                    .verify(self.root, &group.ledger_proof.digest.encode())
+        })
     }
 }
 
@@ -385,6 +530,21 @@ impl Verifier {
         }
     }
 
+    /// Verification of a batched sharded point read against the pinned
+    /// cross-shard root. Like [`Verifier::verify_sharded_read`], a batched
+    /// proof reveals only the serving shards' digests, so it requires an
+    /// existing pin and can never establish or advance one.
+    pub fn verify_sharded_multi(
+        &mut self,
+        items: &[(Vec<u8>, Option<Vec<u8>>)],
+        proof: &ShardedMultiProof,
+    ) -> bool {
+        match self.pinned_sharded {
+            Some(pin) => pin.root == proof.root && proof.verify(items),
+            None => false,
+        }
+    }
+
     /// Verification of a merged sharded range read. The proof reveals every
     /// shard digest, so it can also *advance* the pin the way a digest
     /// observation does (never rewind it).
@@ -521,6 +681,77 @@ mod tests {
         assert_eq!(range_decoded.encode(), range_bytes);
         assert!(client.verify_sharded_range(&entries, &range_decoded));
         assert!(ShardedRangeProof::decode(&range_bytes[..range_bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn sharded_multi_proofs_batch_across_shards() {
+        let db = ShardedDb::in_memory(4);
+        let writes: Vec<_> = (0..100u32)
+            .map(|i| {
+                (
+                    format!("key-{i:05}").into_bytes(),
+                    format!("value-{i}").into_bytes(),
+                )
+            })
+            .collect();
+        db.put_batch(writes).unwrap();
+
+        let mut keys: Vec<Vec<u8>> = (0..16u32)
+            .map(|i| format!("key-{:05}", i * 6).into_bytes())
+            .collect();
+        keys.push(b"no-such-key".to_vec());
+        let (values, proof) = db.get_multi_verified(&keys).unwrap();
+        assert_eq!(values.len(), keys.len());
+        assert_eq!(values[16], None);
+        assert_eq!(values[0], Some(b"value-0".to_vec()));
+        assert_eq!(proof.root, db.digest().root);
+
+        // A pin is required; with one the whole batch verifies.
+        let items: Vec<_> = keys.iter().cloned().zip(values.clone()).collect();
+        let mut client = Verifier::new();
+        assert!(!client.verify_sharded_multi(&items, &proof));
+        assert!(client.observe_sharded(&db.digest()));
+        assert!(client.verify_sharded_multi(&items, &proof));
+
+        // Forged value / conjured presence fail.
+        let mut forged = items.clone();
+        forged[3].1 = Some(b"forged".to_vec());
+        assert!(!client.verify_sharded_multi(&forged, &proof));
+        let mut conjured = items.clone();
+        conjured[16].1 = Some(b"conjured".to_vec());
+        assert!(!client.verify_sharded_multi(&conjured, &proof));
+
+        // Dropping a group (shard withholding) fails against the full
+        // batch, as does smuggling a duplicate group in.
+        let mut withheld = proof.clone();
+        withheld.groups.remove(0);
+        assert!(!client.verify_sharded_multi(&items, &withheld));
+        let mut smuggled = proof.clone();
+        let extra = smuggled.groups[0].clone();
+        smuggled.groups.insert(0, extra);
+        assert!(!client.verify_sharded_multi(&items, &smuggled));
+
+        // The wire encoding round-trips byte-identically; truncation and
+        // trailing garbage are rejected.
+        let bytes = proof.encode();
+        assert_eq!(bytes.len(), proof.encoded_len());
+        let decoded = ShardedMultiProof::decode(&bytes).expect("decode multi proof");
+        assert_eq!(decoded.encode(), bytes);
+        assert!(client.verify_sharded_multi(&items, &decoded));
+        assert!(ShardedMultiProof::decode(&bytes[..bytes.len() - 1]).is_none());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(ShardedMultiProof::decode(&extended).is_none());
+
+        // Snapshots serve the same batch pinned at their cut.
+        let snapshot = db.snapshot().unwrap();
+        let pinned_root = snapshot.root();
+        db.put(b"key-00000", b"moved-on").unwrap();
+        let (snap_values, snap_proof) = snapshot.get_multi_verified(&keys);
+        assert_eq!(snap_proof.root, pinned_root);
+        assert_eq!(snap_values[0], Some(b"value-0".to_vec()));
+        let snap_items: Vec<_> = keys.iter().cloned().zip(snap_values).collect();
+        assert!(snap_proof.verify(&snap_items));
     }
 
     #[test]

@@ -55,7 +55,7 @@ use spitz_storage::{Chunk, ChunkKind, ChunkStore, CompactionReport, DurableConfi
 use spitz_txn::TwoPhaseCoordinator;
 use spitz_txn::{CcScheme, Participant, PreparedApply, PreparedGlobal, TimestampOracle};
 
-pub use crate::proof::{ShardedProof, ShardedRangeProof};
+pub use crate::proof::{ShardMultiGroup, ShardedMultiProof, ShardedProof, ShardedRangeProof};
 
 use crate::db::{SpitzConfig, SpitzDb};
 use crate::error::DbError;
@@ -364,6 +364,8 @@ struct ShardedObs {
     point_bytes: Arc<Histogram>,
     range_build_nanos: Arc<Histogram>,
     range_bytes: Arc<Histogram>,
+    multi_build_nanos: Arc<Histogram>,
+    multi_bytes: Arc<Histogram>,
     /// Commit-decision log entries removed after their batch fully settled
     /// (the decision no longer protects anything).
     decision_truncations: Arc<Counter>,
@@ -377,6 +379,8 @@ impl ShardedObs {
             point_bytes: telemetry.histogram("proof.sharded_point_bytes"),
             range_build_nanos: telemetry.histogram("proof.sharded_range_build_nanos"),
             range_bytes: telemetry.histogram("proof.sharded_range_bytes"),
+            multi_build_nanos: telemetry.histogram("proof.sharded_multi_build_nanos"),
+            multi_bytes: telemetry.histogram("proof.sharded_multi_bytes"),
             decision_truncations: telemetry.counter("twopc.decision_truncations"),
         }
     }
@@ -901,6 +905,77 @@ impl ShardedDb {
             self.obs.point_bytes.record(proof.encoded_len() as u64);
         }
         Ok((value, proof))
+    }
+
+    /// Batched verified point read: every key is resolved against one
+    /// fenced consistent cut, keys sharing a shard share one
+    /// [`spitz_ledger::LedgerMultiProof`] (and its upper-tree nodes), and
+    /// the whole batch chains to a single cross-shard root through one
+    /// audit path per involved shard. The `i`-th returned value answers
+    /// `keys[i]`.
+    pub fn get_multi_verified(
+        &self,
+        keys: &[Vec<u8>],
+    ) -> Result<(Vec<Option<Vec<u8>>>, ShardedMultiProof)> {
+        let timer = self.obs.multi_build_nanos.start();
+        let _cut = self.fence.write();
+        // Partition the keys onto their shards, remembering each key's
+        // position so the values come back in input order.
+        let shard_count = self.shards.len();
+        let mut parts: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        for (i, key) in keys.iter().enumerate() {
+            parts[shard_for(key, shard_count)].push(i);
+        }
+        let mut values: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        let mut shard_proofs: Vec<Option<spitz_ledger::LedgerMultiProof>> =
+            (0..shard_count).map(|_| None).collect();
+        for (shard, positions) in parts.iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let shard_keys: Vec<Vec<u8>> = positions.iter().map(|&i| keys[i].clone()).collect();
+            let (shard_values, proof) = self.shards[shard].get_multi_verified(&shard_keys)?;
+            for (&position, value) in positions.iter().zip(shard_values) {
+                values[position] = value;
+            }
+            shard_proofs[shard] = Some(proof);
+        }
+        // Under the exclusive fence no commit is in flight, so the serving
+        // shards' proof-time digests and the idle shards' digests form one
+        // consistent cut.
+        let digests: Vec<Digest> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, db)| match &shard_proofs[i] {
+                Some(proof) => proof.digest,
+                None => db.digest(),
+            })
+            .collect();
+        let combined = ShardedDigest::over(digests);
+        let groups = shard_proofs
+            .into_iter()
+            .enumerate()
+            .filter_map(|(shard, proof)| {
+                proof.map(|ledger_proof| ShardMultiGroup {
+                    shard,
+                    ledger_proof,
+                    membership: combined
+                        .membership_proof(shard)
+                        .expect("shard index is in range"),
+                })
+            })
+            .collect();
+        let proof = ShardedMultiProof {
+            shard_count,
+            root: combined.root,
+            groups,
+        };
+        if self.obs.enabled {
+            self.obs.multi_build_nanos.finish(timer);
+            self.obs.multi_bytes.record(proof.encoded_len() as u64);
+        }
+        Ok((values, proof))
     }
 
     /// **Unverified** range read over `start <= key < end`, merged across

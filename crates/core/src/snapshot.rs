@@ -13,9 +13,11 @@
 //! node sharing between index versions makes the pinned instance cheap (the
 //! checkout reuses every unchanged node of the live index).
 
-use spitz_ledger::{Digest, LedgerProof, LedgerSnapshot, VerifiedRange};
+use spitz_ledger::{Digest, LedgerMultiProof, LedgerProof, LedgerSnapshot, VerifiedRange};
 
-use crate::proof::{ShardedProof, ShardedRangeProof, ShardedVerifiedRange};
+use crate::proof::{
+    ShardMultiGroup, ShardedMultiProof, ShardedProof, ShardedRangeProof, ShardedVerifiedRange,
+};
 use crate::sharded::{shard_for, ShardedDigest};
 use crate::Result;
 
@@ -58,6 +60,13 @@ impl Snapshot {
     /// digest.
     pub fn get_verified(&self, key: &[u8]) -> (Option<Vec<u8>>, LedgerProof) {
         self.inner.get_with_proof(key)
+    }
+
+    /// Batched verified point read: one [`LedgerMultiProof`] anchored at
+    /// the pinned digest covers all keys, sharing their common upper-tree
+    /// nodes.
+    pub fn get_multi_verified(&self, keys: &[Vec<u8>]) -> (Vec<Option<Vec<u8>>>, LedgerMultiProof) {
+        self.inner.get_multi_with_proof(keys)
     }
 
     /// Unverified range read against the pinned state.
@@ -148,6 +157,49 @@ impl ShardedSnapshot {
                 ledger_proof,
                 membership,
                 root: self.digest.root,
+            },
+        )
+    }
+
+    /// Batched verified point read against the pinned cut: keys sharing a
+    /// shard share one [`LedgerMultiProof`], every group chains to the
+    /// pinned cross-shard root, and the `i`-th returned value answers
+    /// `keys[i]`.
+    pub fn get_multi_verified(
+        &self,
+        keys: &[Vec<u8>],
+    ) -> (Vec<Option<Vec<u8>>>, ShardedMultiProof) {
+        let shard_count = self.shards.len();
+        let mut parts: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        for (i, key) in keys.iter().enumerate() {
+            parts[shard_for(key, shard_count)].push(i);
+        }
+        let mut values: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        let mut groups = Vec::new();
+        for (shard, positions) in parts.iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let shard_keys: Vec<Vec<u8>> = positions.iter().map(|&i| keys[i].clone()).collect();
+            let (shard_values, ledger_proof) = self.shards[shard].get_multi_verified(&shard_keys);
+            for (&position, value) in positions.iter().zip(shard_values) {
+                values[position] = value;
+            }
+            groups.push(ShardMultiGroup {
+                shard,
+                ledger_proof,
+                membership: self
+                    .digest
+                    .membership_proof(shard)
+                    .expect("shard index is in range"),
+            });
+        }
+        (
+            values,
+            ShardedMultiProof {
+                shard_count,
+                root: self.digest.root,
+                groups,
             },
         )
     }

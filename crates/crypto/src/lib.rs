@@ -34,7 +34,9 @@ pub mod merkle;
 pub mod sha256;
 
 pub use hash::Hash;
-pub use merkle::{AuditProof, ConsistencyProof, MerkleTree};
+pub use merkle::{
+    smt16_empty, smt16_node, smt16_root, AuditProof, ConsistencyProof, MerkleTree, SMT16_LEVELS,
+};
 pub use sha256::Sha256;
 
 /// Convenience helper: hash a byte slice with SHA-256 and return the digest.

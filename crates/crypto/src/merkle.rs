@@ -390,6 +390,66 @@ impl ConsistencyProof {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Sparse 16-slot Merkle subtree (the MPT sparse-branch commitment).
+// ---------------------------------------------------------------------------
+
+/// Depth of the sparse subtree over a radix-16 branch's child slots
+/// (`2^4 = 16` leaves).
+pub const SMT16_LEVELS: usize = 4;
+
+/// Domain prefix of an interior node of the sparse branch subtree
+/// (`'N' ‖ left ‖ right`). Distinct from the RFC 6962 prefixes (`0x00`,
+/// `0x01`) and from every chunk-kind tag, so subtree interiors can never
+/// collide with leaves, transparency-log nodes, or chunk addresses.
+pub const SMT16_NODE_DOMAIN: u8 = b'N';
+
+/// Interior hash of the sparse branch subtree: `H('N' ‖ left ‖ right)`.
+pub fn smt16_node(left: &Hash, right: &Hash) -> Hash {
+    let mut hasher = crate::Sha256::new();
+    hasher.update(&[SMT16_NODE_DOMAIN]);
+    hasher.update(left.as_bytes());
+    hasher.update(right.as_bytes());
+    hasher.finalize()
+}
+
+/// Root of the all-empty subtree of `2^level` slots. An empty slot is
+/// [`Hash::ZERO`]; level 0 is the slot itself, level [`SMT16_LEVELS`] the
+/// full 16-slot subtree. Panics when `level > SMT16_LEVELS`.
+pub fn smt16_empty(level: usize) -> Hash {
+    use std::sync::OnceLock;
+    static EMPTIES: OnceLock<[Hash; SMT16_LEVELS + 1]> = OnceLock::new();
+    let empties = EMPTIES.get_or_init(|| {
+        let mut out = [Hash::ZERO; SMT16_LEVELS + 1];
+        for level in 1..=SMT16_LEVELS {
+            out[level] = smt16_node(&out[level - 1], &out[level - 1]);
+        }
+        out
+    });
+    empties[level]
+}
+
+/// Root of the sparse subtree over 16 child slots. Occupied slots carry the
+/// child's commitment; empty slots are [`Hash::ZERO`]. Whole-empty subtrees
+/// fold to the precomputed [`smt16_empty`] constants, so the root of a
+/// branch with few children is dominated by its occupied spine.
+pub fn smt16_root(slots: &[Hash; 16]) -> Hash {
+    fn fold(slots: &[Hash], level: usize) -> Hash {
+        if slots.iter().all(Hash::is_zero) {
+            return smt16_empty(level);
+        }
+        if level == 0 {
+            return slots[0];
+        }
+        let mid = slots.len() / 2;
+        smt16_node(
+            &fold(&slots[..mid], level - 1),
+            &fold(&slots[mid..], level - 1),
+        )
+    }
+    fold(slots, SMT16_LEVELS)
+}
+
 /// Largest power of two strictly less than `n` (requires `n >= 2`).
 fn largest_power_of_two_below(n: usize) -> usize {
     debug_assert!(n >= 2);
@@ -512,5 +572,44 @@ mod tests {
         let (tree, _) = tree_of(1024);
         let proof = tree.audit_proof(17).unwrap();
         assert_eq!(proof.len(), 10);
+    }
+
+    #[test]
+    fn smt16_empty_constants_chain() {
+        assert_eq!(smt16_empty(0), Hash::ZERO);
+        for level in 1..=SMT16_LEVELS {
+            assert_eq!(
+                smt16_empty(level),
+                smt16_node(&smt16_empty(level - 1), &smt16_empty(level - 1))
+            );
+        }
+        assert_eq!(smt16_root(&[Hash::ZERO; 16]), smt16_empty(SMT16_LEVELS));
+    }
+
+    #[test]
+    fn smt16_root_matches_dense_fold() {
+        let mut slots = [Hash::ZERO; 16];
+        for (i, slot) in slots.iter_mut().enumerate().step_by(3) {
+            *slot = sha256(format!("child-{i}").as_bytes());
+        }
+        // Dense reference fold with no empty-subtree shortcuts.
+        let mut level: Vec<Hash> = slots.to_vec();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|pair| smt16_node(&pair[0], &pair[1]))
+                .collect();
+        }
+        assert_eq!(smt16_root(&slots), level[0]);
+    }
+
+    #[test]
+    fn smt16_root_is_sensitive_to_slot_position() {
+        let mut a = [Hash::ZERO; 16];
+        let mut b = [Hash::ZERO; 16];
+        a[3] = sha256(b"x");
+        b[4] = sha256(b"x");
+        assert_ne!(smt16_root(&a), smt16_root(&b));
+        assert_ne!(smt16_root(&a), smt16_empty(SMT16_LEVELS));
     }
 }

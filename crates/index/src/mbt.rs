@@ -18,7 +18,7 @@ use spitz_crypto::{sha256, Hash};
 use spitz_storage::{Chunk, ChunkKind, ChunkStore, StorageError};
 
 use crate::codec::{put_bytes, put_u32, Reader};
-use crate::proof::{hash_index_node, IndexProof};
+use crate::proof::{hash_index_node, IndexProof, MultiProof};
 use crate::siri::{SiriIndex, SiriKind};
 
 /// Number of leaf buckets. Fixed for the lifetime of a tree (as in Fabric).
@@ -257,21 +257,7 @@ impl MerkleBucketTree {
             return false;
         }
         // Recompute the per-level child indices for this key.
-        let bucket_index = bucket_of(key);
-        let mut level_count = 0usize;
-        let mut size = NUM_BUCKETS;
-        while size > 1 {
-            size = size.div_ceil(TREE_FANOUT);
-            level_count += 1;
-        }
-        // Child index within its parent group, from the top level downwards.
-        let mut child_indices = Vec::with_capacity(level_count);
-        let mut index = bucket_index;
-        for _ in 0..level_count {
-            child_indices.push(index % TREE_FANOUT);
-            index /= TREE_FANOUT;
-        }
-        child_indices.reverse();
+        let child_indices = child_indices_for(bucket_of(key));
 
         let mut node_iter = proof.nodes.iter();
         let mut current = node_iter.next().expect("checked non-empty").clone();
@@ -339,6 +325,121 @@ impl MerkleBucketTree {
         in_range.sort_by(|a, b| a.0.cmp(&b.0));
         in_range == entries
     }
+}
+
+/// Per-level child indices for a bucket, from the top level downwards —
+/// the fixed descent [`MerkleBucketTree::verify_proof`] and the proof
+/// builders share.
+fn child_indices_for(bucket_index: usize) -> Vec<usize> {
+    let mut level_count = 0usize;
+    let mut size = NUM_BUCKETS;
+    while size > 1 {
+        size = size.div_ceil(TREE_FANOUT);
+        level_count += 1;
+    }
+    let mut child_indices = Vec::with_capacity(level_count);
+    let mut index = bucket_index;
+    for _ in 0..level_count {
+        child_indices.push(index % TREE_FANOUT);
+        index /= TREE_FANOUT;
+    }
+    child_indices.reverse();
+    child_indices
+}
+
+/// Build a point-lookup proof reading node payloads through `fetch` — the
+/// same top-down bucket path as [`MerkleBucketTree::get_with_proof`], so
+/// proof bytes are identical whether built from the live tree or from the
+/// server's proof-node cache.
+pub(crate) fn build_proof_with(
+    fetch: &dyn Fn(&Hash) -> Option<Vec<u8>>,
+    root: Hash,
+    key: &[u8],
+) -> Option<(Option<Vec<u8>>, IndexProof)> {
+    let mut proof = IndexProof::empty();
+    if root.is_zero() {
+        return Some((None, proof));
+    }
+    let mut current = fetch(&root)?;
+    proof.push_node(current.clone());
+    for child_index in child_indices_for(bucket_of(key)) {
+        let children = decode_internal(&current)?;
+        let child = children.get(child_index).copied()?;
+        if child.is_zero() {
+            // Empty subtree: the bucket does not exist, proven absence.
+            return Some((None, proof));
+        }
+        current = fetch(&child)?;
+        proof.push_node(current.clone());
+    }
+    let entries = decode_bucket(&current)?;
+    let value = entries
+        .iter()
+        .find(|(k, _)| k.as_slice() == key)
+        .map(|(_, v)| v.clone());
+    Some((value, proof))
+}
+
+/// Verify a batched multi-key proof: replay each key's fixed bucket path
+/// over the revealed node set, requiring every revealed node to be consumed
+/// by at least one walk (spliced-in payloads are rejected).
+pub(crate) fn verify_multi_proof(
+    root: Hash,
+    items: &[(Vec<u8>, Option<Vec<u8>>)],
+    proof: &MultiProof,
+) -> bool {
+    if items.is_empty() {
+        return proof.is_empty();
+    }
+    if root.is_zero() {
+        return items.iter().all(|(_, v)| v.is_none()) && proof.is_empty();
+    }
+    let map: std::collections::HashMap<Hash, (usize, &[u8])> = proof
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (hash_index_node(n), (i, n.as_slice())))
+        .collect();
+    let mut used = vec![false; proof.nodes.len()];
+    for (key, claim) in items {
+        let Some(&(root_idx, mut current)) = map.get(&root) else {
+            return false;
+        };
+        used[root_idx] = true;
+        let mut pruned = false;
+        for child_index in child_indices_for(bucket_of(key)) {
+            let Some(children) = decode_internal(current) else {
+                return false;
+            };
+            let Some(child) = children.get(child_index).copied() else {
+                return false;
+            };
+            if child.is_zero() {
+                // Empty subtree: only an absence claim can be valid.
+                if claim.is_some() {
+                    return false;
+                }
+                pruned = true;
+                break;
+            }
+            let Some(&(idx, payload)) = map.get(&child) else {
+                return false;
+            };
+            used[idx] = true;
+            current = payload;
+        }
+        if pruned {
+            continue;
+        }
+        let Some(entries) = decode_bucket(current) else {
+            return false;
+        };
+        let found = entries.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        if found != claim.as_ref() {
+            return false;
+        }
+    }
+    used.iter().all(|&u| u)
 }
 
 /// Walk the revealed bucket tree from `hash`, collecting every bucket

@@ -13,16 +13,58 @@
 //! the paper's analysis of SIRI structures observes — less efficient than
 //! the POS-Tree's B+-tree-like scan. The ablation benchmark
 //! (`ablation_siri`) quantifies this.
+//!
+//! # Sparse-branch commitments and compact proofs
+//!
+//! Trie nodes are stored as [`ChunkKind::MptNode`] chunks, which the storage
+//! layer addresses by their *sparse-branch commitment*
+//! ([`spitz_storage::mpt_commitment`]): a branch's 16 child slots are hashed
+//! as a 4-level sparse Merkle subtree instead of being absorbed whole. Point
+//! proofs therefore do not reveal node payloads at all; they are a single
+//! recursive *trie-shaped blob* mirroring the lookup path:
+//!
+//! ```text
+//! step := 0x00 ‖ path ‖ value                      leaf (value revealed)
+//!       | 0x01 ‖ path ‖ step                       extension, descend
+//!       | 0x02 ‖ path ‖ child_commitment           extension, pruned
+//!       | 0x03 ‖ bitmap u16 ‖ vtag ‖ [value]       branch
+//!              ‖ on-path child steps (ascending nibble)
+//!              ‖ sibling subtree hashes (depth-first fold order)
+//! ```
+//!
+//! `vtag` is 0 (branch stores no value), 1 (value present, revealed as its
+//! hash) or 2 (value present, revealed in full — required whenever a proven
+//! key terminates at the branch). A full branch descent costs ~4 sibling
+//! hashes instead of 15 child hashes, and the same blob proves any number of
+//! keys at once by sharing every common upper step ([`MultiProof`]).
+//!
+//! The verifier recomputes the commitment bottom-up and rejects: pruned
+//! extensions whose path any proven key still matches (hiding a present
+//! key), `vtag = 1` when a proven key terminates at the branch (hiding a
+//! value), `vtag = 2` when none does (non-canonical), lying bitmaps (the
+//! subtree fold breaks), and trailing bytes.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use spitz_crypto::Hash;
-use spitz_storage::{Chunk, ChunkKind, ChunkStore, StorageError};
+use spitz_crypto::{smt16_empty, smt16_node, Hash, SMT16_LEVELS};
+use spitz_storage::{
+    mpt_branch_commitment, mpt_commitment, mpt_extension_commitment, mpt_leaf_commitment,
+    mpt_value_hash, Chunk, ChunkKind, ChunkStore, StorageError,
+};
 
 use crate::codec::{put_bytes, put_hash, Reader};
-use crate::proof::{hash_index_node, IndexProof};
+use crate::proof::{IndexProof, MultiProof};
 use crate::siri::{SiriIndex, SiriKind};
+
+/// Proof-step tag: leaf node, path and value revealed.
+const STEP_LEAF: u8 = 0x00;
+/// Proof-step tag: extension node followed by its child's step.
+const STEP_EXT: u8 = 0x01;
+/// Proof-step tag: extension node whose subtree is pruned to a commitment.
+const STEP_EXT_PRUNED: u8 = 0x02;
+/// Proof-step tag: branch node with sparse-subtree sibling hashes.
+const STEP_BRANCH: u8 = 0x03;
 
 /// Decoded trie node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -152,6 +194,9 @@ pub struct MerklePatriciaTrie {
     store: Arc<dyn ChunkStore>,
     root: Hash,
     len: usize,
+    /// Caches branch subtree folds across inserts and proofs (see
+    /// [`BranchMemo`]); purely an accelerator, never observable in output.
+    memo: BranchMemo,
 }
 
 /// Abstraction over "where node payloads come from" so that the same lookup
@@ -166,9 +211,20 @@ struct StoreSource<'a>(&'a Arc<dyn ChunkStore>);
 impl NodeSource for StoreSource<'_> {
     fn payload(&self, hash: &Hash) -> Option<Vec<u8>> {
         self.0
-            .get_kind(hash, ChunkKind::IndexNode)
+            .get_kind(hash, ChunkKind::MptNode)
             .ok()
             .map(|c| c.data().to_vec())
+    }
+}
+
+/// Adapter letting any payload-fetch closure act as a [`NodeSource`]; this
+/// is how the server's proof-node cache reuses the exact proof builders the
+/// in-process path uses (guaranteeing byte-identical proofs).
+struct FnSource<'a>(&'a dyn Fn(&Hash) -> Option<Vec<u8>>);
+
+impl NodeSource for FnSource<'_> {
+    fn payload(&self, hash: &Hash) -> Option<Vec<u8>> {
+        (self.0)(hash)
     }
 }
 
@@ -233,6 +289,7 @@ impl MerklePatriciaTrie {
             store,
             root: Hash::ZERO,
             len: 0,
+            memo: BranchMemo::new(),
         }
     }
 
@@ -242,6 +299,7 @@ impl MerklePatriciaTrie {
             store,
             root,
             len: 0,
+            memo: BranchMemo::new(),
         };
         if root.is_zero() {
             return Some(trie);
@@ -257,11 +315,60 @@ impl MerklePatriciaTrie {
 
     fn save(&self, node: &MptNode) -> Result<Hash, StorageError> {
         self.store
-            .try_put(Chunk::new(ChunkKind::IndexNode, node.encode()))
+            .try_put(Chunk::new(ChunkKind::MptNode, node.encode()))
+    }
+
+    /// Persist a branch node, maintaining its sparse-subtree [`RegionTable`]
+    /// incrementally instead of refolding from scratch.
+    ///
+    /// `reuse` names the branch being replaced: `Some((old, Some(nib)))`
+    /// when exactly slot `nib` changed (memo hit → copy the old table and
+    /// recompute only the 4-entry spine), `Some((old, None))` when only the
+    /// branch value changed (children identical → the old table is the new
+    /// table), `None` for a freshly created branch. The commitment is then
+    /// one hash over `(bitmap, table root, value hash)` and is seeded into
+    /// the chunk via [`Chunk::with_address`], skipping the store's own
+    /// subtree refold.
+    fn save_branch(
+        &self,
+        reuse: Option<(Hash, Option<usize>)>,
+        children: Box<[Option<Hash>; 16]>,
+        value: Option<Vec<u8>>,
+    ) -> Result<Hash, StorageError> {
+        let mut bitmap: u16 = 0;
+        let mut slots = [Hash::ZERO; 16];
+        for (i, child) in children.iter().enumerate() {
+            if let Some(h) = child {
+                bitmap |= 1 << i;
+                slots[i] = *h;
+            }
+        }
+        let reused = reuse.and_then(|(old, nib)| self.memo.lookup(&old).map(|t| (t, nib)));
+        let table = match reused {
+            Some((table, None)) => table,
+            Some((table, Some(nib))) => {
+                let mut fresh = *table;
+                refresh_region_spine(&mut fresh, &slots, nib);
+                Arc::new(fresh)
+            }
+            None => Arc::new(build_region_table(&slots)),
+        };
+        let value_part = match &value {
+            Some(v) => mpt_value_hash(v),
+            None => Hash::ZERO,
+        };
+        let commitment = mpt_branch_commitment(bitmap, &table[14], &value_part);
+        self.memo.remember(commitment, table);
+        let node = MptNode::Branch { children, value };
+        self.store.try_put(Chunk::with_address(
+            ChunkKind::MptNode,
+            node.encode(),
+            commitment,
+        ))
     }
 
     fn load(&self, hash: &Hash) -> Option<MptNode> {
-        let chunk = self.store.get_kind(hash, ChunkKind::IndexNode).ok()?;
+        let chunk = self.store.get_kind(hash, ChunkKind::MptNode).ok()?;
         MptNode::decode(chunk.data())
     }
 
@@ -321,10 +428,7 @@ impl MerklePatriciaTrie {
                         value: value.to_vec(),
                     })?);
                 }
-                let branch = self.save(&MptNode::Branch {
-                    children: Box::new(children),
-                    value: branch_value2,
-                })?;
+                let branch = self.save_branch(None, Box::new(children), branch_value2)?;
                 let result = if cp > 0 {
                     self.save(&MptNode::Extension {
                         path: path[..cp].to_vec(),
@@ -370,10 +474,7 @@ impl MerklePatriciaTrie {
                         value: value.to_vec(),
                     })?);
                 }
-                let branch = self.save(&MptNode::Branch {
-                    children: Box::new(children),
-                    value: branch_value,
-                })?;
+                let branch = self.save_branch(None, Box::new(children), branch_value)?;
                 let result = if cp > 0 {
                     self.save(&MptNode::Extension {
                         path: path[..cp].to_vec(),
@@ -391,10 +492,7 @@ impl MerklePatriciaTrie {
                 if path.is_empty() {
                     let added = bvalue.is_none();
                     return Ok((
-                        self.save(&MptNode::Branch {
-                            children,
-                            value: Some(value.to_vec()),
-                        })?,
+                        self.save_branch(Some((hash, None)), children, Some(value.to_vec()))?,
                         added,
                     ));
                 }
@@ -402,10 +500,7 @@ impl MerklePatriciaTrie {
                 let (new_child, added) = self.insert_rec(children[idx], &path[1..], value)?;
                 children[idx] = Some(new_child);
                 Ok((
-                    self.save(&MptNode::Branch {
-                        children,
-                        value: bvalue,
-                    })?,
+                    self.save_branch(Some((hash, Some(idx))), children, bvalue)?,
                     added,
                 ))
             }
@@ -421,7 +516,7 @@ impl MerklePatriciaTrie {
         emit: &mut impl FnMut(&[u8], &[u8]),
         proof: &mut Option<&mut IndexProof>,
     ) {
-        let Some(chunk) = self.store.get_kind(hash, ChunkKind::IndexNode).ok() else {
+        let Some(chunk) = self.store.get_kind(hash, ChunkKind::MptNode).ok() else {
             return;
         };
         if let Some(p) = proof.as_deref_mut() {
@@ -484,23 +579,37 @@ impl MerklePatriciaTrie {
         out
     }
 
-    /// Verify a point-lookup proof: rebuild a node map from the revealed
-    /// payloads and re-run the lookup against it.
+    /// Verify a point-lookup proof: decode the compact trie-shaped blob,
+    /// recompute the sparse-branch commitment bottom-up, and check both the
+    /// root and the claimed value (or absence).
     pub fn verify_proof(root: Hash, key: &[u8], value: Option<&[u8]>, proof: &IndexProof) -> bool {
         if root.is_zero() {
-            return value.is_none();
+            return value.is_none() && proof.is_empty();
         }
-        let source = ProofSource(
-            proof
-                .nodes
-                .iter()
-                .map(|n| (hash_index_node(n), n.clone()))
-                .collect(),
-        );
-        match lookup(&source, root, &to_nibbles(key), |_| {}) {
-            Ok(found) => found.as_deref() == value,
-            Err(()) => false,
+        if proof.nodes.len() != 1 {
+            return false;
         }
+        let items = [(key.to_vec(), value.map(|v| v.to_vec()))];
+        verify_blob(root, &items, &proof.nodes[0])
+    }
+
+    /// Verify a batched multi-key proof: one compact blob proving every
+    /// `(key, claimed value)` pair in `items` against `root`.
+    pub fn verify_multi_proof(
+        root: Hash,
+        items: &[(Vec<u8>, Option<Vec<u8>>)],
+        proof: &MultiProof,
+    ) -> bool {
+        if items.is_empty() {
+            return proof.is_empty();
+        }
+        if root.is_zero() {
+            return items.iter().all(|(_, v)| v.is_none()) && proof.is_empty();
+        }
+        if proof.nodes.len() != 1 {
+            return false;
+        }
+        verify_blob(root, items, &proof.nodes[0])
     }
 
     /// Verify a **complete** range proof. The MPT's range scan is an
@@ -519,11 +628,14 @@ impl MerklePatriciaTrie {
         if root.is_zero() || start >= end {
             return entries.is_empty();
         }
+        // Range proofs still reveal whole payloads (the scan is a full
+        // in-order walk); the map is keyed by the sparse-branch commitment
+        // because that is what child pointers — and the root — now are.
         let source = ProofSource(
             proof
                 .nodes
                 .iter()
-                .map(|n| (hash_index_node(n), n.clone()))
+                .filter_map(|n| mpt_commitment(n).map(|h| (h, n.clone())))
                 .collect(),
         );
         let mut all = Vec::new();
@@ -580,6 +692,552 @@ fn collect_entries<S: NodeSource>(
     Ok(())
 }
 
+/// One key's position in a (possibly multi-key) descent: the index into the
+/// caller's key list plus the nibbles still to be consumed.
+#[derive(Clone, Copy)]
+struct Pending<'a> {
+    idx: usize,
+    rest: &'a [u8],
+}
+
+/// Sparse-subtree root of the slot region `[lo, lo + 2^level)`.
+///
+/// Reference implementation: the proof builders use a precomputed
+/// [`RegionTable`] instead (see [`region_from_table`]), which holds the same
+/// values without refolding — equivalence is asserted in tests.
+#[cfg_attr(not(test), allow(dead_code))]
+fn region_root(slots: &[Hash; 16], lo: usize, level: usize) -> Hash {
+    let width = 1usize << level;
+    if slots[lo..lo + width].iter().all(Hash::is_zero) {
+        return smt16_empty(level);
+    }
+    if level == 0 {
+        return slots[lo];
+    }
+    smt16_node(
+        &region_root(slots, lo, level - 1),
+        &region_root(slots, lo + width / 2, level - 1),
+    )
+}
+
+/// Every interior hash of a branch's 16-slot sparse subtree, laid out
+/// level-major: `[0..8)` the eight level-1 pair nodes, `[8..12)` the four
+/// level-2 nodes, `[12..14)` the two level-3 nodes, `[14]` the subtree root.
+/// Level-0 regions are the slots themselves and are not stored.
+///
+/// Entry values equal [`region_root`] of the corresponding region exactly
+/// (empty regions hold the [`smt16_empty`] constants, which *are* the folds
+/// of zero slots), so substituting table entries for recursive folds changes
+/// no proof byte.
+type RegionTable = [Hash; 15];
+
+/// Fold the full table bottom-up. Empty regions take the precomputed
+/// constant instead of hashing, mirroring [`region_root`]'s shortcut, so a
+/// near-empty branch costs only its occupied spine.
+fn build_region_table(slots: &[Hash; 16]) -> RegionTable {
+    let mut occ: u16 = 0;
+    for (i, slot) in slots.iter().enumerate() {
+        if !slot.is_zero() {
+            occ |= 1 << i;
+        }
+    }
+    let mut table = [Hash::ZERO; 15];
+    for j in 0..8 {
+        table[j] = if occ & (0b11 << (2 * j)) == 0 {
+            smt16_empty(1)
+        } else {
+            smt16_node(&slots[2 * j], &slots[2 * j + 1])
+        };
+    }
+    for j in 0..4 {
+        table[8 + j] = if occ & (0b1111 << (4 * j)) == 0 {
+            smt16_empty(2)
+        } else {
+            smt16_node(&table[2 * j], &table[2 * j + 1])
+        };
+    }
+    for j in 0..2 {
+        table[12 + j] = if occ & (0xff << (8 * j)) == 0 {
+            smt16_empty(3)
+        } else {
+            smt16_node(&table[8 + 2 * j], &table[8 + 2 * j + 1])
+        };
+    }
+    table[14] = if occ == 0 {
+        smt16_empty(4)
+    } else {
+        smt16_node(&table[12], &table[13])
+    };
+    table
+}
+
+/// Recompute only the four table entries on slot `nib`'s spine after that
+/// slot changed — the incremental counterpart of [`build_region_table`] used
+/// by the insert path. The slot must be occupied after the change (inserts
+/// never clear slots), so no empty shortcut applies on the spine.
+fn refresh_region_spine(table: &mut RegionTable, slots: &[Hash; 16], nib: usize) {
+    debug_assert!(!slots[nib].is_zero());
+    let j = nib >> 1;
+    table[j] = smt16_node(&slots[2 * j], &slots[2 * j + 1]);
+    let j = nib >> 2;
+    table[8 + j] = smt16_node(&table[2 * j], &table[2 * j + 1]);
+    let j = nib >> 3;
+    table[12 + j] = smt16_node(&table[8 + 2 * j], &table[8 + 2 * j + 1]);
+    table[14] = smt16_node(&table[12], &table[13]);
+}
+
+/// Look up the root of region `[lo, lo + 2^level)` in the table —
+/// constant-time replacement for [`region_root`].
+fn region_from_table(slots: &[Hash; 16], table: &RegionTable, lo: usize, level: usize) -> Hash {
+    match level {
+        0 => slots[lo],
+        1 => table[lo / 2],
+        2 => table[8 + lo / 4],
+        3 => table[12 + lo / 8],
+        _ => table[14],
+    }
+}
+
+/// Content-addressed memo of branch region tables (every interior hash of
+/// a branch's 16-slot sparse subtree), keyed by the branch's *commitment*.
+///
+/// Building one proof step over a branch refolds its sparse subtree from
+/// scratch — dozens of SHA-256 compressions that dominate the verified-read
+/// path once proofs themselves are compact. Because the key is the
+/// commitment (which binds bitmap, subtree root, and value hash), an entry
+/// can never go stale: a changed branch has a different commitment and
+/// simply misses. Bounded (~16 MiB); on overflow the map is cleared
+/// wholesale (entries are cheap to rebuild — one subtree fold).
+///
+/// Shared by the live trie's proof builders *and* its insert path (which
+/// maintains tables incrementally, refolding only the changed slot's
+/// spine), and held per-root by the server's proof-node cache.
+pub struct BranchMemo {
+    map: Mutex<HashMap<Hash, Arc<RegionTable>>>,
+}
+
+impl BranchMemo {
+    /// Entry cap: ~512 bytes per entry → at most ~16 MiB per memo.
+    const CAP: usize = 1 << 15;
+
+    /// Create an empty memo.
+    pub fn new() -> Self {
+        BranchMemo {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Drop every entry (the server calls this on epoch advance together
+    /// with its proof-node cache, keeping the pair's memory bounded).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// Number of memoized branches (telemetry / tests).
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when no branch is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lookup(&self, commitment: &Hash) -> Option<Arc<RegionTable>> {
+        self.lock().get(commitment).cloned()
+    }
+
+    fn remember(&self, commitment: Hash, table: Arc<RegionTable>) {
+        let mut map = self.lock();
+        if map.len() >= Self::CAP {
+            map.clear();
+        }
+        map.insert(commitment, table);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<Hash, Arc<RegionTable>>> {
+        // A panic while holding the lock leaves only a cache behind; the
+        // data is content-addressed, so a poisoned map is still valid.
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Default for BranchMemo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Emit the sibling subtree hashes of a branch step, depth-first over the
+/// sparse subtree: an off-path region contributes one hash when occupied and
+/// nothing when empty (the verifier substitutes the cached empty constant);
+/// on-path regions recurse until the descended slots themselves, whose
+/// commitments the verifier recomputes.
+fn emit_siblings(
+    slots: &[Hash; 16],
+    on_path: &[bool; 16],
+    table: &RegionTable,
+    lo: usize,
+    level: usize,
+    out: &mut Vec<u8>,
+) {
+    let width = 1usize << level;
+    if !on_path[lo..lo + width].iter().any(|&b| b) {
+        if slots[lo..lo + width].iter().any(|h| !h.is_zero()) {
+            put_hash(out, &region_from_table(slots, table, lo, level));
+        }
+        return;
+    }
+    if level == 0 {
+        return;
+    }
+    emit_siblings(slots, on_path, table, lo, level - 1, out);
+    emit_siblings(slots, on_path, table, lo + width / 2, level - 1, out);
+}
+
+/// Recursively encode the proof step for the node at `hash`, descending
+/// along every pending key, recording resolved values into `values`.
+/// `memo` (when given) caches branch subtree tables across proofs.
+fn encode_step<S: NodeSource>(
+    source: &S,
+    hash: &Hash,
+    pendings: &[Pending<'_>],
+    memo: Option<&BranchMemo>,
+    out: &mut Vec<u8>,
+    values: &mut [Option<Vec<u8>>],
+) -> Result<(), ()> {
+    let payload = source.payload(hash).ok_or(())?;
+    let node = MptNode::decode(&payload).ok_or(())?;
+    match node {
+        MptNode::Leaf { path, value } => {
+            out.push(STEP_LEAF);
+            put_bytes(out, &path);
+            put_bytes(out, &value);
+            for p in pendings {
+                if p.rest == path.as_slice() {
+                    values[p.idx] = Some(value.clone());
+                }
+            }
+        }
+        MptNode::Extension { path, child } => {
+            let descend: Vec<Pending<'_>> = pendings
+                .iter()
+                .filter(|p| p.rest.len() >= path.len() && p.rest[..path.len()] == path[..])
+                .map(|p| Pending {
+                    idx: p.idx,
+                    rest: &p.rest[path.len()..],
+                })
+                .collect();
+            if descend.is_empty() {
+                // Every pending key diverges inside the extension path: the
+                // subtree is irrelevant and collapses to its commitment.
+                out.push(STEP_EXT_PRUNED);
+                put_bytes(out, &path);
+                put_hash(out, &child);
+            } else {
+                out.push(STEP_EXT);
+                put_bytes(out, &path);
+                encode_step(source, &child, &descend, memo, out, values)?;
+            }
+        }
+        MptNode::Branch { children, value } => {
+            out.push(STEP_BRANCH);
+            let mut bitmap: u16 = 0;
+            let mut slots = [Hash::ZERO; 16];
+            for (i, child) in children.iter().enumerate() {
+                if let Some(h) = child {
+                    bitmap |= 1 << i;
+                    slots[i] = *h;
+                }
+            }
+            out.extend_from_slice(&bitmap.to_be_bytes());
+            let terminating = pendings.iter().any(|p| p.rest.is_empty());
+            match (&value, terminating) {
+                (Some(v), true) => {
+                    out.push(2);
+                    put_bytes(out, v);
+                    for p in pendings {
+                        if p.rest.is_empty() {
+                            values[p.idx] = Some(v.clone());
+                        }
+                    }
+                }
+                (Some(v), false) => {
+                    out.push(1);
+                    put_hash(out, &mpt_value_hash(v));
+                }
+                (None, _) => out.push(0),
+            }
+            let mut on_path = [false; 16];
+            for p in pendings {
+                if let Some(&nib) = p.rest.first() {
+                    on_path[nib as usize] = true;
+                }
+            }
+            for nib in 0..16usize {
+                if !on_path[nib] {
+                    continue;
+                }
+                // An on-path empty slot proves absence via the clear bitmap
+                // bit; only occupied slots have a child step to encode.
+                if let Some(child) = &children[nib] {
+                    let group: Vec<Pending<'_>> = pendings
+                        .iter()
+                        .filter(|p| p.rest.first() == Some(&(nib as u8)))
+                        .map(|p| Pending {
+                            idx: p.idx,
+                            rest: &p.rest[1..],
+                        })
+                        .collect();
+                    encode_step(source, child, &group, memo, out, values)?;
+                }
+            }
+            let table = match memo.and_then(|m| m.lookup(hash)) {
+                Some(table) => table,
+                None => {
+                    let table = Arc::new(build_region_table(&slots));
+                    if let Some(m) = memo {
+                        m.remember(*hash, Arc::clone(&table));
+                    }
+                    table
+                }
+            };
+            emit_siblings(&slots, &on_path, &table, 0, SMT16_LEVELS, out);
+        }
+    }
+    Ok(())
+}
+
+/// Recursively fold the sparse subtree of a branch step, consuming sibling
+/// hashes from the blob in the same depth-first order [`emit_siblings`]
+/// wrote them. `computed` holds the recomputed commitments of on-path slots
+/// (`Hash::ZERO` for a proven-absent slot).
+fn fold_subtree(
+    r: &mut Reader<'_>,
+    on_path: &[bool; 16],
+    computed: &[Option<Hash>; 16],
+    bitmap: u16,
+    lo: usize,
+    level: usize,
+) -> Result<Hash, ()> {
+    let width = 1usize << level;
+    if !on_path[lo..lo + width].iter().any(|&b| b) {
+        let mask = (((1u32 << width) - 1) << lo) as u16;
+        if bitmap & mask == 0 {
+            return Ok(smt16_empty(level));
+        }
+        return r.hash().ok_or(());
+    }
+    if level == 0 {
+        return computed[lo].ok_or(());
+    }
+    let left = fold_subtree(r, on_path, computed, bitmap, lo, level - 1)?;
+    let right = fold_subtree(r, on_path, computed, bitmap, lo + width / 2, level - 1)?;
+    Ok(smt16_node(&left, &right))
+}
+
+/// Decode and check one proof step, returning the recomputed commitment of
+/// the node it describes. Soundness rejections are documented step by step;
+/// structural recursion is bounded because every descent strips at least one
+/// nibble from every key that continues.
+fn decode_step(
+    r: &mut Reader<'_>,
+    pendings: &[Pending<'_>],
+    values: &mut [Option<Vec<u8>>],
+) -> Result<Hash, ()> {
+    if pendings.is_empty() {
+        // Steps exist only where some key descends; a pendings-free step is
+        // non-canonical and would unbound the recursion.
+        return Err(());
+    }
+    match r.u8().ok_or(())? {
+        STEP_LEAF => {
+            let path = r.bytes().ok_or(())?.to_vec();
+            let value = r.bytes().ok_or(())?.to_vec();
+            for p in pendings {
+                if p.rest == path.as_slice() {
+                    values[p.idx] = Some(value.clone());
+                }
+            }
+            Ok(mpt_leaf_commitment(&path, &mpt_value_hash(&value)))
+        }
+        STEP_EXT => {
+            let path = r.bytes().ok_or(())?.to_vec();
+            if path.is_empty() {
+                return Err(());
+            }
+            let descend: Vec<Pending<'_>> = pendings
+                .iter()
+                .filter(|p| p.rest.len() >= path.len() && p.rest[..path.len()] == path[..])
+                .map(|p| Pending {
+                    idx: p.idx,
+                    rest: &p.rest[path.len()..],
+                })
+                .collect();
+            let child = decode_step(r, &descend, values)?;
+            Ok(mpt_extension_commitment(&path, &child))
+        }
+        STEP_EXT_PRUNED => {
+            let path = r.bytes().ok_or(())?.to_vec();
+            if path.is_empty() {
+                return Err(());
+            }
+            // A pruned subtree must be irrelevant to every proven key: if
+            // any key's remainder still matches the extension path, the
+            // prover could be hiding that key's presence behind the prune.
+            if pendings
+                .iter()
+                .any(|p| p.rest.len() >= path.len() && p.rest[..path.len()] == path[..])
+            {
+                return Err(());
+            }
+            let child = r.hash().ok_or(())?;
+            Ok(mpt_extension_commitment(&path, &child))
+        }
+        STEP_BRANCH => {
+            let hi = r.u8().ok_or(())?;
+            let lo = r.u8().ok_or(())?;
+            let bitmap = u16::from_be_bytes([hi, lo]);
+            let terminating = pendings.iter().any(|p| p.rest.is_empty());
+            let value_part = match r.u8().ok_or(())? {
+                0 => Hash::ZERO,
+                1 => {
+                    // A hash-only value while a proven key terminates here
+                    // would let the prover claim absence of a present value.
+                    if terminating {
+                        return Err(());
+                    }
+                    r.hash().ok_or(())?
+                }
+                2 => {
+                    if !terminating {
+                        return Err(());
+                    }
+                    let v = r.bytes().ok_or(())?.to_vec();
+                    for p in pendings {
+                        if p.rest.is_empty() {
+                            values[p.idx] = Some(v.clone());
+                        }
+                    }
+                    mpt_value_hash(&v)
+                }
+                _ => return Err(()),
+            };
+            let mut on_path = [false; 16];
+            for p in pendings {
+                if let Some(&nib) = p.rest.first() {
+                    on_path[nib as usize] = true;
+                }
+            }
+            let mut computed: [Option<Hash>; 16] = [None; 16];
+            for nib in 0..16usize {
+                if !on_path[nib] {
+                    continue;
+                }
+                if bitmap & (1 << nib) == 0 {
+                    // Clear bitmap bit on a descended slot: proven absence;
+                    // a lying bitmap breaks the subtree fold below.
+                    computed[nib] = Some(Hash::ZERO);
+                    continue;
+                }
+                let group: Vec<Pending<'_>> = pendings
+                    .iter()
+                    .filter(|p| p.rest.first() == Some(&(nib as u8)))
+                    .map(|p| Pending {
+                        idx: p.idx,
+                        rest: &p.rest[1..],
+                    })
+                    .collect();
+                computed[nib] = Some(decode_step(r, &group, values)?);
+            }
+            let subtree = fold_subtree(r, &on_path, &computed, bitmap, 0, SMT16_LEVELS)?;
+            Ok(mpt_branch_commitment(bitmap, &subtree, &value_part))
+        }
+        _ => Err(()),
+    }
+}
+
+/// Verify one compact blob against `root` for every `(key, claim)` item.
+fn verify_blob(root: Hash, items: &[(Vec<u8>, Option<Vec<u8>>)], blob: &[u8]) -> bool {
+    let nibbles: Vec<Vec<u8>> = items.iter().map(|(k, _)| to_nibbles(k)).collect();
+    let pendings: Vec<Pending<'_>> = nibbles
+        .iter()
+        .enumerate()
+        .map(|(idx, rest)| Pending { idx, rest })
+        .collect();
+    let mut resolved: Vec<Option<Vec<u8>>> = vec![None; items.len()];
+    let mut r = Reader::new(blob);
+    let Ok(commitment) = decode_step(&mut r, &pendings, &mut resolved) else {
+        return false;
+    };
+    if !r.is_exhausted() || commitment != root {
+        return false;
+    }
+    resolved
+        .iter()
+        .zip(items)
+        .all(|(got, (_, claimed))| got == claimed)
+}
+
+/// Build the compact multi-key proof blob from an arbitrary payload source.
+/// Returns the per-key values and the blob; `None` when a node on some path
+/// cannot be resolved.
+#[allow(clippy::type_complexity)]
+fn build_blob<S: NodeSource>(
+    source: &S,
+    root: Hash,
+    keys: &[Vec<u8>],
+    memo: Option<&BranchMemo>,
+) -> Option<(Vec<Option<Vec<u8>>>, Vec<u8>)> {
+    let nibbles: Vec<Vec<u8>> = keys.iter().map(|k| to_nibbles(k)).collect();
+    let pendings: Vec<Pending<'_>> = nibbles
+        .iter()
+        .enumerate()
+        .map(|(idx, rest)| Pending { idx, rest })
+        .collect();
+    let mut values: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+    let mut blob = Vec::new();
+    encode_step(source, &root, &pendings, memo, &mut blob, &mut values).ok()?;
+    Some((values, blob))
+}
+
+/// Build a single-key compact proof reading node payloads through `fetch`.
+/// Shared by the in-process [`SiriIndex::get_with_proof`] path and the
+/// server's proof-node cache, so both produce byte-identical proofs. The
+/// optional `memo` only caches subtree folds — it never changes a proof
+/// byte (table entries equal the recursive fold results exactly).
+pub(crate) fn build_proof_with(
+    fetch: &dyn Fn(&Hash) -> Option<Vec<u8>>,
+    root: Hash,
+    key: &[u8],
+    memo: Option<&BranchMemo>,
+) -> Option<(Option<Vec<u8>>, IndexProof)> {
+    if root.is_zero() {
+        return Some((None, IndexProof::empty()));
+    }
+    let keys = [key.to_vec()];
+    let (mut values, blob) = build_blob(&FnSource(fetch), root, &keys, memo)?;
+    Some((values.pop().flatten(), IndexProof { nodes: vec![blob] }))
+}
+
+/// Build a batched multi-key compact proof reading node payloads through
+/// `fetch`; see [`build_proof_with`].
+pub(crate) fn build_multi_with(
+    fetch: &dyn Fn(&Hash) -> Option<Vec<u8>>,
+    root: Hash,
+    keys: &[Vec<u8>],
+    memo: Option<&BranchMemo>,
+) -> Option<(Vec<Option<Vec<u8>>>, MultiProof)> {
+    if keys.is_empty() {
+        return Some((Vec::new(), MultiProof::empty()));
+    }
+    if root.is_zero() {
+        return Some((vec![None; keys.len()], MultiProof::empty()));
+    }
+    let (values, blob) = build_blob(&FnSource(fetch), root, keys, memo)?;
+    Some((values, MultiProof { nodes: vec![blob] }))
+}
+
 impl SiriIndex for MerklePatriciaTrie {
     fn kind(&self) -> SiriKind {
         SiriKind::MerklePatriciaTrie
@@ -620,18 +1278,27 @@ impl SiriIndex for MerklePatriciaTrie {
     }
 
     fn get_with_proof(&self, key: &[u8]) -> (Option<Vec<u8>>, IndexProof) {
-        let mut proof = IndexProof::empty();
-        let value = lookup(
-            &StoreSource(&self.store),
-            self.root,
-            &to_nibbles(key),
-            |payload| {
-                proof.push_node(payload.to_vec());
-            },
-        )
-        .ok()
-        .flatten();
-        (value, proof)
+        let store = Arc::clone(&self.store);
+        let fetch = move |hash: &Hash| {
+            store
+                .get_kind(hash, ChunkKind::MptNode)
+                .ok()
+                .map(|c| c.data().to_vec())
+        };
+        build_proof_with(&fetch, self.root, key, Some(&self.memo))
+            .unwrap_or((None, IndexProof::empty()))
+    }
+
+    fn multi_get_with_proof(&self, keys: &[Vec<u8>]) -> (Vec<Option<Vec<u8>>>, MultiProof) {
+        let store = Arc::clone(&self.store);
+        let fetch = move |hash: &Hash| {
+            store
+                .get_kind(hash, ChunkKind::MptNode)
+                .ok()
+                .map(|c| c.data().to_vec())
+        };
+        build_multi_with(&fetch, self.root, keys, Some(&self.memo))
+            .unwrap_or_else(|| (vec![None; keys.len()], MultiProof::empty()))
     }
 
     fn range(&self, start: &[u8], end: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
@@ -817,6 +1484,257 @@ mod tests {
     }
 
     #[test]
+    fn single_child_branch_proofs() {
+        // "a" = [6,1]; "ab" = [6,1,6,2]: extension [6,1] → branch that
+        // stores "a"'s value and has exactly one child (nibble 6).
+        let mut trie = new_trie();
+        trie.insert(b"a".to_vec(), b"1".to_vec());
+        trie.insert(b"ab".to_vec(), b"2".to_vec());
+        let root = trie.root();
+        for (k, v) in [
+            (&b"a"[..], Some(&b"1"[..])),
+            (b"ab", Some(b"2")),
+            (b"ac", None),
+        ] {
+            let (got, proof) = trie.get_with_proof(k);
+            assert_eq!(got.as_deref(), v);
+            assert!(MerklePatriciaTrie::verify_proof(root, k, v, &proof));
+        }
+        // The branch value must be revealed, not hashed, when the proven key
+        // terminates at the branch: flipping the claim fails.
+        let (_, proof) = trie.get_with_proof(b"a");
+        assert!(!MerklePatriciaTrie::verify_proof(root, b"a", None, &proof));
+        assert!(!MerklePatriciaTrie::verify_proof(
+            root,
+            b"a",
+            Some(b"2"),
+            &proof
+        ));
+    }
+
+    #[test]
+    fn sixteen_child_branch_proofs_stay_compact() {
+        // 16 single-byte keys 0x00, 0x10, …, 0xF0: the root branch has all
+        // 16 children occupied — the worst case the sparse subtree exists
+        // for. The old payload proof carried 15 sibling hashes (515-byte
+        // branch node); the compact step carries at most 4.
+        let mut trie = new_trie();
+        for n in 0..16u8 {
+            trie.insert(vec![n << 4], vec![n]);
+        }
+        let root = trie.root();
+        for n in 0..16u8 {
+            let key = vec![n << 4];
+            let (v, proof) = trie.get_with_proof(&key);
+            assert_eq!(v, Some(vec![n]));
+            assert!(MerklePatriciaTrie::verify_proof(
+                root,
+                &key,
+                v.as_deref(),
+                &proof
+            ));
+            // step tags + bitmap + 4 sibling hashes + leaf ≪ one 515-byte
+            // full branch payload.
+            assert!(proof.size_bytes() < 200, "proof was {}", proof.size_bytes());
+        }
+    }
+
+    #[test]
+    fn extension_boundary_absences() {
+        // Keys share the long prefix "abc", so the trie has an extension
+        // covering it; "abd…" diverges inside the extension path and the
+        // proof prunes the subtree to its commitment.
+        let mut trie = new_trie();
+        trie.insert(b"abc1".to_vec(), b"1".to_vec());
+        trie.insert(b"abc2".to_vec(), b"2".to_vec());
+        let root = trie.root();
+        let (v, proof) = trie.get_with_proof(b"abd1");
+        assert!(v.is_none());
+        assert!(MerklePatriciaTrie::verify_proof(
+            root, b"abd1", None, &proof
+        ));
+        // The pruned-extension step must be rejected for a key that matches
+        // the extension path: it could hide that key's presence.
+        assert!(!MerklePatriciaTrie::verify_proof(
+            root, b"abc1", None, &proof
+        ));
+        // A key shorter than the extension path also diverges.
+        let (v, proof) = trie.get_with_proof(b"ab");
+        assert!(v.is_none());
+        assert!(MerklePatriciaTrie::verify_proof(root, b"ab", None, &proof));
+    }
+
+    #[test]
+    fn digest_stable_across_reopen() {
+        let store = InMemoryChunkStore::shared();
+        let mut trie = MerklePatriciaTrie::new(Arc::clone(&store) as Arc<dyn ChunkStore>);
+        for i in 0..50u32 {
+            trie.insert(key(i), value(i));
+        }
+        let root = trie.root();
+        let mut reopened =
+            MerklePatriciaTrie::open(Arc::clone(&store) as Arc<dyn ChunkStore>, root).unwrap();
+        assert_eq!(reopened.root(), root);
+        assert_eq!(reopened.len(), 50);
+        reopened.insert(key(50), value(50));
+
+        let mut fresh = new_trie();
+        for i in 0..51u32 {
+            fresh.insert(key(i), value(i));
+        }
+        assert_eq!(reopened.root(), fresh.root());
+    }
+
+    #[test]
+    fn legacy_index_node_chunks_still_round_trip() {
+        // Old segments stored trie nodes as ChunkKind::IndexNode, addressed
+        // by the plain tagged hash. Those chunks must stay readable at their
+        // old addresses even though new nodes use the commitment scheme.
+        let store = InMemoryChunkStore::shared();
+        let payload = MptNode::Leaf {
+            path: vec![1, 2, 3],
+            value: b"old".to_vec(),
+        }
+        .encode();
+        let legacy = Chunk::new(ChunkKind::IndexNode, payload.clone());
+        let legacy_addr = store.put(legacy);
+        assert_eq!(legacy_addr, crate::proof::hash_index_node(&payload));
+        assert_eq!(
+            store
+                .get_kind(&legacy_addr, ChunkKind::IndexNode)
+                .unwrap()
+                .data(),
+            payload.as_slice()
+        );
+        // The same payload stored as an MptNode lives at its commitment —
+        // a different address — so the two schemes coexist in one store.
+        let modern_addr = store.put(Chunk::new(ChunkKind::MptNode, payload.clone()));
+        assert_ne!(modern_addr, legacy_addr);
+        assert_eq!(modern_addr, mpt_commitment(&payload).unwrap());
+    }
+
+    #[test]
+    fn multi_proof_verifies_and_shares_upper_nodes() {
+        let mut trie = new_trie();
+        for i in 0..200u32 {
+            trie.insert(key(i), value(i));
+        }
+        let root = trie.root();
+        let keys: Vec<Vec<u8>> = (0..16u32).map(|i| key(i * 12)).collect();
+        let (values, multi) = trie.multi_get_with_proof(&keys);
+        let items: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+            keys.iter().cloned().zip(values.clone()).collect();
+        assert!(values.iter().all(|v| v.is_some()));
+        assert!(MerklePatriciaTrie::verify_multi_proof(root, &items, &multi));
+
+        // Batching shares every common upper step, so even a spread-out
+        // batch beats 16 independent proofs...
+        let singles: usize = keys
+            .iter()
+            .map(|k| trie.get_with_proof(k).1.size_bytes())
+            .sum();
+        assert!(
+            multi.size_bytes() < singles,
+            "multi {} singles {}",
+            multi.size_bytes(),
+            singles
+        );
+        // ...and a batch of 16 *related* keys (one scan's worth) beats even
+        // 4 independent proofs — the headline batching win.
+        let near: Vec<Vec<u8>> = (0..16u32).map(key).collect();
+        let (near_values, near_multi) = trie.multi_get_with_proof(&near);
+        let near_items: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+            near.iter().cloned().zip(near_values).collect();
+        assert!(MerklePatriciaTrie::verify_multi_proof(
+            root,
+            &near_items,
+            &near_multi
+        ));
+        let near_singles: usize = near
+            .iter()
+            .map(|k| trie.get_with_proof(k).1.size_bytes())
+            .sum();
+        assert!(
+            near_multi.size_bytes() * 4 < near_singles,
+            "multi {} singles {}",
+            near_multi.size_bytes(),
+            near_singles
+        );
+
+        // Mixed present/absent batches verify too.
+        let mixed = vec![key(3), b"nope".to_vec(), key(7)];
+        let (mv, mp) = trie.multi_get_with_proof(&mixed);
+        assert_eq!(mv[1], None);
+        let mixed_items: Vec<(Vec<u8>, Option<Vec<u8>>)> = mixed.iter().cloned().zip(mv).collect();
+        assert!(MerklePatriciaTrie::verify_multi_proof(
+            root,
+            &mixed_items,
+            &mp
+        ));
+
+        // Reordering (key, value) pairs keeps the proof valid — the blob is
+        // canonical in trie order, not input order...
+        let mut reordered = items.clone();
+        reordered.swap(0, 1);
+        assert!(MerklePatriciaTrie::verify_multi_proof(
+            root, &reordered, &multi
+        ));
+        // ...but cross-wiring values between keys is caught.
+        let mut swapped = items.clone();
+        let tmp = swapped[0].1.clone();
+        swapped[0].1 = swapped[1].1.clone();
+        swapped[1].1 = tmp;
+        assert!(!MerklePatriciaTrie::verify_multi_proof(
+            root, &swapped, &multi
+        ));
+    }
+
+    #[test]
+    fn mutated_proof_blobs_are_rejected() {
+        let mut trie = new_trie();
+        for i in 0..64u32 {
+            trie.insert(key(i), value(i));
+        }
+        let root = trie.root();
+        let keys: Vec<Vec<u8>> = vec![key(1), key(20), key(63)];
+        let (values, multi) = trie.multi_get_with_proof(&keys);
+        let items: Vec<(Vec<u8>, Option<Vec<u8>>)> = keys.iter().cloned().zip(values).collect();
+        assert!(MerklePatriciaTrie::verify_multi_proof(root, &items, &multi));
+
+        let blob = &multi.nodes[0];
+        // Every single-byte flip anywhere in the blob must be rejected.
+        for i in 0..blob.len() {
+            let mut tampered = blob.clone();
+            tampered[i] ^= 0x01;
+            let bad = MultiProof {
+                nodes: vec![tampered],
+            };
+            assert!(
+                !MerklePatriciaTrie::verify_multi_proof(root, &items, &bad),
+                "flip at byte {i} accepted"
+            );
+        }
+        // Truncation and trailing garbage are rejected.
+        for cut in 1..blob.len() {
+            let bad = MultiProof {
+                nodes: vec![blob[..cut].to_vec()],
+            };
+            assert!(!MerklePatriciaTrie::verify_multi_proof(root, &items, &bad));
+        }
+        let mut extended = blob.clone();
+        extended.push(0);
+        let bad = MultiProof {
+            nodes: vec![extended],
+        };
+        assert!(!MerklePatriciaTrie::verify_multi_proof(root, &items, &bad));
+        // A second spliced-in node is rejected outright.
+        let bad = MultiProof {
+            nodes: vec![blob.clone(), blob.clone()],
+        };
+        assert!(!MerklePatriciaTrie::verify_multi_proof(root, &items, &bad));
+    }
+
+    #[test]
     fn historical_roots_remain_readable() {
         let store = InMemoryChunkStore::shared();
         let mut trie = MerklePatriciaTrie::new(Arc::clone(&store) as Arc<dyn ChunkStore>);
@@ -844,5 +1762,100 @@ mod tests {
             &proof
         ));
         assert!(trie.range(b"a", b"z").is_empty());
+    }
+
+    /// The precomputed [`RegionTable`] must hold exactly the values the
+    /// recursive [`region_root`] fold produces for every region at every
+    /// level, including the smt16 root, across sparse/dense/empty slot
+    /// patterns — that equality is what makes memoized proofs byte-identical
+    /// to fresh ones.
+    #[test]
+    fn region_table_matches_recursive_fold() {
+        let patterns: &[&[usize]] = &[
+            &[],
+            &[0],
+            &[15],
+            &[3, 4],
+            &[0, 1, 2, 3],
+            &[1, 5, 9, 13],
+            &[0, 2, 4, 6, 8, 10, 12, 14],
+            &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+        ];
+        for occupied in patterns {
+            let mut slots = [Hash::ZERO; 16];
+            for &i in *occupied {
+                slots[i] = sha256(format!("slot-{i}").as_bytes());
+            }
+            let table = build_region_table(&slots);
+            for level in 0..=SMT16_LEVELS {
+                let width = 1usize << level;
+                for lo in (0..16).step_by(width) {
+                    assert_eq!(
+                        region_from_table(&slots, &table, lo, level),
+                        region_root(&slots, lo, level),
+                        "pattern {occupied:?}, region [{lo}, {})",
+                        lo + width
+                    );
+                }
+            }
+            assert_eq!(table[14], spitz_crypto::smt16_root(&slots));
+
+            // The incremental spine refresh must agree with a full rebuild
+            // after any single slot changes.
+            for nib in 0..16 {
+                let mut changed = slots;
+                changed[nib] = sha256(format!("changed-{nib}").as_bytes());
+                let mut refreshed = table;
+                refresh_region_spine(&mut refreshed, &changed, nib);
+                assert_eq!(
+                    refreshed,
+                    build_region_table(&changed),
+                    "pattern {occupied:?}, refreshed slot {nib}"
+                );
+            }
+        }
+    }
+
+    /// Proofs built through a warm [`BranchMemo`] must be byte-identical to
+    /// proofs built with no memo at all — the memo is a pure accelerator.
+    #[test]
+    fn memoized_proofs_are_byte_identical() {
+        let mut trie = new_trie();
+        for i in 0..500u32 {
+            trie.insert(key(i), value(i));
+        }
+        let store = Arc::clone(&trie.store);
+        let fetch = move |hash: &Hash| {
+            store
+                .get_kind(hash, ChunkKind::MptNode)
+                .ok()
+                .map(|c| c.data().to_vec())
+        };
+        let cold = BranchMemo::new();
+        assert!(cold.is_empty());
+        for i in (0..500u32).step_by(17) {
+            let k = key(i);
+            let (bare_value, bare) = build_proof_with(&fetch, trie.root(), &k, None).unwrap();
+            // Twice through the same memo: the second pass hits warm tables.
+            for _ in 0..2 {
+                let (memo_value, memoized) =
+                    build_proof_with(&fetch, trie.root(), &k, Some(&cold)).unwrap();
+                assert_eq!(bare_value, memo_value);
+                assert_eq!(bare.nodes, memoized.nodes, "key {i}");
+            }
+            // The trie's own memo (warmed by the insert path) as well.
+            let (trie_value, from_trie) = trie.get_with_proof(&k);
+            assert_eq!(bare_value, trie_value);
+            assert_eq!(bare.nodes, from_trie.nodes, "key {i}");
+        }
+        assert!(!cold.is_empty());
+        let keys: Vec<Vec<u8>> = (0..64u32).map(key).collect();
+        let (bare_values, bare_multi) = build_multi_with(&fetch, trie.root(), &keys, None).unwrap();
+        let (memo_values, memo_multi) =
+            build_multi_with(&fetch, trie.root(), &keys, Some(&cold)).unwrap();
+        assert_eq!(bare_values, memo_values);
+        assert_eq!(bare_multi.nodes, memo_multi.nodes);
+        cold.clear();
+        assert!(cold.is_empty());
     }
 }

@@ -21,7 +21,7 @@ use spitz_crypto::{sha256, Hash};
 use spitz_storage::{Chunk, ChunkKind, ChunkStore, StorageError};
 
 use crate::codec::{put_bytes, put_hash, put_u32, put_u64, Reader};
-use crate::proof::IndexProof;
+use crate::proof::{hash_index_node, IndexProof, MultiProof};
 use crate::siri::{SiriIndex, SiriKind};
 
 /// Expected (average) number of entries per node.
@@ -442,6 +442,111 @@ impl PosTree {
 fn load_node(store: &Arc<dyn ChunkStore>, hash: &Hash) -> Option<Node> {
     let chunk = store.get_kind(hash, ChunkKind::IndexNode).ok()?;
     Node::decode(chunk.data())
+}
+
+/// Build a point-lookup proof reading node payloads through `fetch` — the
+/// same root-to-leaf descent as [`PosTree::get_with_proof`], so the proof
+/// bytes are identical whether built from the live tree or from a node
+/// cache (the server's proof-node cache relies on this).
+pub(crate) fn build_proof_with(
+    fetch: &dyn Fn(&Hash) -> Option<Vec<u8>>,
+    root: Hash,
+    key: &[u8],
+) -> Option<(Option<Vec<u8>>, IndexProof)> {
+    let mut proof = IndexProof::empty();
+    if root.is_zero() {
+        return Some((None, proof));
+    }
+    let mut hash = root;
+    loop {
+        let payload = fetch(&hash)?;
+        let node = Node::decode(&payload)?;
+        proof.push_node(payload);
+        match node {
+            Node::Leaf(entries) => {
+                let value = entries
+                    .iter()
+                    .find(|(k, _)| k.as_slice() == key)
+                    .map(|(_, v)| v.clone());
+                return Some((value, proof));
+            }
+            Node::Internal(_, children) => {
+                if children.is_empty() {
+                    return None;
+                }
+                let idx = match children.binary_search_by(|c| c.max_key.as_slice().cmp(key)) {
+                    Ok(i) => i,
+                    Err(i) => i.min(children.len() - 1),
+                };
+                hash = children[idx].hash;
+            }
+        }
+    }
+}
+
+/// Verify a batched multi-key proof: replay each key's root-to-leaf descent
+/// over the revealed node set. Every revealed node must be consumed by at
+/// least one key's walk — a spliced-in payload that no walk touches is
+/// rejected even though it would not affect any individual path.
+pub(crate) fn verify_multi_proof(
+    root: Hash,
+    items: &[(Vec<u8>, Option<Vec<u8>>)],
+    proof: &MultiProof,
+) -> bool {
+    if items.is_empty() {
+        return proof.is_empty();
+    }
+    if root.is_zero() {
+        return items.iter().all(|(_, v)| v.is_none()) && proof.is_empty();
+    }
+    let map: std::collections::HashMap<Hash, (usize, &[u8])> = proof
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (hash_index_node(n), (i, n.as_slice())))
+        .collect();
+    // Duplicate payloads collapse to one map entry, leaving the shadowed
+    // index unused — rejected below, which keeps proofs canonical.
+    let mut used = vec![false; proof.nodes.len()];
+    for (key, claim) in items {
+        let mut hash = root;
+        // A legitimate walk visits each node at most once; more steps than
+        // revealed nodes would mean a reference cycle.
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            if steps > proof.nodes.len() {
+                return false;
+            }
+            let Some(&(idx, payload)) = map.get(&hash) else {
+                return false;
+            };
+            used[idx] = true;
+            let Some(node) = Node::decode(payload) else {
+                return false;
+            };
+            match node {
+                Node::Leaf(entries) => {
+                    let found = entries.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+                    if found != claim.as_ref() {
+                        return false;
+                    }
+                    break;
+                }
+                Node::Internal(_, children) => {
+                    if children.is_empty() {
+                        return false;
+                    }
+                    let idx = match children.binary_search_by(|c| c.max_key.as_slice().cmp(key)) {
+                        Ok(i) => i,
+                        Err(i) => i.min(children.len() - 1),
+                    };
+                    hash = children[idx].hash;
+                }
+            }
+        }
+    }
+    used.iter().all(|&u| u)
 }
 
 /// Client-side replay of [`PosTree::range_rec`] over the revealed proof

@@ -24,7 +24,7 @@ use spitz_storage::{ChunkStore, StorageError};
 use crate::mbt::MerkleBucketTree;
 use crate::mpt::MerklePatriciaTrie;
 use crate::pos_tree::PosTree;
-use crate::proof::IndexProof;
+use crate::proof::{hash_index_node, IndexProof, MultiProof};
 
 /// Identifies a concrete SIRI implementation, e.g. inside proofs handed to
 /// clients so they know which verification routine to run.
@@ -111,6 +111,27 @@ pub trait SiriIndex: Send + Sync {
     /// absent).
     fn get_with_proof(&self, key: &[u8]) -> (Option<Vec<u8>>, IndexProof);
 
+    /// Batched point lookups returning one [`MultiProof`] covering every
+    /// key against the current root. The default implementation proves each
+    /// key independently and de-duplicates the revealed nodes (shared upper
+    /// nodes appear once); the MPT overrides it with a compact trie-shaped
+    /// encoding. Values are returned in input-key order.
+    fn multi_get_with_proof(&self, keys: &[Vec<u8>]) -> (Vec<Option<Vec<u8>>>, MultiProof) {
+        let mut values = Vec::with_capacity(keys.len());
+        let mut nodes: Vec<Vec<u8>> = Vec::new();
+        let mut seen: HashSet<Hash> = HashSet::new();
+        for key in keys {
+            let (value, proof) = self.get_with_proof(key);
+            values.push(value);
+            for node in proof.nodes {
+                if seen.insert(hash_index_node(&node)) {
+                    nodes.push(node);
+                }
+            }
+        }
+        (values, MultiProof { nodes })
+    }
+
     /// All entries with `start <= key < end`, in key order.
     fn range(&self, start: &[u8], end: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)>;
 
@@ -138,6 +159,90 @@ pub fn verify_proof(
         SiriKind::PosTree => PosTree::verify_proof(root, key, value, proof),
         SiriKind::MerklePatriciaTrie => MerklePatriciaTrie::verify_proof(root, key, value, proof),
         SiriKind::MerkleBucketTree => MerkleBucketTree::verify_proof(root, key, value, proof),
+    }
+}
+
+/// Verify a batched multi-key proof produced by
+/// [`SiriIndex::multi_get_with_proof`]: every `(key, claimed value)` pair
+/// must check out against the trusted root, and every node the proof
+/// carries must be consumed by some key's walk (splices are rejected).
+pub fn verify_multi_proof(
+    kind: SiriKind,
+    root: Hash,
+    items: &[(Vec<u8>, Option<Vec<u8>>)],
+    proof: &MultiProof,
+) -> bool {
+    match kind {
+        SiriKind::PosTree => crate::pos_tree::verify_multi_proof(root, items, proof),
+        SiriKind::MerklePatriciaTrie => MerklePatriciaTrie::verify_multi_proof(root, items, proof),
+        SiriKind::MerkleBucketTree => crate::mbt::verify_multi_proof(root, items, proof),
+    }
+}
+
+/// The chunk kind an index of `kind` stores its nodes under. MPT nodes use
+/// the commitment-addressed [`ChunkKind::MptNode`]; the other SIRI
+/// structures use plain payload-hashed [`ChunkKind::IndexNode`] chunks.
+pub fn node_chunk_kind(kind: SiriKind) -> ChunkKind {
+    match kind {
+        SiriKind::MerklePatriciaTrie => ChunkKind::MptNode,
+        SiriKind::PosTree | SiriKind::MerkleBucketTree => ChunkKind::IndexNode,
+    }
+}
+
+/// Build a point-lookup proof for `key` against `root` reading node
+/// payloads through `fetch` instead of an index instance.
+///
+/// This is the *same* code path [`SiriIndex::get_with_proof`] uses, so the
+/// produced proof is byte-identical to an in-process proof for the same
+/// root — the invariant the server's proof-node cache (and the
+/// remote-equals-local tests) rely on. Returns `None` when a payload on the
+/// path cannot be resolved; callers fall back to the full read path.
+///
+/// `memo` optionally caches MPT branch subtree folds across calls (see
+/// [`crate::mpt::BranchMemo`]); it is a pure accelerator — proofs are
+/// byte-identical with or without it — and is ignored by the other kinds.
+pub fn prove_from_nodes(
+    kind: SiriKind,
+    root: Hash,
+    key: &[u8],
+    fetch: &dyn Fn(&Hash) -> Option<Vec<u8>>,
+    memo: Option<&crate::mpt::BranchMemo>,
+) -> Option<(Option<Vec<u8>>, IndexProof)> {
+    match kind {
+        SiriKind::PosTree => crate::pos_tree::build_proof_with(fetch, root, key),
+        SiriKind::MerklePatriciaTrie => crate::mpt::build_proof_with(fetch, root, key, memo),
+        SiriKind::MerkleBucketTree => crate::mbt::build_proof_with(fetch, root, key),
+    }
+}
+
+/// Batched sibling of [`prove_from_nodes`], byte-identical to
+/// [`SiriIndex::multi_get_with_proof`] for the same root and keys.
+pub fn prove_multi_from_nodes(
+    kind: SiriKind,
+    root: Hash,
+    keys: &[Vec<u8>],
+    fetch: &dyn Fn(&Hash) -> Option<Vec<u8>>,
+    memo: Option<&crate::mpt::BranchMemo>,
+) -> Option<(Vec<Option<Vec<u8>>>, MultiProof)> {
+    match kind {
+        SiriKind::MerklePatriciaTrie => crate::mpt::build_multi_with(fetch, root, keys, memo),
+        SiriKind::PosTree | SiriKind::MerkleBucketTree => {
+            // Mirror the trait's default implementation exactly: per-key
+            // proofs de-duplicated in first-use order.
+            let mut values = Vec::with_capacity(keys.len());
+            let mut nodes: Vec<Vec<u8>> = Vec::new();
+            let mut seen: HashSet<Hash> = HashSet::new();
+            for key in keys {
+                let (value, proof) = prove_from_nodes(kind, root, key, fetch, None)?;
+                values.push(value);
+                for node in proof.nodes {
+                    if seen.insert(hash_index_node(&node)) {
+                        nodes.push(node);
+                    }
+                }
+            }
+            Some((values, MultiProof { nodes }))
+        }
     }
 }
 
@@ -202,7 +307,7 @@ pub fn collect_reachable(
         if address == Hash::ZERO || !live.insert(address) {
             continue;
         }
-        let chunk = store.get_kind(&address, ChunkKind::IndexNode)?;
+        let chunk = store.get_kind(&address, node_chunk_kind(kind))?;
         let children =
             node_children(kind, chunk.data()).ok_or(StorageError::CorruptChunk(address))?;
         stack.extend(children);
@@ -248,10 +353,11 @@ mod tests {
             collect_reachable(&store, kind, old_root, &mut both).unwrap();
             assert!(both.len() < 2 * old_live.len(), "{kind:?}: no sharing?");
 
-            // Every marked node must actually exist as an IndexNode chunk.
+            // Every marked node must actually exist under the kind's chunk
+            // kind (MptNode for the MPT, IndexNode otherwise).
             for address in &both {
                 assert!(
-                    store.get_kind(address, ChunkKind::IndexNode).is_ok(),
+                    store.get_kind(address, node_chunk_kind(kind)).is_ok(),
                     "{kind:?}"
                 );
             }

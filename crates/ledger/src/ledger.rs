@@ -25,7 +25,9 @@ use parking_lot::{Mutex, RwLock};
 use spitz_crypto::Hash;
 use spitz_index::codec;
 use spitz_index::siri::{collect_reachable, verify_proof, verify_range_proof, SiriIndex, SiriKind};
-use spitz_index::{IndexProof, MerkleBucketTree, MerklePatriciaTrie, PosTree};
+use spitz_index::{
+    verify_multi_proof, IndexProof, MerkleBucketTree, MerklePatriciaTrie, MultiProof, PosTree,
+};
 use spitz_storage::{Chunk, ChunkKind, ChunkStore, StorageError};
 
 use crate::block::{Block, TxnRecord, WriteOp};
@@ -202,6 +204,95 @@ impl LedgerProof {
             self.digest.index_root,
             key,
             value,
+            &self.index_proof,
+        ) {
+            return false;
+        }
+        match &self.journal_proof {
+            Some(journal_proof) => {
+                journal_proof.verify(self.digest.journal_root, self.digest.block_hash)
+            }
+            None => true,
+        }
+    }
+}
+
+/// Proof returned with a batched verified point read: one [`MultiProof`]
+/// covering every queried key against a single digest. Upper-tree nodes
+/// shared by the keys' Merkle paths appear once, so a k-key batch is
+/// strictly cheaper on the wire than k independent [`LedgerProof`]s.
+#[derive(Debug, Clone)]
+pub struct LedgerMultiProof {
+    /// Combined Merkle paths for all queried keys.
+    pub index_proof: MultiProof,
+    /// The digest the proof was generated against.
+    pub digest: Digest,
+    /// Journal inclusion proof for the latest block.
+    pub journal_proof: Option<JournalProof>,
+}
+
+impl LedgerMultiProof {
+    /// Bytes a canonical wire encoding of this proof would occupy
+    /// (multi proof ‖ digest ‖ optional journal proof).
+    pub fn encoded_len(&self) -> usize {
+        self.index_proof.encoded_len()
+            + Digest::ENCODED_LEN
+            + 1
+            + self
+                .journal_proof
+                .as_ref()
+                .map(|p| p.encoded_len())
+                .unwrap_or(0)
+    }
+
+    /// Append the canonical wire encoding (exactly
+    /// [`LedgerMultiProof::encoded_len`] bytes): multi proof ‖ digest ‖
+    /// journal presence tag (0/1) ‖ optional journal proof.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.index_proof.encode_into(out);
+        out.extend_from_slice(&self.digest.encode());
+        match &self.journal_proof {
+            Some(proof) => {
+                out.push(1);
+                proof.encode_into(out);
+            }
+            None => out.push(0),
+        }
+    }
+
+    /// The canonical wire encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a proof previously written by
+    /// [`LedgerMultiProof::encode_into`]. Returns `None` on truncated or
+    /// malformed input.
+    pub fn decode(r: &mut codec::Reader<'_>) -> Option<LedgerMultiProof> {
+        let index_proof = MultiProof::decode(r)?;
+        let digest = Digest::decode(r.take(Digest::ENCODED_LEN)?)?;
+        let journal_proof = match r.u8()? {
+            0 => None,
+            1 => Some(JournalProof::decode(r)?),
+            _ => return None,
+        };
+        Some(LedgerMultiProof {
+            index_proof,
+            digest,
+            journal_proof,
+        })
+    }
+
+    /// Client-side verification of the whole batch: every (key, claimed
+    /// value) pair must check out against the digest's index root, and the
+    /// digest's head block must be included in its journal root.
+    pub fn verify(&self, items: &[(Vec<u8>, Option<Vec<u8>>)]) -> bool {
+        if !verify_multi_proof(
+            self.digest.index_kind,
+            self.digest.index_root,
+            items,
             &self.index_proof,
         ) {
             return false;
@@ -679,6 +770,34 @@ impl Ledger {
         )
     }
 
+    /// Batched verified point read: all keys are resolved against one
+    /// consistent index instance and covered by a single [`MultiProof`],
+    /// sharing upper-tree nodes between the keys' Merkle paths. The `i`-th
+    /// returned value answers `keys[i]`.
+    pub fn get_multi_with_proof(
+        &self,
+        keys: &[Vec<u8>],
+    ) -> (Vec<Option<Vec<u8>>>, LedgerMultiProof) {
+        let inner = self.inner.read();
+        let (values, index_proof) = inner.index.multi_get_with_proof(keys);
+        let height = inner.journal.len() as u64;
+        let journal_proof = if height == 0 {
+            None
+        } else {
+            inner.journal.prove(height - 1)
+        };
+        let digest = digest_of(&inner, self.kind);
+        drop(inner);
+        (
+            values,
+            LedgerMultiProof {
+                index_proof,
+                digest,
+                journal_proof,
+            },
+        )
+    }
+
     /// Unverified range read over `start <= key < end`.
     pub fn range(&self, start: &[u8], end: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
         self.inner.read().index.range(start, end)
@@ -801,6 +920,23 @@ impl LedgerSnapshot {
         (
             value,
             LedgerProof {
+                index_proof,
+                digest: self.digest,
+                journal_proof: self.journal_proof.clone(),
+            },
+        )
+    }
+
+    /// Batched verified point read against the pinned state: one
+    /// [`MultiProof`] anchored at the pinned digest covers all keys.
+    pub fn get_multi_with_proof(
+        &self,
+        keys: &[Vec<u8>],
+    ) -> (Vec<Option<Vec<u8>>>, LedgerMultiProof) {
+        let (values, index_proof) = self.index.multi_get_with_proof(keys);
+        (
+            values,
+            LedgerMultiProof {
                 index_proof,
                 digest: self.digest,
                 journal_proof: self.journal_proof.clone(),
@@ -1210,6 +1346,66 @@ mod tests {
             let (read, proof) = reopened.get_with_proof(&key);
             assert_eq!(read, Some(value.clone()), "{}", kind.name());
             assert!(proof.verify(&key, Some(&value)), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn multi_proofs_cover_batches_for_every_siri_kind() {
+        for kind in [
+            SiriKind::PosTree,
+            SiriKind::MerklePatriciaTrie,
+            SiriKind::MerkleBucketTree,
+        ] {
+            let ledger = Ledger::with_kind(InMemoryChunkStore::shared(), kind);
+            ledger.append_block((0..100).map(kv).collect(), "load");
+
+            // A batch mixing present and absent keys, with duplicates.
+            let mut keys: Vec<Vec<u8>> = (0..8).map(|i| kv(i * 11).0).collect();
+            keys.push(b"no-such-key".to_vec());
+            keys.push(kv(0).0);
+            let (values, proof) = ledger.get_multi_with_proof(&keys);
+            assert_eq!(values.len(), keys.len(), "{}", kind.name());
+            assert_eq!(values[8], None, "{}", kind.name());
+            assert_eq!(values[9], Some(kv(0).1), "{}", kind.name());
+
+            let items: Vec<_> = keys.iter().cloned().zip(values.clone()).collect();
+            assert!(proof.verify(&items), "{}", kind.name());
+
+            // Forged value, forged absence, and wrong key all fail.
+            let mut forged = items.clone();
+            forged[0].1 = Some(b"forged".to_vec());
+            assert!(!proof.verify(&forged), "{}", kind.name());
+            let mut absent = items.clone();
+            absent[1].1 = None;
+            assert!(!proof.verify(&absent), "{}", kind.name());
+            let mut conjured = items.clone();
+            conjured[8].1 = Some(b"conjured".to_vec());
+            assert!(!proof.verify(&conjured), "{}", kind.name());
+
+            // The batch round-trips the wire encoding byte-identically.
+            let encoded = proof.encode();
+            assert_eq!(encoded.len(), proof.encoded_len(), "{}", kind.name());
+            let mut r = codec::Reader::new(&encoded);
+            let decoded = LedgerMultiProof::decode(&mut r).unwrap();
+            assert!(r.is_exhausted(), "{}", kind.name());
+            assert_eq!(decoded.encode(), encoded, "{}", kind.name());
+            assert!(decoded.verify(&items), "{}", kind.name());
+
+            // A batch against the empty ledger proves all-absent.
+            let fresh = Ledger::with_kind(InMemoryChunkStore::shared(), kind);
+            let (values, proof) = fresh.get_multi_with_proof(&keys);
+            assert!(values.iter().all(Option::is_none), "{}", kind.name());
+            let items: Vec<_> = keys.iter().cloned().zip(values).collect();
+            assert!(proof.verify(&items), "{}", kind.name());
+
+            // Snapshots pin batched proofs at the snapshot digest.
+            let snapshot = ledger.snapshot().unwrap();
+            let pinned = snapshot.digest();
+            ledger.append_block(vec![kv(0)], "move on");
+            let (values, proof) = snapshot.get_multi_with_proof(&keys);
+            assert_eq!(proof.digest, pinned, "{}", kind.name());
+            let items: Vec<_> = keys.iter().cloned().zip(values).collect();
+            assert!(proof.verify(&items), "{}", kind.name());
         }
     }
 

@@ -16,7 +16,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use spitz_core::proof::{ShardedProof, ShardedRangeProof, Verifier};
+use spitz_core::proof::{ShardedMultiProof, ShardedProof, ShardedRangeProof, Verifier};
 use spitz_core::sharded::ShardedDigest;
 use spitz_index::codec::{self, Reader};
 use spitz_ledger::Digest;
@@ -132,6 +132,7 @@ pub struct SpitzClient {
     next_id: u64,
     pending: HashMap<u64, (u8, Vec<u8>)>,
     shard_count: usize,
+    bytes_received: u64,
 }
 
 impl SpitzClient {
@@ -144,6 +145,7 @@ impl SpitzClient {
             next_id: 0,
             pending: HashMap::new(),
             shard_count: 0,
+            bytes_received: 0,
         };
         let hello = client.call(op::HELLO, b"spitz-client")?;
         let mut r = Reader::new(&hello);
@@ -158,6 +160,13 @@ impl SpitzClient {
     /// Shard count reported by the server's handshake.
     pub fn shard_count(&self) -> usize {
         self.shard_count
+    }
+
+    /// Total response bytes read off the wire since connect, including
+    /// frame length prefixes and headers. Lets benchmarks report true
+    /// response-size-on-the-wire per operation.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
     }
 
     /// Issue a request without waiting; returns the id to wait on. This is
@@ -212,6 +221,7 @@ impl SpitzClient {
         }
         let mut body = vec![0u8; len];
         self.stream.read_exact(&mut body)?;
+        self.bytes_received += (4 + len) as u64;
         let frame = protocol::parse_body(&body).map_err(|e| bad(&e.message()))?;
         Ok((frame.opcode, frame.request_id, frame.payload.to_vec()))
     }
@@ -263,6 +273,28 @@ impl SpitzClient {
             _ => return Err(bad("bad presence byte")),
         };
         Ok((value, proof))
+    }
+
+    /// Proof-carrying batched point read: one round trip, one
+    /// [`ShardedMultiProof`] covering every key (keys sharing a shard
+    /// share one proof group). The proof is returned **unchecked** — use
+    /// [`LightClient::get_batch`] to actually verify. The `i`-th returned
+    /// value answers `keys[i]`.
+    #[allow(clippy::type_complexity)]
+    pub fn get_verified_batch(
+        &mut self,
+        keys: &[Vec<u8>],
+    ) -> Result<(Vec<Option<Vec<u8>>>, ShardedMultiProof)> {
+        let reply = self.call(op::BATCH_VERIFIED_GET, &protocol::encode_keys(keys))?;
+        let mut r = Reader::new(&reply);
+        let values =
+            protocol::decode_optional_values(&mut r).ok_or_else(|| bad("bad value list"))?;
+        if values.len() != keys.len() {
+            return Err(bad("value count does not match key count"));
+        }
+        let proof =
+            ShardedMultiProof::decode(r.rest()).ok_or_else(|| bad("undecodable multi proof"))?;
+        Ok((values, proof))
     }
 
     /// Proof-carrying range read, unchecked (see [`LightClient::range`]).
@@ -401,6 +433,22 @@ impl LightClient {
             )));
         }
         Ok(value)
+    }
+
+    /// Verified batched point read: every value (or absence) in the batch
+    /// is proven against the pinned root by one [`ShardedMultiProof`], or
+    /// the whole batch is refused — the same acceptance rule as
+    /// [`LightClient::get`], amortized over the shared upper-tree nodes.
+    pub fn get_batch(&mut self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        let (values, proof) = self.client.get_verified_batch(keys)?;
+        let items: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+            keys.iter().cloned().zip(values.iter().cloned()).collect();
+        if !self.verifier.verify_sharded_multi(&items, &proof) {
+            return Err(ClientError::Verification(
+                "batched point proof rejected against pinned root".to_string(),
+            ));
+        }
+        Ok(values)
     }
 
     /// Verified range read over `start <= key < end`; completeness and

@@ -61,6 +61,9 @@ pub mod op {
     /// Long-poll: respond with the first digest whose epoch reaches the
     /// requested minimum.
     pub const SUBSCRIBE_DIGEST: u8 = 0x16;
+    /// Proof-carrying batched point read: many keys, one consistent cut,
+    /// one [`ShardedMultiProof`](spitz_core::ShardedMultiProof).
+    pub const BATCH_VERIFIED_GET: u8 = 0x17;
     /// Per-shard health states and reasons.
     pub const HEALTH: u8 = 0x20;
     /// Admin: run a scrub pass over every durable shard.
@@ -272,6 +275,68 @@ pub fn decode_entries(r: &mut Reader<'_>) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
     Some(entries)
 }
 
+/// Encode a key list the way the [`op::BATCH_VERIFIED_GET`] request
+/// carries its keys: `u32` count, then one length-prefixed key each.
+pub fn encode_keys(keys: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_u32(&mut out, keys.len() as u32);
+    for key in keys {
+        codec::put_bytes(&mut out, key);
+    }
+    out
+}
+
+/// Decode a key list from `r`, bounding the up-front reservation by the
+/// bytes actually present (each key needs at least its length prefix).
+pub fn decode_keys(r: &mut Reader<'_>) -> Option<Vec<Vec<u8>>> {
+    let count = r.u32()? as usize;
+    if count > r.remaining() / 4 {
+        return None;
+    }
+    let mut keys = Vec::with_capacity(count);
+    for _ in 0..count {
+        keys.push(r.bytes()?.to_vec());
+    }
+    Some(keys)
+}
+
+/// Encode an optional-value list the way the [`op::BATCH_VERIFIED_GET`]
+/// response carries its per-key results: `u32` count, then per key a
+/// presence byte (0/1) followed by the length-prefixed value when present.
+pub fn encode_optional_values(values: &[Option<Vec<u8>>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_u32(&mut out, values.len() as u32);
+    for value in values {
+        match value {
+            Some(v) => {
+                out.push(1);
+                codec::put_bytes(&mut out, v);
+            }
+            None => out.push(0),
+        }
+    }
+    out
+}
+
+/// Decode an optional-value list from `r`, bounding the up-front
+/// reservation by the bytes actually present (each entry needs at least its
+/// presence byte).
+pub fn decode_optional_values(r: &mut Reader<'_>) -> Option<Vec<Option<Vec<u8>>>> {
+    let count = r.u32()? as usize;
+    if count > r.remaining() {
+        return None;
+    }
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        values.push(match r.u8()? {
+            0 => None,
+            1 => Some(r.bytes()?.to_vec()),
+            _ => return None,
+        });
+    }
+    Some(values)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +390,32 @@ mod tests {
         assert_eq!(message, "store is read-only");
         assert_eq!(decode_error(&[]), None);
         assert_eq!(decode_error(&[200, b'x']), None);
+    }
+
+    #[test]
+    fn key_and_optional_value_lists_roundtrip_and_bound_allocation() {
+        let keys = vec![b"a".to_vec(), b"long-key".to_vec(), Vec::new()];
+        let encoded = encode_keys(&keys);
+        let mut r = Reader::new(&encoded);
+        assert_eq!(decode_keys(&mut r).unwrap(), keys);
+        assert!(r.is_exhausted());
+
+        let values = vec![Some(b"v1".to_vec()), None, Some(Vec::new())];
+        let encoded = encode_optional_values(&values);
+        let mut r = Reader::new(&encoded);
+        assert_eq!(decode_optional_values(&mut r).unwrap(), values);
+        assert!(r.is_exhausted());
+
+        // Hostile counts fail fast without reserving.
+        let mut lie = Vec::new();
+        codec::put_u32(&mut lie, u32::MAX);
+        assert_eq!(decode_keys(&mut Reader::new(&lie)), None);
+        assert_eq!(decode_optional_values(&mut Reader::new(&lie)), None);
+        // A bad presence byte is rejected.
+        let mut bad = Vec::new();
+        codec::put_u32(&mut bad, 1);
+        bad.push(7);
+        assert_eq!(decode_optional_values(&mut Reader::new(&bad)), None);
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub enum ChunkKind {
     Block,
     /// A serialized database cell.
     Cell,
+    /// A Merkle-Patricia-Trie node addressed by its *sparse-branch
+    /// commitment* rather than the plain payload hash: branch children are
+    /// hashed as a 4-level sparse Merkle subtree (see
+    /// [`crate::mpt_commit`]), so a proof step over a radix-16 branch
+    /// reveals ~4 sibling hashes instead of 15.
+    MptNode,
 }
 
 impl ChunkKind {
@@ -38,6 +44,7 @@ impl ChunkKind {
             ChunkKind::Commit => 3,
             ChunkKind::Block => 4,
             ChunkKind::Cell => 5,
+            ChunkKind::MptNode => 6,
         }
     }
 
@@ -50,6 +57,7 @@ impl ChunkKind {
             3 => Some(ChunkKind::Commit),
             4 => Some(ChunkKind::Block),
             5 => Some(ChunkKind::Cell),
+            6 => Some(ChunkKind::MptNode),
             _ => None,
         }
     }
@@ -63,16 +71,31 @@ impl ChunkKind {
             ChunkKind::Commit => "commit",
             ChunkKind::Block => "block",
             ChunkKind::Cell => "cell",
+            ChunkKind::MptNode => "mpt-node",
         }
     }
 }
 
 /// An immutable, content-addressed unit of storage.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Chunk {
     kind: ChunkKind,
     data: Bytes,
+    /// Lazily computed (or caller-seeded) content address. MPT-node
+    /// addresses fold a sparse-Merkle subtree per branch, so computing an
+    /// address is not free; caching it makes repeated `address()` calls
+    /// (put → dedup → stats) cost one computation, and lets write paths
+    /// that already know the commitment skip it entirely.
+    address: std::sync::OnceLock<Hash>,
 }
+
+impl PartialEq for Chunk {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind && self.data == other.data
+    }
+}
+
+impl Eq for Chunk {}
 
 impl Chunk {
     /// Create a chunk from a kind and payload bytes.
@@ -80,7 +103,28 @@ impl Chunk {
         Chunk {
             kind,
             data: data.into(),
+            address: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Create a chunk whose content address the caller has already
+    /// computed (e.g. an MPT branch commitment maintained incrementally).
+    /// The address MUST equal what [`Chunk::address`] would compute —
+    /// debug builds assert it; a wrong address in release would break
+    /// content addressing.
+    pub fn with_address(kind: ChunkKind, data: impl Into<Bytes>, address: Hash) -> Self {
+        let chunk = Chunk {
+            kind,
+            data: data.into(),
+            address: std::sync::OnceLock::new(),
+        };
+        debug_assert_eq!(
+            address,
+            chunk.compute_address(),
+            "Chunk::with_address seeded with a wrong address"
+        );
+        let _ = chunk.address.set(address);
+        chunk
     }
 
     /// The chunk's role in the DAG.
@@ -103,8 +147,25 @@ impl Chunk {
         self.data.is_empty()
     }
 
-    /// The content address: `SHA-256(kind_tag || payload)`.
+    /// The content address: `SHA-256(kind_tag || payload)` — except for
+    /// [`ChunkKind::MptNode`] chunks, whose address *is* the node's
+    /// sparse-branch commitment (see [`crate::mpt_commit::mpt_commitment`]).
+    /// Addressing MPT nodes by commitment is what lets proofs reveal ~4
+    /// sibling hashes per branch step instead of all 15 children while the
+    /// store stays purely content-addressed: the child pointers stored in a
+    /// node payload are the children's chunk addresses, i.e. their
+    /// commitments. A payload that does not decode as an MPT node falls
+    /// back to the plain tagged hash.
     pub fn address(&self) -> Hash {
+        *self.address.get_or_init(|| self.compute_address())
+    }
+
+    fn compute_address(&self) -> Hash {
+        if self.kind == ChunkKind::MptNode {
+            if let Some(commitment) = crate::mpt_commit::mpt_commitment(&self.data) {
+                return commitment;
+            }
+        }
         let mut hasher = Sha256::new();
         hasher.update(&[self.kind.tag()]);
         hasher.update(&self.data);
@@ -144,6 +205,7 @@ mod tests {
             ChunkKind::Commit,
             ChunkKind::Block,
             ChunkKind::Cell,
+            ChunkKind::MptNode,
         ] {
             assert_eq!(ChunkKind::from_tag(kind.tag()), Some(kind));
         }

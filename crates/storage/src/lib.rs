@@ -48,6 +48,7 @@ pub mod chunker;
 pub mod dag;
 pub mod durable;
 pub mod error;
+pub mod mpt_commit;
 pub mod object;
 pub mod store;
 pub mod version;
@@ -59,6 +60,10 @@ pub use durable::{
     CompactionFault, CompactionReport, DurableChunkStore, DurableConfig, ScrubReport,
 };
 pub use error::{IoError, IoErrorKind, StorageError};
+pub use mpt_commit::{
+    mpt_branch_commitment, mpt_commitment, mpt_extension_commitment, mpt_leaf_commitment,
+    mpt_value_hash,
+};
 pub use object::{VBlob, VMap};
 pub use store::{ChunkStore, HealthState, InMemoryChunkStore, StoreStats};
 pub use version::{Commit, VersionManager};

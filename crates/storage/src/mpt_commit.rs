@@ -1,0 +1,241 @@
+//! Sparse-branch commitments for Merkle-Patricia-Trie nodes.
+//!
+//! [`ChunkKind::MptNode`](crate::ChunkKind::MptNode) chunks are addressed by
+//! the commitment computed here instead of the plain `SHA-256(tag ‖ payload)`
+//! hash. The change is invisible to the store — an address is an address —
+//! but it rebuilds what a proof of one branch descent has to reveal:
+//!
+//! * Under payload hashing, verifying one step through a radix-16 branch
+//!   requires the full node payload, i.e. all (up to 15) sibling child
+//!   hashes.
+//! * Under the sparse-branch commitment, the 16 child slots are hashed as a
+//!   4-level sparse Merkle subtree ([`spitz_crypto::smt16_root`]), so a
+//!   proof step carries only the ~4 subtree siblings along the descended
+//!   slot's path — roughly a 4× reduction for full branches.
+//!
+//! Because the child pointers *stored in* a node payload are the children's
+//! chunk addresses — which for MPT nodes are their commitments — the
+//! commitment of a node is computable from its payload alone, and the whole
+//! trie (traversal, checkout, GC reachability, deduplication) keeps working
+//! unchanged on top of the content-addressed store.
+//!
+//! Every preimage is domain-separated with a distinct leading byte (`'L'`,
+//! `'E'`, `'B'`, `'V'`, and `'N'` for subtree interiors) so leaf, extension,
+//! branch, value and interior hashes can never be confused with one another
+//! or with any tagged chunk address (chunk tags are small integers).
+
+use spitz_crypto::{smt16_root, Hash, Sha256};
+
+/// Domain prefix of a leaf commitment.
+pub const MPT_LEAF_DOMAIN: u8 = b'L';
+/// Domain prefix of an extension commitment.
+pub const MPT_EXT_DOMAIN: u8 = b'E';
+/// Domain prefix of a branch commitment.
+pub const MPT_BRANCH_DOMAIN: u8 = b'B';
+/// Domain prefix of a stored value's hash.
+pub const MPT_VALUE_DOMAIN: u8 = b'V';
+
+/// Hash of a stored value: `H('V' ‖ value)`.
+pub fn mpt_value_hash(value: &[u8]) -> Hash {
+    let mut hasher = Sha256::new();
+    hasher.update(&[MPT_VALUE_DOMAIN]);
+    hasher.update(value);
+    hasher.finalize()
+}
+
+/// Commitment of a leaf node: `H('L' ‖ len(path) ‖ path ‖ value_hash)`.
+/// The path is the leaf's remaining nibble run (one nibble per byte).
+pub fn mpt_leaf_commitment(path: &[u8], value_hash: &Hash) -> Hash {
+    let mut hasher = Sha256::new();
+    hasher.update(&[MPT_LEAF_DOMAIN]);
+    hasher.update(&(path.len() as u32).to_be_bytes());
+    hasher.update(path);
+    hasher.update(value_hash.as_bytes());
+    hasher.finalize()
+}
+
+/// Commitment of an extension node:
+/// `H('E' ‖ len(path) ‖ path ‖ child_commitment)`.
+pub fn mpt_extension_commitment(path: &[u8], child: &Hash) -> Hash {
+    let mut hasher = Sha256::new();
+    hasher.update(&[MPT_EXT_DOMAIN]);
+    hasher.update(&(path.len() as u32).to_be_bytes());
+    hasher.update(path);
+    hasher.update(child.as_bytes());
+    hasher.finalize()
+}
+
+/// Commitment of a branch node:
+/// `H('B' ‖ bitmap ‖ smt16_root ‖ value_part)`, where `bitmap` is the
+/// big-endian child-occupancy bitmap, `smt16_root` is the sparse-subtree
+/// root over the 16 child slots and `value_part` is [`mpt_value_hash`] of
+/// the branch's own value, or [`Hash::ZERO`] when the branch stores none.
+///
+/// Binding the bitmap (not just the subtree root) makes compact proofs
+/// non-malleable: a proof's bitmap bits for *pruned* regions would
+/// otherwise be free bits, since a pruned region's subtree root is supplied
+/// wholesale rather than recomputed.
+pub fn mpt_branch_commitment(bitmap: u16, subtree_root: &Hash, value_part: &Hash) -> Hash {
+    let mut hasher = Sha256::new();
+    hasher.update(&[MPT_BRANCH_DOMAIN]);
+    hasher.update(&bitmap.to_be_bytes());
+    hasher.update(subtree_root.as_bytes());
+    hasher.update(value_part.as_bytes());
+    hasher.finalize()
+}
+
+/// Compute the sparse-branch commitment of an encoded MPT node payload.
+///
+/// Parses the index crate's node encoding — leaf
+/// (`0 ‖ path ‖ value`), extension (`1 ‖ path ‖ child`), branch
+/// (`2 ‖ bitmap ‖ children ‖ value?`), with length-prefixed byte strings —
+/// and returns `None` when the payload is not a well-formed node, in which
+/// case [`Chunk::address`](crate::Chunk::address) falls back to the plain
+/// tagged hash.
+pub fn mpt_commitment(payload: &[u8]) -> Option<Hash> {
+    let (tag, mut rest) = payload.split_first()?;
+    match tag {
+        0 => {
+            let path = read_bytes(&mut rest)?;
+            let value = read_bytes(&mut rest)?;
+            rest.is_empty()
+                .then(|| mpt_leaf_commitment(path, &mpt_value_hash(value)))
+        }
+        1 => {
+            let path = read_bytes(&mut rest)?;
+            let child = read_hash(&mut rest)?;
+            rest.is_empty()
+                .then(|| mpt_extension_commitment(path, &child))
+        }
+        2 => {
+            if rest.len() < 2 {
+                return None;
+            }
+            let bitmap = u16::from_be_bytes([rest[0], rest[1]]);
+            rest = &rest[2..];
+            let mut slots = [Hash::ZERO; 16];
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if bitmap & (1 << i) != 0 {
+                    *slot = read_hash(&mut rest)?;
+                }
+            }
+            let value_part = match rest.split_first()? {
+                (0, tail) => tail.is_empty().then_some(Hash::ZERO)?,
+                (1, mut tail) => {
+                    let value = read_bytes(&mut tail)?;
+                    if !tail.is_empty() {
+                        return None;
+                    }
+                    mpt_value_hash(value)
+                }
+                _ => return None,
+            };
+            Some(mpt_branch_commitment(
+                bitmap,
+                &smt16_root(&slots),
+                &value_part,
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Read a `u32`-length-prefixed byte string off the front of `rest`.
+fn read_bytes<'a>(rest: &mut &'a [u8]) -> Option<&'a [u8]> {
+    if rest.len() < 4 {
+        return None;
+    }
+    let len = u32::from_be_bytes(rest[..4].try_into().ok()?) as usize;
+    if rest.len() < 4 + len {
+        return None;
+    }
+    let (bytes, tail) = rest[4..].split_at(len);
+    *rest = tail;
+    Some(bytes)
+}
+
+/// Read a 32-byte hash off the front of `rest`.
+fn read_hash(rest: &mut &[u8]) -> Option<Hash> {
+    if rest.len() < spitz_crypto::hash::HASH_LEN {
+        return None;
+    }
+    let (raw, tail) = rest.split_at(spitz_crypto::hash::HASH_LEN);
+    *rest = tail;
+    let mut bytes = [0u8; spitz_crypto::hash::HASH_LEN];
+    bytes.copy_from_slice(raw);
+    Some(Hash::from_bytes(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spitz_crypto::{sha256, smt16_empty, SMT16_LEVELS};
+
+    fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
+        out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+        out.extend_from_slice(data);
+    }
+
+    #[test]
+    fn leaf_commitment_binds_path_and_value() {
+        let mut payload = vec![0u8];
+        put_bytes(&mut payload, &[1, 2, 3]);
+        put_bytes(&mut payload, b"value");
+        let commitment = mpt_commitment(&payload).unwrap();
+        assert_eq!(
+            commitment,
+            mpt_leaf_commitment(&[1, 2, 3], &mpt_value_hash(b"value"))
+        );
+
+        let mut other = vec![0u8];
+        put_bytes(&mut other, &[1, 2, 3]);
+        put_bytes(&mut other, b"other");
+        assert_ne!(commitment, mpt_commitment(&other).unwrap());
+    }
+
+    #[test]
+    fn extension_commitment_binds_child() {
+        let child = sha256(b"child");
+        let mut payload = vec![1u8];
+        put_bytes(&mut payload, &[7]);
+        payload.extend_from_slice(child.as_bytes());
+        assert_eq!(
+            mpt_commitment(&payload).unwrap(),
+            mpt_extension_commitment(&[7], &child)
+        );
+    }
+
+    #[test]
+    fn branch_commitment_uses_sparse_subtree() {
+        // Branch with children at nibbles 2 and 9 and no value.
+        let c2 = sha256(b"c2");
+        let c9 = sha256(b"c9");
+        let bitmap: u16 = (1 << 2) | (1 << 9);
+        let mut payload = vec![2u8];
+        payload.extend_from_slice(&bitmap.to_be_bytes());
+        payload.extend_from_slice(c2.as_bytes());
+        payload.extend_from_slice(c9.as_bytes());
+        payload.push(0);
+
+        let mut slots = [Hash::ZERO; 16];
+        slots[2] = c2;
+        slots[9] = c9;
+        assert_eq!(
+            mpt_commitment(&payload).unwrap(),
+            mpt_branch_commitment(bitmap, &spitz_crypto::smt16_root(&slots), &Hash::ZERO)
+        );
+        assert_ne!(smt16_empty(SMT16_LEVELS), spitz_crypto::smt16_root(&slots));
+    }
+
+    #[test]
+    fn malformed_payloads_fall_back() {
+        assert!(mpt_commitment(&[]).is_none());
+        assert!(mpt_commitment(&[9, 1, 2]).is_none());
+        assert!(mpt_commitment(&[0, 0, 0]).is_none()); // truncated length
+        let mut trailing = vec![0u8];
+        put_bytes(&mut trailing, b"p");
+        put_bytes(&mut trailing, b"v");
+        trailing.push(0xFF);
+        assert!(mpt_commitment(&trailing).is_none());
+    }
+}

@@ -91,6 +91,67 @@ fn remote_verified_reads_match_in_process_proof_for_proof() {
     assert!(remote.verify_sharded_range(&remote_entries, &remote_range));
 }
 
+/// Batched acceptance property: the `BatchVerifiedGet` frame ships the
+/// same `ShardedMultiProof` bytes the in-process engine produces, both on
+/// the cold (engine fallback) path and on the warm (proof-node cache)
+/// path, and the remote decode satisfies the in-process pin.
+#[test]
+fn remote_batched_reads_match_in_process_proof_for_proof() {
+    let server = serve_in_memory(3);
+    let db = Arc::clone(server.db());
+    let mut client = SpitzClient::connect(server.local_addr()).expect("connect");
+
+    for i in 0..60 {
+        client
+            .put(&key(i), format!("batch-v{i}").as_bytes())
+            .unwrap();
+    }
+    // Adjacent keys (shared upper tree) plus absences, spanning shards.
+    let mut keys: Vec<Vec<u8>> = (10..26).map(key).collect();
+    keys.push(b"wire/never-written".to_vec());
+    keys.push(key(59));
+
+    let mut local = Verifier::new();
+    assert!(local.observe_sharded(&db.digest()));
+
+    // Twice: the first batch is served off the engine (cold cache), the
+    // second off the proof-node cache. Both must be byte-identical to the
+    // in-process proof at the same cut.
+    for round in 0..2 {
+        let (local_values, local_proof) = db.get_multi_verified(&keys).expect("in-process batch");
+        let (remote_values, remote_proof) = client.get_verified_batch(&keys).expect("served batch");
+        assert_eq!(
+            remote_values, local_values,
+            "value mismatch in round {round}"
+        );
+        assert_eq!(
+            remote_proof.encode(),
+            local_proof.encode(),
+            "served batch proof bytes differ from in-process in round {round}"
+        );
+        let items: Vec<(Vec<u8>, Option<Vec<u8>>)> = keys
+            .iter()
+            .cloned()
+            .zip(remote_values.iter().cloned())
+            .collect();
+        assert!(local.verify_sharded_multi(&items, &remote_proof));
+    }
+
+    // The cache warmed up and is invalidated by the next epoch advance.
+    let telemetry = client.telemetry_json().unwrap();
+    assert!(telemetry.contains("server.proof_cache.hits"));
+    assert!(telemetry.contains("server.proof_cache.misses"));
+    client.put(&key(1000), b"advance the epoch").unwrap();
+    let (_, moved_proof) = client.get_verified_batch(&keys).expect("post-write batch");
+    assert_ne!(moved_proof.root, local.pinned_sharded_root().unwrap());
+
+    // A light client verifies the batch end-to-end with the strict rule.
+    let mut light = LightClient::connect(server.local_addr()).expect("connect light");
+    let values = light.get_batch(&keys).expect("verified batch");
+    assert_eq!(values[0], Some(b"batch-v10".to_vec()));
+    assert_eq!(values[16], None);
+}
+
 #[test]
 fn light_client_end_to_end_with_cross_shard_batches() {
     let server = serve_in_memory(4);

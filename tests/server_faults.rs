@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use spitz::core::proof::{ShardedProof, ShardedRangeProof, Verifier};
+use spitz::core::proof::{ShardedMultiProof, ShardedProof, ShardedRangeProof, Verifier};
 use spitz::core::sharded::{ShardedConfig, ShardedDb, ShardedDigest};
 use spitz::index::codec::Reader;
 use spitz::ledger::Digest;
@@ -61,11 +61,16 @@ fn decoder_fuzz_random_bytes_never_panic() {
         let _ = protocol::parse_body(&bytes);
         let _ = protocol::decode_error(&bytes);
         let _ = ShardedProof::decode(&bytes);
+        let _ = ShardedMultiProof::decode(&bytes);
         let _ = ShardedRangeProof::decode(&bytes);
         let _ = ShardedDigest::decode(&bytes);
         let _ = Digest::decode(&bytes);
         let mut r = Reader::new(&bytes);
         let _ = protocol::decode_entries(&mut r);
+        let mut r = Reader::new(&bytes);
+        let _ = protocol::decode_keys(&mut r);
+        let mut r = Reader::new(&bytes);
+        let _ = protocol::decode_optional_values(&mut r);
     }
 
     // Declared-count lies: a 4 GiB entry count backed by nothing must be
@@ -75,6 +80,10 @@ fn decoder_fuzz_random_bytes_never_panic() {
     lie.extend_from_slice(&rng.bytes(32));
     let mut r = Reader::new(&lie);
     assert_eq!(protocol::decode_entries(&mut r), None);
+    let mut r = Reader::new(&lie);
+    assert_eq!(protocol::decode_keys(&mut r), None);
+    let mut r = Reader::new(&lie);
+    assert_eq!(protocol::decode_optional_values(&mut r), None);
 }
 
 /// Satellite: mutated *valid* proof encodings either fail to decode or
@@ -133,6 +142,136 @@ fn decoder_fuzz_mutated_proofs_never_verify() {
     }
     // Bit flips inside hash fields still decode structurally; the fuzz
     // only means something if some mutants reach the verifier.
+    assert!(
+        decoded_mutants > 0,
+        "no mutant even decoded — fuzz is toothless"
+    );
+}
+
+/// Satellite: mutated *batched* proofs, mirroring the single-proof
+/// guarantees above for [`ShardedMultiProof`]. Every shared-node splice,
+/// duplication, reorder, truncation, and bit flip in a group's node
+/// carrier is rejected; claim-level forgeries (forged value, conjured
+/// presence, claimed absence) are rejected; and seeded wire-level mutants
+/// either fail to decode or fail verification.
+#[test]
+fn mutated_multi_proofs_never_verify() {
+    let db = ShardedDb::in_memory(3);
+    for i in 0..48 {
+        db.put(&key(i), format!("mv{i}").as_bytes()).unwrap();
+    }
+    let mut keys: Vec<Vec<u8>> = (8..24).map(key).collect();
+    keys.push(b"torture/absent".to_vec());
+    let (values, proof) = db.get_multi_verified(&keys).unwrap();
+    let items: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+        keys.iter().cloned().zip(values.iter().cloned()).collect();
+    assert!(proof.verify(&items));
+
+    // Claim-level forgeries against the honest proof.
+    let mut forged = items.clone();
+    forged[3].1 = Some(b"forged".to_vec());
+    assert!(!proof.verify(&forged), "forged value must be refused");
+    let mut hidden = items.clone();
+    hidden[3].1 = None;
+    assert!(!proof.verify(&hidden), "claimed absence must be refused");
+    let mut conjured = items.clone();
+    conjured[16].1 = Some(b"conjured".to_vec());
+    assert!(
+        !proof.verify(&conjured),
+        "conjured presence must be refused"
+    );
+
+    // Structured shared-node attacks against every group's node carrier:
+    // splice the root node out, duplicate a node, overwrite a needed node
+    // with a copy of another, truncate a payload, flip a bit inside one.
+    // (A pure *reorder* of the union carrier is benign malleability — the
+    // node set and the proven claims are unchanged — so it is not in this
+    // list; the wire fuzz below still checks reordered mutants bind.)
+    let honest = proof.encode();
+    let mut rejected = 0;
+    for g in 0..proof.groups.len() {
+        for attack in 0..5 {
+            let mut mutant = proof.clone();
+            let nodes = &mut mutant.groups[g].ledger_proof.index_proof.nodes;
+            assert!(!nodes.is_empty(), "groups with keys reveal nodes");
+            match attack {
+                0 => {
+                    nodes.remove(0);
+                }
+                1 => {
+                    let node = nodes[0].clone();
+                    nodes.push(node);
+                }
+                2 => {
+                    if nodes.len() >= 2 {
+                        let last = nodes.len() - 1;
+                        nodes[last] = nodes[0].clone();
+                    } else {
+                        nodes[0].reverse();
+                    }
+                }
+                3 => {
+                    let len = nodes[0].len();
+                    nodes[0].truncate(len / 2);
+                }
+                _ => {
+                    nodes[0][0] ^= 0x01;
+                }
+            }
+            if mutant.encode() == honest {
+                continue;
+            }
+            assert!(
+                !mutant.verify(&items),
+                "group {g} node attack {attack} must be rejected"
+            );
+            rejected += 1;
+        }
+    }
+    assert!(
+        rejected >= proof.groups.len() * 4,
+        "the node attacks must actually mutate the proofs"
+    );
+
+    // Seeded wire-level mutants of the canonical encoding.
+    let mut rng = SeededRng::new(0x3417_1BAD);
+    let mut decoded_mutants = 0;
+    for _ in 0..600 {
+        let mut mutant = honest.clone();
+        match rng.below(3) {
+            0 => {
+                let idx = rng.below(mutant.len() as u64) as usize;
+                mutant[idx] ^= 1 << rng.below(8);
+            }
+            1 => {
+                let cut = rng.below(mutant.len() as u64) as usize;
+                mutant.truncate(cut);
+            }
+            _ => {
+                let extra = rng.below(16) as usize + 1;
+                let garbage = rng.bytes(extra);
+                mutant.extend_from_slice(&garbage);
+            }
+        }
+        if mutant == honest {
+            continue;
+        }
+        if let Some(decoded) = ShardedMultiProof::decode(&mutant) {
+            decoded_mutants += 1;
+            if decoded.verify(&items) {
+                // Only cryptographically inert bytes may survive a flip;
+                // the binding must hold: same root, and still no
+                // acceptance of altered claims under the mutant.
+                assert_eq!(decoded.root, proof.root, "root confusion must not verify");
+                let mut still_forged = items.clone();
+                still_forged[5].1 = Some(b"still forged".to_vec());
+                assert!(
+                    !decoded.verify(&still_forged),
+                    "a verifying mutant must still bind the honest values"
+                );
+            }
+        }
+    }
     assert!(
         decoded_mutants > 0,
         "no mutant even decoded — fuzz is toothless"
@@ -366,7 +505,10 @@ fn faulted_store_degrades_remote_service_without_deadlock() {
                     );
                     reads_ok.fetch_add(1, Ordering::Relaxed);
                     match client.put(&key(1000 + i), b"nope") {
-                        Err(ClientError::Server { code: ErrorCode::ReadOnly, .. }) => {
+                        Err(ClientError::Server {
+                            code: ErrorCode::ReadOnly,
+                            ..
+                        }) => {
                             writes_refused.fetch_add(1, Ordering::Relaxed);
                         }
                         other => panic!("write must be refused typed, got {other:?}"),
